@@ -1,0 +1,229 @@
+//! Injectable faults — the case study's bug catalog.
+//!
+//! Each flag switches one defect into an otherwise-correct system. The
+//! verification harness (crate `verif`) runs every bug under both
+//! simulation methods and classifies detection, regenerating the paper's
+//! Table III and Figure 5.
+
+/// One nameable bug from the catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Bug {
+    /// bug.hw.1 — the memory controller's burst-read path drives a stale
+    /// first beat (static region; corrupts every DMA'd frame row).
+    Hw1MemBurstWrap,
+    /// bug.hw.2 — the VMUX-only `engine_signature` register is not
+    /// initialised at reset; no engine is ever selected. Exists only in
+    /// the Virtual-Multiplexing testbench: the canonical *false alarm*.
+    Hw2SignatureUninit,
+    /// bug.hw.3 — video-in DMA stops one burst early; the last pixel
+    /// rows of every input frame are stale.
+    Hw3VideoInShortDma,
+    /// bug.hw.4 — the interrupt controller pulses `irq` for one cycle
+    /// instead of holding it until acknowledged; a CPU mid-stall misses
+    /// interrupts and the frame pipeline hangs.
+    Hw4IrqPulse,
+    /// bug.sw.1 — the software draws motion vectors onto the frame
+    /// buffer the camera is currently overwriting, not the one just
+    /// processed.
+    Sw1DrawWrongBuffer,
+    /// bug.sw.2 — the main loop caches the vectors-ready flag in a
+    /// register instead of re-reading memory; it never observes
+    /// completion.
+    Sw2FlagCached,
+    /// bug.dpr.1 — software never asserts the isolation control around
+    /// reconfiguration; spurious region outputs reach the static design.
+    Dpr1NoIsolation,
+    /// bug.dpr.2 — the engine DCR registers were left *inside* the
+    /// reconfigurable region; during reconfiguration they drive X into
+    /// the daisy chain and corrupt every downstream access.
+    Dpr2DcrInRr,
+    /// bug.dpr.3 — IcapCTRL ignores the ICAP `ready` backpressure and
+    /// overflows the configuration FIFO.
+    Dpr3IgnoreIcapReady,
+    /// bug.dpr.4 — IcapCTRL still uses the original design's
+    /// point-to-point fixed-latency bus timing on the shared PLB
+    /// (paper Table III).
+    Dpr4P2pOnSharedBus,
+    /// bug.dpr.5 — after the controller's word-size parameter changed,
+    /// the software driver still computes the bitstream size with the
+    /// old divisor and transfers only half the SimB (paper Table III).
+    Dpr5StaleSizeCalc,
+    /// bug.dpr.6a — software waits a fixed dummy-loop count tuned for
+    /// the original (faster) configuration clock before resetting the
+    /// engines; on the slower clock the reset lands mid-transfer.
+    Dpr6aShortFixedWait,
+    /// bug.dpr.6b — software does not wait for bitstream-transfer
+    /// completion at all before resetting and starting the new engine
+    /// (paper Table III).
+    Dpr6bNoWaitTransfer,
+}
+
+impl Bug {
+    /// Every catalogued bug.
+    pub const ALL: [Bug; 13] = [
+        Bug::Hw1MemBurstWrap,
+        Bug::Hw2SignatureUninit,
+        Bug::Hw3VideoInShortDma,
+        Bug::Hw4IrqPulse,
+        Bug::Sw1DrawWrongBuffer,
+        Bug::Sw2FlagCached,
+        Bug::Dpr1NoIsolation,
+        Bug::Dpr2DcrInRr,
+        Bug::Dpr3IgnoreIcapReady,
+        Bug::Dpr4P2pOnSharedBus,
+        Bug::Dpr5StaleSizeCalc,
+        Bug::Dpr6aShortFixedWait,
+        Bug::Dpr6bNoWaitTransfer,
+    ];
+
+    /// The paper-style identifier, e.g. `"bug.dpr.6b"`.
+    pub fn id(&self) -> &'static str {
+        match self {
+            Bug::Hw1MemBurstWrap => "bug.hw.1",
+            Bug::Hw2SignatureUninit => "bug.hw.2",
+            Bug::Hw3VideoInShortDma => "bug.hw.3",
+            Bug::Hw4IrqPulse => "bug.hw.4",
+            Bug::Sw1DrawWrongBuffer => "bug.sw.1",
+            Bug::Sw2FlagCached => "bug.sw.2",
+            Bug::Dpr1NoIsolation => "bug.dpr.1",
+            Bug::Dpr2DcrInRr => "bug.dpr.2",
+            Bug::Dpr3IgnoreIcapReady => "bug.dpr.3",
+            Bug::Dpr4P2pOnSharedBus => "bug.dpr.4",
+            Bug::Dpr5StaleSizeCalc => "bug.dpr.5",
+            Bug::Dpr6aShortFixedWait => "bug.dpr.6a",
+            Bug::Dpr6bNoWaitTransfer => "bug.dpr.6b",
+        }
+    }
+
+    /// Short description for reports.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            Bug::Hw1MemBurstWrap => "burst reads drive a stale first beat",
+            Bug::Hw2SignatureUninit => "engine_signature register not reset (VMUX-only false alarm)",
+            Bug::Hw3VideoInShortDma => "video-in DMA end address one burst short",
+            Bug::Hw4IrqPulse => "interrupt line pulses instead of holding level",
+            Bug::Sw1DrawWrongBuffer => "vectors drawn onto the buffer being captured",
+            Bug::Sw2FlagCached => "vectors-ready flag cached in a register",
+            Bug::Dpr1NoIsolation => "isolation never asserted during reconfiguration",
+            Bug::Dpr2DcrInRr => "engine DCR registers left inside the RR",
+            Bug::Dpr3IgnoreIcapReady => "IcapCTRL ignores ICAP backpressure",
+            Bug::Dpr4P2pOnSharedBus => "IcapCTRL point-to-point timing on shared PLB",
+            Bug::Dpr5StaleSizeCalc => "driver computes bitstream size with stale parameter",
+            Bug::Dpr6aShortFixedWait => "fixed wait tuned for the old (faster) config clock",
+            Bug::Dpr6bNoWaitTransfer => "no wait for transfer completion before engine reset",
+        }
+    }
+
+    /// The paper-level bug this catalog entry belongs to. dpr.6a and
+    /// dpr.6b are variants of one engine-reset timing bug (the paper's
+    /// Table III itself names "bug.dpr.6b"), so Figure 5's count of six
+    /// DPR bugs counts them once.
+    pub fn paper_group(&self) -> &'static str {
+        match self {
+            Bug::Dpr6aShortFixedWait | Bug::Dpr6bNoWaitTransfer => "bug.dpr.6",
+            other => other.id(),
+        }
+    }
+
+    /// Classification used by the Figure-5 timeline.
+    pub fn class(&self) -> BugClass {
+        match self {
+            Bug::Hw1MemBurstWrap | Bug::Hw3VideoInShortDma | Bug::Hw4IrqPulse => BugClass::Static,
+            Bug::Hw2SignatureUninit => BugClass::FalseAlarm,
+            Bug::Sw1DrawWrongBuffer | Bug::Sw2FlagCached => BugClass::Software,
+            _ => BugClass::Dpr,
+        }
+    }
+}
+
+/// Bug classes as the paper groups them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BugClass {
+    /// Static-region hardware bugs (found by both methods).
+    Static,
+    /// Software bugs.
+    Software,
+    /// Reconfiguration-machinery bugs (ReSim-only).
+    Dpr,
+    /// Simulation-environment artifacts (VMUX-only false alarms).
+    FalseAlarm,
+}
+
+/// The set of bugs injected into one system build.
+#[derive(Debug, Clone, Default)]
+pub struct FaultSet {
+    bugs: Vec<Bug>,
+}
+
+impl FaultSet {
+    /// No injected bugs (the golden design).
+    pub fn none() -> FaultSet {
+        FaultSet::default()
+    }
+
+    /// A single injected bug.
+    pub fn one(bug: Bug) -> FaultSet {
+        FaultSet { bugs: vec![bug] }
+    }
+
+    /// Is `bug` injected?
+    pub fn has(&self, bug: Bug) -> bool {
+        self.bugs.contains(&bug)
+    }
+
+    /// Add a bug.
+    pub fn with(mut self, bug: Bug) -> FaultSet {
+        if !self.has(bug) {
+            self.bugs.push(bug);
+        }
+        self
+    }
+
+    /// All injected bugs.
+    pub fn bugs(&self) -> &[Bug] {
+        &self.bugs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_ids_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for b in Bug::ALL {
+            assert!(seen.insert(b.id()), "duplicate id {}", b.id());
+            assert!(!b.describe().is_empty());
+        }
+        assert_eq!(Bug::ALL.len(), 13);
+    }
+
+    #[test]
+    fn class_totals_match_the_paper() {
+        // Figure 5: 3 static bugs, 2 software bugs, 6 DPR bugs, plus the
+        // VMUX false alarm.
+        let count = |c: BugClass| {
+            Bug::ALL
+                .iter()
+                .filter(|b| b.class() == c)
+                .map(|b| b.paper_group())
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+        };
+        assert_eq!(count(BugClass::Static), 3);
+        assert_eq!(count(BugClass::Software), 2);
+        assert_eq!(count(BugClass::Dpr), 6);
+        assert_eq!(count(BugClass::FalseAlarm), 1);
+    }
+
+    #[test]
+    fn fault_set_operations() {
+        let fs = FaultSet::none();
+        assert!(!fs.has(Bug::Dpr1NoIsolation));
+        let fs = fs.with(Bug::Dpr1NoIsolation).with(Bug::Dpr1NoIsolation);
+        assert_eq!(fs.bugs().len(), 1);
+        assert!(fs.has(Bug::Dpr1NoIsolation));
+        assert!(FaultSet::one(Bug::Sw2FlagCached).has(Bug::Sw2FlagCached));
+    }
+}

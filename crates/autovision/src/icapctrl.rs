@@ -1,0 +1,223 @@
+//! IcapCTRL — the reconfiguration controller (user design, *not* a
+//! simulation artifact).
+//!
+//! The controller DMAs a bitstream (in simulation: a SimB) from main
+//! memory over the PLB and feeds it to the ICAP configuration port one
+//! word at a time. The modified Optical Flow Demonstrator attaches it to
+//! the shared PLB — in the original design it had a dedicated
+//! point-to-point link, and the leftover fixed-latency timing assumption
+//! is exactly bug.dpr.4. Software programs it over DCR:
+//!
+//! | offset | name  | behaviour                                  |
+//! |--------|-------|--------------------------------------------|
+//! | 0      | CTRL  | write bit0 = start transfer                |
+//! | 1      | STATUS| bit0 busy, bit1 done (latched), bit2 error |
+//! | 2      | ADDR  | bitstream byte address in memory           |
+//! | 3      | SIZE  | bitstream length in 32-bit words           |
+//!
+//! `done` pulses the `irq_out` line for the interrupt controller.
+
+use crate::faults::{Bug, FaultSet};
+use dcr::RegFile;
+use plb::dma::Handshake;
+use plb::{DmaDriver, DmaEvent, MasterPort};
+use resim::IcapPort;
+use rtlsim::{CompKind, Component, Ctx, SignalId, Simulator};
+
+/// DCR register offsets.
+pub mod reg {
+    /// Start control (write-1 bit0).
+    pub const CTRL: u16 = 0;
+    /// Status: busy/done/error.
+    pub const STATUS: u16 = 1;
+    /// Bitstream byte address.
+    pub const ADDR: u16 = 2;
+    /// Bitstream length in words.
+    pub const SIZE: u16 = 3;
+}
+
+/// Words fetched from memory per burst (large bursts keep the feed
+/// queue ahead of the ICAP's one-word-per-cycle drain).
+const BURST: u32 = 128;
+/// Feed-queue level below which the next burst is prefetched.
+const PREFETCH_LEVEL: usize = 192;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum St {
+    Idle,
+    /// Transfer in progress: the DMA prefetches bursts into the feed
+    /// queue while the ICAP side drains it, one word per cycle.
+    Active,
+    DonePulse,
+}
+
+/// The reconfiguration controller component.
+pub struct IcapCtrl {
+    clk: SignalId,
+    rst: SignalId,
+    regs: RegFile,
+    icap: IcapPort,
+    dma: DmaDriver,
+    st: St,
+    /// Double-buffered feed queue between the DMA and the ICAP port.
+    feed: std::collections::VecDeque<u32>,
+    fetching: bool,
+    addr: u32,
+    /// Words still to fetch from memory.
+    fetch_left: u32,
+    /// Words still to write into the ICAP.
+    write_left: u32,
+    done_latch: bool,
+    error_latch: bool,
+    /// bug.dpr.3: do not check ICAP `ready` before writing.
+    ignore_ready: bool,
+    irq_out: SignalId,
+}
+
+impl IcapCtrl {
+    /// Build and register the controller. The bus handshake policy and
+    /// backpressure behaviour come from the injected `faults`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn instantiate(
+        sim: &mut Simulator,
+        name: &str,
+        clk: SignalId,
+        rst: SignalId,
+        regs: RegFile,
+        port: MasterPort,
+        icap: IcapPort,
+        irq_out: SignalId,
+        faults: &FaultSet,
+    ) {
+        assert!(regs.len() >= 4, "IcapCTRL needs 4 DCR registers");
+        let handshake = if faults.has(Bug::Dpr4P2pOnSharedBus) {
+            // The original design's dedicated-link timing.
+            Handshake::FixedLatency { addr_latency: 2 }
+        } else {
+            Handshake::Full
+        };
+        let ctrl = IcapCtrl {
+            clk,
+            rst,
+            regs,
+            icap,
+            dma: DmaDriver::new(port, handshake, BURST),
+            st: St::Idle,
+            feed: std::collections::VecDeque::new(),
+            fetching: false,
+            addr: 0,
+            fetch_left: 0,
+            write_left: 0,
+            done_latch: false,
+            error_latch: false,
+            ignore_ready: faults.has(Bug::Dpr3IgnoreIcapReady),
+            irq_out,
+        };
+        sim.add_component(name, CompKind::UserStatic, Box::new(ctrl), &[clk, rst]);
+    }
+
+    fn update_status(&self) {
+        let busy = !matches!(self.st, St::Idle) as u32;
+        let status =
+            busy | ((self.done_latch as u32) << 1) | ((self.error_latch as u32) << 2);
+        self.regs.set(reg::STATUS, status);
+    }
+}
+
+impl Component for IcapCtrl {
+    fn eval(&mut self, ctx: &mut Ctx<'_>) {
+        let icap = self.icap;
+        if ctx.is_high(self.rst) {
+            self.st = St::Idle;
+            self.done_latch = false;
+            self.error_latch = false;
+            self.dma.reset(ctx);
+            ctx.set_bit(icap.cwrite, false);
+            ctx.set_bit(icap.ce, false);
+            ctx.set_bit(self.irq_out, false);
+            return;
+        }
+        if !ctx.rose(self.clk) {
+            return;
+        }
+        ctx.set_bit(self.irq_out, false);
+        for (off, v) in self.regs.take_writes() {
+            if off == reg::CTRL && v & 1 != 0 {
+                if self.st == St::Idle {
+                    self.addr = self.regs.get(reg::ADDR);
+                    self.fetch_left = self.regs.get(reg::SIZE);
+                    self.write_left = self.fetch_left;
+                    self.feed.clear();
+                    self.fetching = false;
+                    self.done_latch = false;
+                    self.error_latch = false;
+                    if self.write_left == 0 {
+                        ctx.warn("IcapCTRL started with zero-length bitstream");
+                        self.done_latch = true;
+                        ctx.set_bit(self.irq_out, true);
+                    } else {
+                        ctx.set_bit(icap.ce, true);
+                        self.st = St::Active;
+                    }
+                } else {
+                    ctx.warn("IcapCTRL start while busy ignored");
+                }
+            }
+        }
+        match self.st {
+            St::Idle => {}
+            St::Active => {
+                // Memory side: prefetch the next burst while the feed
+                // queue has room (double buffering).
+                if self.fetching {
+                    if let Some(ev) = self.dma.step(ctx) {
+                        match ev {
+                            DmaEvent::ReadDone => {
+                                self.feed.extend(self.dma.take_read_data());
+                                self.fetching = false;
+                            }
+                            _ => {
+                                ctx.error("IcapCTRL bitstream DMA failed");
+                                self.error_latch = true;
+                                ctx.set_bit(icap.ce, false);
+                                ctx.set_bit(icap.cwrite, false);
+                                self.st = St::Idle;
+                                self.update_status();
+                                return;
+                            }
+                        }
+                    }
+                } else if self.fetch_left > 0 && self.feed.len() < PREFETCH_LEVEL {
+                    let n = self.fetch_left.min(BURST);
+                    self.dma.start_read(self.addr, n);
+                    self.addr += 4 * n;
+                    self.fetch_left -= n;
+                    self.fetching = true;
+                }
+                // ICAP side: one word per cycle, honouring (or, with
+                // bug.dpr.3, ignoring) the port's backpressure.
+                let can_write = !self.feed.is_empty()
+                    && (self.ignore_ready || ctx.is_high(icap.ready));
+                if can_write {
+                    let w = self.feed.pop_front().unwrap();
+                    ctx.set_bit(icap.cwrite, true);
+                    ctx.set_u64(icap.cdata, w as u64);
+                    self.write_left -= 1;
+                    if self.write_left == 0 {
+                        self.st = St::DonePulse;
+                    }
+                } else {
+                    ctx.set_bit(icap.cwrite, false);
+                }
+            }
+            St::DonePulse => {
+                ctx.set_bit(icap.cwrite, false);
+                ctx.set_bit(icap.ce, false);
+                self.done_latch = true;
+                ctx.set_bit(self.irq_out, true);
+                self.st = St::Idle;
+            }
+        }
+        self.update_status();
+    }
+}

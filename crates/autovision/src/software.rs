@@ -1,0 +1,707 @@
+//! The embedded system software (PowerPC assembly).
+//!
+//! This module generates the AutoVision control program exactly as
+//! Figure 2 of the paper describes: the processing flow is pipelined —
+//! the CPU draws motion vectors for the *previous* frame while the
+//! engines process the current one — and the start, end and
+//! reconfiguration of the video engines are controlled by an interrupt
+//! service routine independent of the main loop.
+//!
+//! Per frame:
+//!
+//! 1. video-in interrupt: start the CIE on the captured buffer;
+//! 2. engine interrupt (CIE done): isolate the region and start the
+//!    IcapCTRL transferring the ME bitstream;
+//! 3. IcapCTRL interrupt: drop isolation, program/reset/start the ME;
+//! 4. engine interrupt (ME done): flag vectors ready (main loop draws
+//!    and displays them), isolate, transfer the CIE bitstream back;
+//! 5. IcapCTRL interrupt: drop isolation and request the next frame.
+//!
+//! That is *two partial reconfigurations per frame*, as the real system
+//! requires to sustain throughput.
+//!
+//! Under Virtual Multiplexing the DPR steps are replaced by the "hack":
+//! writing the simulation-only `engine_signature` register and starting
+//! the other engine immediately — the ~100 modified software lines the
+//! paper tallies. Under ReSim the program is the production program,
+//! unchanged.
+//!
+//! The software bugs of the catalog are generated as source-level
+//! variants of this program, exactly where a real driver would get them
+//! wrong.
+
+use crate::faults::{Bug, FaultSet};
+
+/// Which DPR simulation method the program must target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimMethod {
+    /// Virtual Multiplexing: hacked software, signature-register swap.
+    Vmux,
+    /// ReSim: production software, bitstream-triggered swap.
+    Resim,
+}
+
+/// Everything the program needs to know about the platform.
+#[derive(Debug, Clone)]
+pub struct SwConfig {
+    /// Simulation method (selects the swap mechanism).
+    pub method: SimMethod,
+    /// Injected software bugs.
+    pub faults: FaultSet,
+    /// Frame width in pixels.
+    pub width: u32,
+    /// Frame height in pixels.
+    pub height: u32,
+    /// Frames to process before halting.
+    pub n_frames: u32,
+    /// First input frame buffer (double-buffered, stride = frame bytes).
+    pub in0: u32,
+    /// First census buffer (double-buffered).
+    pub cen0: u32,
+    /// Motion-vector buffer.
+    pub vecs: u32,
+    /// ME SimB location and length in words.
+    pub simb_me: (u32, u32),
+    /// CIE SimB location and length in words.
+    pub simb_cie: (u32, u32),
+    /// Calibrated ISR housekeeping loop count (models the real ISRs'
+    /// bookkeeping; the Table II bench tunes it to the paper's 0.5 ms).
+    pub isr_pad_loops: u32,
+    /// Dummy-loop count for the bug.dpr.6a fixed wait.
+    pub fixed_wait_loops: u32,
+}
+
+/// DCR address map (shared with `system.rs`).
+pub mod dcr_map {
+    /// Engine control block base.
+    pub const ENG: u16 = 0x100;
+    /// IcapCTRL base.
+    pub const ICAPC: u16 = 0x110;
+    /// Interrupt controller base.
+    pub const INTC: u16 = 0x120;
+    /// System control base (reg0 = isolate, reg2 = heartbeat).
+    pub const SYS: u16 = 0x130;
+    /// Video-in VIP base.
+    pub const VIN: u16 = 0x140;
+    /// Video-out VIP base.
+    pub const VOUT: u16 = 0x148;
+    /// VMUX `engine_signature` register (simulation-only).
+    pub const SIG: u16 = 0x1F0;
+}
+
+/// Software data addresses (below the program, above the vectors).
+pub mod data_map {
+    /// Vectors-ready flag.
+    pub const FLAG: u32 = 0x8000;
+    /// Pipeline phase.
+    pub const PHASE: u32 = 0x8004;
+    /// Frames fully captured/processed.
+    pub const FRAME: u32 = 0x8008;
+    /// Buffer the main loop should draw onto / display.
+    pub const DRAWBUF: u32 = 0x800C;
+    /// Frames drawn+displayed by the main loop.
+    pub const DRAWN: u32 = 0x8010;
+}
+
+/// VMUX signature values.
+pub const SIG_CIE: u32 = 1;
+/// VMUX signature value for the matching engine.
+pub const SIG_ME: u32 = 2;
+
+/// Generate the program source. Assemble at `0x1000`.
+pub fn generate(cfg: &SwConfig) -> String {
+    let f = &cfg.faults;
+    let frame_bytes = cfg.width * cfg.height;
+    let me_words = if f.has(Bug::Dpr5StaleSizeCalc) {
+        // BUG: the driver still divides the byte count by the original
+        // controller's 64-bit word size.
+        cfg.simb_me.1 / 2
+    } else {
+        cfg.simb_me.1
+    };
+    let cie_words = if f.has(Bug::Dpr5StaleSizeCalc) {
+        cfg.simb_cie.1 / 2
+    } else {
+        cfg.simb_cie.1
+    };
+    // Interrupt enable mask: videoin | engine (| icap when the software
+    // actually waits for transfer completion).
+    let waits_for_icap = cfg.method == SimMethod::Resim
+        && !f.has(Bug::Dpr6aShortFixedWait)
+        && !f.has(Bug::Dpr6bNoWaitTransfer);
+    let int_mask = if waits_for_icap { 0b0111 } else { 0b0011 };
+
+    let mut s = String::with_capacity(16 * 1024);
+    let mut p = |line: &str| {
+        s.push_str(line);
+        s.push('\n');
+    };
+
+    p("# AutoVision Optical Flow Demonstrator — system software");
+    p(&format!("# method={:?} faults={:?}", cfg.method, f.bugs()));
+    for (name, val) in [
+        ("ENG_CTRL", dcr_map::ENG as u32),
+        ("ENG_STATUS", dcr_map::ENG as u32 + 1),
+        ("ENG_SRC", dcr_map::ENG as u32 + 2),
+        ("ENG_DST", dcr_map::ENG as u32 + 3),
+        ("ENG_AUX", dcr_map::ENG as u32 + 4),
+        ("ENG_VEC", dcr_map::ENG as u32 + 5),
+        ("ENG_W", dcr_map::ENG as u32 + 6),
+        ("ENG_H", dcr_map::ENG as u32 + 7),
+        ("ICAP_CTRL", dcr_map::ICAPC as u32),
+        ("ICAP_ADDR", dcr_map::ICAPC as u32 + 2),
+        ("ICAP_SIZE", dcr_map::ICAPC as u32 + 3),
+        ("INTC_STATUS", dcr_map::INTC as u32),
+        ("INTC_ENABLE", dcr_map::INTC as u32 + 1),
+        ("INTC_ACK", dcr_map::INTC as u32 + 2),
+        ("SYS_ISOLATE", dcr_map::SYS as u32),
+        ("SYS_HEARTBEAT", dcr_map::SYS as u32 + 2),
+        ("VIN_ADDR", dcr_map::VIN as u32),
+        ("VIN_CTRL", dcr_map::VIN as u32 + 1),
+        ("VOUT_ADDR", dcr_map::VOUT as u32),
+        ("VOUT_CTRL", dcr_map::VOUT as u32 + 1),
+        ("VOUT_STATUS", dcr_map::VOUT as u32 + 2),
+        ("SIG_REG", dcr_map::SIG as u32),
+        ("FLAG", data_map::FLAG),
+        ("PHASE", data_map::PHASE),
+        ("FRAME", data_map::FRAME),
+        ("DRAWBUF", data_map::DRAWBUF),
+        ("DRAWN", data_map::DRAWN),
+        ("IN0", cfg.in0),
+        ("CEN0", cfg.cen0),
+        ("VECS", cfg.vecs),
+        ("STRIDE", frame_bytes),
+        ("WIDTH", cfg.width),
+        ("HEIGHT", cfg.height),
+        ("NFRAMES", cfg.n_frames),
+        ("SIMB_ME", cfg.simb_me.0),
+        ("SIMB_ME_W", me_words),
+        ("SIMB_CIE", cfg.simb_cie.0),
+        ("SIMB_CIE_W", cie_words),
+        ("INTMASK", int_mask),
+        ("ISRPAD", cfg.isr_pad_loops.max(1)),
+        ("FIXWAIT", cfg.fixed_wait_loops.max(1)),
+    ] {
+        p(&format!(".equ {name}, {val:#x}"));
+    }
+
+    // ----- initialisation -----
+    p("init:");
+    p("  li r3, 0");
+    p("  liw r10, FLAG");
+    p("  stw r3, 0(r10)          # FLAG = 0");
+    p("  liw r10, PHASE");
+    p("  stw r3, 0(r10)");
+    p("  liw r10, FRAME");
+    p("  stw r3, 0(r10)");
+    p("  liw r10, DRAWN");
+    p("  stw r3, 0(r10)");
+    p("  mtdcr SYS_ISOLATE, r3   # region not isolated");
+    p("  li r3, INTMASK");
+    p("  mtdcr INTC_ENABLE, r3");
+    // Engine geometry never changes: program it once.
+    p("  liw r3, WIDTH");
+    p("  mtdcr ENG_W, r3");
+    p("  liw r3, HEIGHT");
+    p("  mtdcr ENG_H, r3");
+    if cfg.method == SimMethod::Vmux {
+        if f.has(Bug::Hw2SignatureUninit) {
+            p("  # BUG hw.2: forgot to initialise engine_signature —");
+            p("  # the register powers up to garbage, no engine selected");
+        } else {
+            p("  # VMUX hack: select the CIE in the wrapper");
+            p(&format!("  li r3, {SIG_CIE}"));
+            p("  mtdcr SIG_REG, r3");
+        }
+    }
+    p("  # request the first frame into IN0");
+    p("  liw r3, IN0");
+    p("  mtdcr VIN_ADDR, r3");
+    p("  li r3, 1");
+    p("  mtdcr VIN_CTRL, r3");
+    p("  # enable external interrupts");
+    p("  liw r3, 0x8000");
+    p("  mtmsr r3");
+
+    // ----- main loop (draw + display, pipelined with the engines) -----
+    p("main:");
+    p("  li r6, 0                # heartbeat counter");
+    if f.has(Bug::Sw2FlagCached) {
+        p("  # BUG sw.2: flag loaded once, outside the loop");
+        p("  liw r10, FLAG");
+        p("  lwz r5, 0(r10)");
+    }
+    p("mloop:");
+    p("  addi r6, r6, 1");
+    p("  mtdcr SYS_HEARTBEAT, r6 # liveness telemetry every iteration");
+    if f.has(Bug::Sw2FlagCached) {
+        p("  # (stale r5 from before the loop)");
+    } else {
+        p("  liw r10, FLAG");
+        p("  lwz r5, 0(r10)");
+    }
+    p("  cmpwi r5, 0");
+    p("  beq mloop");
+    p("  # vectors ready: clear the flag and draw them");
+    p("  li r5, 0");
+    p("  liw r10, FLAG");
+    p("  stw r5, 0(r10)");
+    p("  bl draw");
+    p("  # display the drawn buffer");
+    p("  liw r10, DRAWBUF");
+    p("  lwz r3, 0(r10)");
+    p("  mtdcr VOUT_ADDR, r3");
+    p("  li r3, 1");
+    p("  mtdcr VOUT_CTRL, r3");
+    p("  # count it; halt after the last frame drains");
+    p("  liw r10, DRAWN");
+    p("  lwz r3, 0(r10)");
+    p("  addi r3, r3, 1");
+    p("  stw r3, 0(r10)");
+    p("  cmplwi r3, NFRAMES");
+    p("  blt mloop");
+    p("wait_vout:");
+    p("  mfdcr r3, VOUT_STATUS");
+    p("  cmpwi r3, 0");
+    p("  bne wait_vout");
+    p("  halt");
+
+    // ----- draw: anchor + endpoint markers for each motion vector -----
+    p("draw:");
+    p("  liw r8, VECS");
+    p("  lwz r7, 0(r8)           # vector count");
+    p("  cmpwi r7, 0");
+    p("  beq drawret");
+    p("  mtctr r7");
+    p("  addi r8, r8, 4");
+    p("  liw r10, DRAWBUF");
+    p("  lwz r9, 0(r10)          # target buffer");
+    p("  liw r4, WIDTH");
+    p("dloop:");
+    p("  lwz r11, 0(r8)");
+    p("  addi r8, r8, 4");
+    p("  srwi r12, r11, 20       # x");
+    p("  andi. r12, r12, 0xFFF");
+    p("  srwi r13, r11, 8        # y");
+    p("  andi. r13, r13, 0xFFF");
+    p("  srwi r14, r11, 4        # dx+8");
+    p("  andi. r14, r14, 0xF");
+    p("  addi r14, r14, -8");
+    p("  andi. r15, r11, 0xF     # dy+8");
+    p("  addi r15, r15, -8");
+    p("  or r16, r14, r15");
+    p("  cmpwi r16, 0");
+    p("  beq dskip               # zero vector: nothing to draw");
+    p("  mullw r16, r13, r4      # anchor marker");
+    p("  add r16, r16, r12");
+    p("  add r16, r16, r9");
+    p("  li r17, 255");
+    p("  stb r17, 0(r16)");
+    p("  add r18, r12, r14       # endpoint marker at (x+dx, y+dy)");
+    p("  add r19, r13, r15");
+    p("  mullw r16, r19, r4");
+    p("  add r16, r16, r18");
+    p("  add r16, r16, r9");
+    p("  li r17, 254");
+    p("  stb r17, 0(r16)");
+    p("dskip:");
+    p("  bdnz dloop");
+    p("drawret:");
+    p("  blr");
+
+    // ----- interrupt service routine -----
+    // Register discipline: the ISR owns r20-r31 exclusively; it saves
+    // CR and LR because the main loop uses both.
+    p("isr:");
+    p("  mfcr r29");
+    p("  mflr r28");
+    p("  mfspr r31, ctr          # the main loop's draw uses CTR too");
+    p("  mfdcr r20, INTC_STATUS");
+    p("  mtdcr INTC_ACK, r20");
+    p("  # NOTE: handlers below assume at most one pipeline-step bit per");
+    p("  # invocation; the sequential frame pipeline guarantees it (each");
+    p("  # step's interrupt is acked before the next step is even started)");
+    p("  # calibrated housekeeping (frame statistics, watchdog petting)");
+    p("  liw r21, ISRPAD");
+    p("  mtctr r21");
+    p("ipad:");
+    p("  bdnz ipad");
+
+    // --- video-in done: start the CIE ---
+    p("  andi. r21, r20, 1");
+    p("  beq n_vin");
+    p("  bl cur_in               # r24 = IN[FRAME&1], r25 = CEN[FRAME&1]");
+    p("  mtdcr ENG_SRC, r24");
+    p("  mtdcr ENG_DST, r25");
+    p("  li r21, 2               # engine reset (latches parameters)");
+    p("  mtdcr ENG_CTRL, r21");
+    p("  li r21, 1               # engine start");
+    p("  mtdcr ENG_CTRL, r21");
+    p("  li r21, 1");
+    p("  liw r22, PHASE");
+    p("  stw r21, 0(r22)         # phase 1: CIE running");
+    p("n_vin:");
+
+    // --- engine done: phase decides CIE->DPR or ME->flag+DPR ---
+    p("  andi. r21, r20, 2");
+    p("  beq n_eng");
+    p("  liw r22, PHASE");
+    p("  lwz r23, 0(r22)");
+    p("  cmpwi r23, 1");
+    p("  bne eng_me");
+    // CIE finished: reconfigure region to the ME.
+    match cfg.method {
+        SimMethod::Vmux => {
+            p("  # VMUX hack: instant swap via the signature register");
+            p(&format!("  li r21, {SIG_ME}"));
+            p("  mtdcr SIG_REG, r21");
+            p("  bl start_me");
+            p("  li r21, 3");
+            p("  liw r22, PHASE");
+            p("  stw r21, 0(r22)");
+        }
+        SimMethod::Resim => {
+            emit_isolate_on(&mut p, f);
+            p("  liw r21, SIMB_ME");
+            p("  mtdcr ICAP_ADDR, r21");
+            p("  liw r21, SIMB_ME_W");
+            p("  mtdcr ICAP_SIZE, r21");
+            p("  li r21, 1");
+            p("  mtdcr ICAP_CTRL, r21    # begin bitstream transfer");
+            if f.has(Bug::Dpr6bNoWaitTransfer) {
+                p("  # BUG dpr.6b: no wait for transfer completion");
+                emit_isolate_off(&mut p);
+                p("  bl start_me");
+                p("  li r21, 3");
+                p("  liw r22, PHASE");
+                p("  stw r21, 0(r22)");
+            } else if f.has(Bug::Dpr6aShortFixedWait) {
+                p("  # BUG dpr.6a: fixed wait tuned for the old config clock");
+                p("  liw r21, FIXWAIT");
+                p("  mtctr r21");
+                p("fw1:");
+                p("  bdnz fw1");
+                emit_isolate_off(&mut p);
+                p("  bl start_me");
+                p("  li r21, 3");
+                p("  liw r22, PHASE");
+                p("  stw r21, 0(r22)");
+            } else {
+                p("  li r21, 2");
+                p("  liw r22, PHASE");
+                p("  stw r21, 0(r22)         # phase 2: transferring ME");
+            }
+        }
+    }
+    p("  b n_eng");
+    p("eng_me:");
+    p("  cmpwi r23, 3");
+    p("  bne n_eng");
+    // ME finished: publish vectors, reconfigure back to CIE.
+    p("  li r21, 1");
+    p("  liw r22, FLAG");
+    p("  stw r21, 0(r22)         # vectors ready for the main loop");
+    if f.has(Bug::Sw1DrawWrongBuffer) {
+        p("  # BUG sw.1: publishes the buffer the camera will overwrite");
+        p("  bl next_in");
+    } else {
+        p("  bl cur_in");
+    }
+    p("  liw r22, DRAWBUF");
+    p("  stw r24, 0(r22)");
+    match cfg.method {
+        SimMethod::Vmux => {
+            p(&format!("  li r21, {SIG_CIE}"));
+            p("  mtdcr SIG_REG, r21");
+            p("  bl advance_frame");
+        }
+        SimMethod::Resim => {
+            emit_isolate_on(&mut p, f);
+            p("  liw r21, SIMB_CIE");
+            p("  mtdcr ICAP_ADDR, r21");
+            p("  liw r21, SIMB_CIE_W");
+            p("  mtdcr ICAP_SIZE, r21");
+            p("  li r21, 1");
+            p("  mtdcr ICAP_CTRL, r21");
+            if f.has(Bug::Dpr6bNoWaitTransfer) {
+                emit_isolate_off(&mut p);
+                p("  bl advance_frame");
+            } else if f.has(Bug::Dpr6aShortFixedWait) {
+                p("  liw r21, FIXWAIT");
+                p("  mtctr r21");
+                p("fw2:");
+                p("  bdnz fw2");
+                emit_isolate_off(&mut p);
+                p("  bl advance_frame");
+            } else {
+                p("  li r21, 4");
+                p("  liw r22, PHASE");
+                p("  stw r21, 0(r22)         # phase 4: transferring CIE");
+            }
+        }
+    }
+    p("n_eng:");
+
+    // --- IcapCTRL done (only when the software waits for it) ---
+    if waits_for_icap {
+        p("  andi. r21, r20, 4");
+        p("  beq n_icap");
+        p("  liw r22, PHASE");
+        p("  lwz r23, 0(r22)");
+        p("  cmpwi r23, 2");
+        p("  bne icap_cie");
+        emit_isolate_off(&mut p);
+        p("  bl start_me");
+        p("  li r21, 3");
+        p("  liw r22, PHASE");
+        p("  stw r21, 0(r22)");
+        p("  b n_icap");
+        p("icap_cie:");
+        p("  cmpwi r23, 4");
+        p("  bne n_icap");
+        emit_isolate_off(&mut p);
+        p("  bl advance_frame");
+        p("n_icap:");
+    }
+    p("  mtspr ctr, r31");
+    p("  mtlr r28");
+    p("  mtcrf r29");
+    p("  rfi");
+
+    // ----- ISR helpers (use r24-r27 and the link register) -----
+    p("# r24 = IN[FRAME&1], r25 = CEN[FRAME&1], r26 = CEN[(FRAME+1)&1]");
+    p("cur_in:");
+    p("  liw r24, FRAME");
+    p("  lwz r24, 0(r24)");
+    p("  andi. r27, r24, 1");
+    p("  liw r25, STRIDE");
+    p("  mullw r27, r27, r25");
+    p("  liw r24, IN0");
+    p("  add r24, r24, r27");
+    p("  liw r25, CEN0");
+    p("  add r25, r25, r27");
+    p("  liw r26, FRAME");
+    p("  lwz r26, 0(r26)");
+    p("  addi r26, r26, 1");
+    p("  andi. r26, r26, 1");
+    p("  liw r27, STRIDE");
+    p("  mullw r26, r26, r27");
+    p("  liw r27, CEN0");
+    p("  add r26, r26, r27");
+    p("  blr");
+    p("next_in:");
+    p("  liw r24, FRAME");
+    p("  lwz r24, 0(r24)");
+    p("  addi r24, r24, 1");
+    p("  andi. r27, r24, 1");
+    p("  liw r25, STRIDE");
+    p("  mullw r27, r27, r25");
+    p("  liw r24, IN0");
+    p("  add r24, r24, r27");
+    p("  blr");
+
+    p("start_me:");
+    p("  mflr r30                # nested call: save return");
+    p("  bl cur_in");
+    p("  mtdcr ENG_SRC, r25      # current census image");
+    p("  mtdcr ENG_AUX, r26      # previous census image");
+    p("  liw r27, VECS");
+    p("  mtdcr ENG_VEC, r27");
+    p("  li r27, 2");
+    p("  mtdcr ENG_CTRL, r27     # reset: latch ME parameters");
+    p("  li r27, 1");
+    p("  mtdcr ENG_CTRL, r27     # start the ME");
+    p("  mtlr r30");
+    p("  blr");
+
+    p("advance_frame:");
+    p("  mflr r30");
+    p("  liw r27, FRAME");
+    p("  lwz r24, 0(r27)");
+    p("  addi r24, r24, 1");
+    p("  stw r24, 0(r27)");
+    p("  li r25, 0");
+    p("  liw r27, PHASE");
+    p("  stw r25, 0(r27)         # phase 0: waiting for the camera");
+    p("  cmplwi r24, NFRAMES");
+    p("  bge adv_done            # no more frames to request");
+    p("  bl next_in2");
+    p("  mtdcr VIN_ADDR, r24");
+    p("  li r25, 1");
+    p("  mtdcr VIN_CTRL, r25");
+    p("adv_done:");
+    p("  mtlr r30");
+    p("  blr");
+    p("next_in2:");
+    p("  liw r24, FRAME");
+    p("  lwz r24, 0(r24)");
+    p("  andi. r27, r24, 1");
+    p("  liw r25, STRIDE");
+    p("  mullw r27, r27, r25");
+    p("  liw r24, IN0");
+    p("  add r24, r24, r27");
+    p("  blr");
+
+    s
+}
+
+/// The sanity applications the paper's designer brought up in week 3
+/// before any DPR work: a "hello world" and a "camera to VGA display"
+/// passthrough.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SanityApp {
+    /// Write a greeting into memory and halt — proves fetch, execute,
+    /// store and halt paths.
+    HelloWorld {
+        /// Where the greeting bytes land.
+        at: u32,
+    },
+    /// Capture `frames` camera frames and display each unmodified —
+    /// proves the VIP DMA paths, the DCR chain and the interrupt plumbing
+    /// with no engines involved.
+    CameraToDisplay {
+        /// Frame buffer address.
+        buffer: u32,
+        /// Frames to pass through.
+        frames: u32,
+    },
+}
+
+/// Generate a sanity program (assemble at `0x1000`).
+pub fn generate_sanity(app: SanityApp) -> String {
+    let mut s = String::new();
+    let mut p = |line: &str| {
+        s.push_str(line);
+        s.push('\n');
+    };
+    match app {
+        SanityApp::HelloWorld { at } => {
+            p("# hello world: store a greeting, then halt");
+            p(&format!(".equ DEST, {at:#x}"));
+            p("  liw r4, DEST");
+            // "HELO" / "DPR!" as little-endian words.
+            p("  liw r3, 0x4F4C4548   # 'HELO'");
+            p("  stw r3, 0(r4)");
+            p("  liw r3, 0x21525044   # 'DPR!'");
+            p("  stw r3, 4(r4)");
+            p("  halt");
+        }
+        SanityApp::CameraToDisplay { buffer, frames } => {
+            p("# camera to display passthrough (no engines, no DPR)");
+            for (name, val) in [
+                ("VIN_ADDR", dcr_map::VIN as u32),
+                ("VIN_CTRL", dcr_map::VIN as u32 + 1),
+                ("VIN_STATUS", dcr_map::VIN as u32 + 2),
+                ("VOUT_ADDR", dcr_map::VOUT as u32),
+                ("VOUT_CTRL", dcr_map::VOUT as u32 + 1),
+                ("VOUT_STATUS", dcr_map::VOUT as u32 + 2),
+                ("BUF", buffer),
+                ("NFRAMES", frames),
+            ] {
+                p(&format!(".equ {name}, {val:#x}"));
+            }
+            p("  li r7, 0              # frames done");
+            p("floop:");
+            p("  liw r3, BUF");
+            p("  mtdcr VIN_ADDR, r3");
+            p("  li r3, 1");
+            p("  mtdcr VIN_CTRL, r3    # capture one frame");
+            p("vin_wait:");
+            p("  mfdcr r3, VIN_STATUS");
+            p("  cmpwi r3, 0");
+            p("  bne vin_wait");
+            p("  liw r3, BUF");
+            p("  mtdcr VOUT_ADDR, r3");
+            p("  li r3, 1");
+            p("  mtdcr VOUT_CTRL, r3   # display it");
+            p("vout_wait:");
+            p("  mfdcr r3, VOUT_STATUS");
+            p("  cmpwi r3, 0");
+            p("  bne vout_wait");
+            p("  addi r7, r7, 1");
+            p("  cmplwi r7, NFRAMES");
+            p("  blt floop");
+            p("  halt");
+        }
+    }
+    s
+}
+
+fn emit_isolate_on(p: &mut impl FnMut(&str), f: &FaultSet) {
+    if f.has(Bug::Dpr1NoIsolation) {
+        p("  # BUG dpr.1: isolation not asserted");
+    } else {
+        p("  li r21, 1");
+        p("  mtdcr SYS_ISOLATE, r21");
+    }
+}
+
+fn emit_isolate_off(p: &mut impl FnMut(&str)) {
+    p("  li r21, 0");
+    p("  mtdcr SYS_ISOLATE, r21");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(method: SimMethod, faults: FaultSet) -> SwConfig {
+        SwConfig {
+            method,
+            faults,
+            width: 64,
+            height: 48,
+            n_frames: 3,
+            in0: 0x40000,
+            cen0: 0x50000,
+            vecs: 0x60000,
+            simb_me: (0x62000, 100),
+            simb_cie: (0x64000, 100),
+            isr_pad_loops: 10,
+            fixed_wait_loops: 100,
+        }
+    }
+
+    #[test]
+    fn all_variants_assemble() {
+        for method in [SimMethod::Resim, SimMethod::Vmux] {
+            for bug in Bug::ALL {
+                let src = generate(&cfg(method, FaultSet::one(bug)));
+                let prog = ppc::assemble(&src, 0x1000)
+                    .unwrap_or_else(|e| panic!("{method:?}/{}: {e}", bug.id()));
+                assert!(prog.words.len() > 100, "{method:?}/{} too small", bug.id());
+                assert!(prog.symbols.contains_key("isr"));
+            }
+            let src = generate(&cfg(method, FaultSet::none()));
+            ppc::assemble(&src, 0x1000).unwrap();
+        }
+    }
+
+    #[test]
+    fn vmux_program_is_the_hacked_one() {
+        let resim = generate(&cfg(SimMethod::Resim, FaultSet::none()));
+        let vmux = generate(&cfg(SimMethod::Vmux, FaultSet::none()));
+        assert!(vmux.contains("SIG_REG"), "vmux writes the signature register");
+        assert!(!resim.contains("mtdcr SIG_REG"), "production software never does");
+        assert!(resim.contains("ICAP_CTRL, r21"), "production software drives IcapCTRL");
+        assert!(!vmux.contains("mtdcr ICAP_CTRL"), "hacked software does not");
+    }
+
+    #[test]
+    fn stale_size_halves_the_words() {
+        let good = generate(&cfg(SimMethod::Resim, FaultSet::none()));
+        let bad = generate(&cfg(SimMethod::Resim, FaultSet::one(Bug::Dpr5StaleSizeCalc)));
+        assert!(good.contains(".equ SIMB_ME_W, 0x64"));
+        assert!(bad.contains(".equ SIMB_ME_W, 0x32"));
+    }
+
+    #[test]
+    fn buggy_waiters_do_not_enable_the_icap_interrupt() {
+        for bug in [Bug::Dpr6aShortFixedWait, Bug::Dpr6bNoWaitTransfer] {
+            let src = generate(&cfg(SimMethod::Resim, FaultSet::one(bug)));
+            assert!(src.contains(".equ INTMASK, 0x3"), "{}", bug.id());
+        }
+        let good = generate(&cfg(SimMethod::Resim, FaultSet::none()));
+        assert!(good.contains(".equ INTMASK, 0x7"));
+    }
+}

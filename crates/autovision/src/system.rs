@@ -1,0 +1,698 @@
+//! Full-system assembly of the Optical Flow Demonstrator (Figure 1 of
+//! the paper): engines + reconfiguration machinery + PowerPC + VIPs on a
+//! shared PLB with a DCR daisy chain, under either simulation method.
+
+use crate::faults::{Bug, FaultSet};
+use crate::icapctrl::IcapCtrl;
+use crate::software::{self, dcr_map, SimMethod, SwConfig, SIG_CIE, SIG_ME};
+use crate::vips::{VideoInVip, VideoOutVip};
+use dcr::{DcrChainBuilder, RegFile};
+use engines::{CensusEngine, EngineCtrl, EngineIf, EngineParamSignals, IsoPair, Isolation, MatchingEngine};
+use plb::{AddressWindow, MasterPort, MemorySlave, MonitorStats, PlbBus, PlbBusConfig, PlbMonitor, SharedMem};
+use ppc::{IntController, IssConfig, IssStats, PpcIss};
+use resim::{
+    build_simb, instantiate_vmux, IcapArtifact, IcapConfig, IcapStats,
+    PortalStats, RrBoundary, SimbKind, VmuxConfig, XSource,
+};
+use rtlsim::{Clock, CompKind, Component, Ctx, ResetGen, SignalId, Simulator, PS_PER_NS};
+use std::cell::RefCell;
+use std::rc::Rc;
+use video::{Frame, MatchParams, Scene};
+
+/// System clock period (100 MHz).
+pub const CLK_PERIOD_PS: u64 = 10 * PS_PER_NS;
+/// SimB module IDs.
+pub const MODULE_CIE: u8 = 0x01;
+/// SimB module ID of the matching engine (Table I's example).
+pub const MODULE_ME: u8 = 0x02;
+/// The reconfigurable region's ID.
+pub const RR_ID: u8 = 0x01;
+
+/// Build-time configuration of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// DPR simulation method.
+    pub method: SimMethod,
+    /// Injected bugs.
+    pub faults: FaultSet,
+    /// Frame width (multiple of 4).
+    pub width: usize,
+    /// Frame height.
+    pub height: usize,
+    /// Frames to process.
+    pub n_frames: usize,
+    /// SimB FDRI payload length in words (designer-chosen; the paper
+    /// uses 4 K words against a 129 K-word real bitstream).
+    pub payload_words: usize,
+    /// Configuration-clock divider of the ICAP artifact.
+    pub cfg_divider: u32,
+    /// Memory first-access wait states.
+    pub mem_wait_states: u32,
+    /// Calibrated ISR housekeeping loops.
+    pub isr_pad_loops: u32,
+    /// bug.dpr.6a's fixed wait (tuned for the original faster clock).
+    pub fixed_wait_loops: u32,
+    /// Scene generator seed.
+    pub seed: u64,
+    /// Moving objects in the synthetic scene.
+    pub scene_objects: usize,
+    /// Error source driven onto region outputs during reconfiguration
+    /// (ReSim only; the ablation knob for the X-injection policy).
+    pub error_source: ErrorSourceKind,
+    /// When the ICAP artifact triggers the module swap (ReSim only;
+    /// ablation knob — the default is ReSim's last-payload-word choice).
+    pub swap_trigger: resim::icap::SwapTrigger,
+    /// Keep the configured module selected while the payload streams
+    /// (ablation knob: `false` is ReSim's faithful deselect-and-inject
+    /// behaviour; `true` is the optimistic model of earlier simulators).
+    pub optimistic_region: bool,
+}
+
+/// Selectable error-injection policies (see `resim::portal`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorSourceKind {
+    /// Undefined `X` on every output bit (ReSim default, like DCS).
+    X,
+    /// Clean zeros — an optimistic simulator that never emits garbage.
+    Silent,
+    /// Pseudo-random known values.
+    Random,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            method: SimMethod::Resim,
+            faults: FaultSet::none(),
+            width: 64,
+            height: 48,
+            n_frames: 2,
+            payload_words: 256,
+            cfg_divider: 4,
+            mem_wait_states: 1,
+            isr_pad_loops: 8,
+            fixed_wait_loops: 250,
+            seed: 2013,
+            scene_objects: 2,
+            error_source: ErrorSourceKind::X,
+            swap_trigger: resim::icap::SwapTrigger::LastPayloadWord,
+            optimistic_region: false,
+        }
+    }
+}
+
+/// Memory layout derived from a configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MemLayout {
+    /// Total memory bytes.
+    pub mem_bytes: usize,
+    /// First input buffer (double-buffered).
+    pub in0: u32,
+    /// First census buffer (double-buffered).
+    pub cen0: u32,
+    /// Vector buffer.
+    pub vecs: u32,
+    /// ME SimB (address, words).
+    pub simb_me: (u32, u32),
+    /// CIE SimB (address, words).
+    pub simb_cie: (u32, u32),
+}
+
+impl MemLayout {
+    /// Compute the layout for a configuration.
+    pub fn for_config(cfg: &SystemConfig) -> MemLayout {
+        let fb = (cfg.width * cfg.height) as u32;
+        let align = |a: u32| (a + 0xFFF) & !0xFFF;
+        let in0 = 0x0004_0000;
+        let cen0 = align(in0 + 2 * fb);
+        let vecs = align(cen0 + 2 * fb);
+        let simb_words = (cfg.payload_words + 10) as u32;
+        let simb_me = align(vecs + 0x8000);
+        let simb_cie = align(simb_me + 4 * simb_words);
+        let end = align(simb_cie + 4 * simb_words);
+        MemLayout {
+            mem_bytes: end.max(0x0020_0000) as usize,
+            in0,
+            cen0,
+            vecs,
+            simb_me: (simb_me, simb_words),
+            simb_cie: (simb_cie, simb_words),
+        }
+    }
+}
+
+/// Drives the isolate wire from the SYS DCR block and stores heartbeats.
+struct SysCtrl {
+    clk: SignalId,
+    rst: SignalId,
+    regs: RegFile,
+    isolate: SignalId,
+}
+
+impl Component for SysCtrl {
+    fn eval(&mut self, ctx: &mut Ctx<'_>) {
+        if ctx.is_high(self.rst) {
+            ctx.set_bit(self.isolate, false);
+            return;
+        }
+        if !ctx.rose(self.clk) {
+            return;
+        }
+        for (off, v) in self.regs.take_writes() {
+            if off == 0 {
+                ctx.set_bit(self.isolate, v & 1 != 0);
+            }
+            // off 2 = heartbeat: value is already stored in the regfile.
+        }
+    }
+}
+
+/// Copies the bus responses of the isolated port back to the region
+/// boundary (inputs into the region need no isolation).
+struct ReverseRelay {
+    from: MasterPort,
+    to: MasterPort,
+}
+
+impl Component for ReverseRelay {
+    fn eval(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set(self.to.gnt, ctx.get(self.from.gnt));
+        ctx.set(self.to.addr_ack, ctx.get(self.from.addr_ack));
+        ctx.set(self.to.wready, ctx.get(self.from.wready));
+        ctx.set(self.to.rvalid, ctx.get(self.from.rvalid));
+        ctx.set(self.to.rdata, ctx.get(self.from.rdata));
+        ctx.set(self.to.complete, ctx.get(self.from.complete));
+        ctx.set(self.to.err, ctx.get(self.from.err));
+    }
+}
+
+/// Outcome of a bounded system run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Output frames captured by the display VIP.
+    pub frames_captured: usize,
+    /// The CPU executed its final `halt`.
+    pub halted: bool,
+    /// The cycle budget ran out before the work completed.
+    pub hung: bool,
+    /// Clock cycles consumed.
+    pub cycles: u64,
+}
+
+/// A fully built Optical Flow Demonstrator simulation.
+pub struct AvSystem {
+    /// The kernel (run/inspect through it).
+    pub sim: Simulator,
+    /// Main memory.
+    pub mem: SharedMem,
+    /// Frames captured by the display VIP.
+    pub captured: Rc<RefCell<Vec<Frame>>>,
+    /// Per-captured-frame count of X-poisoned words.
+    pub captured_poison: Rc<RefCell<Vec<usize>>>,
+    /// CPU statistics.
+    pub cpu: Rc<RefCell<IssStats>>,
+    /// ICAP artifact statistics (ReSim builds only).
+    pub icap: Option<Rc<RefCell<IcapStats>>>,
+    /// Portal statistics (ReSim builds only).
+    pub portal: Option<Rc<RefCell<PortalStats>>>,
+    /// Bus protocol monitor statistics.
+    pub bus_monitor: Rc<RefCell<MonitorStats>>,
+    /// The synthetic input frames fed by the camera VIP.
+    pub input_frames: Vec<Frame>,
+    /// The configuration the system was built from.
+    pub config: SystemConfig,
+    /// Memory layout in use.
+    pub layout: MemLayout,
+    /// Named signals exposed for measurement probes.
+    pub probes: SystemProbes,
+}
+
+/// Signals the benchmarks attach measurement probes to.
+#[derive(Debug, Clone, Copy)]
+pub struct SystemProbes {
+    /// CIE busy (high while the census engine processes a frame).
+    pub cie_busy: SignalId,
+    /// ME busy.
+    pub me_busy: SignalId,
+    /// ICAP "during reconfiguration" window (ReSim builds only).
+    pub reconfiguring: Option<SignalId>,
+    /// Error-injection window: high while the SimB payload streams
+    /// (ReSim builds only).
+    pub inject: Option<SignalId>,
+    /// Isolation control.
+    pub isolate: SignalId,
+}
+
+impl AvSystem {
+    /// Build the complete system.
+    pub fn build(cfg: SystemConfig) -> AvSystem {
+        let layout = MemLayout::for_config(&cfg);
+        let f = &cfg.faults;
+        let mut sim = Simulator::new();
+        let clk = sim.signal("clk", 1);
+        let rst = sim.signal("rst", 1);
+        sim.add_component("clkgen", CompKind::Vip, Box::new(Clock::new(clk, CLK_PERIOD_PS)), &[]);
+        sim.add_component("rstgen", CompKind::Vip, Box::new(ResetGen::new(rst, 5 * CLK_PERIOD_PS)), &[]);
+
+        // ----- memory -----
+        let mem = SharedMem::new(layout.mem_bytes);
+        let mem_port = MemorySlave::instantiate_with(
+            &mut sim,
+            "ddr",
+            clk,
+            rst,
+            mem.clone(),
+            cfg.mem_wait_states,
+            f.has(Bug::Hw1MemBurstWrap),
+        );
+
+        // ----- DCR register blocks -----
+        let eng_regs = RegFile::new(dcr_map::ENG, 8);
+        let icap_regs = RegFile::new(dcr_map::ICAPC, 8);
+        let intc_regs = RegFile::new(dcr_map::INTC, 3);
+        let sys_regs = RegFile::new(dcr_map::SYS, 4);
+        let vin_regs = RegFile::new(dcr_map::VIN, 4);
+        let vout_regs = RegFile::new(dcr_map::VOUT, 4);
+        let sig_regs = RegFile::new(dcr_map::SIG, 1);
+
+        // ----- engines (both instantiated in parallel) -----
+        let go = sim.signal_init("eng.go", 1, 0);
+        let ereset = sim.signal_init("eng.ereset", 1, 0);
+        let params = EngineParamSignals::alloc(&mut sim, "eng.params");
+        let cie_if = EngineIf::alloc(&mut sim, "cie", clk, rst, go, ereset, &params);
+        let me_if = EngineIf::alloc(&mut sim, "me", clk, rst, go, ereset, &params);
+        CensusEngine::instantiate(&mut sim, "cie", cie_if, 2);
+        MatchingEngine::instantiate(&mut sim, "me", me_if, MatchParams::default());
+
+        // ----- region boundary, method-specific swap machinery -----
+        let boundary = RrBoundary::alloc(&mut sim, "rr");
+        let (icap_port, icap_stats, portal_stats) = match cfg.method {
+            SimMethod::Resim => {
+                let (icap_port, icap_stats) = IcapArtifact::instantiate(
+                    &mut sim,
+                    "icap_artifact",
+                    clk,
+                    rst,
+                    IcapConfig {
+                        fifo_depth: 16,
+                        cfg_divider: cfg.cfg_divider,
+                        swap_trigger: cfg.swap_trigger,
+                    },
+                );
+                let source: Box<dyn resim::ErrorSource> = match cfg.error_source {
+                    ErrorSourceKind::X => Box::new(XSource),
+                    ErrorSourceKind::Silent => Box::new(resim::SilentSource),
+                    ErrorSourceKind::Random => Box::new(resim::RandomSource::new(cfg.seed)),
+                };
+                let portal_stats = resim::instantiate_region_with(
+                    &mut sim,
+                    "rr0",
+                    clk,
+                    rst,
+                    RR_ID,
+                    icap_port,
+                    vec![(MODULE_CIE, cie_if), (MODULE_ME, me_if)],
+                    boundary,
+                    Some(MODULE_CIE),
+                    source,
+                    resim::RegionOptions {
+                        deselect_during_inject: !cfg.optimistic_region,
+                    },
+                );
+                (icap_port, Some(icap_stats), Some(portal_stats))
+            }
+            SimMethod::Vmux => {
+                // IcapCTRL is instantiated but unused: give it an inert
+                // ICAP port that is always ready.
+                let icap_port = resim::IcapPort::alloc(&mut sim, "icap_unused");
+                sim.poke_u64(icap_port.ready, 1);
+                let reset_signature = if f.has(Bug::Hw2SignatureUninit) {
+                    None
+                } else {
+                    Some(SIG_CIE)
+                };
+                instantiate_vmux(
+                    &mut sim,
+                    "vmux",
+                    clk,
+                    rst,
+                    sig_regs.clone(),
+                    vec![(SIG_CIE, cie_if), (SIG_ME, me_if)],
+                    boundary,
+                    VmuxConfig { reset_signature },
+                );
+                (icap_port, None, None)
+            }
+        };
+
+        // ----- isolation between the region boundary and the bus -----
+        let isolate = sim.signal_init("isolate", 1, 0);
+        let iso_busy = sim.signal("iso.busy", 1);
+        let iso_done = sim.signal("iso.done", 1);
+        let iso_port = MasterPort::alloc(&mut sim, "rr_iso.plb");
+        let mut pairs = vec![
+            IsoPair { from: boundary.busy, to: iso_busy },
+            IsoPair { from: boundary.done, to: iso_done },
+        ];
+        for (from, to) in boundary
+            .plb
+            .master_driven()
+            .iter()
+            .zip(iso_port.master_driven())
+        {
+            pairs.push(IsoPair { from: *from, to });
+        }
+        Isolation::instantiate(&mut sim, "isolation", isolate, pairs);
+        let rev = ReverseRelay { from: iso_port, to: boundary.plb };
+        sim.add_component(
+            "rr_rsp_relay",
+            CompKind::UserStatic,
+            Box::new(rev),
+            &[
+                iso_port.gnt,
+                iso_port.addr_ack,
+                iso_port.wready,
+                iso_port.rvalid,
+                iso_port.rdata,
+                iso_port.complete,
+                iso_port.err,
+            ],
+        );
+
+        // ----- engine control block (static region) -----
+        let eng_irq = sim.signal_init("irq.engine", 1, 0);
+        EngineCtrl::instantiate(
+            &mut sim,
+            "eng_ctrl",
+            clk,
+            rst,
+            eng_regs.clone(),
+            params,
+            go,
+            ereset,
+            iso_busy,
+            iso_done,
+            eng_irq,
+        );
+
+        // ----- system control -----
+        SysCtrl { clk, rst, regs: sys_regs.clone(), isolate }.register(&mut sim);
+
+        // ----- reconfiguration controller -----
+        let icap_irq = sim.signal_init("irq.icap", 1, 0);
+        let icapctrl_port = MasterPort::alloc(&mut sim, "icapctrl.plb");
+        IcapCtrl::instantiate(
+            &mut sim,
+            "icapctrl",
+            clk,
+            rst,
+            icap_regs.clone(),
+            icapctrl_port,
+            icap_port,
+            icap_irq,
+            f,
+        );
+
+        // ----- video VIPs -----
+        let scene = Scene::new(cfg.width, cfg.height, cfg.scene_objects, cfg.seed);
+        let input_frames: Vec<Frame> = (0..cfg.n_frames).map(|t| scene.frame(t)).collect();
+        let vin_irq = sim.signal_init("irq.videoin", 1, 0);
+        let vout_irq = sim.signal_init("irq.videoout", 1, 0);
+        let vin_port = MasterPort::alloc(&mut sim, "videoin.plb");
+        let vout_port = MasterPort::alloc(&mut sim, "videoout.plb");
+        VideoInVip::instantiate(
+            &mut sim,
+            "videoin",
+            clk,
+            rst,
+            vin_regs.clone(),
+            vin_port,
+            vin_irq,
+            input_frames.clone(),
+            f.has(Bug::Hw3VideoInShortDma),
+        );
+        let (captured, captured_poison) = VideoOutVip::instantiate(
+            &mut sim,
+            "videoout",
+            clk,
+            rst,
+            vout_regs.clone(),
+            vout_port,
+            vout_irq,
+            cfg.width,
+            cfg.height,
+        );
+
+        // ----- interrupt controller -----
+        let cpu_irq = sim.signal("irq.cpu", 1);
+        IntController::instantiate_with(
+            &mut sim,
+            "intc",
+            clk,
+            rst,
+            vec![vin_irq, eng_irq, icap_irq, vout_irq],
+            cpu_irq,
+            intc_regs.clone(),
+            false,
+            f.has(Bug::Hw4IrqPulse),
+        );
+
+        // ----- DCR daisy chain -----
+        // Default order keeps the engine block early; the dpr.2 variant
+        // moves it *last* (nearest the return path) and marks it as
+        // living inside the region, corrupted while the SimB streams.
+        let mut chain = DcrChainBuilder::new(&mut sim, "dcr", clk, rst);
+        let eng_in_rr = f.has(Bug::Dpr2DcrInRr) && cfg.method == SimMethod::Resim;
+        if !eng_in_rr {
+            chain.add_slave("eng", eng_regs.clone(), None);
+        }
+        chain.add_slave("icapctrl", icap_regs.clone(), None);
+        chain.add_slave("intc", intc_regs.clone(), None);
+        chain.add_slave("sys", sys_regs.clone(), None);
+        chain.add_slave("videoin", vin_regs.clone(), None);
+        chain.add_slave("videoout", vout_regs.clone(), None);
+        if cfg.method == SimMethod::Vmux {
+            chain.add_slave("signature", sig_regs.clone(), None);
+        }
+        if eng_in_rr {
+            chain.add_slave("eng", eng_regs.clone(), Some(icap_port.inject));
+        }
+        let dcr_handle = chain.finish();
+
+        // ----- CPU -----
+        let cpu_port = MasterPort::alloc(&mut sim, "cpu.plb");
+        let sw = SwConfig {
+            method: cfg.method,
+            faults: cfg.faults.clone(),
+            width: cfg.width as u32,
+            height: cfg.height as u32,
+            n_frames: cfg.n_frames as u32,
+            in0: layout.in0,
+            cen0: layout.cen0,
+            vecs: layout.vecs,
+            simb_me: layout.simb_me,
+            simb_cie: layout.simb_cie,
+            isr_pad_loops: cfg.isr_pad_loops,
+            fixed_wait_loops: cfg.fixed_wait_loops,
+        };
+        let src = software::generate(&sw);
+        let program = ppc::assemble(&src, 0x1000).expect("system software must assemble");
+        mem.load_bytes(program.base, &program.to_bytes());
+        let isr = program.symbol("isr");
+        mem.write_u32(
+            0x500,
+            ppc::Instr::B { target: (isr as i64 - 0x500) as i32, link: false }.encode(),
+        );
+        let cpu_stats = PpcIss::instantiate(
+            &mut sim,
+            "ppc_iss",
+            clk,
+            rst,
+            cpu_irq,
+            cpu_port,
+            mem.clone(),
+            dcr_handle,
+            IssConfig { entry: 0x1000, vector_base: 0, trace_depth: 0 },
+        );
+
+        // ----- bitstream "flash": SimBs in main memory -----
+        mem.load_words(
+            layout.simb_me.0,
+            &build_simb(SimbKind::Config { module: MODULE_ME }, RR_ID, cfg.payload_words, cfg.seed ^ 0x4D45),
+        );
+        mem.load_words(
+            layout.simb_cie.0,
+            &build_simb(SimbKind::Config { module: MODULE_CIE }, RR_ID, cfg.payload_words, cfg.seed ^ 0x0C1E),
+        );
+
+        // ----- the shared PLB -----
+        // Priority: video-in, video-out, engine region, IcapCTRL, CPU.
+        let masters = vec![vin_port, vout_port, iso_port, icapctrl_port, cpu_port];
+        let named: Vec<(String, MasterPort)> = [
+            ("videoin", vin_port),
+            ("videoout", vout_port),
+            ("engine_rr", iso_port),
+            ("icapctrl", icapctrl_port),
+            ("cpu", cpu_port),
+        ]
+        .into_iter()
+        .map(|(n, p)| (n.to_string(), p))
+        .collect();
+        let bus_monitor = PlbMonitor::instantiate(&mut sim, "plb_monitor", clk, rst, named);
+        PlbBus::new(
+            &mut sim,
+            "plb",
+            clk,
+            rst,
+            PlbBusConfig::default(),
+            masters,
+            vec![(mem_port, AddressWindow { base: 0, len: layout.mem_bytes as u32 })],
+        );
+
+        let probes = SystemProbes {
+            cie_busy: cie_if.busy,
+            me_busy: me_if.busy,
+            reconfiguring: icap_stats.as_ref().map(|_| icap_port.reconfiguring),
+            inject: icap_stats.as_ref().map(|_| icap_port.inject),
+            isolate,
+        };
+        AvSystem {
+            sim,
+            mem,
+            captured,
+            captured_poison,
+            cpu: cpu_stats,
+            icap: icap_stats,
+            portal: portal_stats,
+            bus_monitor,
+            input_frames,
+            config: cfg,
+            layout,
+            probes,
+        }
+    }
+
+    /// Run until all frames are displayed, the CPU halts, or the cycle
+    /// budget is exhausted.
+    pub fn run(&mut self, budget_cycles: u64) -> RunOutcome {
+        let start = self.sim.now();
+        let chunk = 512 * CLK_PERIOD_PS;
+        loop {
+            self.sim.run_for(chunk).expect("kernel error");
+            let cycles = (self.sim.now() - start) / CLK_PERIOD_PS;
+            let frames = self.captured.borrow().len();
+            let halted = self.cpu.borrow().halted;
+            if halted || frames >= self.config.n_frames {
+                // Let in-flight display DMA finish.
+                self.sim.run_for(chunk).expect("kernel error");
+                return RunOutcome {
+                    frames_captured: self.captured.borrow().len(),
+                    halted: self.cpu.borrow().halted,
+                    hung: false,
+                    cycles,
+                };
+            }
+            if cycles >= budget_cycles {
+                return RunOutcome {
+                    frames_captured: frames,
+                    halted: false,
+                    hung: true,
+                    cycles,
+                };
+            }
+        }
+    }
+
+    /// Golden prediction of the displayed frames, replicating the
+    /// hardware pipeline's buffer semantics (census ping-pong, matching
+    /// against the previous census buffer, software vector markers).
+    pub fn golden_output(&self) -> Vec<Frame> {
+        golden_output(&self.input_frames, self.config.width, self.config.height)
+    }
+}
+
+impl SysCtrl {
+    fn register(self, sim: &mut Simulator) {
+        let sens = [self.clk, self.rst];
+        sim.add_component("sysctrl", CompKind::UserStatic, Box::new(self), &sens);
+    }
+}
+
+/// Pipeline-exact golden model of the displayed output frames.
+pub fn golden_output(inputs: &[Frame], width: usize, height: usize) -> Vec<Frame> {
+    let mut census_bufs = [Frame::new(width, height), Frame::new(width, height)];
+    let params = MatchParams::default();
+    let mut out = Vec::with_capacity(inputs.len());
+    for (t, input) in inputs.iter().enumerate() {
+        let cur = t & 1;
+        census_bufs[cur] = video::census_transform(input);
+        let prev = &census_bufs[cur ^ 1];
+        let vectors = video::match_frames(prev, &census_bufs[cur], &params);
+        let mut frame = input.clone();
+        for v in &vectors {
+            if v.dx == 0 && v.dy == 0 {
+                continue;
+            }
+            frame.put(v.x as isize, v.y as isize, 255);
+            frame.put(v.x as isize + v.dx as isize, v.y as isize + v.dy as isize, 254);
+        }
+        out.push(frame);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_regions_are_disjoint_and_aligned() {
+        for payload in [64usize, 4096, 131072] {
+            let cfg = SystemConfig {
+                width: 320,
+                height: 240,
+                payload_words: payload,
+                ..Default::default()
+            };
+            let l = MemLayout::for_config(&cfg);
+            let fb = (cfg.width * cfg.height) as u32;
+            // Ordered, non-overlapping regions.
+            let regions = [
+                (0x1000u32, 0x1000 + 0x8000),          // program + data
+                (l.in0, l.in0 + 2 * fb),               // input ping-pong
+                (l.cen0, l.cen0 + 2 * fb),             // census ping-pong
+                (l.vecs, l.vecs + 0x8000),             // vectors
+                (l.simb_me.0, l.simb_me.0 + 4 * l.simb_me.1),
+                (l.simb_cie.0, l.simb_cie.0 + 4 * l.simb_cie.1),
+            ];
+            for w in regions.windows(2) {
+                assert!(w[0].1 <= w[1].0, "overlap: {:x?} vs {:x?}", w[0], w[1]);
+            }
+            assert!(regions.last().unwrap().1 as usize <= l.mem_bytes);
+            // SimB length covers the whole stream (payload + framing).
+            assert_eq!(l.simb_me.1, payload as u32 + 10);
+            // Page-aligned buffer bases.
+            for base in [l.in0, l.cen0, l.vecs, l.simb_me.0, l.simb_cie.0] {
+                assert_eq!(base & 0xFFF, 0, "{base:#x} unaligned");
+            }
+        }
+    }
+
+    #[test]
+    fn golden_output_draws_only_on_moving_scenes() {
+        let w = 48;
+        let h = 40;
+        let scene = Scene::new(w, h, 3, 7);
+        let inputs: Vec<Frame> = (0..3).map(|t| scene.frame(t)).collect();
+        let out = golden_output(&inputs, w, h);
+        assert_eq!(out.len(), 3);
+        // Frame 0 matches against an empty census buffer: vectors are
+        // high-cost garbage but only nonzero displacements draw.
+        for (t, (o, i)) in out.iter().zip(&inputs).enumerate().skip(1) {
+            assert!(
+                o.differing_pixels(i) > 0,
+                "frame {t} should carry vector markers"
+            );
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Criterion: end-to-end cost of simulating one video frame through the
+//! complete system (small geometry), under both methods — the per-frame
+//! figure the Table II harness scales up, and the direct comparison of
+//! ReSim's overhead against the Virtual-Multiplexing baseline.
+
+use autovision::{AvSystem, SimMethod, SystemConfig};
+use bench::small_config;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_frame(c: &mut Criterion) {
+    let mut g = c.benchmark_group("full_system_frame");
+    g.sample_size(10);
+    for method in [SimMethod::Vmux, SimMethod::Resim] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{method:?}")),
+            &method,
+            |b, &method| {
+                b.iter_with_setup(
+                    || {
+                        let cfg = SystemConfig { method, ..small_config() };
+                        AvSystem::build(cfg)
+                    },
+                    |mut sys| {
+                        let out = sys.run(2_000_000);
+                        assert!(!out.hung);
+                        black_box(out.cycles)
+                    },
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_frame);
+criterion_main!(benches);

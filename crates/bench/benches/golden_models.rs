@@ -1,0 +1,39 @@
+//! Criterion: golden-model throughput (census transform and optical-flow
+//! matching) — the software reference the scoreboard runs on every
+//! experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use video::{census_transform, match_frames, MatchParams, Scene};
+
+fn bench_census(c: &mut Criterion) {
+    let mut g = c.benchmark_group("census_transform");
+    for (w, h) in [(64usize, 48usize), (320, 240)] {
+        let f = Scene::new(w, h, 3, 1).frame(0);
+        g.throughput(Throughput::Elements((w * h) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{w}x{h}")), &f, |b, f| {
+            b.iter(|| census_transform(black_box(f)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("optical_flow_match");
+    g.sample_size(10);
+    for (w, h) in [(64usize, 48usize), (320, 240)] {
+        let s = Scene::new(w, h, 3, 1);
+        let c0 = census_transform(&s.frame(0));
+        let c1 = census_transform(&s.frame(1));
+        g.throughput(Throughput::Elements((w * h) as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{w}x{h}")),
+            &(c0, c1),
+            |b, (c0, c1)| b.iter(|| match_frames(black_box(c0), black_box(c1), &MatchParams::default())),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_census, bench_matching);
+criterion_main!(benches);

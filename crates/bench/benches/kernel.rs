@@ -1,0 +1,70 @@
+//! Criterion: simulation-kernel throughput — clocked evals/second on a
+//! synthetic design (a bank of counters), and 4-value vector operation
+//! cost. These bound how fast any full-system simulation can go.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rtlsim::{Clock, CompKind, Ctx, Lv, Simulator};
+use std::hint::black_box;
+
+fn bench_clocked_evals(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_counters");
+    for n_counters in [4usize, 32, 128] {
+        g.throughput(Throughput::Elements(1000 * n_counters as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(n_counters),
+            &n_counters,
+            |b, &n| {
+                b.iter_with_setup(
+                    || {
+                        let mut sim = Simulator::new();
+                        sim.set_profiling(false);
+                        let clk = sim.signal("clk", 1);
+                        sim.add_component(
+                            "clk",
+                            CompKind::Vip,
+                            Box::new(Clock::new(clk, 10_000)),
+                            &[],
+                        );
+                        for i in 0..n {
+                            let q = sim.signal_init(format!("q{i}"), 32, 0);
+                            sim.add_component(
+                                format!("cnt{i}"),
+                                CompKind::UserStatic,
+                                Box::new(move |ctx: &mut Ctx<'_>| {
+                                    if ctx.rose(clk) {
+                                        let v = ctx.get(q) + Lv::from_u64(32, 1);
+                                        ctx.set(q, v);
+                                    }
+                                }),
+                                &[clk],
+                            );
+                        }
+                        sim
+                    },
+                    |mut sim| {
+                        sim.run_for(1_000 * 10_000).unwrap(); // 1000 cycles
+                        black_box(sim.stats().evals)
+                    },
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_lv_ops(c: &mut Criterion) {
+    let a = Lv::from_planes(64, 0xDEAD_BEEF_CAFE_F00D, 0x0000_FFFF_0000_0000);
+    let b = Lv::from_planes(64, 0x1234_5678_9ABC_DEF0, 0);
+    c.bench_function("lv_and_or_xor_add", |bench| {
+        bench.iter(|| {
+            let x = black_box(a) & black_box(b);
+            let y = black_box(a) | black_box(b);
+            let z = black_box(a) ^ black_box(b);
+            let w = black_box(b) + black_box(b);
+            (x, y, z, w)
+        })
+    });
+}
+
+criterion_group!(benches, bench_clocked_evals, bench_lv_ops);
+criterion_main!(benches);

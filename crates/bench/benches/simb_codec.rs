@@ -1,0 +1,40 @@
+//! Criterion: SimB generation and parsing throughput (the bitstream
+//! substitute must be cheap — its cost is part of the "trivial
+//! simulation overhead" claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use resim::{build_simb, SimbKind, SimbParser};
+use std::hint::black_box;
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simb_build");
+    for payload in [100usize, 4096, 131072] {
+        g.throughput(Throughput::Elements(payload as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(payload), &payload, |b, &p| {
+            b.iter(|| build_simb(SimbKind::Config { module: 2 }, 1, black_box(p), 7))
+        });
+    }
+    g.finish();
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simb_parse");
+    for payload in [100usize, 4096, 131072] {
+        let simb = build_simb(SimbKind::Config { module: 2 }, 1, payload, 7);
+        g.throughput(Throughput::Elements(simb.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(payload), &simb, |b, simb| {
+            b.iter(|| {
+                let mut p = SimbParser::new();
+                let mut events = 0usize;
+                for w in simb {
+                    events += p.push(black_box(*w)).len();
+                }
+                events
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_build, bench_parse);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Ablation — the error-injection policy.
+//!
+//! ReSim injects `X` by default (like DCS), and the paper notes the
+//! error sources "can also be overridden for design-/test-specific
+//! purposes". This harness runs the isolation bug (bug.dpr.1) under
+//! three policies and shows that the optimistic "silent" policy — which
+//! is effectively what Virtual Multiplexing does — cannot detect it.
+
+use autovision::{Bug, ErrorSourceKind, FaultSet, SimMethod, SystemConfig};
+use verif::run_experiment;
+
+fn main() {
+    println!("Error-source ablation on bug.dpr.1 (isolation never asserted)\n");
+    println!("{:<10} {:>10}  evidence", "policy", "detected");
+    println!("{}", "-".repeat(72));
+    for (name, kind) in [
+        ("X", ErrorSourceKind::X),
+        ("random", ErrorSourceKind::Random),
+        ("silent", ErrorSourceKind::Silent),
+    ] {
+        let cfg = SystemConfig {
+            method: SimMethod::Resim,
+            faults: FaultSet::one(Bug::Dpr1NoIsolation),
+            width: 32,
+            height: 24,
+            n_frames: 2,
+            payload_words: 256,
+            error_source: kind,
+            ..Default::default()
+        };
+        let v = run_experiment(cfg, 1_000_000);
+        let ev = v
+            .evidence
+            .first()
+            .map(|e| format!("{e:?}"))
+            .unwrap_or_else(|| "-".to_string());
+        println!("{name:<10} {:>10}  {}", if v.detected { "FOUND" } else { "missed" }, ev);
+    }
+    println!();
+    println!("shape: X injection (ReSim default) flags the missing isolation via");
+    println!("4-state propagation; a silent source behaves like VMUX and misses it.");
+    println!("A random known-value source may corrupt data without tripping the");
+    println!("X-monitors — detection then depends on scoreboard coverage alone.");
+}

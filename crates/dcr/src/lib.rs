@@ -1,0 +1,37 @@
+//! # dcr — the Device Control Register daisy chain
+//!
+//! On the PowerPC 405 platform the DCR bus is a *daisy chain*: the
+//! master's data bus threads through every slave in order, each slave
+//! either substituting its own response or passing the upstream value
+//! along combinationally. The AutoVision designers moved the engines'
+//! DCR registers *out* of the reconfigurable region precisely because a
+//! slave caught mid-reconfiguration drives `X` into the chain and
+//! corrupts every downstream device — the paper's canonical
+//! isolation-family bug (and the reason bug.hw.2's `engine_signature`
+//! register had to live in the static region).
+//!
+//! This crate models that chain at the signal level:
+//!
+//! * [`DcrChainBuilder`] wires up a master and an ordered list of slaves.
+//! * Each slave ([`RegFile`]) is a register block with a shared handle the
+//!   owning hardware reads parameters from and posts status through.
+//! * The master is driven through a [`DcrHandle`] — the PowerPC bridge
+//!   maps `mtdcr`/`mfdcr` onto it, and testbenches use it directly.
+//!
+//! An access that never returns an ack times out; an access that returns
+//! `X` on the ack or data path is reported as chain corruption. Both
+//! outcomes surface as kernel error diagnostics, which is how the
+//! verification harness *detects* a DCR-in-RR bug.
+
+pub mod chain;
+pub mod regfile;
+
+pub use chain::{DcrChainBuilder, DcrHandle, DcrOp, DcrResult};
+pub use regfile::RegFile;
+
+/// DCR address width in bits (PPC405: 10-bit DCR space).
+pub const DCR_ADDR_BITS: u8 = 10;
+/// DCR data width in bits.
+pub const DCR_DATA_BITS: u8 = 32;
+/// Cycles the master waits for an ack before declaring a timeout.
+pub const DCR_TIMEOUT_CYCLES: u32 = 32;

@@ -1,0 +1,34 @@
+//! # engines — the reconfigurable video processing engines
+//!
+//! Cycle-accurate RTL models of the two hardware accelerators that
+//! time-share the Optical Flow Demonstrator's reconfigurable region:
+//!
+//! * [`CensusEngine`] (CIE) — streams a frame, computes the census
+//!   transform with line buffers, streams the feature image back;
+//! * [`MatchingEngine`] (ME) — loads two consecutive feature images,
+//!   searches displacements per grid anchor, writes packed motion
+//!   vectors;
+//!
+//! plus the static-region machinery around them:
+//!
+//! * [`EngineCtrl`] — the DCR register block (deliberately placed
+//!   *outside* the region) bridged to the shared parameter wires and
+//!   start/reset strobes;
+//! * [`Isolation`] — the gate that keeps a region undergoing
+//!   reconfiguration from corrupting the static design.
+//!
+//! Both engines follow the reset discipline the case study's bug.dpr.6b
+//! hinges on: parameters are latched on `ereset`, and `go`/`ereset` are
+//! honoured only while the engine is the *selected* (configured) module.
+
+pub mod cie;
+pub mod ctrl;
+pub mod isolation;
+pub mod me;
+pub mod ports;
+
+pub use cie::CensusEngine;
+pub use ctrl::{EngineCtrl, CTRL_GO, CTRL_RESET};
+pub use isolation::{IsoPair, Isolation};
+pub use me::MatchingEngine;
+pub use ports::{EngineIf, EngineParamSignals};

@@ -1,0 +1,122 @@
+//! Signal bundles at the reconfigurable-region boundary.
+
+use plb::MasterPort;
+use rtlsim::{SignalId, Simulator};
+
+/// The full signal interface of one video engine instance.
+///
+/// Everything in `EngineIf` except the `plb` bus responses is a
+/// *region-boundary* signal: inputs cross into the region freely (no
+/// isolation needed), while the outputs (`busy`, `done`, and the
+/// master-driven half of `plb`) must pass through the Isolation module
+/// before reaching the static region.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineIf {
+    // Inputs to the engine.
+    /// System clock.
+    pub clk: SignalId,
+    /// Global power-on reset.
+    pub rst: SignalId,
+    /// This engine is the currently configured module in the region.
+    /// Driven by the extended portal (ReSim) or wrapper mux (VMUX).
+    pub sel: SignalId,
+    /// One-cycle start pulse.
+    pub go: SignalId,
+    /// One-cycle soft-reset pulse; latches the parameter signals.
+    pub ereset: SignalId,
+    /// One-cycle state-capture strobe (GCAPTURE): the selected module
+    /// snapshots its architectural state.
+    pub capture: SignalId,
+    /// One-cycle state-restore strobe (GRESTORE): the selected module
+    /// reloads the last snapshot — the mechanism behind the authors'
+    /// FPGA'12 state-saving methodology.
+    pub restore: SignalId,
+    /// Source (input image) byte address.
+    pub src_addr: SignalId,
+    /// Destination (output image) byte address.
+    pub dst_addr: SignalId,
+    /// Auxiliary input address (ME: previous census image).
+    pub aux_addr: SignalId,
+    /// Vector output address (ME only).
+    pub vec_addr: SignalId,
+    /// Frame width in pixels.
+    pub width: SignalId,
+    /// Frame height in pixels.
+    pub height: SignalId,
+    // Outputs from the engine.
+    /// Processing in progress.
+    pub busy: SignalId,
+    /// One-cycle completion pulse.
+    pub done: SignalId,
+    /// The engine's private bus master port (region side; routed to the
+    /// shared boundary port by the wrapper).
+    pub plb: MasterPort,
+}
+
+impl EngineIf {
+    /// Allocate the private per-engine signals under `prefix`. The
+    /// shared inputs (`clk`, `rst`, params, strobes) are passed in
+    /// because both engines see the same static-region wires.
+    #[allow(clippy::too_many_arguments)]
+    pub fn alloc(
+        sim: &mut Simulator,
+        prefix: &str,
+        clk: SignalId,
+        rst: SignalId,
+        go: SignalId,
+        ereset: SignalId,
+        params: &EngineParamSignals,
+    ) -> EngineIf {
+        EngineIf {
+            clk,
+            rst,
+            sel: sim.signal_init(format!("{prefix}.sel"), 1, 0),
+            go,
+            ereset,
+            capture: sim.signal_init(format!("{prefix}.capture"), 1, 0),
+            restore: sim.signal_init(format!("{prefix}.restore"), 1, 0),
+            src_addr: params.src_addr,
+            dst_addr: params.dst_addr,
+            aux_addr: params.aux_addr,
+            vec_addr: params.vec_addr,
+            width: params.width,
+            height: params.height,
+            busy: sim.signal_init(format!("{prefix}.busy"), 1, 0),
+            done: sim.signal_init(format!("{prefix}.done"), 1, 0),
+            plb: MasterPort::alloc(sim, &format!("{prefix}.plb")),
+        }
+    }
+}
+
+/// The parameter wires driven by the engine-control block in the static
+/// region (the DCR registers that were deliberately moved *out* of the
+/// reconfigurable region).
+#[derive(Debug, Clone, Copy)]
+pub struct EngineParamSignals {
+    /// Source byte address.
+    pub src_addr: SignalId,
+    /// Destination byte address.
+    pub dst_addr: SignalId,
+    /// Auxiliary input byte address.
+    pub aux_addr: SignalId,
+    /// Vector output byte address.
+    pub vec_addr: SignalId,
+    /// Frame width.
+    pub width: SignalId,
+    /// Frame height.
+    pub height: SignalId,
+}
+
+impl EngineParamSignals {
+    /// Allocate the shared parameter wires.
+    pub fn alloc(sim: &mut Simulator, prefix: &str) -> EngineParamSignals {
+        EngineParamSignals {
+            src_addr: sim.signal_init(format!("{prefix}.src_addr"), 32, 0),
+            dst_addr: sim.signal_init(format!("{prefix}.dst_addr"), 32, 0),
+            aux_addr: sim.signal_init(format!("{prefix}.aux_addr"), 32, 0),
+            vec_addr: sim.signal_init(format!("{prefix}.vec_addr"), 32, 0),
+            width: sim.signal_init(format!("{prefix}.width"), 16, 0),
+            height: sim.signal_init(format!("{prefix}.height"), 16, 0),
+        }
+    }
+}

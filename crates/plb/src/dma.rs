@@ -1,0 +1,266 @@
+//! Reusable master-side burst transfer FSM.
+//!
+//! Every PLB master in the system — video engines, video VIPs, the
+//! IcapCTRL reconfiguration controller and the processor bridge — embeds
+//! a [`DmaDriver`] and steps it once per clock edge. The driver splits an
+//! arbitrarily long transfer into bursts, runs the request/grant and
+//! valid/ready handshakes, and reports completion.
+//!
+//! The [`Handshake`] policy selects between the fully interlocked
+//! protocol and the *fixed-latency* assumption of the original design's
+//! point-to-point IcapCTRL attachment. On a dedicated link the fixed
+//! timing happens to match, but on a shared, arbitrated bus it silently
+//! drops or corrupts beats — this is exactly the paper's bug.dpr.4.
+
+use crate::port::MasterPort;
+use rtlsim::Ctx;
+
+/// Master handshake policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Handshake {
+    /// Fully interlocked: wait for grant/ack, honour `wready`/`rvalid`.
+    Full,
+    /// Original point-to-point timing: start data `addr_latency` cycles
+    /// after asserting the request and move one beat per cycle without
+    /// checking any ready/valid signal.
+    FixedLatency {
+        /// Cycles from request to assumed data phase.
+        addr_latency: u32,
+    },
+}
+
+/// Completion events returned by [`DmaDriver::step`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DmaEvent {
+    /// A write transfer finished (all bursts).
+    WriteDone,
+    /// A read transfer finished; data is available via
+    /// [`DmaDriver::take_read_data`].
+    ReadDone,
+    /// The bus reported an error (decode miss or slave abort).
+    Error,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum St {
+    Idle,
+    Launch,
+    AwaitAck { waited: u32 },
+    WData { beats_left: u32 },
+    RData { beats_left: u32 },
+    AwaitComplete,
+}
+
+/// Burst-splitting DMA master FSM. Call [`DmaDriver::step`] on every
+/// rising clock edge of the owning component.
+pub struct DmaDriver {
+    port: MasterPort,
+    handshake: Handshake,
+    max_burst: u32,
+    state: St,
+    rnw: bool,
+    next_addr: u32,
+    words_left: u32,
+    wbuf: Vec<u32>,
+    wpos: usize,
+    rbuf: Vec<u32>,
+    /// Read data may contain X (e.g. poisoned memory words); those beats
+    /// are recorded here by index for scoreboard use.
+    rx_unknown: Vec<usize>,
+}
+
+impl DmaDriver {
+    /// Create an idle driver for `port`. `max_burst` is clamped to the
+    /// protocol maximum of 255 beats.
+    pub fn new(port: MasterPort, handshake: Handshake, max_burst: u32) -> DmaDriver {
+        DmaDriver {
+            port,
+            handshake,
+            max_burst: max_burst.clamp(1, crate::MAX_BURST as u32),
+            state: St::Idle,
+            rnw: false,
+            next_addr: 0,
+            words_left: 0,
+            wbuf: Vec::new(),
+            wpos: 0,
+            rbuf: Vec::new(),
+            rx_unknown: Vec::new(),
+        }
+    }
+
+    /// The port this driver drives.
+    pub fn port(&self) -> MasterPort {
+        self.port
+    }
+
+    /// True when no transfer is in flight.
+    pub fn idle(&self) -> bool {
+        self.state == St::Idle
+    }
+
+    /// Begin a write of `data` to `addr`. Panics if busy or empty.
+    pub fn start_write(&mut self, addr: u32, data: Vec<u32>) {
+        assert!(self.idle(), "DMA driver busy");
+        assert!(!data.is_empty(), "empty DMA write");
+        self.rnw = false;
+        self.next_addr = addr;
+        self.words_left = data.len() as u32;
+        self.wbuf = data;
+        self.wpos = 0;
+        self.state = St::Launch;
+    }
+
+    /// Begin a read of `words` 32-bit beats from `addr`. Panics if busy
+    /// or zero-length.
+    pub fn start_read(&mut self, addr: u32, words: u32) {
+        assert!(self.idle(), "DMA driver busy");
+        assert!(words > 0, "empty DMA read");
+        self.rnw = true;
+        self.next_addr = addr;
+        self.words_left = words;
+        self.rbuf = Vec::with_capacity(words as usize);
+        self.rx_unknown.clear();
+        self.state = St::Launch;
+    }
+
+    /// Take the data captured by the last completed read.
+    pub fn take_read_data(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.rbuf)
+    }
+
+    /// Beat indices of the last read that carried unknown (`X`) bits.
+    pub fn unknown_beats(&self) -> &[usize] {
+        &self.rx_unknown
+    }
+
+    /// Drop any in-flight transfer and deassert all outputs (used on
+    /// reset).
+    pub fn reset(&mut self, ctx: &mut Ctx<'_>) {
+        let p = self.port;
+        self.state = St::Idle;
+        self.wbuf.clear();
+        self.rbuf.clear();
+        ctx.set_bit(p.req, false);
+        ctx.set_bit(p.wvalid, false);
+        ctx.set_bit(p.rready, false);
+    }
+
+    fn burst_len(&self) -> u32 {
+        self.words_left.min(self.max_burst)
+    }
+
+    /// Advance the FSM by one clock edge. Returns a [`DmaEvent`] when the
+    /// whole transfer (all bursts) finishes.
+    pub fn step(&mut self, ctx: &mut Ctx<'_>) -> Option<DmaEvent> {
+        let p = self.port;
+        match self.state {
+            St::Idle => None,
+            St::Launch => {
+                let burst = self.burst_len();
+                ctx.set_bit(p.req, true);
+                ctx.set_bit(p.rnw, self.rnw);
+                ctx.set_u64(p.addr, self.next_addr as u64);
+                ctx.set_u64(p.size, burst as u64);
+                self.state = St::AwaitAck { waited: 0 };
+                None
+            }
+            St::AwaitAck { waited } => {
+                if ctx.is_high(p.err) && ctx.is_high(p.complete) {
+                    self.abort(ctx);
+                    return Some(DmaEvent::Error);
+                }
+                let proceed = match self.handshake {
+                    Handshake::Full => ctx.is_high(p.addr_ack),
+                    Handshake::FixedLatency { addr_latency } => waited >= addr_latency,
+                };
+                if proceed {
+                    ctx.set_bit(p.req, false);
+                    let burst = self.burst_len();
+                    if self.rnw {
+                        ctx.set_bit(p.rready, true);
+                        self.state = St::RData { beats_left: burst };
+                    } else {
+                        ctx.set_bit(p.wvalid, true);
+                        ctx.set_u64(p.wdata, self.wbuf[self.wpos] as u64);
+                        self.state = St::WData { beats_left: burst };
+                    }
+                } else {
+                    self.state = St::AwaitAck { waited: waited + 1 };
+                }
+                None
+            }
+            St::WData { beats_left } => {
+                let commit = match self.handshake {
+                    Handshake::Full => ctx.is_high(p.wready),
+                    Handshake::FixedLatency { .. } => true,
+                };
+                if commit {
+                    // The beat at wpos transferred on this edge.
+                    self.wpos += 1;
+                    self.words_left -= 1;
+                    self.next_addr = self.next_addr.wrapping_add(4);
+                    if beats_left == 1 {
+                        ctx.set_bit(p.wvalid, false);
+                        self.state = St::AwaitComplete;
+                    } else {
+                        ctx.set_u64(p.wdata, self.wbuf[self.wpos] as u64);
+                        self.state = St::WData { beats_left: beats_left - 1 };
+                    }
+                }
+                None
+            }
+            St::RData { beats_left } => {
+                let commit = match self.handshake {
+                    Handshake::Full => ctx.is_high(p.rvalid),
+                    Handshake::FixedLatency { .. } => true,
+                };
+                if commit {
+                    let data = ctx.get(p.rdata);
+                    if data.has_unknown() {
+                        self.rx_unknown.push(self.rbuf.len());
+                    }
+                    self.rbuf.push(data.to_u64_lossy() as u32);
+                    self.words_left -= 1;
+                    self.next_addr = self.next_addr.wrapping_add(4);
+                    if beats_left == 1 {
+                        ctx.set_bit(p.rready, false);
+                        self.state = St::AwaitComplete;
+                    } else {
+                        self.state = St::RData { beats_left: beats_left - 1 };
+                    }
+                }
+                None
+            }
+            St::AwaitComplete => {
+                let done = match self.handshake {
+                    Handshake::Full => ctx.is_high(p.complete),
+                    // Fixed-latency masters don't watch `complete` either.
+                    Handshake::FixedLatency { .. } => true,
+                };
+                if !done {
+                    return None;
+                }
+                if ctx.is_high(p.err) {
+                    self.abort(ctx);
+                    return Some(DmaEvent::Error);
+                }
+                if self.words_left > 0 {
+                    self.state = St::Launch;
+                    None
+                } else {
+                    self.state = St::Idle;
+                    Some(if self.rnw { DmaEvent::ReadDone } else { DmaEvent::WriteDone })
+                }
+            }
+        }
+    }
+
+    fn abort(&mut self, ctx: &mut Ctx<'_>) {
+        let p = self.port;
+        self.state = St::Idle;
+        self.wbuf.clear();
+        ctx.set_bit(p.req, false);
+        ctx.set_bit(p.wvalid, false);
+        ctx.set_bit(p.rready, false);
+    }
+}

@@ -1,0 +1,84 @@
+//! A small disassembler for trace output and debugging.
+
+use crate::insn::{Cond, Instr};
+
+/// Render one machine word as assembly text (round-trippable through the
+/// assembler for the supported subset, modulo label names).
+pub fn disassemble(w: u32) -> String {
+    use Instr::*;
+    match Instr::decode(w) {
+        Addi { rt, ra, simm } if ra == 0 => format!("li r{rt}, {simm}"),
+        Addi { rt, ra, simm } => format!("addi r{rt}, r{ra}, {simm}"),
+        Addis { rt, ra, simm } if ra == 0 => format!("lis r{rt}, {simm}"),
+        Addis { rt, ra, simm } => format!("addis r{rt}, r{ra}, {simm}"),
+        Ori { ra: 0, rs: 0, uimm: 0 } => "nop".to_string(),
+        Ori { ra, rs, uimm } => format!("ori r{ra}, r{rs}, {uimm:#x}"),
+        Oris { ra, rs, uimm } => format!("oris r{ra}, r{rs}, {uimm:#x}"),
+        Xori { ra, rs, uimm } => format!("xori r{ra}, r{rs}, {uimm:#x}"),
+        AndiDot { ra, rs, uimm } => format!("andi. r{ra}, r{rs}, {uimm:#x}"),
+        Add { rt, ra, rb } => format!("add r{rt}, r{ra}, r{rb}"),
+        Subf { rt, ra, rb } => format!("subf r{rt}, r{ra}, r{rb}"),
+        Mullw { rt, ra, rb } => format!("mullw r{rt}, r{ra}, r{rb}"),
+        Divwu { rt, ra, rb } => format!("divwu r{rt}, r{ra}, r{rb}"),
+        Neg { rt, ra } => format!("neg r{rt}, r{ra}"),
+        And { ra, rs, rb } => format!("and r{ra}, r{rs}, r{rb}"),
+        Or { ra, rs, rb } if rs == rb => format!("mr r{ra}, r{rs}"),
+        Or { ra, rs, rb } => format!("or r{ra}, r{rs}, r{rb}"),
+        Xor { ra, rs, rb } => format!("xor r{ra}, r{rs}, r{rb}"),
+        Slw { ra, rs, rb } => format!("slw r{ra}, r{rs}, r{rb}"),
+        Srw { ra, rs, rb } => format!("srw r{ra}, r{rs}, r{rb}"),
+        Rlwinm { ra, rs, sh, mb, me } => format!("rlwinm r{ra}, r{rs}, {sh}, {mb}, {me}"),
+        Cmpw { ra, rb } => format!("cmpw r{ra}, r{rb}"),
+        Cmpwi { ra, simm } => format!("cmpwi r{ra}, {simm}"),
+        Cmplw { ra, rb } => format!("cmplw r{ra}, r{rb}"),
+        Cmplwi { ra, uimm } => format!("cmplwi r{ra}, {uimm}"),
+        Lwz { rt, ra, d } => format!("lwz r{rt}, {d}(r{ra})"),
+        Lbz { rt, ra, d } => format!("lbz r{rt}, {d}(r{ra})"),
+        Stw { rs, ra, d } => format!("stw r{rs}, {d}(r{ra})"),
+        Stb { rs, ra, d } => format!("stb r{rs}, {d}(r{ra})"),
+        Lwzx { rt, ra, rb } => format!("lwzx r{rt}, r{ra}, r{rb}"),
+        Stwx { rs, ra, rb } => format!("stwx r{rs}, r{ra}, r{rb}"),
+        B { target, link } => format!("{} .{:+}", if link { "bl" } else { "b" }, target),
+        Bc { cond, target, link } => {
+            let m = match cond {
+                Cond::Eq => "beq",
+                Cond::Ne => "bne",
+                Cond::Lt => "blt",
+                Cond::Gt => "bgt",
+                Cond::Ge => "bge",
+                Cond::Le => "ble",
+                Cond::Dnz => "bdnz",
+            };
+            format!("{m}{} .{:+}", if link { "l" } else { "" }, target)
+        }
+        Blr => "blr".to_string(),
+        Bctr => "bctr".to_string(),
+        Mtspr { spr, rs } => format!("mtspr {spr:?}, r{rs}").to_lowercase(),
+        Mfspr { rt, spr } => format!("mfspr r{rt}, {spr:?}").to_lowercase(),
+        Mtdcr { dcrn, rs } => format!("mtdcr {dcrn:#x}, r{rs}"),
+        Mfdcr { rt, dcrn } => format!("mfdcr r{rt}, {dcrn:#x}"),
+        Mtmsr { rs } => format!("mtmsr r{rs}"),
+        Mfmsr { rt } => format!("mfmsr r{rt}"),
+        Mtcrf { rs } => format!("mtcrf r{rs}"),
+        Mfcr { rt } => format!("mfcr r{rt}"),
+        Rfi => "rfi".to_string(),
+        Sync => "sync".to_string(),
+        Isync => "isync".to_string(),
+        Trap => "halt".to_string(),
+        Illegal(w) => format!(".word {w:#010x}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn readable_output() {
+        assert_eq!(disassemble(0x3860_0001), "li r3, 1");
+        assert_eq!(disassemble(0x4E80_0020), "blr");
+        assert_eq!(disassemble(0x6000_0000), "nop");
+        assert_eq!(disassemble(0x93E1_0008), "stw r31, 8(r1)");
+        assert_eq!(disassemble(0xFFFF_FFFF), ".word 0xffffffff");
+    }
+}

@@ -1,0 +1,452 @@
+//! The PowerPC-405 instruction subset: a typed instruction enum with
+//! encoders and decoders for the real 32-bit PowerPC formats.
+//!
+//! Only the instructions the AutoVision control software needs are
+//! implemented; everything else decodes to [`Instr::Illegal`], which the
+//! CPU reports as an error and halts on. Encodings follow the PowerPC
+//! User ISA (D-, B-, I-, M-, X-, XL- and XFX-forms), including the
+//! split-field convention for SPR and DCR numbers.
+
+/// Condition-register bit indices within CR0 used by branch conditions.
+pub const CR_LT: u8 = 0;
+/// CR0 "greater than" bit.
+pub const CR_GT: u8 = 1;
+/// CR0 "equal" bit.
+pub const CR_EQ: u8 = 2;
+
+/// Special-purpose register numbers (subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Spr {
+    /// Link register.
+    Lr,
+    /// Count register.
+    Ctr,
+    /// Save/restore register 0 (interrupted PC).
+    Srr0,
+    /// Save/restore register 1 (interrupted MSR).
+    Srr1,
+}
+
+impl Spr {
+    /// Architectural SPR number.
+    pub fn number(self) -> u16 {
+        match self {
+            Spr::Lr => 8,
+            Spr::Ctr => 9,
+            Spr::Srr0 => 26,
+            Spr::Srr1 => 27,
+        }
+    }
+
+    /// Decode from an architectural SPR number.
+    pub fn from_number(n: u16) -> Option<Spr> {
+        match n {
+            8 => Some(Spr::Lr),
+            9 => Some(Spr::Ctr),
+            26 => Some(Spr::Srr0),
+            27 => Some(Spr::Srr1),
+            _ => None,
+        }
+    }
+}
+
+/// Branch conditions (a practical subset of the BO/BI space).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cond {
+    /// Branch if CR0\[EQ\] set.
+    Eq,
+    /// Branch if CR0\[EQ\] clear.
+    Ne,
+    /// Branch if CR0\[LT\] set.
+    Lt,
+    /// Branch if CR0\[GT\] set.
+    Gt,
+    /// Branch if CR0\[LT\] clear (>=).
+    Ge,
+    /// Branch if CR0\[GT\] clear (<=).
+    Le,
+    /// Decrement CTR, branch if CTR != 0 (`bdnz`).
+    Dnz,
+}
+
+impl Cond {
+    /// (BO, BI) encoding of the condition.
+    pub fn to_bo_bi(self) -> (u8, u8) {
+        match self {
+            Cond::Eq => (12, CR_EQ),
+            Cond::Ne => (4, CR_EQ),
+            Cond::Lt => (12, CR_LT),
+            Cond::Ge => (4, CR_LT),
+            Cond::Gt => (12, CR_GT),
+            Cond::Le => (4, CR_GT),
+            Cond::Dnz => (16, 0),
+        }
+    }
+
+    /// Decode from (BO, BI); `None` for unsupported combinations.
+    pub fn from_bo_bi(bo: u8, bi: u8) -> Option<Cond> {
+        match (bo & 0x1E, bi) {
+            (12, b) if b == CR_EQ => Some(Cond::Eq),
+            (4, b) if b == CR_EQ => Some(Cond::Ne),
+            (12, b) if b == CR_LT => Some(Cond::Lt),
+            (4, b) if b == CR_LT => Some(Cond::Ge),
+            (12, b) if b == CR_GT => Some(Cond::Gt),
+            (4, b) if b == CR_GT => Some(Cond::Le),
+            (16, 0) => Some(Cond::Dnz),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded instruction. Register operands are 0..=31.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // operand meanings follow the PowerPC UISA
+pub enum Instr {
+    // D-form arithmetic/logical with immediate.
+    Addi { rt: u8, ra: u8, simm: i16 },
+    Addis { rt: u8, ra: u8, simm: i16 },
+    Ori { ra: u8, rs: u8, uimm: u16 },
+    Oris { ra: u8, rs: u8, uimm: u16 },
+    Xori { ra: u8, rs: u8, uimm: u16 },
+    AndiDot { ra: u8, rs: u8, uimm: u16 },
+    // X-form register-register integer ops.
+    Add { rt: u8, ra: u8, rb: u8 },
+    Subf { rt: u8, ra: u8, rb: u8 },
+    Mullw { rt: u8, ra: u8, rb: u8 },
+    Divwu { rt: u8, ra: u8, rb: u8 },
+    Neg { rt: u8, ra: u8 },
+    And { ra: u8, rs: u8, rb: u8 },
+    Or { ra: u8, rs: u8, rb: u8 },
+    Xor { ra: u8, rs: u8, rb: u8 },
+    Slw { ra: u8, rs: u8, rb: u8 },
+    Srw { ra: u8, rs: u8, rb: u8 },
+    // M-form rotate-and-mask.
+    Rlwinm { ra: u8, rs: u8, sh: u8, mb: u8, me: u8 },
+    // Compares (CR0 only in this subset).
+    Cmpw { ra: u8, rb: u8 },
+    Cmpwi { ra: u8, simm: i16 },
+    Cmplw { ra: u8, rb: u8 },
+    Cmplwi { ra: u8, uimm: u16 },
+    // Loads/stores (D-form and X-form indexed).
+    Lwz { rt: u8, ra: u8, d: i16 },
+    Lbz { rt: u8, ra: u8, d: i16 },
+    Stw { rs: u8, ra: u8, d: i16 },
+    Stb { rs: u8, ra: u8, d: i16 },
+    Lwzx { rt: u8, ra: u8, rb: u8 },
+    Stwx { rs: u8, ra: u8, rb: u8 },
+    // Branches. Displacements are byte offsets relative to the branch.
+    B { target: i32, link: bool },
+    Bc { cond: Cond, target: i16, link: bool },
+    Blr,
+    Bctr,
+    // System.
+    Mtspr { spr: Spr, rs: u8 },
+    Mfspr { rt: u8, spr: Spr },
+    Mtdcr { dcrn: u16, rs: u8 },
+    Mfdcr { rt: u8, dcrn: u16 },
+    Mtmsr { rs: u8 },
+    Mfmsr { rt: u8 },
+    /// `mtcrf 0xFF, rs` — restore the condition register.
+    Mtcrf { rs: u8 },
+    /// `mfcr rt` — read the condition register.
+    Mfcr { rt: u8 },
+    Rfi,
+    Sync,
+    Isync,
+    /// `tw 31,0,0` — used as a HALT marker for the ISS.
+    Trap,
+    /// Anything the subset does not implement.
+    Illegal(u32),
+}
+
+/// Swap the two 5-bit halves of a 10-bit split field (SPR/DCR encoding).
+#[inline]
+fn split10(n: u16) -> u32 {
+    (((n as u32) & 0x1F) << 5) | (((n as u32) >> 5) & 0x1F)
+}
+
+#[inline]
+fn unsplit10(f: u32) -> u16 {
+    ((((f) & 0x1F) << 5) | ((f >> 5) & 0x1F)) as u16
+}
+
+fn d_form(op: u32, rt: u8, ra: u8, imm: u16) -> u32 {
+    (op << 26) | ((rt as u32) << 21) | ((ra as u32) << 16) | imm as u32
+}
+
+fn x_form(rt: u8, ra: u8, rb: u8, xo: u32) -> u32 {
+    (31 << 26) | ((rt as u32) << 21) | ((ra as u32) << 16) | ((rb as u32) << 11) | (xo << 1)
+}
+
+impl Instr {
+    /// Encode to the 32-bit machine word.
+    pub fn encode(&self) -> u32 {
+        use Instr::*;
+        match *self {
+            Addi { rt, ra, simm } => d_form(14, rt, ra, simm as u16),
+            Addis { rt, ra, simm } => d_form(15, rt, ra, simm as u16),
+            Ori { ra, rs, uimm } => d_form(24, rs, ra, uimm),
+            Oris { ra, rs, uimm } => d_form(25, rs, ra, uimm),
+            Xori { ra, rs, uimm } => d_form(26, rs, ra, uimm),
+            AndiDot { ra, rs, uimm } => d_form(28, rs, ra, uimm),
+            Add { rt, ra, rb } => x_form(rt, ra, rb, 266),
+            Subf { rt, ra, rb } => x_form(rt, ra, rb, 40),
+            Mullw { rt, ra, rb } => x_form(rt, ra, rb, 235),
+            Divwu { rt, ra, rb } => x_form(rt, ra, rb, 459),
+            Neg { rt, ra } => x_form(rt, ra, 0, 104),
+            And { ra, rs, rb } => x_form(rs, ra, rb, 28),
+            Or { ra, rs, rb } => x_form(rs, ra, rb, 444),
+            Xor { ra, rs, rb } => x_form(rs, ra, rb, 316),
+            Slw { ra, rs, rb } => x_form(rs, ra, rb, 24),
+            Srw { ra, rs, rb } => x_form(rs, ra, rb, 536),
+            Rlwinm { ra, rs, sh, mb, me } => {
+                (21 << 26)
+                    | ((rs as u32) << 21)
+                    | ((ra as u32) << 16)
+                    | ((sh as u32) << 11)
+                    | ((mb as u32) << 6)
+                    | ((me as u32) << 1)
+            }
+            Cmpw { ra, rb } => x_form(0, ra, rb, 0),
+            Cmpwi { ra, simm } => d_form(11, 0, ra, simm as u16),
+            Cmplw { ra, rb } => x_form(0, ra, rb, 32),
+            Cmplwi { ra, uimm } => d_form(10, 0, ra, uimm),
+            Lwz { rt, ra, d } => d_form(32, rt, ra, d as u16),
+            Lbz { rt, ra, d } => d_form(34, rt, ra, d as u16),
+            Stw { rs, ra, d } => d_form(36, rs, ra, d as u16),
+            Stb { rs, ra, d } => d_form(38, rs, ra, d as u16),
+            Lwzx { rt, ra, rb } => x_form(rt, ra, rb, 23),
+            Stwx { rs, ra, rb } => x_form(rs, ra, rb, 151),
+            B { target, link } => {
+                (18 << 26) | ((target as u32) & 0x03FF_FFFC) | link as u32
+            }
+            Bc { cond, target, link } => {
+                let (bo, bi) = cond.to_bo_bi();
+                (16 << 26)
+                    | ((bo as u32) << 21)
+                    | ((bi as u32) << 16)
+                    | ((target as u32) & 0xFFFC)
+                    | link as u32
+            }
+            Blr => (19 << 26) | (20 << 21) | (16 << 1),
+            Bctr => (19 << 26) | (20 << 21) | (528 << 1),
+            Mtspr { spr, rs } => {
+                (31 << 26) | ((rs as u32) << 21) | (split10(spr.number()) << 11) | (467 << 1)
+            }
+            Mfspr { rt, spr } => {
+                (31 << 26) | ((rt as u32) << 21) | (split10(spr.number()) << 11) | (339 << 1)
+            }
+            Mtdcr { dcrn, rs } => {
+                (31 << 26) | ((rs as u32) << 21) | (split10(dcrn) << 11) | (451 << 1)
+            }
+            Mfdcr { rt, dcrn } => {
+                (31 << 26) | ((rt as u32) << 21) | (split10(dcrn) << 11) | (323 << 1)
+            }
+            Mtmsr { rs } => x_form(rs, 0, 0, 146),
+            Mfmsr { rt } => x_form(rt, 0, 0, 83),
+            Mtcrf { rs } => (31 << 26) | ((rs as u32) << 21) | (0xFF << 12) | (144 << 1),
+            Mfcr { rt } => (31 << 26) | ((rt as u32) << 21) | (19 << 1),
+            Rfi => (19 << 26) | (50 << 1),
+            Sync => x_form(0, 0, 0, 598),
+            Isync => (19 << 26) | (150 << 1),
+            Trap => (31 << 26) | (31 << 21) | (4 << 1),
+            Illegal(w) => w,
+        }
+    }
+
+    /// Decode a 32-bit machine word.
+    pub fn decode(w: u32) -> Instr {
+        use Instr::*;
+        let op = w >> 26;
+        let rt = ((w >> 21) & 0x1F) as u8;
+        let ra = ((w >> 16) & 0x1F) as u8;
+        let rb = ((w >> 11) & 0x1F) as u8;
+        let imm = (w & 0xFFFF) as u16;
+        match op {
+            10 => Cmplwi { ra, uimm: imm },
+            11 => Cmpwi { ra, simm: imm as i16 },
+            14 => Addi { rt, ra, simm: imm as i16 },
+            15 => Addis { rt, ra, simm: imm as i16 },
+            16 => {
+                let bo = rt;
+                let bi = ra;
+                let bd = (imm & 0xFFFC) as i16;
+                match Cond::from_bo_bi(bo, bi) {
+                    Some(cond) => Bc { cond, target: bd, link: w & 1 != 0 },
+                    None => Illegal(w),
+                }
+            }
+            18 => {
+                // Sign-extend the 24-bit displacement (<<2).
+                let li = ((w & 0x03FF_FFFC) as i32) << 6 >> 6;
+                B { target: li, link: w & 1 != 0 }
+            }
+            19 => match (w >> 1) & 0x3FF {
+                16 if rt == 20 => Blr,
+                528 if rt == 20 => Bctr,
+                50 => Rfi,
+                150 => Isync,
+                _ => Illegal(w),
+            },
+            21 => Rlwinm {
+                ra,
+                rs: rt,
+                sh: rb,
+                mb: ((w >> 6) & 0x1F) as u8,
+                me: ((w >> 1) & 0x1F) as u8,
+            },
+            24 => Ori { ra, rs: rt, uimm: imm },
+            25 => Oris { ra, rs: rt, uimm: imm },
+            26 => Xori { ra, rs: rt, uimm: imm },
+            28 => AndiDot { ra, rs: rt, uimm: imm },
+            32 => Lwz { rt, ra, d: imm as i16 },
+            34 => Lbz { rt, ra, d: imm as i16 },
+            36 => Stw { rs: rt, ra, d: imm as i16 },
+            38 => Stb { rs: rt, ra, d: imm as i16 },
+            31 => {
+                let xo = (w >> 1) & 0x3FF;
+                let spl = (w >> 11) & 0x3FF;
+                match xo {
+                    0 if rt == 0 => Cmpw { ra, rb },
+                    32 if rt == 0 => Cmplw { ra, rb },
+                    4 if rt == 31 && ra == 0 && rb == 0 => Trap,
+                    23 => Lwzx { rt, ra, rb },
+                    24 => Slw { ra, rs: rt, rb },
+                    28 => And { ra, rs: rt, rb },
+                    40 => Subf { rt, ra, rb },
+                    19 => Mfcr { rt },
+                    83 => Mfmsr { rt },
+                    144 => Mtcrf { rs: rt },
+                    104 => Neg { rt, ra },
+                    146 => Mtmsr { rs: rt },
+                    151 => Stwx { rs: rt, ra, rb },
+                    235 => Mullw { rt, ra, rb },
+                    266 => Add { rt, ra, rb },
+                    316 => Xor { ra, rs: rt, rb },
+                    323 => Mfdcr { rt, dcrn: unsplit10(spl) },
+                    339 => match Spr::from_number(unsplit10(spl)) {
+                        Some(spr) => Mfspr { rt, spr },
+                        None => Illegal(w),
+                    },
+                    444 => Or { ra, rs: rt, rb },
+                    451 => Mtdcr { dcrn: unsplit10(spl), rs: rt },
+                    459 => Divwu { rt, ra, rb },
+                    467 => match Spr::from_number(unsplit10(spl)) {
+                        Some(spr) => Mtspr { spr, rs: rt },
+                        None => Illegal(w),
+                    },
+                    536 => Srw { ra, rs: rt, rb },
+                    598 => Sync,
+                    _ => Illegal(w),
+                }
+            }
+            _ => Illegal(w),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(i: Instr) {
+        let w = i.encode();
+        assert_eq!(Instr::decode(w), i, "word {w:#010x}");
+    }
+
+    #[test]
+    fn encode_decode_round_trip_all_forms() {
+        roundtrip(Instr::Addi { rt: 3, ra: 0, simm: -42 });
+        roundtrip(Instr::Addis { rt: 31, ra: 1, simm: 0x7FFF });
+        roundtrip(Instr::Ori { ra: 5, rs: 6, uimm: 0xBEEF });
+        roundtrip(Instr::Oris { ra: 5, rs: 6, uimm: 0xDEAD });
+        roundtrip(Instr::Xori { ra: 1, rs: 2, uimm: 3 });
+        roundtrip(Instr::AndiDot { ra: 9, rs: 10, uimm: 0xFF });
+        roundtrip(Instr::Add { rt: 1, ra: 2, rb: 3 });
+        roundtrip(Instr::Subf { rt: 4, ra: 5, rb: 6 });
+        roundtrip(Instr::Mullw { rt: 7, ra: 8, rb: 9 });
+        roundtrip(Instr::Divwu { rt: 10, ra: 11, rb: 12 });
+        roundtrip(Instr::Neg { rt: 13, ra: 14 });
+        roundtrip(Instr::And { ra: 1, rs: 2, rb: 3 });
+        roundtrip(Instr::Or { ra: 4, rs: 5, rb: 6 });
+        roundtrip(Instr::Xor { ra: 7, rs: 8, rb: 9 });
+        roundtrip(Instr::Slw { ra: 10, rs: 11, rb: 12 });
+        roundtrip(Instr::Srw { ra: 13, rs: 14, rb: 15 });
+        roundtrip(Instr::Rlwinm { ra: 1, rs: 2, sh: 3, mb: 4, me: 31 });
+        roundtrip(Instr::Cmpw { ra: 3, rb: 4 });
+        roundtrip(Instr::Cmpwi { ra: 3, simm: -1 });
+        roundtrip(Instr::Cmplw { ra: 3, rb: 4 });
+        roundtrip(Instr::Cmplwi { ra: 3, uimm: 0xFFFF });
+        roundtrip(Instr::Lwz { rt: 3, ra: 1, d: -8 });
+        roundtrip(Instr::Lbz { rt: 3, ra: 1, d: 100 });
+        roundtrip(Instr::Stw { rs: 3, ra: 1, d: 4 });
+        roundtrip(Instr::Stb { rs: 3, ra: 1, d: -4 });
+        roundtrip(Instr::Lwzx { rt: 1, ra: 2, rb: 3 });
+        roundtrip(Instr::Stwx { rs: 4, ra: 5, rb: 6 });
+        roundtrip(Instr::B { target: -1024, link: false });
+        roundtrip(Instr::B { target: 0x20_0000, link: true });
+        for cond in [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Gt, Cond::Ge, Cond::Le, Cond::Dnz] {
+            roundtrip(Instr::Bc { cond, target: -64, link: false });
+            roundtrip(Instr::Bc { cond, target: 128, link: true });
+        }
+        roundtrip(Instr::Blr);
+        roundtrip(Instr::Bctr);
+        for spr in [Spr::Lr, Spr::Ctr, Spr::Srr0, Spr::Srr1] {
+            roundtrip(Instr::Mtspr { spr, rs: 3 });
+            roundtrip(Instr::Mfspr { rt: 4, spr });
+        }
+        roundtrip(Instr::Mtdcr { dcrn: 0x3FF, rs: 1 });
+        roundtrip(Instr::Mfdcr { rt: 2, dcrn: 0x155 });
+        roundtrip(Instr::Mtmsr { rs: 7 });
+        roundtrip(Instr::Mfmsr { rt: 8 });
+        roundtrip(Instr::Mtcrf { rs: 29 });
+        roundtrip(Instr::Mfcr { rt: 29 });
+        roundtrip(Instr::Rfi);
+        roundtrip(Instr::Sync);
+        roundtrip(Instr::Isync);
+        roundtrip(Instr::Trap);
+    }
+
+    #[test]
+    fn branch_displacement_sign_extension() {
+        let b = Instr::B { target: -4, link: false };
+        match Instr::decode(b.encode()) {
+            Instr::B { target, .. } => assert_eq!(target, -4),
+            other => panic!("{other:?}"),
+        }
+        let far = Instr::B { target: -(1 << 25), link: false };
+        match Instr::decode(far.encode()) {
+            Instr::B { target, .. } => assert_eq!(target, -(1 << 25)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn split_field_is_an_involution() {
+        for n in [0u16, 1, 8, 9, 26, 27, 0x155, 0x3FF] {
+            assert_eq!(unsplit10(split10(n)), n);
+        }
+    }
+
+    #[test]
+    fn unknown_words_decode_to_illegal() {
+        assert!(matches!(Instr::decode(0xFFFF_FFFF), Instr::Illegal(_)));
+        assert!(matches!(Instr::decode(0x0000_0000), Instr::Illegal(_)));
+        // opcode 31 with unused XO.
+        assert!(matches!(Instr::decode((31 << 26) | (1023 << 1)), Instr::Illegal(_)));
+    }
+
+    #[test]
+    fn real_powerpc_encodings_spot_check() {
+        // li r3, 1  ==  addi r3, r0, 1  ==  0x38600001
+        assert_eq!(Instr::Addi { rt: 3, ra: 0, simm: 1 }.encode(), 0x3860_0001);
+        // blr == 0x4e800020
+        assert_eq!(Instr::Blr.encode(), 0x4E80_0020);
+        // mflr r0 == mfspr r0, 8 == 0x7c0802a6
+        assert_eq!(Instr::Mfspr { rt: 0, spr: Spr::Lr }.encode(), 0x7C08_02A6);
+        // stw r31, 8(r1) == 0x93e10008
+        assert_eq!(Instr::Stw { rs: 31, ra: 1, d: 8 }.encode(), 0x93E1_0008);
+        // add r3, r4, r5 == 0x7c642a14
+        assert_eq!(Instr::Add { rt: 3, ra: 4, rb: 5 }.encode(), 0x7C64_2A14);
+    }
+}

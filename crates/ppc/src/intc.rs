@@ -1,0 +1,248 @@
+//! A small DCR-programmed interrupt controller.
+//!
+//! The Optical Flow Demonstrator's processing flow is driven by ISRs:
+//! the start, end and reconfiguration of the video engines are all
+//! signalled through interrupt lines gathered here (Figure 2 of the
+//! paper). Registers (DCR):
+//!
+//! | offset | name   | behaviour                                     |
+//! |--------|--------|-----------------------------------------------|
+//! | 0      | STATUS | pending lines (read)                          |
+//! | 1      | ENABLE | per-line enable mask (read/write)             |
+//! | 2      | ACK    | write-1-to-clear pending bits                 |
+//!
+//! A rising edge on a line latches its pending bit; `irq` is high while
+//! `STATUS & ENABLE != 0`.
+//!
+//! The `clear_race_bug` knob reproduces the static-region bug class
+//! "interrupt lost while being acknowledged" (bug.hw.4): the buggy
+//! controller clears *all* pending bits on any ACK write, losing an
+//! interrupt that arrived in the same cycle.
+
+use dcr::RegFile;
+use rtlsim::{CompKind, Component, Ctx, SignalId, Simulator};
+
+/// Register offsets within the controller's DCR block.
+pub mod reg {
+    /// Pending lines (read-only).
+    pub const STATUS: u16 = 0;
+    /// Per-line enable mask.
+    pub const ENABLE: u16 = 1;
+    /// Write-1-to-clear acknowledge.
+    pub const ACK: u16 = 2;
+}
+
+/// The interrupt controller component.
+pub struct IntController {
+    clk: SignalId,
+    rst: SignalId,
+    lines: Vec<SignalId>,
+    irq: SignalId,
+    regs: RegFile,
+    prev_levels: u32,
+    pending: u32,
+    /// Reproduces the ACK race bug when true: ACK clears every pending
+    /// bit, losing a same-cycle arrival.
+    clear_race_bug: bool,
+    /// Reproduces the "pulse instead of level" bug when true: `irq` is a
+    /// single-cycle pulse on new pending bits rather than a level held
+    /// until acknowledged — a processor busy in a multi-cycle bus stall
+    /// misses it entirely (the case study's hung-pipeline static bug
+    /// class).
+    pulse_irq_bug: bool,
+    prev_pending: u32,
+}
+
+impl IntController {
+    /// Build and register the controller. `regs` must have at least 3
+    /// registers; `lines` are the interrupt inputs (bit i = line i);
+    /// `irq` is the output wired to the processor.
+    #[allow(clippy::too_many_arguments)]
+    pub fn instantiate(
+        sim: &mut Simulator,
+        name: &str,
+        clk: SignalId,
+        rst: SignalId,
+        lines: Vec<SignalId>,
+        irq: SignalId,
+        regs: RegFile,
+        clear_race_bug: bool,
+    ) {
+        Self::instantiate_with(sim, name, clk, rst, lines, irq, regs, clear_race_bug, false)
+    }
+
+    /// As [`IntController::instantiate`], with the pulse-irq defect knob.
+    #[allow(clippy::too_many_arguments)]
+    pub fn instantiate_with(
+        sim: &mut Simulator,
+        name: &str,
+        clk: SignalId,
+        rst: SignalId,
+        lines: Vec<SignalId>,
+        irq: SignalId,
+        regs: RegFile,
+        clear_race_bug: bool,
+        pulse_irq_bug: bool,
+    ) {
+        assert!(regs.len() >= 3, "interrupt controller needs 3 DCR registers");
+        assert!(lines.len() <= 32, "at most 32 interrupt lines");
+        let mut sens = vec![clk, rst];
+        sens.extend_from_slice(&lines);
+        let intc = IntController {
+            clk,
+            rst,
+            lines,
+            irq,
+            regs,
+            prev_levels: 0,
+            pending: 0,
+            clear_race_bug,
+            pulse_irq_bug,
+            prev_pending: 0,
+        };
+        sim.add_component(name, CompKind::UserStatic, Box::new(intc), &sens);
+    }
+}
+
+impl Component for IntController {
+    fn eval(&mut self, ctx: &mut Ctx<'_>) {
+        if ctx.is_high(self.rst) {
+            self.pending = 0;
+            self.prev_levels = 0;
+            self.regs.set(reg::STATUS, 0);
+            ctx.set_bit(self.irq, false);
+            return;
+        }
+        if !ctx.rose(self.clk) {
+            return;
+        }
+        // Sample lines and latch rising edges.
+        let mut levels = 0u32;
+        for (i, &l) in self.lines.iter().enumerate() {
+            if ctx.is_high(l) {
+                levels |= 1 << i;
+            }
+        }
+        let rising = levels & !self.prev_levels;
+        self.prev_levels = levels;
+
+        // Apply software writes.
+        let mut ack_mask = 0u32;
+        for (off, v) in self.regs.take_writes() {
+            if off == reg::ACK {
+                ack_mask |= v;
+            }
+            // ENABLE writes take effect via the register file itself.
+        }
+        if ack_mask != 0 {
+            if self.clear_race_bug {
+                // BUG: clears everything, including bits latched this
+                // very cycle — an interrupt can vanish unobserved.
+                self.pending = 0;
+            } else {
+                self.pending &= !ack_mask;
+            }
+        }
+        // New arrivals win over clears in the correct design; in the
+        // buggy design they were already wiped above if ACK hit.
+        if !(self.clear_race_bug && ack_mask != 0) {
+            self.pending |= rising;
+        }
+
+        self.regs.set(reg::STATUS, self.pending);
+        let enable = self.regs.get(reg::ENABLE);
+        if self.pulse_irq_bug {
+            // BUG: only newly pending, enabled bits pulse the line for a
+            // single cycle.
+            let newly = self.pending & !self.prev_pending;
+            ctx.set_bit(self.irq, newly & enable != 0);
+        } else {
+            ctx.set_bit(self.irq, self.pending & enable != 0);
+        }
+        self.prev_pending = self.pending;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlsim::{Clock, ResetGen, Simulator};
+
+    const PERIOD: u64 = 10_000;
+
+    struct Tb {
+        sim: Simulator,
+        lines: Vec<SignalId>,
+        irq: SignalId,
+        regs: RegFile,
+    }
+
+    fn tb(buggy: bool) -> Tb {
+        let mut sim = Simulator::new();
+        let clk = sim.signal("clk", 1);
+        let rst = sim.signal("rst", 1);
+        sim.add_component("clkgen", CompKind::Vip, Box::new(Clock::new(clk, PERIOD)), &[]);
+        sim.add_component("rstgen", CompKind::Vip, Box::new(ResetGen::new(rst, 2 * PERIOD)), &[]);
+        let lines: Vec<SignalId> =
+            (0..4).map(|i| sim.signal_init(format!("l{i}"), 1, 0)).collect();
+        let irq = sim.signal("irq", 1);
+        let regs = RegFile::new(0x300, 3);
+        IntController::instantiate(&mut sim, "intc", clk, rst, lines.clone(), irq, regs.clone(), buggy);
+        Tb { sim, lines, irq, regs }
+    }
+
+    #[test]
+    fn rising_edge_latches_and_enable_gates_irq() {
+        let mut t = tb(false);
+        t.sim.run_for(5 * PERIOD).unwrap();
+        t.sim.poke_u64(t.lines[1], 1);
+        t.sim.run_for(3 * PERIOD).unwrap();
+        assert_eq!(t.regs.get(reg::STATUS), 0b10, "pending latched");
+        assert_eq!(t.sim.peek_u64(t.irq), Some(0), "masked while ENABLE=0");
+        t.regs.bus_write(0x300 + reg::ENABLE, 0b10);
+        t.sim.run_for(2 * PERIOD).unwrap();
+        assert_eq!(t.sim.peek_u64(t.irq), Some(1));
+        // Level stays high but pending persists after line drops.
+        t.sim.poke_u64(t.lines[1], 0);
+        t.sim.run_for(2 * PERIOD).unwrap();
+        assert_eq!(t.regs.get(reg::STATUS), 0b10);
+    }
+
+    #[test]
+    fn ack_clears_only_selected_bits() {
+        let mut t = tb(false);
+        t.sim.run_for(5 * PERIOD).unwrap();
+        t.sim.poke_u64(t.lines[0], 1);
+        t.sim.poke_u64(t.lines[2], 1);
+        t.sim.run_for(3 * PERIOD).unwrap();
+        assert_eq!(t.regs.get(reg::STATUS), 0b101);
+        t.regs.bus_write(0x300 + reg::ACK, 0b001);
+        t.sim.run_for(2 * PERIOD).unwrap();
+        assert_eq!(t.regs.get(reg::STATUS), 0b100);
+    }
+
+    #[test]
+    fn arrival_during_ack_survives_in_correct_design() {
+        let mut t = tb(false);
+        t.sim.run_for(5 * PERIOD).unwrap();
+        t.sim.poke_u64(t.lines[0], 1);
+        t.sim.run_for(3 * PERIOD).unwrap();
+        // Line 3 rises in the same cycle the ACK for line 0 lands.
+        t.regs.bus_write(0x300 + reg::ACK, 0b1);
+        t.sim.poke_u64(t.lines[3], 1);
+        t.sim.run_for(2 * PERIOD).unwrap();
+        assert_eq!(t.regs.get(reg::STATUS), 0b1000, "new arrival must survive");
+    }
+
+    #[test]
+    fn buggy_controller_loses_simultaneous_arrival() {
+        let mut t = tb(true);
+        t.sim.run_for(5 * PERIOD).unwrap();
+        t.sim.poke_u64(t.lines[0], 1);
+        t.sim.run_for(3 * PERIOD).unwrap();
+        t.regs.bus_write(0x300 + reg::ACK, 0b1);
+        t.sim.poke_u64(t.lines[3], 1);
+        t.sim.run_for(2 * PERIOD).unwrap();
+        assert_eq!(t.regs.get(reg::STATUS), 0, "bug.hw.4: interrupt lost");
+    }
+}

@@ -1,0 +1,292 @@
+//! The ICAP artifact: the simulation-only stand-in for the FPGA's
+//! internal configuration access port.
+//!
+//! The user design's reconfiguration controller writes SimB words to this
+//! port exactly as it would write a real bitstream to the real ICAP. The
+//! artifact models the two properties the case study's bugs hinge on:
+//!
+//! * **Backpressure** — a small input FIFO drained at the configuration
+//!   clock rate (`cfg_divider` system cycles per word). A controller
+//!   that ignores `ready` overflows the FIFO and loses words
+//!   (bug.dpr.3); a slow divider stretches the transfer so software that
+//!   does not wait for completion races ahead (bug.dpr.6b).
+//! * **Interpretation** — drained words run through the [`SimbParser`];
+//!   the resulting events drive the extended portal: error injection
+//!   during the payload, module swap at the final payload word, and the
+//!   DURING-reconfiguration window between SYNC and DESYNC.
+
+use crate::simb::{SimbEvent, SimbParser};
+use rtlsim::{CompKind, Component, Ctx, SignalId, Simulator};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// When the module swap fires relative to the FDRI payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwapTrigger {
+    /// ReSim's choice: only after the final payload word is written —
+    /// the new module is not activated "until all words of the SimB
+    /// were successfully written to the ICAP", which is what exposes
+    /// the engine-reset timing bug (paper §V-A on bug.dpr.6b).
+    LastPayloadWord,
+    /// Ablation: activate as soon as the payload begins (an optimistic
+    /// model some earlier DPR simulators effectively used).
+    FirstPayloadWord,
+}
+
+/// ICAP artifact configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct IcapConfig {
+    /// Input FIFO depth in words.
+    pub fifo_depth: usize,
+    /// System-clock cycles per configuration word drained (models the
+    /// configuration clock divider; the modified AutoVision design used
+    /// a slower configuration clock than the original).
+    pub cfg_divider: u32,
+    /// When the module swap fires (ablation knob; keep the default for
+    /// faithful ReSim behaviour).
+    pub swap_trigger: SwapTrigger,
+}
+
+impl Default for IcapConfig {
+    fn default() -> Self {
+        IcapConfig {
+            fifo_depth: 16,
+            cfg_divider: 4,
+            swap_trigger: SwapTrigger::LastPayloadWord,
+        }
+    }
+}
+
+/// Signals exposed by the ICAP artifact.
+#[derive(Debug, Clone, Copy)]
+pub struct IcapPort {
+    /// In: write data.
+    pub cdata: SignalId,
+    /// In: write strobe.
+    pub cwrite: SignalId,
+    /// In: port enable.
+    pub ce: SignalId,
+    /// Out: FIFO can accept a word this cycle.
+    pub ready: SignalId,
+    /// Out: high between SYNC and DESYNC.
+    pub reconfiguring: SignalId,
+    /// Out: high while the FDRI payload is streaming (error injection
+    /// window).
+    pub inject: SignalId,
+    /// Out: one-cycle strobe — swap the module now.
+    pub swap_strobe: SignalId,
+    /// Out: region addressed by the swap.
+    pub swap_rr: SignalId,
+    /// Out: module to activate.
+    pub swap_module: SignalId,
+    /// Out: one-cycle strobe — capture state (GCAPTURE).
+    pub capture_strobe: SignalId,
+    /// Out: one-cycle strobe — restore state (GRESTORE).
+    pub restore_strobe: SignalId,
+}
+
+impl IcapPort {
+    /// Allocate the port's signals under `prefix`.
+    pub fn alloc(sim: &mut Simulator, prefix: &str) -> IcapPort {
+        IcapPort {
+            cdata: sim.signal_init(format!("{prefix}.cdata"), 32, 0),
+            cwrite: sim.signal_init(format!("{prefix}.cwrite"), 1, 0),
+            ce: sim.signal_init(format!("{prefix}.ce"), 1, 0),
+            ready: sim.signal_init(format!("{prefix}.ready"), 1, 0),
+            reconfiguring: sim.signal_init(format!("{prefix}.reconfiguring"), 1, 0),
+            inject: sim.signal_init(format!("{prefix}.inject"), 1, 0),
+            swap_strobe: sim.signal_init(format!("{prefix}.swap_strobe"), 1, 0),
+            swap_rr: sim.signal_init(format!("{prefix}.swap_rr"), 8, 0),
+            swap_module: sim.signal_init(format!("{prefix}.swap_module"), 8, 0),
+            capture_strobe: sim.signal_init(format!("{prefix}.capture_strobe"), 1, 0),
+            restore_strobe: sim.signal_init(format!("{prefix}.restore_strobe"), 1, 0),
+        }
+    }
+}
+
+/// Counters shared with the testbench.
+#[derive(Debug, Default, Clone)]
+pub struct IcapStats {
+    /// Words accepted into the FIFO.
+    pub words_accepted: u64,
+    /// Words dropped because the FIFO was full (controller ignored
+    /// `ready`).
+    pub words_dropped: u64,
+    /// Module swaps triggered.
+    pub swaps: u64,
+    /// Malformed words flagged by the parser.
+    pub malformed: u64,
+    /// Completed reconfigurations (DESYNC seen).
+    pub desyncs: u64,
+    /// Times `ready` deasserted (backpressure actually exercised).
+    pub backpressure_events: u64,
+}
+
+/// The ICAP artifact component.
+pub struct IcapArtifact {
+    clk: SignalId,
+    rst: SignalId,
+    port: IcapPort,
+    cfg: IcapConfig,
+    fifo: VecDeque<u32>,
+    parser: SimbParser,
+    drain_count: u32,
+    last_far: (u8, u8),
+    /// A strobe output was set high last cycle and must be cleared.
+    strobe_pending: bool,
+    /// Last driven value of `ready` (avoid redundant writes on the idle
+    /// fast path — the artifact must cost nothing while no bitstream
+    /// flows).
+    ready_driven: Option<bool>,
+    stats: Rc<RefCell<IcapStats>>,
+}
+
+impl IcapArtifact {
+    /// Build and register the artifact; returns (port, stats).
+    pub fn instantiate(
+        sim: &mut Simulator,
+        name: &str,
+        clk: SignalId,
+        rst: SignalId,
+        cfg: IcapConfig,
+    ) -> (IcapPort, Rc<RefCell<IcapStats>>) {
+        assert!(cfg.fifo_depth >= 4 && cfg.cfg_divider >= 1);
+        let port = IcapPort::alloc(sim, name);
+        let stats = Rc::new(RefCell::new(IcapStats::default()));
+        let icap = IcapArtifact {
+            clk,
+            rst,
+            port,
+            cfg,
+            fifo: VecDeque::with_capacity(cfg.fifo_depth),
+            parser: SimbParser::new(),
+            drain_count: 0,
+            last_far: (0, 0),
+            strobe_pending: false,
+            ready_driven: None,
+            stats: stats.clone(),
+        };
+        sim.add_component(name, CompKind::Artifact, Box::new(icap), &[clk, rst]);
+        (port, stats)
+    }
+}
+
+impl Component for IcapArtifact {
+    fn eval(&mut self, ctx: &mut Ctx<'_>) {
+        let p = self.port;
+        if ctx.is_high(self.rst) {
+            self.fifo.clear();
+            self.parser = SimbParser::new();
+            self.drain_count = 0;
+            self.strobe_pending = false;
+            self.ready_driven = Some(true);
+            ctx.set_bit(p.ready, true);
+            ctx.set_bit(p.reconfiguring, false);
+            ctx.set_bit(p.inject, false);
+            ctx.set_bit(p.swap_strobe, false);
+            ctx.set_bit(p.capture_strobe, false);
+            ctx.set_bit(p.restore_strobe, false);
+            return;
+        }
+        if !ctx.rose(self.clk) {
+            return;
+        }
+        // Fast idle path: no traffic, nothing buffered, nothing to clear
+        // — the artifact costs (almost) nothing while no bitstream flows.
+        let active = ctx.is_high(p.ce) || !self.fifo.is_empty() || self.strobe_pending;
+        if !active {
+            return;
+        }
+        // Strobes are single-cycle.
+        if self.strobe_pending {
+            self.strobe_pending = false;
+            ctx.set_bit(p.swap_strobe, false);
+            ctx.set_bit(p.capture_strobe, false);
+            ctx.set_bit(p.restore_strobe, false);
+        }
+
+        // Accept a word if the controller writes.
+        if ctx.is_high(p.ce) && ctx.is_high(p.cwrite) {
+            let word = ctx.get(p.cdata);
+            if self.fifo.len() < self.cfg.fifo_depth {
+                match word.to_u64() {
+                    Some(w) => {
+                        self.fifo.push_back(w as u32);
+                        self.stats.borrow_mut().words_accepted += 1;
+                    }
+                    None => {
+                        ctx.error("X written to the ICAP data port");
+                    }
+                }
+            } else {
+                self.stats.borrow_mut().words_dropped += 1;
+                ctx.error("ICAP FIFO overflow: configuration word dropped");
+            }
+        }
+
+        // Drain at the configuration clock rate.
+        self.drain_count += 1;
+        if self.drain_count >= self.cfg.cfg_divider {
+            self.drain_count = 0;
+            if let Some(w) = self.fifo.pop_front() {
+                for ev in self.parser.push(w) {
+                    match ev {
+                        SimbEvent::Sync => ctx.set_bit(p.reconfiguring, true),
+                        SimbEvent::Far { rr, module } => {
+                            self.last_far = (rr, module);
+                            ctx.set_u64(p.swap_rr, rr as u64);
+                            ctx.set_u64(p.swap_module, module as u64);
+                        }
+                        SimbEvent::Wcfg => {}
+                        SimbEvent::PayloadStart { .. } => {
+                            ctx.set_bit(p.inject, true);
+                            if self.cfg.swap_trigger == SwapTrigger::FirstPayloadWord {
+                                ctx.set_bit(p.swap_strobe, true);
+                                self.strobe_pending = true;
+                                self.stats.borrow_mut().swaps += 1;
+                            }
+                        }
+                        SimbEvent::PayloadEnd => {
+                            ctx.set_bit(p.inject, false);
+                            if self.cfg.swap_trigger == SwapTrigger::LastPayloadWord {
+                                ctx.set_bit(p.swap_strobe, true);
+                                self.strobe_pending = true;
+                                self.stats.borrow_mut().swaps += 1;
+                            }
+                        }
+                        SimbEvent::Capture => {
+                            ctx.set_bit(p.capture_strobe, true);
+                            self.strobe_pending = true;
+                        }
+                        SimbEvent::Restore => {
+                            ctx.set_bit(p.restore_strobe, true);
+                            self.strobe_pending = true;
+                        }
+                        SimbEvent::Desync => {
+                            ctx.set_bit(p.reconfiguring, false);
+                            self.stats.borrow_mut().desyncs += 1;
+                        }
+                        SimbEvent::Malformed { word } => {
+                            self.stats.borrow_mut().malformed += 1;
+                            ctx.error(format!("malformed SimB word {word:#010x}"));
+                        }
+                    }
+                }
+            }
+        }
+        // Ready must account for the two-cycle observation skew of the
+        // registered handshake: after `ready` drops, a well-behaved
+        // controller can still land two more words, so reserve two
+        // slots. (A controller that ignores `ready` altogether —
+        // bug.dpr.3 — still overflows and is flagged above.)
+        let ready = self.fifo.len() + 2 < self.cfg.fifo_depth;
+        if self.ready_driven != Some(ready) {
+            self.ready_driven = Some(ready);
+            ctx.set_bit(p.ready, ready);
+            if !ready {
+                self.stats.borrow_mut().backpressure_events += 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Free-running clock and reset generators.
+
+use crate::component::{Component, Ctx};
+use crate::lv::Lv;
+use crate::SignalId;
+
+/// A free-running clock driver.
+///
+/// The clock starts low at `t=0` and rises at `period/2`, giving
+/// downstream logic a clean first posedge. Use one `Clock` per clock
+/// domain; the AutoVision DUT has a system clock and a (slower)
+/// configuration clock, whose ratio is exactly what bug.dpr.6b is about.
+pub struct Clock {
+    out: SignalId,
+    half_period_ps: u64,
+    level: bool,
+    started: bool,
+}
+
+impl Clock {
+    /// Create a clock with the given full period in picoseconds.
+    /// Panics if the period is not a positive even number.
+    pub fn new(out: SignalId, period_ps: u64) -> Clock {
+        assert!(period_ps >= 2 && period_ps.is_multiple_of(2), "clock period must be even and >= 2 ps");
+        Clock {
+            out,
+            half_period_ps: period_ps / 2,
+            level: false,
+            started: false,
+        }
+    }
+}
+
+impl Component for Clock {
+    fn eval(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.started {
+            self.started = true;
+            ctx.set(self.out, Lv::bit(false));
+        } else {
+            self.level = !self.level;
+            ctx.set(self.out, Lv::bit(self.level));
+        }
+        let delay = self.half_period_ps;
+        ctx.wake_after(delay);
+    }
+}
+
+/// An active-high reset generator: asserts reset from `t=0` for a fixed
+/// number of picoseconds, then deasserts forever.
+pub struct ResetGen {
+    out: SignalId,
+    duration_ps: u64,
+    fired: bool,
+}
+
+impl ResetGen {
+    /// Reset stays asserted for `duration_ps` picoseconds.
+    pub fn new(out: SignalId, duration_ps: u64) -> ResetGen {
+        ResetGen {
+            out,
+            duration_ps,
+            fired: false,
+        }
+    }
+}
+
+impl Component for ResetGen {
+    fn eval(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.fired {
+            self.fired = true;
+            ctx.set(self.out, Lv::bit(true));
+            let d = self.duration_ps;
+            ctx.wake_after(d);
+        } else {
+            ctx.set(self.out, Lv::bit(false));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::CompKind;
+    use crate::sim::Simulator;
+
+    #[test]
+    fn clock_toggles_at_half_period() {
+        let mut sim = Simulator::new();
+        let clk = sim.signal("clk", 1);
+        sim.add_component("clkgen", CompKind::Vip, Box::new(Clock::new(clk, 10_000)), &[]);
+        sim.run_until(4_999).unwrap();
+        assert_eq!(sim.peek_u64(clk), Some(0));
+        sim.run_until(5_000).unwrap();
+        assert_eq!(sim.peek_u64(clk), Some(1));
+        sim.run_until(10_000).unwrap();
+        assert_eq!(sim.peek_u64(clk), Some(0));
+        sim.run_until(100_000).unwrap();
+        // One X->0 initialisation change, then edges at 5 ns intervals.
+        assert_eq!(sim.toggle_count(clk), 1 + 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be even")]
+    fn odd_period_rejected() {
+        let mut sim = Simulator::new();
+        let clk = sim.signal("clk", 1);
+        let _ = Clock::new(clk, 7);
+    }
+
+    #[test]
+    fn reset_pulse_shape() {
+        let mut sim = Simulator::new();
+        let rst = sim.signal("rst", 1);
+        sim.add_component("rstgen", CompKind::Vip, Box::new(ResetGen::new(rst, 25_000)), &[]);
+        sim.settle().unwrap();
+        assert_eq!(sim.peek_u64(rst), Some(1));
+        sim.run_until(24_999).unwrap();
+        assert_eq!(sim.peek_u64(rst), Some(1));
+        sim.run_until(25_000).unwrap();
+        assert_eq!(sim.peek_u64(rst), Some(0));
+        sim.run_until(1_000_000).unwrap();
+        assert_eq!(sim.peek_u64(rst), Some(0));
+        assert_eq!(sim.toggle_count(rst), 2);
+    }
+
+    #[test]
+    fn two_clock_domains_stay_phase_locked() {
+        let mut sim = Simulator::new();
+        let fast = sim.signal("fast", 1);
+        let slow = sim.signal("slow", 1);
+        sim.add_component("f", CompKind::Vip, Box::new(Clock::new(fast, 10_000)), &[]);
+        sim.add_component("s", CompKind::Vip, Box::new(Clock::new(slow, 40_000)), &[]);
+        sim.run_until(400_000).unwrap();
+        // Discount the initial X->0 change on each clock.
+        assert_eq!(
+            sim.toggle_count(fast) - 1,
+            4 * (sim.toggle_count(slow) - 1)
+        );
+    }
+}

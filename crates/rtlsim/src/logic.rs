@@ -1,0 +1,264 @@
+//! Scalar four-value logic, modelled on the IEEE 1164 / Verilog value set.
+//!
+//! A [`Logic`] value is one of `0`, `1`, `X` (unknown) or `Z` (high
+//! impedance). The kernel uses `X` to model the spurious outputs of a
+//! region undergoing partial reconfiguration, exactly as the ReSim error
+//! injector does, so faithful X-propagation through gates and buses is a
+//! first-class requirement rather than an afterthought.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+/// A single four-value logic level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Logic {
+    /// Driven low.
+    #[default]
+    Zero,
+    /// Driven high.
+    One,
+    /// Unknown / conflicting value.
+    X,
+    /// Undriven (high impedance).
+    Z,
+}
+
+impl Logic {
+    /// All four values, in ascending "strength of knowledge" order.
+    pub const ALL: [Logic; 4] = [Logic::Zero, Logic::One, Logic::X, Logic::Z];
+
+    /// True if the value is `0` or `1` (i.e. two-valued).
+    #[inline]
+    pub fn is_known(self) -> bool {
+        matches!(self, Logic::Zero | Logic::One)
+    }
+
+    /// True if the value is `X` or `Z`.
+    #[inline]
+    pub fn is_unknown(self) -> bool {
+        !self.is_known()
+    }
+
+    /// Convert to `bool`, returning `None` for `X`/`Z`.
+    #[inline]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Logic::Zero => Some(false),
+            Logic::One => Some(true),
+            _ => None,
+        }
+    }
+
+    /// Build from a `bool`.
+    #[inline]
+    pub fn from_bool(b: bool) -> Logic {
+        if b {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+
+    /// The character used in waveform/VCD output (`0`, `1`, `x`, `z`).
+    #[inline]
+    pub fn to_char(self) -> char {
+        match self {
+            Logic::Zero => '0',
+            Logic::One => '1',
+            Logic::X => 'x',
+            Logic::Z => 'z',
+        }
+    }
+
+    /// Parse a logic character (case-insensitive for `x`/`z`).
+    pub fn from_char(c: char) -> Option<Logic> {
+        match c {
+            '0' => Some(Logic::Zero),
+            '1' => Some(Logic::One),
+            'x' | 'X' => Some(Logic::X),
+            'z' | 'Z' => Some(Logic::Z),
+            _ => None,
+        }
+    }
+
+    /// Bus resolution of two drivers on the same net, per the classic
+    /// `std_logic` resolution table restricted to the 4-value subset:
+    /// `Z` yields to anything, equal drivers agree, and conflicting
+    /// strong drivers resolve to `X`.
+    #[inline]
+    pub fn resolve(self, other: Logic) -> Logic {
+        use Logic::*;
+        match (self, other) {
+            (Z, v) | (v, Z) => v,
+            (a, b) if a == b => a,
+            _ => X,
+        }
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+impl From<bool> for Logic {
+    fn from(b: bool) -> Self {
+        Logic::from_bool(b)
+    }
+}
+
+/// Verilog `&` semantics: `0` dominates `X`/`Z`.
+impl BitAnd for Logic {
+    type Output = Logic;
+    #[inline]
+    fn bitand(self, rhs: Logic) -> Logic {
+        use Logic::*;
+        match (self, rhs) {
+            (Zero, _) | (_, Zero) => Zero,
+            (One, One) => One,
+            _ => X,
+        }
+    }
+}
+
+/// Verilog `|` semantics: `1` dominates `X`/`Z`.
+impl BitOr for Logic {
+    type Output = Logic;
+    #[inline]
+    fn bitor(self, rhs: Logic) -> Logic {
+        use Logic::*;
+        match (self, rhs) {
+            (One, _) | (_, One) => One,
+            (Zero, Zero) => Zero,
+            _ => X,
+        }
+    }
+}
+
+/// Verilog `^` semantics: any unknown operand poisons the result.
+impl BitXor for Logic {
+    type Output = Logic;
+    #[inline]
+    fn bitxor(self, rhs: Logic) -> Logic {
+        match (self.to_bool(), rhs.to_bool()) {
+            (Some(a), Some(b)) => Logic::from_bool(a ^ b),
+            _ => Logic::X,
+        }
+    }
+}
+
+/// Verilog `~` semantics: `X`/`Z` invert to `X`.
+impl Not for Logic {
+    type Output = Logic;
+    #[inline]
+    fn not(self) -> Logic {
+        match self {
+            Logic::Zero => Logic::One,
+            Logic::One => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Logic::*;
+
+    #[test]
+    fn known_and_unknown_partition_the_value_set() {
+        assert!(Zero.is_known());
+        assert!(One.is_known());
+        assert!(X.is_unknown());
+        assert!(Z.is_unknown());
+        for v in Logic::ALL {
+            assert_ne!(v.is_known(), v.is_unknown());
+        }
+    }
+
+    #[test]
+    fn bool_round_trip() {
+        assert_eq!(Logic::from_bool(true).to_bool(), Some(true));
+        assert_eq!(Logic::from_bool(false).to_bool(), Some(false));
+        assert_eq!(X.to_bool(), None);
+        assert_eq!(Z.to_bool(), None);
+    }
+
+    #[test]
+    fn char_round_trip_for_all_values() {
+        for v in Logic::ALL {
+            assert_eq!(Logic::from_char(v.to_char()), Some(v));
+        }
+        assert_eq!(Logic::from_char('q'), None);
+        assert_eq!(Logic::from_char('X'), Some(X));
+        assert_eq!(Logic::from_char('Z'), Some(Z));
+    }
+
+    #[test]
+    fn and_truth_table() {
+        assert_eq!(Zero & Zero, Zero);
+        assert_eq!(Zero & One, Zero);
+        assert_eq!(One & One, One);
+        // 0 dominates unknowns.
+        assert_eq!(Zero & X, Zero);
+        assert_eq!(Zero & Z, Zero);
+        // 1 & unknown is unknown.
+        assert_eq!(One & X, X);
+        assert_eq!(One & Z, X);
+        assert_eq!(X & Z, X);
+    }
+
+    #[test]
+    fn or_truth_table() {
+        assert_eq!(Zero | Zero, Zero);
+        assert_eq!(Zero | One, One);
+        assert_eq!(One | One, One);
+        // 1 dominates unknowns.
+        assert_eq!(One | X, One);
+        assert_eq!(One | Z, One);
+        // 0 | unknown is unknown.
+        assert_eq!(Zero | X, X);
+        assert_eq!(Zero | Z, X);
+    }
+
+    #[test]
+    fn xor_poisons_on_unknown() {
+        assert_eq!(Zero ^ One, One);
+        assert_eq!(One ^ One, Zero);
+        assert_eq!(One ^ X, X);
+        assert_eq!(Z ^ Zero, X);
+    }
+
+    #[test]
+    fn not_truth_table() {
+        assert_eq!(!Zero, One);
+        assert_eq!(!One, Zero);
+        assert_eq!(!X, X);
+        assert_eq!(!Z, X);
+    }
+
+    #[test]
+    fn resolution_is_commutative_and_z_yields() {
+        for a in Logic::ALL {
+            for b in Logic::ALL {
+                assert_eq!(a.resolve(b), b.resolve(a));
+            }
+            assert_eq!(Z.resolve(a), a);
+            assert_eq!(a.resolve(a), a);
+        }
+        assert_eq!(Zero.resolve(One), X);
+        assert_eq!(One.resolve(X), X);
+    }
+
+    #[test]
+    fn and_or_are_commutative() {
+        for a in Logic::ALL {
+            for b in Logic::ALL {
+                assert_eq!(a & b, b & a);
+                assert_eq!(a | b, b | a);
+                assert_eq!(a ^ b, b ^ a);
+            }
+        }
+    }
+}

@@ -1,0 +1,607 @@
+//! Packed four-value logic vectors of up to 64 bits.
+//!
+//! [`Lv`] is the value type carried by every kernel signal. It uses the
+//! classic two-plane Verilog encoding: for each bit, plane `val` holds the
+//! data bit and plane `xz` marks the bit as unknown. `(xz=0, val=0)` is `0`,
+//! `(xz=0, val=1)` is `1`, `(xz=1, val=0)` is `X` and `(xz=1, val=1)` is
+//! `Z`. The type is `Copy` and allocation-free so signal updates stay cheap
+//! in the simulation hot loop.
+//!
+//! Semantics follow the Verilog LRM: bitwise operators propagate unknowns
+//! per-bit with `0`/`1` dominance, while arithmetic and ordered comparisons
+//! poison the entire result if any operand bit is unknown.
+
+use crate::logic::Logic;
+use std::fmt;
+use std::ops::{Add, BitAnd, BitOr, BitXor, Not, Shl, Shr, Sub};
+
+/// A four-value logic vector, 1 to 64 bits wide.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Lv {
+    width: u8,
+    val: u64,
+    xz: u64,
+}
+
+#[inline]
+fn width_mask(width: u8) -> u64 {
+    debug_assert!((1..=64).contains(&width));
+    if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+impl Lv {
+    /// Maximum supported width in bits.
+    pub const MAX_WIDTH: u8 = 64;
+
+    /// Construct from raw planes; bits above `width` are cleared.
+    ///
+    /// Panics if `width` is 0 or exceeds [`Lv::MAX_WIDTH`].
+    #[inline]
+    pub fn from_planes(width: u8, val: u64, xz: u64) -> Lv {
+        assert!(
+            (1..=Self::MAX_WIDTH).contains(&width),
+            "Lv width must be 1..=64, got {width}"
+        );
+        let m = width_mask(width);
+        Lv {
+            width,
+            val: val & m,
+            xz: xz & m,
+        }
+    }
+
+    /// An all-zero vector of the given width.
+    #[inline]
+    pub fn zeros(width: u8) -> Lv {
+        Lv::from_planes(width, 0, 0)
+    }
+
+    /// An all-one vector of the given width.
+    #[inline]
+    pub fn ones(width: u8) -> Lv {
+        Lv::from_planes(width, u64::MAX, 0)
+    }
+
+    /// An all-`X` vector of the given width — the value the ReSim error
+    /// injector drives onto outputs of a region undergoing reconfiguration.
+    #[inline]
+    pub fn xes(width: u8) -> Lv {
+        Lv::from_planes(width, 0, u64::MAX)
+    }
+
+    /// An all-`Z` (undriven) vector of the given width.
+    #[inline]
+    pub fn zs(width: u8) -> Lv {
+        Lv::from_planes(width, u64::MAX, u64::MAX)
+    }
+
+    /// A fully known vector holding `value` (truncated to `width` bits).
+    #[inline]
+    pub fn from_u64(width: u8, value: u64) -> Lv {
+        Lv::from_planes(width, value, 0)
+    }
+
+    /// A 1-bit vector from a single [`Logic`] value.
+    #[inline]
+    pub fn from_logic(l: Logic) -> Lv {
+        let (val, xz) = match l {
+            Logic::Zero => (0, 0),
+            Logic::One => (1, 0),
+            Logic::X => (0, 1),
+            Logic::Z => (1, 1),
+        };
+        Lv { width: 1, val, xz }
+    }
+
+    /// A 1-bit vector from a `bool`.
+    #[inline]
+    pub fn bit(b: bool) -> Lv {
+        Lv::from_logic(Logic::from_bool(b))
+    }
+
+    /// Parse from a bit-character string, MSB first, e.g. `"10xz"`.
+    /// Underscores are ignored. Returns `None` on invalid characters,
+    /// empty input, or overlong input.
+    pub fn parse_bits(s: &str) -> Option<Lv> {
+        let mut val = 0u64;
+        let mut xz = 0u64;
+        let mut width = 0u32;
+        for c in s.chars() {
+            if c == '_' {
+                continue;
+            }
+            let l = Logic::from_char(c)?;
+            if width == 64 {
+                return None;
+            }
+            val <<= 1;
+            xz <<= 1;
+            match l {
+                Logic::Zero => {}
+                Logic::One => val |= 1,
+                Logic::X => xz |= 1,
+                Logic::Z => {
+                    val |= 1;
+                    xz |= 1;
+                }
+            }
+            width += 1;
+        }
+        if width == 0 {
+            return None;
+        }
+        Some(Lv::from_planes(width as u8, val, xz))
+    }
+
+    /// Width in bits.
+    #[inline]
+    pub fn width(&self) -> u8 {
+        self.width
+    }
+
+    /// Raw value plane.
+    #[inline]
+    pub fn val_plane(&self) -> u64 {
+        self.val
+    }
+
+    /// Raw unknown plane (`1` bits are `X` or `Z`).
+    #[inline]
+    pub fn xz_plane(&self) -> u64 {
+        self.xz
+    }
+
+    /// True if every bit is `0` or `1`.
+    #[inline]
+    pub fn is_known(&self) -> bool {
+        self.xz == 0
+    }
+
+    /// True if any bit is `X` or `Z`.
+    #[inline]
+    pub fn has_unknown(&self) -> bool {
+        self.xz != 0
+    }
+
+    /// The numeric value, or `None` if any bit is unknown.
+    #[inline]
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.xz == 0 {
+            Some(self.val)
+        } else {
+            None
+        }
+    }
+
+    /// The numeric value with unknown bits coerced to `0` (Verilog
+    /// `$unsigned` in a 2-state context). Prefer [`Lv::to_u64`] in checkers.
+    #[inline]
+    pub fn to_u64_lossy(&self) -> u64 {
+        self.val & !self.xz
+    }
+
+    /// Get bit `i` (LSB = 0). Panics if out of range.
+    #[inline]
+    pub fn get(&self, i: u8) -> Logic {
+        assert!(i < self.width, "bit {i} out of range for width {}", self.width);
+        let v = (self.val >> i) & 1;
+        let u = (self.xz >> i) & 1;
+        match (u, v) {
+            (0, 0) => Logic::Zero,
+            (0, 1) => Logic::One,
+            (1, 0) => Logic::X,
+            _ => Logic::Z,
+        }
+    }
+
+    /// Return a copy with bit `i` set to `l`. Panics if out of range.
+    #[inline]
+    pub fn with_bit(&self, i: u8, l: Logic) -> Lv {
+        assert!(i < self.width, "bit {i} out of range for width {}", self.width);
+        let (v, u) = match l {
+            Logic::Zero => (0u64, 0u64),
+            Logic::One => (1, 0),
+            Logic::X => (0, 1),
+            Logic::Z => (1, 1),
+        };
+        let m = 1u64 << i;
+        Lv {
+            width: self.width,
+            val: (self.val & !m) | (v << i),
+            xz: (self.xz & !m) | (u << i),
+        }
+    }
+
+    /// Extract bits `hi..=lo` as a new vector. Panics on bad range.
+    #[inline]
+    pub fn slice(&self, hi: u8, lo: u8) -> Lv {
+        assert!(hi >= lo && hi < self.width, "bad slice [{hi}:{lo}] of width {}", self.width);
+        let w = hi - lo + 1;
+        Lv::from_planes(w, self.val >> lo, self.xz >> lo)
+    }
+
+    /// Concatenate `{self, low}` (self becomes the high bits).
+    /// Panics if the combined width exceeds 64.
+    #[inline]
+    pub fn concat(&self, low: Lv) -> Lv {
+        let w = self.width as u16 + low.width as u16;
+        assert!(w <= 64, "concat width {w} exceeds 64");
+        Lv::from_planes(
+            w as u8,
+            (self.val << low.width) | low.val,
+            (self.xz << low.width) | low.xz,
+        )
+    }
+
+    /// Zero-extend or truncate to a new width.
+    #[inline]
+    pub fn resize(&self, width: u8) -> Lv {
+        Lv::from_planes(width, self.val, self.xz)
+    }
+
+    /// Case equality (`===`): exact match including `X`/`Z` positions.
+    #[inline]
+    pub fn eq_case(&self, other: &Lv) -> bool {
+        self.width == other.width && self.val == other.val && self.xz == other.xz
+    }
+
+    /// Logical equality (`==`): `X` if either operand has unknown bits,
+    /// otherwise the boolean comparison. Widths are zero-extended.
+    #[inline]
+    pub fn eq_logic(&self, other: &Lv) -> Logic {
+        if self.has_unknown() || other.has_unknown() {
+            Logic::X
+        } else {
+            Logic::from_bool(self.val == other.val)
+        }
+    }
+
+    /// OR-reduction of all bits.
+    pub fn reduce_or(&self) -> Logic {
+        if self.val & !self.xz != 0 {
+            Logic::One // at least one driven 1 dominates
+        } else if self.xz != 0 {
+            Logic::X
+        } else {
+            Logic::Zero
+        }
+    }
+
+    /// AND-reduction of all bits.
+    pub fn reduce_and(&self) -> Logic {
+        let m = width_mask(self.width);
+        if !self.val & !self.xz & m != 0 {
+            Logic::Zero // at least one driven 0 dominates
+        } else if self.xz != 0 {
+            Logic::X
+        } else {
+            Logic::One
+        }
+    }
+
+    /// XOR-reduction of all bits (parity); `X` if any bit unknown.
+    pub fn reduce_xor(&self) -> Logic {
+        if self.xz != 0 {
+            Logic::X
+        } else {
+            Logic::from_bool(self.val.count_ones() % 2 == 1)
+        }
+    }
+
+    /// Truthiness as in `if (expr)`: `One` if any bit is a driven 1.
+    #[inline]
+    pub fn truthy(&self) -> bool {
+        self.reduce_or() == Logic::One
+    }
+
+    /// Per-net resolution of two drivers of equal width (wired bus).
+    /// Panics on width mismatch.
+    pub fn resolve(&self, other: &Lv) -> Lv {
+        assert_eq!(self.width, other.width, "resolve width mismatch");
+        let mut out = *self;
+        for i in 0..self.width {
+            out = out.with_bit(i, self.get(i).resolve(other.get(i)));
+        }
+        out
+    }
+
+    /// Addition with carry-out discarded; all-`X` if any operand unknown.
+    #[inline]
+    fn arith(self, rhs: Lv, f: impl FnOnce(u64, u64) -> u64) -> Lv {
+        let w = self.width.max(rhs.width);
+        if self.has_unknown() || rhs.has_unknown() {
+            Lv::xes(w)
+        } else {
+            Lv::from_u64(w, f(self.val, rhs.val))
+        }
+    }
+
+    /// Unsigned less-than; `X` if any operand bit is unknown.
+    #[inline]
+    pub fn lt(&self, other: &Lv) -> Logic {
+        match (self.to_u64(), other.to_u64()) {
+            (Some(a), Some(b)) => Logic::from_bool(a < b),
+            _ => Logic::X,
+        }
+    }
+
+    /// Count of driven-1 bits (unknown bits excluded).
+    #[inline]
+    pub fn count_ones(&self) -> u32 {
+        (self.val & !self.xz).count_ones()
+    }
+}
+
+impl BitAnd for Lv {
+    type Output = Lv;
+    /// Per-bit Verilog AND: `0` dominates unknowns.
+    fn bitand(self, rhs: Lv) -> Lv {
+        let w = self.width.max(rhs.width);
+        let (a, ax) = (self.val, self.xz);
+        let (b, bx) = (rhs.val, rhs.xz);
+        // A bit is known-0 when (xz=0, val=0).
+        let a0 = !a & !ax;
+        let b0 = !b & !bx;
+        let zero = a0 | b0; // result 0 wherever either operand is known 0
+        let one = (a & !ax) & (b & !bx); // both known 1
+        let x = !(zero | one);
+        Lv::from_planes(w, one, x)
+    }
+}
+
+impl BitOr for Lv {
+    type Output = Lv;
+    /// Per-bit Verilog OR: `1` dominates unknowns.
+    fn bitor(self, rhs: Lv) -> Lv {
+        let w = self.width.max(rhs.width);
+        let one = (self.val & !self.xz) | (rhs.val & !rhs.xz);
+        let zero = (!self.val & !self.xz) & (!rhs.val & !rhs.xz);
+        let x = !(zero | one);
+        Lv::from_planes(w, one, x)
+    }
+}
+
+impl BitXor for Lv {
+    type Output = Lv;
+    /// Per-bit Verilog XOR: any unknown bit poisons that bit.
+    fn bitxor(self, rhs: Lv) -> Lv {
+        let w = self.width.max(rhs.width);
+        let x = self.xz | rhs.xz;
+        Lv::from_planes(w, (self.val ^ rhs.val) & !x, x)
+    }
+}
+
+impl Not for Lv {
+    type Output = Lv;
+    /// Per-bit Verilog NOT: `X`/`Z` become `X`.
+    fn not(self) -> Lv {
+        Lv::from_planes(self.width, !self.val & !self.xz, self.xz)
+    }
+}
+
+impl Add for Lv {
+    type Output = Lv;
+    fn add(self, rhs: Lv) -> Lv {
+        self.arith(rhs, |a, b| a.wrapping_add(b))
+    }
+}
+
+impl Sub for Lv {
+    type Output = Lv;
+    fn sub(self, rhs: Lv) -> Lv {
+        self.arith(rhs, |a, b| a.wrapping_sub(b))
+    }
+}
+
+impl Shl<u8> for Lv {
+    type Output = Lv;
+    fn shl(self, s: u8) -> Lv {
+        if s >= self.width {
+            return Lv::zeros(self.width);
+        }
+        Lv::from_planes(self.width, self.val << s, self.xz << s)
+    }
+}
+
+impl Shr<u8> for Lv {
+    type Output = Lv;
+    fn shr(self, s: u8) -> Lv {
+        if s >= self.width {
+            return Lv::zeros(self.width);
+        }
+        Lv::from_planes(self.width, self.val >> s, self.xz >> s)
+    }
+}
+
+impl fmt::Debug for Lv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'b", self.width)?;
+        for i in (0..self.width).rev() {
+            write!(f, "{}", self.get(i).to_char())?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Lv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(v) = self.to_u64() {
+            write!(f, "{}'h{:x}", self.width, v)
+        } else {
+            fmt::Debug::fmt(self, f)
+        }
+    }
+}
+
+impl From<Logic> for Lv {
+    fn from(l: Logic) -> Lv {
+        Lv::from_logic(l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_masks_excess_bits() {
+        let v = Lv::from_planes(4, 0xFF, 0xF0);
+        assert_eq!(v.val_plane(), 0xF);
+        assert_eq!(v.xz_plane(), 0x0);
+        assert_eq!(v.to_u64(), Some(0xF));
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be 1..=64")]
+    fn zero_width_panics() {
+        let _ = Lv::zeros(0);
+    }
+
+    #[test]
+    fn parse_and_debug_round_trip() {
+        let v = Lv::parse_bits("10xz").unwrap();
+        assert_eq!(format!("{v:?}"), "4'b10xz");
+        assert_eq!(v.get(3), Logic::One);
+        assert_eq!(v.get(2), Logic::Zero);
+        assert_eq!(v.get(1), Logic::X);
+        assert_eq!(v.get(0), Logic::Z);
+        assert!(Lv::parse_bits("").is_none());
+        assert!(Lv::parse_bits("2").is_none());
+        assert_eq!(Lv::parse_bits("1_0").unwrap().to_u64(), Some(2));
+    }
+
+    #[test]
+    fn display_prefers_hex_when_known() {
+        assert_eq!(format!("{}", Lv::from_u64(8, 0xAB)), "8'hab");
+        assert_eq!(format!("{}", Lv::xes(2)), "2'bxx");
+    }
+
+    #[test]
+    fn slice_and_concat() {
+        let v = Lv::from_u64(16, 0xBEEF);
+        assert_eq!(v.slice(15, 8).to_u64(), Some(0xBE));
+        assert_eq!(v.slice(7, 0).to_u64(), Some(0xEF));
+        let c = v.slice(15, 8).concat(v.slice(7, 0));
+        assert!(c.eq_case(&v));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad slice")]
+    fn bad_slice_panics() {
+        Lv::from_u64(8, 0).slice(8, 0);
+    }
+
+    #[test]
+    fn and_dominance_with_x() {
+        let a = Lv::parse_bits("01x").unwrap();
+        let x = Lv::xes(3);
+        // 0&x=0, 1&x=x, x&x=x
+        assert_eq!(format!("{:?}", a & x), "3'b0xx");
+    }
+
+    #[test]
+    fn or_dominance_with_x() {
+        let a = Lv::parse_bits("01x").unwrap();
+        let x = Lv::xes(3);
+        // 0|x=x, 1|x=1, x|x=x
+        assert_eq!(format!("{:?}", a | x), "3'bx1x");
+    }
+
+    #[test]
+    fn xor_and_not_poison() {
+        let a = Lv::parse_bits("01x").unwrap();
+        assert_eq!(format!("{:?}", a ^ Lv::ones(3)), "3'b10x");
+        assert_eq!(format!("{:?}", !a), "3'b10x");
+        // Z inverts to X.
+        assert_eq!(format!("{:?}", !Lv::zs(2)), "2'bxx");
+    }
+
+    #[test]
+    fn arithmetic_poisons_entirely() {
+        let a = Lv::from_u64(8, 10);
+        let b = Lv::from_u64(8, 20);
+        assert_eq!((a + b).to_u64(), Some(30));
+        assert_eq!((b - a).to_u64(), Some(10));
+        let poisoned = a + Lv::parse_bits("0000000x").unwrap();
+        assert!(poisoned.eq_case(&Lv::xes(8)));
+    }
+
+    #[test]
+    fn add_wraps_at_width() {
+        let a = Lv::from_u64(8, 0xFF);
+        assert_eq!((a + Lv::from_u64(8, 1)).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn shifts() {
+        let a = Lv::from_u64(8, 0b1001);
+        assert_eq!((a << 2).to_u64(), Some(0b100100));
+        assert_eq!((a >> 3).to_u64(), Some(1));
+        assert_eq!((a << 8).to_u64(), Some(0));
+        assert_eq!((a >> 9).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn reductions() {
+        assert_eq!(Lv::from_u64(4, 0).reduce_or(), Logic::Zero);
+        assert_eq!(Lv::from_u64(4, 2).reduce_or(), Logic::One);
+        assert_eq!(Lv::parse_bits("x0").unwrap().reduce_or(), Logic::X);
+        assert_eq!(Lv::parse_bits("x1").unwrap().reduce_or(), Logic::One);
+
+        assert_eq!(Lv::ones(4).reduce_and(), Logic::One);
+        assert_eq!(Lv::parse_bits("x0").unwrap().reduce_and(), Logic::Zero);
+        assert_eq!(Lv::parse_bits("x1").unwrap().reduce_and(), Logic::X);
+
+        assert_eq!(Lv::from_u64(4, 0b0111).reduce_xor(), Logic::One);
+        assert_eq!(Lv::parse_bits("1x").unwrap().reduce_xor(), Logic::X);
+    }
+
+    #[test]
+    fn equality_flavours() {
+        let a = Lv::parse_bits("1x").unwrap();
+        let b = Lv::parse_bits("1x").unwrap();
+        assert!(a.eq_case(&b));
+        assert_eq!(a.eq_logic(&b), Logic::X);
+        let c = Lv::from_u64(2, 2);
+        let d = Lv::from_u64(2, 2);
+        assert_eq!(c.eq_logic(&d), Logic::One);
+        assert_eq!(c.eq_logic(&Lv::from_u64(2, 3)), Logic::Zero);
+    }
+
+    #[test]
+    fn resolution_of_buses() {
+        let a = Lv::parse_bits("01zz").unwrap();
+        let b = Lv::parse_bits("zz01").unwrap();
+        assert_eq!(format!("{:?}", a.resolve(&b)), "4'b0101");
+        let conflict = Lv::zeros(1).resolve(&Lv::ones(1));
+        assert!(conflict.eq_case(&Lv::xes(1)));
+    }
+
+    #[test]
+    fn lossy_u64_clears_unknowns() {
+        let v = Lv::parse_bits("1x1z").unwrap();
+        assert_eq!(v.to_u64(), None);
+        assert_eq!(v.to_u64_lossy(), 0b1010);
+    }
+
+    #[test]
+    fn truthy_requires_driven_one() {
+        assert!(Lv::from_u64(4, 8).truthy());
+        assert!(!Lv::zeros(4).truthy());
+        assert!(!Lv::xes(4).truthy());
+        assert!(Lv::parse_bits("1x").unwrap().truthy());
+    }
+
+    #[test]
+    fn resize_extends_and_truncates() {
+        let v = Lv::from_u64(4, 0xF);
+        assert_eq!(v.resize(8).to_u64(), Some(0xF));
+        assert_eq!(v.resize(2).to_u64(), Some(0x3));
+        let x = Lv::xes(4).resize(8);
+        assert_eq!(x.xz_plane(), 0xF);
+    }
+}

@@ -1,0 +1,553 @@
+//! The discrete-event simulation core: signal arena, event wheel,
+//! delta-cycle loop, message log and statistics.
+
+use crate::component::{CompKind, Component, Ctx};
+use crate::lv::Lv;
+use crate::profile::Profiler;
+use crate::vcd::VcdWriter;
+use crate::{CompId, Severity, SignalId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Maximum delta iterations at one time point before the kernel declares a
+/// combinational oscillation (like an HDL simulator's iteration limit).
+pub const DELTA_LIMIT: u32 = 10_000;
+
+/// A timestamped diagnostic produced by a component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimMessage {
+    /// Simulation time of the report, in picoseconds.
+    pub time_ps: u64,
+    /// Message class.
+    pub severity: Severity,
+    /// Hierarchical name of the reporting component.
+    pub component: String,
+    /// Free-form text.
+    pub text: String,
+}
+
+impl fmt::Display for SimMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>12} ps] {:?} {}: {}",
+            self.time_ps, self.severity, self.component, self.text
+        )
+    }
+}
+
+pub(crate) struct SignalState {
+    pub name: String,
+    pub width: u8,
+    pub cur: Lv,
+    pub prev: Lv,
+    /// Global step number of the most recent value change.
+    pub last_change: u64,
+    /// Components sensitive to any change of this signal.
+    pub sensitive: Vec<CompId>,
+    /// Number of value changes since time 0.
+    pub toggles: u64,
+}
+
+struct CompSlot {
+    name: String,
+    kind: CompKind,
+    body: Option<Box<dyn Component>>,
+    /// True while the component is queued in the current ready set.
+    queued: bool,
+    evals: u64,
+}
+
+#[derive(PartialEq, Eq)]
+enum EventKind {
+    Drive(SignalId, Lv),
+    Wake(CompId),
+}
+
+struct Event {
+    time: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Mutable kernel state shared with evaluation contexts.
+pub(crate) struct SimCore {
+    pub now: u64,
+    /// Monotonic counter incremented once per delta application phase;
+    /// used for edge detection.
+    pub step: u64,
+    seq: u64,
+    pub signals: Vec<SignalState>,
+    events: BinaryHeap<Reverse<Event>>,
+    /// Non-blocking writes accumulated during the current delta.
+    pub pending: Vec<(SignalId, Lv)>,
+    pub messages: Vec<SimMessage>,
+    pub finish_requested: bool,
+    comp_names: Vec<(String, CompKind)>,
+}
+
+impl SimCore {
+    pub fn schedule_drive(&mut self, time: u64, sig: SignalId, v: Lv) {
+        self.seq += 1;
+        self.events.push(Reverse(Event {
+            time,
+            seq: self.seq,
+            kind: EventKind::Drive(sig, v),
+        }));
+    }
+
+    pub fn schedule_wake(&mut self, time: u64, comp: CompId) {
+        self.seq += 1;
+        self.events.push(Reverse(Event {
+            time,
+            seq: self.seq,
+            kind: EventKind::Wake(comp),
+        }));
+    }
+
+    pub fn comp_name(&self, c: CompId) -> &str {
+        &self.comp_names[c.0 as usize].0
+    }
+}
+
+/// Cumulative kernel statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimStats {
+    /// Total component evaluations performed.
+    pub evals: u64,
+    /// Total delta cycles executed.
+    pub deltas: u64,
+    /// Total distinct time points visited.
+    pub time_points: u64,
+    /// Total signal value changes.
+    pub toggles: u64,
+}
+
+/// The top-level event-driven simulator.
+///
+/// Construction wires signals and components; [`Simulator::run_for`] /
+/// [`Simulator::run_until`] advance time. The kernel implements the
+/// standard two-phase HDL scheduling model: within one delta, all
+/// triggered components evaluate against a frozen signal state, then their
+/// non-blocking writes apply together, possibly triggering another delta.
+pub struct Simulator {
+    core: SimCore,
+    comps: Vec<CompSlot>,
+    ready: Vec<CompId>,
+    profiler: Profiler,
+    vcd: Option<VcdWriter>,
+    stats: SimStats,
+    /// Components that have never run yet (initial eval at first run call).
+    uninitialized: Vec<CompId>,
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulator {
+    /// Create an empty simulator at time 0.
+    pub fn new() -> Simulator {
+        Simulator {
+            core: SimCore {
+                now: 0,
+                step: 1,
+                seq: 0,
+                signals: Vec::new(),
+                events: BinaryHeap::new(),
+                pending: Vec::new(),
+                messages: Vec::new(),
+                finish_requested: false,
+                comp_names: Vec::new(),
+            },
+            comps: Vec::new(),
+            ready: Vec::new(),
+            profiler: Profiler::new(),
+            vcd: None,
+            stats: SimStats::default(),
+            uninitialized: Vec::new(),
+        }
+    }
+
+    /// Declare a new signal. Initial value is all-`X` (uninitialised), as
+    /// in a 4-state HDL simulator.
+    pub fn signal(&mut self, name: impl Into<String>, width: u8) -> SignalId {
+        let id = SignalId(self.core.signals.len() as u32);
+        self.core.signals.push(SignalState {
+            name: name.into(),
+            width,
+            cur: Lv::xes(width),
+            prev: Lv::xes(width),
+            last_change: 0,
+            sensitive: Vec::new(),
+            toggles: 0,
+        });
+        id
+    }
+
+    /// Declare a signal with a known initial value.
+    pub fn signal_init(&mut self, name: impl Into<String>, width: u8, init: u64) -> SignalId {
+        let id = self.signal(name, width);
+        self.core.signals[id.0 as usize].cur = Lv::from_u64(width, init);
+        self.core.signals[id.0 as usize].prev = Lv::from_u64(width, init);
+        id
+    }
+
+    /// Register a component. `sensitivity` lists the signals whose changes
+    /// trigger evaluation; every component additionally gets one initial
+    /// evaluation when the simulation first runs (like an HDL `initial`).
+    pub fn add_component(
+        &mut self,
+        name: impl Into<String>,
+        kind: CompKind,
+        body: Box<dyn Component>,
+        sensitivity: &[SignalId],
+    ) -> CompId {
+        let id = CompId(self.comps.len() as u32);
+        let name = name.into();
+        self.comps.push(CompSlot {
+            name: name.clone(),
+            kind,
+            body: Some(body),
+            queued: false,
+            evals: 0,
+        });
+        self.core.comp_names.push((name, kind));
+        for &s in sensitivity {
+            self.core.signals[s.0 as usize].sensitive.push(id);
+        }
+        self.profiler.register(id, kind);
+        self.uninitialized.push(id);
+        id
+    }
+
+    /// Add extra sensitivity after registration.
+    pub fn sensitize(&mut self, comp: CompId, signals: &[SignalId]) {
+        for &s in signals {
+            self.core.signals[s.0 as usize].sensitive.push(comp);
+        }
+    }
+
+    /// Current simulation time in picoseconds.
+    pub fn now(&self) -> u64 {
+        self.core.now
+    }
+
+    /// Peek a signal's current value (testbench read).
+    pub fn peek(&self, s: SignalId) -> Lv {
+        self.core.signals[s.0 as usize].cur
+    }
+
+    /// Peek as `u64` (None if unknown bits).
+    pub fn peek_u64(&self, s: SignalId) -> Option<u64> {
+        self.peek(s).to_u64()
+    }
+
+    /// Drive a signal from the testbench; takes effect when the simulation
+    /// next advances (scheduled at the current time).
+    pub fn poke(&mut self, s: SignalId, v: Lv) {
+        let w = self.core.signals[s.0 as usize].width;
+        let t = self.core.now;
+        self.core.schedule_drive(t, s, v.resize(w));
+    }
+
+    /// Drive a known value from the testbench.
+    pub fn poke_u64(&mut self, s: SignalId, v: u64) {
+        let w = self.core.signals[s.0 as usize].width;
+        self.poke(s, Lv::from_u64(w, v));
+    }
+
+    /// Signal name lookup.
+    pub fn signal_name(&self, s: SignalId) -> &str {
+        &self.core.signals[s.0 as usize].name
+    }
+
+    /// Number of value changes a signal has seen (activity measure; the
+    /// paper's CIE-vs-ME elapsed-time inversion is explained by exactly
+    /// this quantity).
+    pub fn toggle_count(&self, s: SignalId) -> u64 {
+        self.core.signals[s.0 as usize].toggles
+    }
+
+    /// Sum of toggle counts over all signals whose hierarchical name
+    /// starts with `prefix`.
+    pub fn toggle_count_prefix(&self, prefix: &str) -> u64 {
+        self.core
+            .signals
+            .iter()
+            .filter(|s| s.name.starts_with(prefix))
+            .map(|s| s.toggles)
+            .sum()
+    }
+
+    /// Enable VCD waveform tracing of all signals to `path`.
+    pub fn trace_vcd(&mut self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let names: Vec<(String, u8)> = self
+            .core
+            .signals
+            .iter()
+            .map(|s| (s.name.clone(), s.width))
+            .collect();
+        self.vcd = Some(VcdWriter::create(path, &names)?);
+        Ok(())
+    }
+
+    /// Enable or disable per-component wall-time profiling.
+    pub fn set_profiling(&mut self, on: bool) {
+        self.profiler.set_enabled(on);
+    }
+
+    /// Access the profiler report.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Cumulative kernel statistics.
+    pub fn stats(&self) -> SimStats {
+        let mut s = self.stats;
+        s.toggles = self.core.signals.iter().map(|x| x.toggles).sum();
+        s
+    }
+
+    /// Per-component evaluation counts, as (name, kind, evals).
+    pub fn eval_counts(&self) -> Vec<(String, CompKind, u64)> {
+        self.comps
+            .iter()
+            .map(|c| (c.name.clone(), c.kind, c.evals))
+            .collect()
+    }
+
+    /// All diagnostics recorded so far.
+    pub fn messages(&self) -> &[SimMessage] {
+        &self.core.messages
+    }
+
+    /// Drain diagnostics.
+    pub fn take_messages(&mut self) -> Vec<SimMessage> {
+        std::mem::take(&mut self.core.messages)
+    }
+
+    /// True if any component reported an error.
+    pub fn has_errors(&self) -> bool {
+        self.core
+            .messages
+            .iter()
+            .any(|m| m.severity == Severity::Error)
+    }
+
+    /// Record a message from the testbench itself.
+    pub fn report(&mut self, severity: Severity, text: impl Into<String>) {
+        let now = self.core.now;
+        self.core.messages.push(SimMessage {
+            time_ps: now,
+            severity,
+            component: "testbench".into(),
+            text: text.into(),
+        });
+    }
+
+    /// True if a component called [`Ctx::finish`].
+    pub fn finished(&self) -> bool {
+        self.core.finish_requested
+    }
+
+    fn mark_sensitive(signals: &[SignalState], comps: &mut [CompSlot], ready: &mut Vec<CompId>, sig: SignalId) {
+        for &c in &signals[sig.0 as usize].sensitive {
+            let slot = &mut comps[c.0 as usize];
+            if !slot.queued {
+                slot.queued = true;
+                ready.push(c);
+            }
+        }
+    }
+
+    /// Apply a value to a signal; returns true if it changed.
+    fn apply(&mut self, sig: SignalId, v: Lv) -> bool {
+        let s = &mut self.core.signals[sig.0 as usize];
+        if s.cur.eq_case(&v) {
+            return false;
+        }
+        s.prev = s.cur;
+        s.cur = v;
+        s.last_change = self.core.step;
+        s.toggles += 1;
+        if let Some(vcd) = &mut self.vcd {
+            vcd.change(self.core.now, sig, v);
+        }
+        Self::mark_sensitive(&self.core.signals, &mut self.comps, &mut self.ready, sig);
+        true
+    }
+
+    fn eval_ready(&mut self) {
+        let ready: Vec<CompId> = self.ready.drain(..).collect();
+        for c in ready {
+            self.comps[c.0 as usize].queued = false;
+            let mut body = self.comps[c.0 as usize]
+                .body
+                .take()
+                .expect("component re-entered during its own eval");
+            self.comps[c.0 as usize].evals += 1;
+            self.stats.evals += 1;
+            let t0 = self.profiler.begin();
+            {
+                let mut ctx = Ctx {
+                    core: &mut self.core,
+                    me: c,
+                };
+                body.eval(&mut ctx);
+            }
+            self.profiler.end(c, t0);
+            self.comps[c.0 as usize].body = Some(body);
+        }
+    }
+
+    /// Execute all deltas at the current time until quiescent.
+    fn settle_now(&mut self) -> Result<(), SimError> {
+        let mut deltas = 0u32;
+        loop {
+            // Pop events scheduled for exactly `now`.
+            let mut popped = false;
+            while let Some(Reverse(ev)) = self.core.events.peek() {
+                if ev.time != self.core.now {
+                    break;
+                }
+                let Reverse(ev) = self.core.events.pop().unwrap();
+                popped = true;
+                match ev.kind {
+                    EventKind::Drive(sig, v) => {
+                        self.apply(sig, v);
+                    }
+                    EventKind::Wake(c) => {
+                        let slot = &mut self.comps[c.0 as usize];
+                        if !slot.queued {
+                            slot.queued = true;
+                            self.ready.push(c);
+                        }
+                    }
+                }
+            }
+            if self.ready.is_empty() && !popped {
+                return Ok(());
+            }
+            self.eval_ready();
+            // Apply non-blocking writes; they constitute the next delta.
+            let pending: Vec<(SignalId, Lv)> = self.core.pending.drain(..).collect();
+            self.core.step += 1;
+            self.stats.deltas += 1;
+            for (sig, v) in pending {
+                self.apply(sig, v);
+            }
+            deltas += 1;
+            if deltas > DELTA_LIMIT {
+                return Err(SimError::DeltaOverflow {
+                    time_ps: self.core.now,
+                });
+            }
+            if self.core.finish_requested {
+                return Ok(());
+            }
+        }
+    }
+
+    fn init_components(&mut self) {
+        for c in std::mem::take(&mut self.uninitialized) {
+            let slot = &mut self.comps[c.0 as usize];
+            if !slot.queued {
+                slot.queued = true;
+                self.ready.push(c);
+            }
+        }
+    }
+
+    /// Run until `deadline` ps (inclusive of events at the deadline) or
+    /// until a component calls `finish`. On return the current time is
+    /// `deadline` (unless finished early), so testbench pokes issued
+    /// between run calls land when wall-of-code order suggests.
+    pub fn run_until(&mut self, deadline: u64) -> Result<(), SimError> {
+        self.init_components();
+        loop {
+            self.settle_now()?;
+            if self.core.finish_requested {
+                return Ok(());
+            }
+            let next = match self.core.events.peek() {
+                Some(Reverse(ev)) => ev.time,
+                None => {
+                    self.core.now = self.core.now.max(deadline);
+                    return Ok(());
+                }
+            };
+            debug_assert!(next > self.core.now, "settle_now left same-time events");
+            if next > deadline {
+                self.core.now = deadline;
+                return Ok(());
+            }
+            self.core.now = next;
+            self.core.step += 1;
+            self.stats.time_points += 1;
+        }
+    }
+
+    /// Run for `duration` ps past the current time.
+    pub fn run_for(&mut self, duration: u64) -> Result<(), SimError> {
+        let d = self.core.now + duration;
+        self.run_until(d)
+    }
+
+    /// Execute pending same-time activity without advancing time.
+    pub fn settle(&mut self) -> Result<(), SimError> {
+        self.init_components();
+        self.settle_now()
+    }
+
+    /// Flush the VCD trace (call before dropping if you need the file).
+    pub fn flush_vcd(&mut self) -> std::io::Result<()> {
+        if let Some(v) = &mut self.vcd {
+            v.flush()?;
+        }
+        Ok(())
+    }
+}
+
+/// Kernel-level failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Combinational oscillation: the delta limit was exceeded at one
+    /// time point.
+    DeltaOverflow {
+        /// The time at which the oscillation occurred.
+        time_ps: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::DeltaOverflow { time_ps } => {
+                write!(f, "delta-cycle oscillation at t={time_ps} ps")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

@@ -1,0 +1,110 @@
+//! Minimal Value Change Dump (IEEE 1364 §18) waveform writer.
+//!
+//! The writer emits a header mapping every kernel signal to a short
+//! identifier code, then appends `#time`-stamped value changes as the
+//! simulation progresses. Output is buffered; call
+//! [`VcdWriter::flush`] (or `Simulator::flush_vcd`) before inspecting the
+//! file.
+
+use crate::lv::Lv;
+use crate::SignalId;
+use std::fs::File;
+use std::io::{BufWriter, Result, Write};
+use std::path::Path;
+
+pub(crate) struct VcdWriter {
+    out: BufWriter<File>,
+    codes: Vec<String>,
+    widths: Vec<u8>,
+    last_time: Option<u64>,
+}
+
+/// Generate the printable-ASCII short code VCD uses for signal `n`.
+fn code_for(mut n: usize) -> String {
+    // Identifier characters are '!' (33) through '~' (126).
+    let mut s = String::new();
+    loop {
+        s.push((33 + (n % 94)) as u8 as char);
+        n /= 94;
+        if n == 0 {
+            break;
+        }
+        n -= 1;
+    }
+    s
+}
+
+impl VcdWriter {
+    pub fn create(path: impl AsRef<Path>, signals: &[(String, u8)]) -> Result<VcdWriter> {
+        let mut out = BufWriter::new(File::create(path)?);
+        writeln!(out, "$timescale 1ps $end")?;
+        writeln!(out, "$scope module top $end")?;
+        let mut codes = Vec::with_capacity(signals.len());
+        let mut widths = Vec::with_capacity(signals.len());
+        for (i, (name, width)) in signals.iter().enumerate() {
+            let code = code_for(i);
+            // VCD identifiers may not contain whitespace; replace
+            // hierarchy separators for readability.
+            let clean: String = name
+                .chars()
+                .map(|c| if c.is_whitespace() { '_' } else { c })
+                .collect();
+            writeln!(out, "$var wire {width} {code} {clean} $end")?;
+            codes.push(code);
+            widths.push(*width);
+        }
+        writeln!(out, "$upscope $end")?;
+        writeln!(out, "$enddefinitions $end")?;
+        Ok(VcdWriter {
+            out,
+            codes,
+            widths,
+            last_time: None,
+        })
+    }
+
+    pub fn change(&mut self, time: u64, sig: SignalId, v: Lv) {
+        let idx = sig.0 as usize;
+        if self.last_time != Some(time) {
+            let _ = writeln!(self.out, "#{time}");
+            self.last_time = Some(time);
+        }
+        let code = &self.codes[idx];
+        if self.widths[idx] == 1 {
+            let _ = writeln!(self.out, "{}{}", v.get(0).to_char(), code);
+        } else {
+            let mut bits = String::with_capacity(v.width() as usize + 1);
+            bits.push('b');
+            for i in (0..v.width()).rev() {
+                bits.push(v.get(i).to_char());
+            }
+            let _ = writeln!(self.out, "{bits} {code}");
+        }
+    }
+
+    pub fn flush(&mut self) -> Result<()> {
+        self.out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_printable() {
+        let mut seen = std::collections::HashSet::new();
+        for n in 0..10_000 {
+            let c = code_for(n);
+            assert!(c.chars().all(|ch| ('!'..='~').contains(&ch)));
+            assert!(seen.insert(c), "duplicate code at {n}");
+        }
+    }
+
+    #[test]
+    fn code_sequence_starts_compact() {
+        assert_eq!(code_for(0), "!");
+        assert_eq!(code_for(93), "~");
+        assert_eq!(code_for(94), "!!");
+    }
+}

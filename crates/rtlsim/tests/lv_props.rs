@@ -1,0 +1,167 @@
+//! Property-based tests for the four-value logic vector type.
+//!
+//! The strategy generates arbitrary 4-value vectors (independent value and
+//! unknown planes) and checks the algebraic laws the kernel relies on,
+//! plus consistency between vector operators and the scalar truth tables.
+
+use proptest::prelude::*;
+use rtlsim::{Logic, Lv};
+
+fn arb_lv(max_width: u8) -> impl Strategy<Value = Lv> {
+    (1..=max_width, any::<u64>(), any::<u64>())
+        .prop_map(|(w, val, xz)| Lv::from_planes(w, val, xz))
+}
+
+fn arb_lv_pair() -> impl Strategy<Value = (Lv, Lv)> {
+    (1u8..=64, any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>())
+        .prop_map(|(w, v1, x1, v2, x2)| (Lv::from_planes(w, v1, x1), Lv::from_planes(w, v2, x2)))
+}
+
+proptest! {
+    /// Vector bitwise ops agree with the scalar truth tables bit by bit.
+    #[test]
+    fn bitwise_matches_scalar((a, b) in arb_lv_pair()) {
+        let and = a & b;
+        let or = a | b;
+        let xor = a ^ b;
+        let not_a = !a;
+        for i in 0..a.width() {
+            prop_assert_eq!(and.get(i), a.get(i) & b.get(i));
+            prop_assert_eq!(or.get(i), a.get(i) | b.get(i));
+            prop_assert_eq!(xor.get(i), a.get(i) ^ b.get(i));
+            prop_assert_eq!(not_a.get(i), !a.get(i));
+        }
+    }
+
+    /// De Morgan holds in 4-value logic at the vector level.
+    #[test]
+    fn de_morgan((a, b) in arb_lv_pair()) {
+        prop_assert!((!(a & b)).eq_case(&(!a | !b)));
+        prop_assert!((!(a | b)).eq_case(&(!a & !b)));
+    }
+
+    /// AND/OR/XOR are commutative and associative.
+    #[test]
+    fn commutative_and_associative((a, b) in arb_lv_pair(), c_planes in (any::<u64>(), any::<u64>())) {
+        let c = Lv::from_planes(a.width(), c_planes.0, c_planes.1);
+        prop_assert!((a & b).eq_case(&(b & a)));
+        prop_assert!((a | b).eq_case(&(b | a)));
+        prop_assert!((a ^ b).eq_case(&(b ^ a)));
+        prop_assert!(((a & b) & c).eq_case(&(a & (b & c))));
+        prop_assert!(((a | b) | c).eq_case(&(a | (b | c))));
+        prop_assert!(((a ^ b) ^ c).eq_case(&(a ^ (b ^ c))));
+    }
+
+    /// Identity and annihilator elements, modulo Z -> X normalisation
+    /// (any gate converts a floating input to unknown, so `Z & 1 = X`).
+    #[test]
+    fn identities(a in arb_lv(64)) {
+        let w = a.width();
+        let norm = !!a; // X-normalised copy: Z bits become X
+        prop_assert!((a & Lv::ones(w)).eq_case(&norm));
+        prop_assert!((a | Lv::zeros(w)).eq_case(&norm));
+        prop_assert!((a & Lv::zeros(w)).eq_case(&Lv::zeros(w)));
+        prop_assert!((a | Lv::ones(w)).eq_case(&Lv::ones(w)));
+    }
+
+    /// Double negation restores the X-normalised value (Z becomes X but
+    /// then stays stable).
+    #[test]
+    fn double_negation_stabilises(a in arb_lv(64)) {
+        let n2 = !!a;
+        let n4 = !!n2;
+        prop_assert!(n2.eq_case(&n4));
+    }
+
+    /// Known vectors behave exactly like u64 arithmetic modulo width.
+    #[test]
+    fn known_arithmetic_matches_u64(w in 1u8..=64, a in any::<u64>(), b in any::<u64>()) {
+        let m = if w == 64 { u64::MAX } else { (1 << w) - 1 };
+        let (a, b) = (a & m, b & m);
+        let la = Lv::from_u64(w, a);
+        let lb = Lv::from_u64(w, b);
+        prop_assert_eq!((la + lb).to_u64(), Some(a.wrapping_add(b) & m));
+        prop_assert_eq!((la - lb).to_u64(), Some(a.wrapping_sub(b) & m));
+        prop_assert_eq!(la.lt(&lb), Logic::from_bool(a < b));
+    }
+
+    /// Any unknown operand poisons arithmetic entirely.
+    #[test]
+    fn unknown_poisons_arithmetic(a in arb_lv(64), b in any::<u64>()) {
+        prop_assume!(a.has_unknown());
+        let w = a.width();
+        let known = Lv::from_u64(w, b);
+        prop_assert!((a + known).eq_case(&Lv::xes(w)));
+        prop_assert!((known - a).eq_case(&Lv::xes(w)));
+        prop_assert_eq!(a.lt(&known), Logic::X);
+    }
+
+    /// Slicing then concatenating reconstructs the original vector.
+    #[test]
+    fn slice_concat_round_trip(a in arb_lv(64), cut in 0u8..63) {
+        prop_assume!(a.width() >= 2);
+        let cut = cut % (a.width() - 1); // 0..width-1
+        let hi = a.slice(a.width() - 1, cut + 1);
+        let lo = a.slice(cut, 0);
+        prop_assert!(hi.concat(lo).eq_case(&a));
+    }
+
+    /// with_bit/get round trip for every logic value.
+    #[test]
+    fn bit_set_get_round_trip(a in arb_lv(64), i in 0u8..64, which in 0usize..4) {
+        let i = i % a.width();
+        let l = Logic::ALL[which];
+        let b = a.with_bit(i, l);
+        prop_assert_eq!(b.get(i), l);
+        // Other bits untouched.
+        for j in 0..a.width() {
+            if j != i {
+                prop_assert_eq!(b.get(j), a.get(j));
+            }
+        }
+    }
+
+    /// Reductions agree with a fold over scalar bits.
+    #[test]
+    fn reductions_match_scalar_fold(a in arb_lv(64)) {
+        let mut and = Logic::One;
+        let mut or = Logic::Zero;
+        let mut xor = Logic::Zero;
+        for i in 0..a.width() {
+            and = and & a.get(i);
+            or = or | a.get(i);
+            xor = xor ^ a.get(i);
+        }
+        prop_assert_eq!(a.reduce_and(), and);
+        prop_assert_eq!(a.reduce_or(), or);
+        prop_assert_eq!(a.reduce_xor(), xor);
+    }
+
+    /// Resolution is commutative, idempotent, and Z is the identity.
+    #[test]
+    fn resolution_laws((a, b) in arb_lv_pair()) {
+        prop_assert!(a.resolve(&b).eq_case(&b.resolve(&a)));
+        prop_assert!(a.resolve(&a).eq_case(&a));
+        let z = Lv::zs(a.width());
+        prop_assert!(a.resolve(&z).eq_case(&a));
+    }
+
+    /// parse_bits(debug-format) round-trips.
+    #[test]
+    fn parse_debug_round_trip(a in arb_lv(64)) {
+        let s = format!("{a:?}");
+        let body = s.split("'b").nth(1).unwrap();
+        let parsed = Lv::parse_bits(body).unwrap();
+        prop_assert!(parsed.eq_case(&a));
+    }
+
+    /// to_u64_lossy equals to_u64 when fully known, and never exposes
+    /// unknown bits as ones.
+    #[test]
+    fn lossy_consistency(a in arb_lv(64)) {
+        if let Some(v) = a.to_u64() {
+            prop_assert_eq!(a.to_u64_lossy(), v);
+        }
+        prop_assert_eq!(a.to_u64_lossy() & a.xz_plane(), 0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Functional coverage for the reconfiguration machinery.
+//!
+//! The paper argues that ReSim "covers all aspects of DPR"; this module
+//! makes that claim checkable. A [`DprCoverage`] collector attaches
+//! probes to one built system and, after the run, reports which DPR
+//! coverage points were exercised:
+//!
+//! * module swaps in both directions (CIE→ME and ME→CIE);
+//! * complete bitstreams (SYNC..DESYNC) for every transfer started;
+//! * error-injection windows opening and closing;
+//! * isolation asserted around each injection window;
+//! * ICAP backpressure actually exercised (`ready` deasserted);
+//! * interrupts taken for each pipeline step.
+//!
+//! Virtual Multiplexing structurally cannot hit the bitstream-related
+//! points — the coverage *holes* it leaves are the quantified version of
+//! "VMUX does not simulate an integrated design".
+
+use crate::probe::{probe_high_time, HighTime};
+use autovision::AvSystem;
+use serde::Serialize;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Handles installed before the run; finalise with
+/// [`CoverageProbes::collect`] after it.
+pub struct CoverageProbes {
+    isolation: Rc<RefCell<HighTime>>,
+    injection: Option<Rc<RefCell<HighTime>>>,
+    reconfiguring: Option<Rc<RefCell<HighTime>>>,
+}
+
+/// The collected coverage record.
+#[derive(Debug, Clone, Serialize)]
+pub struct DprCoverage {
+    /// Module swaps observed.
+    pub swaps: u64,
+    /// Complete bitstreams (DESYNC seen).
+    pub desyncs: u64,
+    /// Error-injection windows.
+    pub injection_windows: u64,
+    /// Isolation assertion pulses.
+    pub isolation_pulses: u64,
+    /// Picoseconds spent under isolation.
+    pub isolation_ps: u64,
+    /// Picoseconds spent reconfiguring.
+    pub reconfiguring_ps: u64,
+    /// ICAP backpressure events.
+    pub backpressure_events: u64,
+    /// External interrupts the CPU took.
+    pub interrupts: u64,
+    /// Frames displayed.
+    pub frames: usize,
+}
+
+impl CoverageProbes {
+    /// Install probes on a freshly built system (before running it).
+    pub fn install(sys: &mut AvSystem) -> CoverageProbes {
+        let isolation = probe_high_time(&mut sys.sim, "cov.isolate", sys.probes.isolate);
+        let injection = sys
+            .probes
+            .inject
+            .map(|s| probe_high_time(&mut sys.sim, "cov.inject", s));
+        let reconfiguring = sys
+            .probes
+            .reconfiguring
+            .map(|s| probe_high_time(&mut sys.sim, "cov.reconf", s));
+        CoverageProbes { isolation, injection, reconfiguring }
+    }
+
+    /// Gather the record after the run.
+    pub fn collect(&self, sys: &AvSystem) -> DprCoverage {
+        let icap = sys.icap.as_ref().map(|i| i.borrow().clone());
+        DprCoverage {
+            swaps: icap.as_ref().map(|i| i.swaps).unwrap_or(0),
+            desyncs: icap.as_ref().map(|i| i.desyncs).unwrap_or(0),
+            injection_windows: self.injection.as_ref().map(|p| p.borrow().pulses).unwrap_or(0),
+            isolation_pulses: self.isolation.borrow().pulses,
+            isolation_ps: self.isolation.borrow().total_ps,
+            reconfiguring_ps: self
+                .reconfiguring
+                .as_ref()
+                .map(|p| p.borrow().total_ps)
+                .unwrap_or(0),
+            backpressure_events: icap.as_ref().map(|i| i.backpressure_events).unwrap_or(0),
+            interrupts: sys.cpu.borrow().interrupts,
+            frames: sys.captured.borrow().len(),
+        }
+    }
+}
+
+impl DprCoverage {
+    /// Coverage points expected of a clean multi-frame run, with which
+    /// ones this record leaves unexercised.
+    pub fn holes(&self) -> Vec<&'static str> {
+        let mut holes = Vec::new();
+        if self.swaps < 2 {
+            holes.push("module swapped in both directions");
+        }
+        if self.desyncs == 0 || self.desyncs != self.swaps {
+            holes.push("every transfer completed (SYNC..DESYNC)");
+        }
+        if self.injection_windows == 0 {
+            holes.push("error injection exercised");
+        }
+        if self.isolation_pulses == 0 {
+            holes.push("isolation control exercised");
+        }
+        if self.isolation_ps < self.reconfiguring_ps / 2 {
+            holes.push("isolation covering reconfiguration");
+        }
+        if self.backpressure_events == 0 {
+            holes.push("ICAP backpressure exercised");
+        }
+        if self.interrupts == 0 {
+            holes.push("interrupt-driven sequencing exercised");
+        }
+        if self.frames == 0 {
+            holes.push("end-to-end frame delivery");
+        }
+        holes
+    }
+
+    /// Fraction of the DPR coverage points hit (0..=1).
+    pub fn score(&self) -> f64 {
+        let total = 8.0;
+        (total - self.holes().len() as f64) / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autovision::{SimMethod, SystemConfig};
+
+    fn run(method: SimMethod) -> DprCoverage {
+        let mut sys = AvSystem::build(SystemConfig {
+            method,
+            width: 32,
+            height: 24,
+            n_frames: 2,
+            payload_words: 256,
+            ..Default::default()
+        });
+        let probes = CoverageProbes::install(&mut sys);
+        let out = sys.run(1_000_000);
+        assert!(!out.hung);
+        probes.collect(&sys)
+    }
+
+    #[test]
+    fn resim_covers_every_dpr_point() {
+        let cov = run(SimMethod::Resim);
+        assert!(cov.holes().is_empty(), "holes: {:?} in {:?}", cov.holes(), cov);
+        assert_eq!(cov.score(), 1.0);
+        assert_eq!(cov.swaps, 4);
+        assert_eq!(cov.desyncs, 4);
+        assert_eq!(cov.injection_windows, 4);
+    }
+
+    #[test]
+    fn vmux_leaves_the_bitstream_coverage_holes() {
+        let cov = run(SimMethod::Vmux);
+        let holes = cov.holes();
+        // The quantified version of the paper's critique: no bitstream
+        // traffic, no injection, no isolation test, no ICAP exercise.
+        for expected in [
+            "module swapped in both directions",
+            "error injection exercised",
+            "isolation control exercised",
+            "ICAP backpressure exercised",
+        ] {
+            assert!(holes.contains(&expected), "missing hole '{expected}': {holes:?}");
+        }
+        // But the functional pipeline itself still runs.
+        assert_eq!(cov.frames, 2);
+        assert!(cov.interrupts > 0);
+        assert!(cov.score() < 0.7);
+    }
+}

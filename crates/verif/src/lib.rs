@@ -1,0 +1,30 @@
+//! # verif — the verification harness
+//!
+//! Machinery that turns the AutoVision system plus the bug catalog into
+//! the paper's quantitative results:
+//!
+//! * [`detect`] — run one configured system and classify the outcome
+//!   with automated oracles (checker errors, golden-model scoreboard,
+//!   poison tracking, hang detection);
+//! * [`matrix`] — the full bug × method detection matrix (Table III),
+//!   with the paper's expected outcomes encoded for regression checking;
+//! * [`timeline`] — the Figure 5 development timeline, with the bug
+//!   series regenerated from the matrix;
+//! * [`turnaround`] — the §V-B simulation vs on-chip debug-turnaround
+//!   comparison.
+
+pub mod coverage;
+pub mod detect;
+pub mod probe;
+pub mod matrix;
+pub mod timeline;
+pub mod turnaround;
+
+pub use coverage::{CoverageProbes, DprCoverage};
+pub use detect::{run_experiment, Evidence, Verdict};
+pub use probe::{probe_high_time, HighTime};
+pub use matrix::{
+    expected_detection, render_matrix, run_bug, run_clean, run_matrix, MatrixConfig, MatrixRow,
+};
+pub use timeline::{build_timeline, render_timeline, Phase, WeekRow, LOC_SERIES};
+pub use turnaround::{compare, Turnaround, FRAMES_TO_DETECT, ONCHIP_ITERATION_MIN};

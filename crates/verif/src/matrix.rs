@@ -1,0 +1,229 @@
+//! The detection matrix: every catalogued bug under both simulation
+//! methods — the machine-checkable core of the paper's Table III.
+
+use crate::detect::{run_experiment, Verdict};
+use autovision::{Bug, BugClass, FaultSet, SimMethod, SystemConfig};
+use serde::Serialize;
+
+/// Expected detection for (bug, method) per the paper's analysis.
+pub fn expected_detection(bug: Bug, method: SimMethod) -> bool {
+    match (bug.class(), method) {
+        // Static and software bugs do not involve the reconfiguration
+        // process: both methods catch them.
+        (BugClass::Static, _) | (BugClass::Software, _) => true,
+        // The signature-register false alarm exists only in the VMUX
+        // testbench.
+        (BugClass::FalseAlarm, SimMethod::Vmux) => true,
+        (BugClass::FalseAlarm, SimMethod::Resim) => false,
+        // DPR bugs need the bitstream traffic, injection and timing that
+        // only ReSim models.
+        (BugClass::Dpr, SimMethod::Resim) => true,
+        (BugClass::Dpr, SimMethod::Vmux) => false,
+    }
+}
+
+/// One row of the matrix.
+#[derive(Debug, Clone, Serialize)]
+pub struct MatrixRow {
+    /// Bug identifier (`bug.dpr.4` style); `"(none)"` for the clean run.
+    pub bug: String,
+    /// Bug description.
+    pub description: String,
+    /// Detection under Virtual Multiplexing.
+    pub vmux_detected: bool,
+    /// Detection under ReSim.
+    pub resim_detected: bool,
+    /// Expectation under VMUX.
+    pub vmux_expected: bool,
+    /// Expectation under ReSim.
+    pub resim_expected: bool,
+    /// First evidence string under ReSim (or VMUX for the false alarm).
+    pub evidence: String,
+}
+
+impl MatrixRow {
+    /// Row matches the paper's expectation for both methods.
+    pub fn as_expected(&self) -> bool {
+        self.vmux_detected == self.vmux_expected && self.resim_detected == self.resim_expected
+    }
+}
+
+/// Configuration template for matrix runs; `build` customises per run.
+#[derive(Debug, Clone)]
+pub struct MatrixConfig {
+    /// Base system configuration (method/faults overwritten per run).
+    pub base: SystemConfig,
+    /// Hang budget per run, in cycles.
+    pub budget_cycles: u64,
+}
+
+impl Default for MatrixConfig {
+    fn default() -> Self {
+        MatrixConfig {
+            base: SystemConfig {
+                width: 32,
+                height: 24,
+                n_frames: 2,
+                payload_words: 256,
+                ..Default::default()
+            },
+            budget_cycles: 400_000,
+        }
+    }
+}
+
+fn one_run(base: &SystemConfig, method: SimMethod, faults: FaultSet, budget: u64) -> Verdict {
+    let cfg = SystemConfig { method, faults, ..base.clone() };
+    run_experiment(cfg, budget)
+}
+
+/// Run a single bug under both methods.
+pub fn run_bug(mc: &MatrixConfig, bug: Bug) -> MatrixRow {
+    let vmux = one_run(&mc.base, SimMethod::Vmux, FaultSet::one(bug), mc.budget_cycles);
+    let resim = one_run(&mc.base, SimMethod::Resim, FaultSet::one(bug), mc.budget_cycles);
+    let evidence = resim
+        .evidence
+        .first()
+        .or(vmux.evidence.first())
+        .map(|e| format!("{e:?}"))
+        .unwrap_or_default();
+    MatrixRow {
+        bug: bug.id().to_string(),
+        description: bug.describe().to_string(),
+        vmux_detected: vmux.detected,
+        resim_detected: resim.detected,
+        vmux_expected: expected_detection(bug, SimMethod::Vmux),
+        resim_expected: expected_detection(bug, SimMethod::Resim),
+        evidence,
+    }
+}
+
+/// Run the clean (no-bug) configuration under both methods; both must be
+/// silent, or every other row is meaningless.
+pub fn run_clean(mc: &MatrixConfig) -> MatrixRow {
+    let vmux = one_run(&mc.base, SimMethod::Vmux, FaultSet::none(), mc.budget_cycles);
+    let resim = one_run(&mc.base, SimMethod::Resim, FaultSet::none(), mc.budget_cycles);
+    MatrixRow {
+        bug: "(none)".to_string(),
+        description: "golden design".to_string(),
+        vmux_detected: vmux.detected,
+        resim_detected: resim.detected,
+        vmux_expected: false,
+        resim_expected: false,
+        evidence: resim
+            .evidence
+            .first()
+            .or(vmux.evidence.first())
+            .map(|e| format!("{e:?}"))
+            .unwrap_or_default(),
+    }
+}
+
+/// Run the full matrix: the clean baseline plus every catalogued bug.
+/// Runs are distributed over `threads` OS threads with a crossbeam
+/// scope (each thread builds its own simulator — the kernel itself is
+/// single-threaded by design).
+pub fn run_matrix(mc: &MatrixConfig, threads: usize) -> Vec<MatrixRow> {
+    let threads = threads.max(1);
+    let jobs: Vec<Option<Bug>> =
+        std::iter::once(None).chain(Bug::ALL.into_iter().map(Some)).collect();
+    let results: Vec<(usize, MatrixRow)> = crossbeam::thread::scope(|s| {
+        let chunks: Vec<Vec<(usize, Option<Bug>)>> = {
+            let mut cs: Vec<Vec<(usize, Option<Bug>)>> = vec![Vec::new(); threads];
+            for (i, j) in jobs.iter().enumerate() {
+                cs[i % threads].push((i, *j));
+            }
+            cs
+        };
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                let mc = mc.clone();
+                s.spawn(move |_| {
+                    chunk
+                        .into_iter()
+                        .map(|(i, job)| {
+                            let row = match job {
+                                None => run_clean(&mc),
+                                Some(bug) => run_bug(&mc, bug),
+                            };
+                            (i, row)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+    })
+    .unwrap();
+    let mut results = results;
+    results.sort_by_key(|(i, _)| *i);
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Render the matrix as an aligned text table (the Table III artifact).
+pub fn render_matrix(rows: &[MatrixRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:<52} {:>6} {:>6}  {}\n",
+        "bug", "description", "VMUX", "ReSim", "status"
+    ));
+    out.push_str(&"-".repeat(96));
+    out.push('\n');
+    for r in rows {
+        let mark = |d: bool| if d { "FOUND" } else { "-" };
+        let status = if r.as_expected() { "as paper" } else { "UNEXPECTED" };
+        out.push_str(&format!(
+            "{:<12} {:<52} {:>6} {:>6}  {}\n",
+            r.bug,
+            &r.description[..r.description.len().min(52)],
+            mark(r.vmux_detected),
+            mark(r.resim_detected),
+            status
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(bug: &str, v: bool, r: bool, ev: bool, er: bool) -> MatrixRow {
+        MatrixRow {
+            bug: bug.into(),
+            description: "d".into(),
+            vmux_detected: v,
+            resim_detected: r,
+            vmux_expected: ev,
+            resim_expected: er,
+            evidence: String::new(),
+        }
+    }
+
+    #[test]
+    fn expectation_table_matches_the_paper() {
+        use autovision::{Bug, SimMethod};
+        // Spot-check the paper's Table III rows.
+        assert!(expected_detection(Bug::Hw2SignatureUninit, SimMethod::Vmux));
+        assert!(!expected_detection(Bug::Hw2SignatureUninit, SimMethod::Resim));
+        assert!(!expected_detection(Bug::Dpr4P2pOnSharedBus, SimMethod::Vmux));
+        assert!(expected_detection(Bug::Dpr4P2pOnSharedBus, SimMethod::Resim));
+        assert!(expected_detection(Bug::Hw1MemBurstWrap, SimMethod::Vmux));
+        assert!(expected_detection(Bug::Sw1DrawWrongBuffer, SimMethod::Resim));
+    }
+
+    #[test]
+    fn render_marks_unexpected_rows() {
+        let rows = vec![
+            row("bug.x", true, true, true, true),
+            row("bug.y", false, false, false, true),
+        ];
+        assert!(rows[0].as_expected());
+        assert!(!rows[1].as_expected());
+        let text = render_matrix(&rows);
+        assert!(text.contains("as paper"));
+        assert!(text.contains("UNEXPECTED"));
+        assert!(text.contains("FOUND"));
+    }
+}

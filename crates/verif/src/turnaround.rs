@@ -1,0 +1,66 @@
+//! Debug-turnaround comparison (paper §V-B): simulation vs on-chip.
+//!
+//! The paper reports 11 minutes of ModelSim time per simulated frame,
+//! all bugs surfacing within the first 2-4 frames (≤ 44 minutes per
+//! debug iteration), against a 52-minute implementation+bitstream
+//! iteration for ChipScope on-chip debugging — before counting the many
+//! extra iterations on-chip probing needs because it sees only a few
+//! signals at a time.
+
+use serde::Serialize;
+
+/// Paper-reported constant: implementation + bitstream generation time
+/// for one on-chip debug iteration, in minutes.
+pub const ONCHIP_ITERATION_MIN: f64 = 52.0;
+/// Paper-reported constant: frames within which every bug surfaced.
+pub const FRAMES_TO_DETECT: u64 = 4;
+
+/// One row of the turnaround comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct Turnaround {
+    /// Wall-clock seconds to simulate one frame (measured on this host).
+    pub sim_sec_per_frame: f64,
+    /// Frames needed to expose the bug class (measured or the paper's
+    /// bound).
+    pub frames_to_detect: u64,
+    /// Simulation debug iteration, in minutes.
+    pub sim_iteration_min: f64,
+    /// On-chip debug iteration, in minutes (paper constant — synthesis
+    /// is out of scope for this reproduction).
+    pub onchip_iteration_min: f64,
+    /// Ratio on-chip/simulation (>1 means simulation wins per
+    /// iteration, before counting iteration-count advantages).
+    pub advantage: f64,
+}
+
+/// Build the comparison from a measured per-frame simulation cost.
+pub fn compare(sim_sec_per_frame: f64, frames_to_detect: u64) -> Turnaround {
+    let sim_iteration_min = sim_sec_per_frame * frames_to_detect as f64 / 60.0;
+    Turnaround {
+        sim_sec_per_frame,
+        frames_to_detect,
+        sim_iteration_min,
+        onchip_iteration_min: ONCHIP_ITERATION_MIN,
+        advantage: ONCHIP_ITERATION_MIN / sim_iteration_min.max(1e-9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_numbers_favour_simulation() {
+        // At the paper's own 11 min/frame, 4 frames = 44 min < 52 min.
+        let t = compare(11.0 * 60.0, FRAMES_TO_DETECT);
+        assert!((t.sim_iteration_min - 44.0).abs() < 1e-9);
+        assert!(t.advantage > 1.0);
+    }
+
+    #[test]
+    fn our_faster_substrate_increases_the_advantage() {
+        let t = compare(2.0, 4);
+        assert!(t.sim_iteration_min < 1.0);
+        assert!(t.advantage > 100.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Motion-field analysis — the driver-assistance layer on top of the
+//! optical flow.
+//!
+//! The AutoVision system computes motion vectors "to determine the speed
+//! and distance of moving objects (e.g. cars) on the road so as to
+//! identify potentially dangerous driving conditions". This module is
+//! that application logic: cluster coherent motion vectors into detected
+//! objects and classify the hazard each poses.
+
+use crate::frame::MotionVector;
+
+/// A cluster of coherent motion vectors — one detected moving object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectedObject {
+    /// Bounding box (min x, min y, max x, max y) over the anchors.
+    pub bbox: (u16, u16, u16, u16),
+    /// Mean displacement in pixels/frame.
+    pub velocity: (f64, f64),
+    /// Number of anchors supporting the detection.
+    pub support: usize,
+}
+
+impl DetectedObject {
+    /// Speed in pixels/frame.
+    pub fn speed(&self) -> f64 {
+        (self.velocity.0 * self.velocity.0 + self.velocity.1 * self.velocity.1).sqrt()
+    }
+}
+
+/// Hazard level of the overall scene.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Hazard {
+    /// No coherent motion.
+    Clear,
+    /// Moving objects present, all slow.
+    Monitor,
+    /// A fast-moving object is in the scene.
+    Warning,
+}
+
+/// Parameters for the clustering pass.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalysisParams {
+    /// Anchors closer than this (Chebyshev distance, pixels) can join
+    /// the same cluster.
+    pub link_distance: u16,
+    /// Max velocity difference (per axis) between linked anchors.
+    pub velocity_tolerance: i8,
+    /// Minimum anchors for a cluster to count as an object.
+    pub min_support: usize,
+    /// Speed (px/frame) above which an object raises [`Hazard::Warning`].
+    pub warning_speed: f64,
+}
+
+impl Default for AnalysisParams {
+    fn default() -> Self {
+        AnalysisParams {
+            link_distance: 12,
+            velocity_tolerance: 1,
+            min_support: 2,
+            warning_speed: 2.0,
+        }
+    }
+}
+
+/// Cluster the motion field into detected objects (single-link
+/// clustering over position + velocity coherence). No-match vectors and
+/// zero vectors are background and ignored.
+pub fn detect_objects(vectors: &[MotionVector], p: &AnalysisParams) -> Vec<DetectedObject> {
+    let moving: Vec<&MotionVector> = vectors
+        .iter()
+        .filter(|v| v.cost != u16::MAX && (v.dx != 0 || v.dy != 0))
+        .collect();
+    let n = moving.len();
+    // Union-find over the moving anchors.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let r = find(parent, parent[i]);
+            parent[i] = r;
+        }
+        parent[i]
+    }
+    for i in 0..n {
+        for j in i + 1..n {
+            let (a, b) = (moving[i], moving[j]);
+            let close = (a.x as i32 - b.x as i32).unsigned_abs() <= p.link_distance as u32
+                && (a.y as i32 - b.y as i32).unsigned_abs() <= p.link_distance as u32;
+            let coherent = (a.dx - b.dx).abs() <= p.velocity_tolerance
+                && (a.dy - b.dy).abs() <= p.velocity_tolerance;
+            if close && coherent {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[ri] = rj;
+                }
+            }
+        }
+    }
+    // Gather clusters.
+    let mut clusters: std::collections::HashMap<usize, Vec<&MotionVector>> =
+        std::collections::HashMap::new();
+    for i in 0..n {
+        let r = find(&mut parent, i);
+        clusters.entry(r).or_default().push(moving[i]);
+    }
+    let mut objects: Vec<DetectedObject> = clusters
+        .into_values()
+        .filter(|c| c.len() >= p.min_support)
+        .map(|c| {
+            let min_x = c.iter().map(|v| v.x).min().unwrap();
+            let min_y = c.iter().map(|v| v.y).min().unwrap();
+            let max_x = c.iter().map(|v| v.x).max().unwrap();
+            let max_y = c.iter().map(|v| v.y).max().unwrap();
+            let vx = c.iter().map(|v| v.dx as f64).sum::<f64>() / c.len() as f64;
+            let vy = c.iter().map(|v| v.dy as f64).sum::<f64>() / c.len() as f64;
+            DetectedObject {
+                bbox: (min_x, min_y, max_x, max_y),
+                velocity: (vx, vy),
+                support: c.len(),
+            }
+        })
+        .collect();
+    objects.sort_by(|a, b| b.support.cmp(&a.support).then(a.bbox.cmp(&b.bbox)));
+    objects
+}
+
+/// Classify the scene's hazard from the detections.
+pub fn classify(objects: &[DetectedObject], p: &AnalysisParams) -> Hazard {
+    if objects.is_empty() {
+        Hazard::Clear
+    } else if objects.iter().any(|o| o.speed() >= p.warning_speed) {
+        Hazard::Warning
+    } else {
+        Hazard::Monitor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: u16, y: u16, dx: i8, dy: i8) -> MotionVector {
+        MotionVector { x, y, dx, dy, cost: 3 }
+    }
+
+    #[test]
+    fn empty_field_is_clear() {
+        let objs = detect_objects(&[], &AnalysisParams::default());
+        assert!(objs.is_empty());
+        assert_eq!(classify(&objs, &AnalysisParams::default()), Hazard::Clear);
+    }
+
+    #[test]
+    fn zero_and_nomatch_vectors_are_background() {
+        let field = [
+            v(10, 10, 0, 0),
+            MotionVector { x: 20, y: 20, dx: 3, dy: 0, cost: u16::MAX },
+        ];
+        assert!(detect_objects(&field, &AnalysisParams::default()).is_empty());
+    }
+
+    #[test]
+    fn coherent_neighbours_form_one_object() {
+        let field = [v(10, 10, 3, 0), v(18, 10, 3, 0), v(10, 18, 3, 1), v(18, 18, 3, 0)];
+        let objs = detect_objects(&field, &AnalysisParams::default());
+        assert_eq!(objs.len(), 1);
+        let o = &objs[0];
+        assert_eq!(o.support, 4);
+        assert_eq!(o.bbox, (10, 10, 18, 18));
+        assert!((o.velocity.0 - 3.0).abs() < 1e-9);
+        assert_eq!(classify(&objs, &AnalysisParams::default()), Hazard::Warning);
+    }
+
+    #[test]
+    fn distant_or_incoherent_vectors_split() {
+        // Two groups far apart, plus one anchor moving the other way in
+        // the middle (incoherent with both).
+        let field = [
+            v(10, 10, 3, 0),
+            v(18, 10, 3, 0),
+            v(60, 10, -3, 0),
+            v(68, 10, -3, 0),
+            v(40, 10, 3, -3),
+        ];
+        let objs = detect_objects(&field, &AnalysisParams::default());
+        assert_eq!(objs.len(), 2, "{objs:?}");
+        assert!(objs.iter().all(|o| o.support == 2));
+    }
+
+    #[test]
+    fn slow_objects_only_monitor() {
+        let field = [v(10, 10, 1, 0), v(18, 10, 1, 0), v(14, 18, 1, 0)];
+        let objs = detect_objects(&field, &AnalysisParams::default());
+        assert_eq!(objs.len(), 1);
+        assert_eq!(classify(&objs, &AnalysisParams::default()), Hazard::Monitor);
+    }
+
+    #[test]
+    fn min_support_filters_speckle() {
+        let field = [v(10, 10, 3, 0)]; // a single noisy anchor
+        let p = AnalysisParams::default();
+        assert!(detect_objects(&field, &p).is_empty());
+        let p1 = AnalysisParams { min_support: 1, ..p };
+        assert_eq!(detect_objects(&field, &p1).len(), 1);
+    }
+
+    #[test]
+    fn speed_is_euclidean() {
+        let o = DetectedObject { bbox: (0, 0, 1, 1), velocity: (3.0, 4.0), support: 2 };
+        assert!((o.speed() - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,131 @@
+//! Golden (software) model of the Census Image Engine.
+//!
+//! The census transform maps each pixel to an 8-bit signature encoding
+//! which of its eight 3×3 neighbours are darker than it. It is the
+//! feature extractor of the AutoVision optical-flow pipeline: invariant
+//! to monotone illumination changes (headlights, tunnel entry — the very
+//! driving conditions the system reconfigures for), and cheap to match
+//! with Hamming distance.
+//!
+//! Neighbour bit order (bit 7 first):
+//!
+//! ```text
+//!   7 6 5
+//!   4 . 3
+//!   2 1 0
+//! ```
+//!
+//! Out-of-frame neighbours read as 0 and therefore can never be darker
+//! than a non-zero centre only if the centre is 0 too; the RTL engine
+//! implements the identical border policy so outputs match bit-exactly.
+
+use crate::frame::Frame;
+
+/// Offsets matching the bit order documented above.
+pub const NEIGHBOURS: [(isize, isize); 8] = [
+    (-1, -1),
+    (0, -1),
+    (1, -1),
+    (-1, 0),
+    (1, 0),
+    (-1, 1),
+    (0, 1),
+    (1, 1),
+];
+
+/// Census signature of the pixel at (x, y).
+#[inline]
+pub fn census_pixel(f: &Frame, x: usize, y: usize) -> u8 {
+    let c = f.get(x, y);
+    let mut sig = 0u8;
+    for (i, (dx, dy)) in NEIGHBOURS.iter().enumerate() {
+        let n = f.get_clamped(x as isize + dx, y as isize + dy);
+        if n < c {
+            sig |= 0x80 >> i;
+        }
+    }
+    sig
+}
+
+/// Full-frame census transform (the CIE's golden output).
+pub fn census_transform(f: &Frame) -> Frame {
+    let mut out = Frame::new(f.width(), f.height());
+    for y in 0..f.height() {
+        for x in 0..f.width() {
+            let sig = census_pixel(f, x, y);
+            out.put(x as isize, y as isize, sig);
+        }
+    }
+    out
+}
+
+/// Hamming distance between two census signatures.
+#[inline]
+pub fn hamming(a: u8, b: u8) -> u32 {
+    (a ^ b).count_ones()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_image_has_zero_signatures() {
+        let f = Frame::from_data(4, 4, vec![100; 16]);
+        let c = census_transform(&f);
+        // Interior pixels: no neighbour darker. Border pixels see
+        // outside-zero neighbours, which ARE darker than 100.
+        assert_eq!(c.get(1, 1), 0);
+        assert_eq!(c.get(2, 2), 0);
+        assert_ne!(c.get(0, 0), 0, "border sees darker outside-zeros");
+    }
+
+    #[test]
+    fn single_bright_pixel_pattern() {
+        let mut f = Frame::new(8, 8);
+        for p in f.pixels_mut() {
+            *p = 50;
+        }
+        f.put(4, 4, 200);
+        let c = census_transform(&f);
+        // The bright centre sees all 8 neighbours darker.
+        assert_eq!(c.get(4, 4), 0xFF);
+        // Its neighbours see exactly zero darker pixels... except none,
+        // since all their neighbours are 50 or 200 (not darker than 50).
+        assert_eq!(c.get(3, 3), 0);
+    }
+
+    #[test]
+    fn signature_bit_positions() {
+        // Gradient left->right: each pixel's left neighbours are darker.
+        let f = Frame::from_data(4, 3, vec![0, 10, 20, 30, 0, 10, 20, 30, 0, 10, 20, 30]);
+        let c = census_transform(&f);
+        // Pixel (2,1)=20: darker neighbours are the x=1 column (10) and
+        // x=... bits: 7(-1,-1) 4(-1,0) 2(-1,1) set.
+        assert_eq!(c.get(2, 1), 0b1001_0100);
+    }
+
+    #[test]
+    fn illumination_invariance_interior() {
+        // Adding a constant (without saturation) leaves interior
+        // signatures unchanged — the property that makes census robust
+        // for driver assistance.
+        let base: Vec<u8> = (0..64).map(|i| (i * 3 % 97) as u8).collect();
+        let f1 = Frame::from_data(8, 8, base.clone());
+        let f2 = Frame::from_data(8, 8, base.iter().map(|p| p + 100).collect());
+        let c1 = census_transform(&f1);
+        let c2 = census_transform(&f2);
+        for y in 1..7 {
+            for x in 1..7 {
+                assert_eq!(c1.get(x, y), c2.get(x, y), "at ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn hamming_distance() {
+        assert_eq!(hamming(0, 0), 0);
+        assert_eq!(hamming(0xFF, 0), 8);
+        assert_eq!(hamming(0b1010, 0b0110), 2);
+    }
+}

@@ -1,0 +1,85 @@
+//! Motion-vector overlay drawing — the job the PowerPC software performs
+//! on each output frame (Figure 2: "CPU draws motion vectors").
+
+use crate::frame::{Frame, MotionVector};
+
+/// Draw a line from (x0, y0) to (x1, y1) with Bresenham's algorithm.
+pub fn line(f: &mut Frame, x0: isize, y0: isize, x1: isize, y1: isize, v: u8) {
+    let dx = (x1 - x0).abs();
+    let dy = -(y1 - y0).abs();
+    let sx = if x0 < x1 { 1 } else { -1 };
+    let sy = if y0 < y1 { 1 } else { -1 };
+    let mut err = dx + dy;
+    let (mut x, mut y) = (x0, y0);
+    loop {
+        f.put(x, y, v);
+        if x == x1 && y == y1 {
+            break;
+        }
+        let e2 = 2 * err;
+        if e2 >= dy {
+            err += dy;
+            x += sx;
+        }
+        if e2 <= dx {
+            err += dx;
+            y += sy;
+        }
+    }
+}
+
+/// Overlay motion vectors: a bright ray from each anchor along its
+/// displacement (scaled ×`scale`), with a marker dot at the anchor.
+/// No-match vectors (cost = `u16::MAX`) are skipped.
+pub fn draw_vectors(f: &mut Frame, vectors: &[MotionVector], scale: isize) {
+    for v in vectors {
+        if v.cost == u16::MAX || (v.dx == 0 && v.dy == 0) {
+            continue;
+        }
+        let x0 = v.x as isize;
+        let y0 = v.y as isize;
+        line(f, x0, y0, x0 + v.dx as isize * scale, y0 + v.dy as isize * scale, 255);
+        f.put(x0, y0, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn horizontal_and_diagonal_lines() {
+        let mut f = Frame::new(16, 16);
+        line(&mut f, 2, 3, 9, 3, 200);
+        for x in 2..=9 {
+            assert_eq!(f.get(x, 3), 200);
+        }
+        let mut g = Frame::new(16, 16);
+        line(&mut g, 0, 0, 7, 7, 100);
+        for i in 0..=7 {
+            assert_eq!(g.get(i, i), 100);
+        }
+    }
+
+    #[test]
+    fn lines_clip_safely() {
+        let mut f = Frame::new(8, 8);
+        line(&mut f, -5, -5, 20, 20, 1); // must not panic
+        assert_eq!(f.get(3, 3), 1);
+    }
+
+    #[test]
+    fn vectors_draw_rays_and_skip_nomatch() {
+        let mut f = Frame::new(32, 32);
+        let vs = [
+            MotionVector { x: 10, y: 10, dx: 3, dy: 0, cost: 1 },
+            MotionVector { x: 20, y: 20, dx: 3, dy: 0, cost: u16::MAX },
+        ];
+        draw_vectors(&mut f, &vs, 2);
+        assert_eq!(f.get(10, 10), 0, "anchor dot");
+        assert_eq!(f.get(13, 10), 255, "ray pixel");
+        assert_eq!(f.get(16, 10), 255, "ray end (scaled)");
+        assert_eq!(f.get(20, 20), 0, "no-match untouched");
+        assert_eq!(f.get(23, 20), 0);
+    }
+}

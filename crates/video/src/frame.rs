@@ -1,0 +1,220 @@
+//! 8-bit grayscale frames and their packed DMA representation.
+
+/// An 8-bit grayscale video frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    width: usize,
+    height: usize,
+    data: Vec<u8>,
+}
+
+impl Frame {
+    /// A black frame. Width must be a multiple of 4 so frames pack
+    /// exactly into 32-bit bus words.
+    pub fn new(width: usize, height: usize) -> Frame {
+        assert!(width > 0 && height > 0, "empty frame");
+        assert!(width.is_multiple_of(4), "width must be a multiple of 4 (bus packing)");
+        Frame { width, height, data: vec![0; width * height] }
+    }
+
+    /// Build from raw row-major pixels.
+    pub fn from_data(width: usize, height: usize, data: Vec<u8>) -> Frame {
+        assert_eq!(data.len(), width * height, "pixel count mismatch");
+        assert!(width.is_multiple_of(4), "width must be a multiple of 4 (bus packing)");
+        Frame { width, height, data }
+    }
+
+    /// Frame width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Frame height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Total pixel count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True for a zero-pixel frame (cannot actually occur).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Pixel at (x, y). Panics out of range.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> u8 {
+        debug_assert!(x < self.width && y < self.height);
+        self.data[y * self.width + x]
+    }
+
+    /// Pixel at (x, y), 0 outside the frame (border policy used by the
+    /// golden models).
+    #[inline]
+    pub fn get_clamped(&self, x: isize, y: isize) -> u8 {
+        if x < 0 || y < 0 || x as usize >= self.width || y as usize >= self.height {
+            0
+        } else {
+            self.data[y as usize * self.width + x as usize]
+        }
+    }
+
+    /// Set pixel at (x, y); silently ignores out-of-frame coordinates
+    /// (convenient for drawing).
+    #[inline]
+    pub fn put(&mut self, x: isize, y: isize, v: u8) {
+        if x >= 0 && y >= 0 && (x as usize) < self.width && (y as usize) < self.height {
+            self.data[y as usize * self.width + x as usize] = v;
+        }
+    }
+
+    /// Raw pixels, row-major.
+    pub fn pixels(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable raw pixels.
+    pub fn pixels_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Pack into 32-bit words, 4 pixels per word, little-endian (pixel x
+    /// in byte x%4) — the layout video DMA uses in main memory.
+    pub fn to_words(&self) -> Vec<u32> {
+        self.data
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect()
+    }
+
+    /// Unpack from the DMA word layout.
+    pub fn from_words(width: usize, height: usize, words: &[u32]) -> Frame {
+        assert_eq!(words.len() * 4, width * height, "word count mismatch");
+        let mut data = Vec::with_capacity(width * height);
+        for w in words {
+            data.extend_from_slice(&w.to_le_bytes());
+        }
+        Frame::from_data(width, height, data)
+    }
+
+    /// Mean absolute pixel difference against another frame of the same
+    /// geometry (scoreboard metric).
+    pub fn mean_abs_diff(&self, other: &Frame) -> f64 {
+        assert_eq!(self.width, other.width);
+        assert_eq!(self.height, other.height);
+        let sum: u64 = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (*a as i32 - *b as i32).unsigned_abs() as u64)
+            .sum();
+        sum as f64 / self.data.len() as f64
+    }
+
+    /// Count of exactly differing pixels.
+    pub fn differing_pixels(&self, other: &Frame) -> usize {
+        self.data.iter().zip(&other.data).filter(|(a, b)| a != b).count()
+    }
+}
+
+/// A motion vector anchored at (x, y) pointing (dx, dy), i.e. the content
+/// at this position moved by (dx, dy) since the previous frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MotionVector {
+    /// Anchor x.
+    pub x: u16,
+    /// Anchor y.
+    pub y: u16,
+    /// Horizontal displacement.
+    pub dx: i8,
+    /// Vertical displacement.
+    pub dy: i8,
+    /// Match cost (lower = better); `u16::MAX` means "no valid match".
+    pub cost: u16,
+}
+
+impl MotionVector {
+    /// Pack as a 32-bit word for memory transport:
+    /// `[x:12 | y:12 | dx:4 | dy:4]`, displacements biased by +8.
+    pub fn pack(&self) -> u32 {
+        debug_assert!((-8..8).contains(&self.dx) && (-8..8).contains(&self.dy));
+        ((self.x as u32 & 0xFFF) << 20)
+            | ((self.y as u32 & 0xFFF) << 8)
+            | (((self.dx + 8) as u32 & 0xF) << 4)
+            | ((self.dy + 8) as u32 & 0xF)
+    }
+
+    /// Unpack from the 32-bit transport word (cost is not transported).
+    pub fn unpack(w: u32) -> MotionVector {
+        MotionVector {
+            x: ((w >> 20) & 0xFFF) as u16,
+            y: ((w >> 8) & 0xFFF) as u16,
+            dx: (((w >> 4) & 0xF) as i8) - 8,
+            dy: ((w & 0xF) as i8) - 8,
+            cost: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_packing_round_trips() {
+        let mut f = Frame::new(8, 2);
+        for (i, p) in f.pixels_mut().iter_mut().enumerate() {
+            *p = i as u8;
+        }
+        let words = f.to_words();
+        assert_eq!(words.len(), 4);
+        assert_eq!(words[0], 0x03020100);
+        let g = Frame::from_words(8, 2, &words);
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn clamped_reads_are_zero_outside() {
+        let mut f = Frame::new(4, 4);
+        f.put(0, 0, 9);
+        assert_eq!(f.get_clamped(0, 0), 9);
+        assert_eq!(f.get_clamped(-1, 0), 0);
+        assert_eq!(f.get_clamped(0, 4), 0);
+        assert_eq!(f.get_clamped(4, 3), 0);
+    }
+
+    #[test]
+    fn put_ignores_out_of_range() {
+        let mut f = Frame::new(4, 4);
+        f.put(-1, -1, 200);
+        f.put(100, 100, 200);
+        assert!(f.pixels().iter().all(|p| *p == 0));
+    }
+
+    #[test]
+    fn diff_metrics() {
+        let a = Frame::from_data(4, 1, vec![0, 10, 20, 30]);
+        let b = Frame::from_data(4, 1, vec![0, 14, 20, 26]);
+        assert_eq!(a.differing_pixels(&b), 2);
+        assert!((a.mean_abs_diff(&b) - 2.0).abs() < 1e-9);
+        assert_eq!(a.mean_abs_diff(&a), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 4")]
+    fn odd_width_rejected() {
+        Frame::new(5, 5);
+    }
+
+    #[test]
+    fn motion_vector_pack_round_trip() {
+        for (x, y, dx, dy) in [(0u16, 0u16, 0i8, 0i8), (319, 239, -8, 7), (100, 50, 3, -4)] {
+            let v = MotionVector { x, y, dx, dy, cost: 0 };
+            let u = MotionVector::unpack(v.pack());
+            assert_eq!((u.x, u.y, u.dx, u.dy), (x, y, dx, dy));
+        }
+    }
+}

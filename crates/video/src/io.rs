@@ -1,0 +1,115 @@
+//! Binary PGM (P5) frame files — the on-disk format the Video VIPs read
+//! and write, standing in for the paper's "video files on disk".
+
+use crate::frame::Frame;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Write a frame as binary PGM.
+pub fn write_pgm(f: &Frame, w: &mut impl Write) -> io::Result<()> {
+    write!(w, "P5\n{} {}\n255\n", f.width(), f.height())?;
+    w.write_all(f.pixels())
+}
+
+/// Write a frame to a PGM file.
+pub fn save_pgm(f: &Frame, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    write_pgm(f, &mut file)
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Read a binary PGM frame.
+pub fn read_pgm(r: &mut impl Read) -> io::Result<Frame> {
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    // Parse header tokens: magic, width, height, maxval, then raster.
+    let mut pos = 0usize;
+    let mut tokens = Vec::new();
+    while tokens.len() < 4 {
+        // Skip whitespace and comments.
+        while pos < bytes.len() {
+            if bytes[pos] == b'#' {
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+            } else if bytes[pos].is_ascii_whitespace() {
+                pos += 1;
+            } else {
+                break;
+            }
+        }
+        let start = pos;
+        while pos < bytes.len() && !bytes[pos].is_ascii_whitespace() {
+            pos += 1;
+        }
+        if start == pos {
+            return Err(bad("truncated PGM header"));
+        }
+        tokens.push(std::str::from_utf8(&bytes[start..pos]).map_err(|_| bad("bad header"))?.to_string());
+    }
+    if tokens[0] != "P5" {
+        return Err(bad("not a binary PGM (P5) file"));
+    }
+    let width: usize = tokens[1].parse().map_err(|_| bad("bad width"))?;
+    let height: usize = tokens[2].parse().map_err(|_| bad("bad height"))?;
+    let maxval: usize = tokens[3].parse().map_err(|_| bad("bad maxval"))?;
+    if maxval != 255 {
+        return Err(bad("only maxval 255 supported"));
+    }
+    pos += 1; // single whitespace after maxval
+    if bytes.len() < pos + width * height {
+        return Err(bad("truncated PGM raster"));
+    }
+    Ok(Frame::from_data(width, height, bytes[pos..pos + width * height].to_vec()))
+}
+
+/// Read a frame from a PGM file.
+pub fn load_pgm(path: impl AsRef<Path>) -> io::Result<Frame> {
+    let mut file = std::fs::File::open(path)?;
+    read_pgm(&mut file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scene::Scene;
+
+    #[test]
+    fn round_trip_through_memory() {
+        let f = Scene::new(32, 24, 2, 9).frame(3);
+        let mut buf = Vec::new();
+        write_pgm(&f, &mut buf).unwrap();
+        assert!(buf.starts_with(b"P5\n32 24\n255\n"));
+        let g = read_pgm(&mut buf.as_slice()).unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn round_trip_through_file() {
+        let dir = std::env::temp_dir().join("video_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("frame.pgm");
+        let f = Scene::new(16, 8, 1, 1).frame(0);
+        save_pgm(&f, &path).unwrap();
+        assert_eq!(load_pgm(&path).unwrap(), f);
+    }
+
+    #[test]
+    fn comments_in_header_are_skipped() {
+        let mut data = b"P5\n# created by a tool\n4 2\n255\n".to_vec();
+        data.extend_from_slice(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let f = read_pgm(&mut data.as_slice()).unwrap();
+        assert_eq!(f.width(), 4);
+        assert_eq!(f.get(3, 1), 8);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_pgm(&mut &b"P6\n1 1\n255\nX"[..]).is_err());
+        assert!(read_pgm(&mut &b"P5\n4 4\n255\nxx"[..]).is_err());
+        assert!(read_pgm(&mut &b""[..]).is_err());
+    }
+}

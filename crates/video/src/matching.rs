@@ -1,0 +1,177 @@
+//! Golden (software) model of the Matching Engine.
+//!
+//! The ME compares two consecutive census (feature) images and computes
+//! motion vectors: for each anchor on a regular grid it searches a
+//! ±[`MatchParams::search_radius`] window in the *previous* census image
+//! for the displacement minimising the summed Hamming distance over a
+//! patch. The displacement with minimal cost becomes the motion vector —
+//! the speed/direction estimate the driver-assistance software draws and
+//! analyses.
+
+use crate::census::hamming;
+use crate::frame::{Frame, MotionVector};
+
+/// Matching engine parameters (DCR-programmable in the RTL engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchParams {
+    /// Grid stride between anchors, in pixels.
+    pub grid_step: usize,
+    /// Patch half-size: the cost sums over a `(2h+1)²` patch.
+    pub patch_half: usize,
+    /// Search radius in pixels (displacements in `-r..=r`).
+    pub search_radius: usize,
+    /// Vectors with best cost above this are reported as no-match.
+    pub max_cost: u16,
+}
+
+impl Default for MatchParams {
+    fn default() -> Self {
+        MatchParams { grid_step: 8, patch_half: 2, search_radius: 4, max_cost: 60 }
+    }
+}
+
+/// Patch cost of displacement (dx, dy) for the anchor (x, y):
+/// `sum over patch of hamming(curr[p], prev[p - d])`.
+pub fn match_cost(
+    prev: &Frame,
+    curr: &Frame,
+    x: usize,
+    y: usize,
+    dx: isize,
+    dy: isize,
+    patch_half: usize,
+) -> u32 {
+    let h = patch_half as isize;
+    let mut cost = 0u32;
+    for py in -h..=h {
+        for px in -h..=h {
+            let cx = x as isize + px;
+            let cy = y as isize + py;
+            let c = curr.get_clamped(cx, cy);
+            let p = prev.get_clamped(cx - dx, cy - dy);
+            cost += hamming(c, p);
+        }
+    }
+    cost
+}
+
+/// Compute the motion field between two census images. Anchors run over
+/// the interior grid only (a full search window must fit in the frame).
+pub fn match_frames(prev: &Frame, curr: &Frame, p: &MatchParams) -> Vec<MotionVector> {
+    assert_eq!(prev.width(), curr.width());
+    assert_eq!(prev.height(), curr.height());
+    let margin = p.search_radius + p.patch_half;
+    let mut out = Vec::new();
+    let mut y = margin;
+    while y + margin < curr.height() {
+        let mut x = margin;
+        while x + margin < curr.width() {
+            let r = p.search_radius as isize;
+            let mut best = (0isize, 0isize, u32::MAX);
+            for dy in -r..=r {
+                for dx in -r..=r {
+                    let c = match_cost(prev, curr, x, y, dx, dy, p.patch_half);
+                    // Ties break towards the smaller displacement so a
+                    // static scene yields (0,0) — the RTL engine scans
+                    // in the same order for bit-exact agreement.
+                    let better = c < best.2
+                        || (c == best.2
+                            && (dx * dx + dy * dy) < (best.0 * best.0 + best.1 * best.1));
+                    if better {
+                        best = (dx, dy, c);
+                    }
+                }
+            }
+            let cost = best.2.min(u16::MAX as u32) as u16;
+            out.push(MotionVector {
+                x: x as u16,
+                y: y as u16,
+                dx: best.0 as i8,
+                dy: best.1 as i8,
+                cost: if cost > p.max_cost { u16::MAX } else { cost },
+            });
+            x += p.grid_step;
+        }
+        y += p.grid_step;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::census::census_transform;
+
+    fn textured(width: usize, height: usize, shift: (isize, isize)) -> Frame {
+        // A pseudo-random texture translated by `shift`.
+        let mut f = Frame::new(width, height);
+        for y in 0..height as isize {
+            for x in 0..width as isize {
+                let sx = x - shift.0;
+                let sy = y - shift.1;
+                let v = ((sx * 31 + sy * 17) ^ (sx * sy + 7)) as u32;
+                f.put(x, y, (v % 251) as u8);
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn static_scene_yields_zero_vectors() {
+        let f = textured(64, 48, (0, 0));
+        let c = census_transform(&f);
+        let vs = match_frames(&c, &c, &MatchParams::default());
+        assert!(!vs.is_empty());
+        for v in &vs {
+            assert_eq!((v.dx, v.dy), (0, 0), "at ({},{})", v.x, v.y);
+            assert_eq!(v.cost, 0);
+        }
+    }
+
+    #[test]
+    fn global_translation_is_recovered() {
+        for shift in [(2isize, 0isize), (0, 3), (-1, 2), (3, -3)] {
+            let prev = census_transform(&textured(64, 48, (0, 0)));
+            let curr = census_transform(&textured(64, 48, shift));
+            let vs = match_frames(&prev, &curr, &MatchParams::default());
+            let good = vs
+                .iter()
+                .filter(|v| (v.dx as isize, v.dy as isize) == shift)
+                .count();
+            assert!(
+                good * 10 >= vs.len() * 8,
+                "shift {shift:?}: only {good}/{} vectors correct",
+                vs.len()
+            );
+        }
+    }
+
+    #[test]
+    fn cost_threshold_marks_garbage_matches() {
+        // Uncorrelated frames: best costs are high, so vectors are
+        // flagged as no-match.
+        let prev = census_transform(&textured(64, 48, (0, 0)));
+        let mut junk = Frame::new(64, 48);
+        for (i, p) in junk.pixels_mut().iter_mut().enumerate() {
+            *p = ((i * 2654435761) >> 7) as u8;
+        }
+        let curr = census_transform(&junk);
+        let strict = MatchParams { max_cost: 5, ..Default::default() };
+        let vs = match_frames(&prev, &curr, &strict);
+        let rejected = vs.iter().filter(|v| v.cost == u16::MAX).count();
+        assert!(rejected * 10 >= vs.len() * 5, "{rejected}/{}", vs.len());
+    }
+
+    #[test]
+    fn grid_geometry() {
+        let f = census_transform(&textured(64, 48, (0, 0)));
+        let p = MatchParams::default();
+        let vs = match_frames(&f, &f, &p);
+        let margin = p.search_radius + p.patch_half;
+        for v in &vs {
+            assert!(v.x as usize >= margin && (v.x as usize) + margin < 64);
+            assert!(v.y as usize >= margin && (v.y as usize) + margin < 48);
+            assert_eq!((v.x as usize - margin) % p.grid_step, 0);
+        }
+    }
+}

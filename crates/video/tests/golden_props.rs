@@ -1,0 +1,96 @@
+//! Property-based tests for the golden video models.
+
+use proptest::prelude::*;
+use video::{census_transform, match_frames, Frame, MatchParams, MotionVector};
+
+fn arb_frame(max_w: usize, max_h: usize) -> impl Strategy<Value = Frame> {
+    (1..=max_w / 4, 1..=max_h).prop_flat_map(|(wq, h)| {
+        let w = wq * 4;
+        prop::collection::vec(any::<u8>(), w * h)
+            .prop_map(move |data| Frame::from_data(w, h, data))
+    })
+}
+
+proptest! {
+    /// Word packing is a lossless bijection.
+    #[test]
+    fn frame_word_packing_round_trips(f in arb_frame(64, 32)) {
+        let words = f.to_words();
+        let g = Frame::from_words(f.width(), f.height(), &words);
+        prop_assert_eq!(f, g);
+    }
+
+    /// PGM serialisation round-trips.
+    #[test]
+    fn pgm_round_trips(f in arb_frame(64, 32)) {
+        let mut buf = Vec::new();
+        video::write_pgm(&f, &mut buf).unwrap();
+        let g = video::read_pgm(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(f, g);
+    }
+
+    /// Census is deterministic and bounded: flat regions give 0
+    /// signatures in the strict interior.
+    #[test]
+    fn census_flat_interior_is_zero(w in 1usize..=12, h in 3usize..=12, v in 1u8..255) {
+        let w = w * 4;
+        let f = Frame::from_data(w, h, vec![v; w * h]);
+        let c = census_transform(&f);
+        for y in 1..h - 1 {
+            for x in 1..w.max(2) - 1 {
+                if x >= 1 && x < w - 1 {
+                    prop_assert_eq!(c.get(x, y), 0);
+                }
+            }
+        }
+    }
+
+    /// Census interior signatures are invariant under a constant
+    /// brightness offset that does not saturate. Pixels are generated in
+    /// 0..=200 so any offset up to 55 is saturation-free.
+    #[test]
+    fn census_illumination_invariance(
+        (f, offset) in (1usize..=8, 3usize..=16, 1u8..=55).prop_flat_map(|(wq, h, off)| {
+            let w = wq * 4;
+            (
+                prop::collection::vec(0u8..=200, w * h)
+                    .prop_map(move |data| Frame::from_data(w, h, data)),
+                Just(off),
+            )
+        })
+    ) {
+        let g = Frame::from_data(
+            f.width(),
+            f.height(),
+            f.pixels().iter().map(|p| p + offset).collect(),
+        );
+        let cf = census_transform(&f);
+        let cg = census_transform(&g);
+        for y in 1..f.height().saturating_sub(1) {
+            for x in 1..f.width() - 1 {
+                prop_assert_eq!(cf.get(x, y), cg.get(x, y));
+            }
+        }
+    }
+
+    /// Matching a census image against itself yields all-zero vectors
+    /// with zero cost.
+    #[test]
+    fn self_match_is_identity(f in arb_frame(48, 32)) {
+        prop_assume!(f.height() >= 16);
+        let c = census_transform(&f);
+        let vs = match_frames(&c, &c, &MatchParams::default());
+        for v in vs {
+            prop_assert_eq!((v.dx, v.dy), (0, 0));
+            prop_assert!(v.cost == 0 || v.cost == u16::MAX);
+        }
+    }
+
+    /// Motion vector transport packing round-trips over its full domain.
+    #[test]
+    fn motion_vector_packing(x in 0u16..4096, y in 0u16..4096, dx in -8i8..8, dy in -8i8..8) {
+        let v = MotionVector { x, y, dx, dy, cost: 0 };
+        let u = MotionVector::unpack(v.pack());
+        prop_assert_eq!((u.x, u.y, u.dx, u.dy), (x, y, dx, dy));
+    }
+}

@@ -1,0 +1,65 @@
+//! Bug hunt: inject the paper's headline bug (bug.dpr.6b — software
+//! resets the engines before the bitstream transfer completes) and show
+//! how the two simulation methods treat it: Virtual Multiplexing passes
+//! the broken design, ReSim catches it.
+//!
+//! ```sh
+//! cargo run --release --example bug_hunt
+//! ```
+
+use autovision::{Bug, FaultSet, SimMethod, SystemConfig};
+use verif::run_experiment;
+
+fn run(method: SimMethod, bug: Option<Bug>) -> verif::Verdict {
+    let cfg = SystemConfig {
+        method,
+        faults: bug.map(FaultSet::one).unwrap_or_default(),
+        width: 32,
+        height: 24,
+        n_frames: 2,
+        payload_words: 1024,
+        ..Default::default()
+    };
+    run_experiment(cfg, 1_500_000)
+}
+
+fn main() {
+    let bug = Bug::Dpr6bNoWaitTransfer;
+    println!("injected bug: {} — {}\n", bug.id(), bug.describe());
+
+    println!("=== Virtual Multiplexing (the traditional approach) ===");
+    let v = run(SimMethod::Vmux, Some(bug));
+    println!(
+        "frames displayed: {} / detected: {}",
+        v.frames,
+        if v.detected { "YES" } else { "no — the bug sails through" }
+    );
+    println!("(module swaps are instantaneous and software is hacked, so the");
+    println!(" transfer-completion race cannot occur in this testbench)\n");
+
+    println!("=== ReSim-based simulation ===");
+    let r = run(SimMethod::Resim, Some(bug));
+    println!(
+        "frames displayed: {} / detected: {}",
+        r.frames,
+        if r.detected { "YES" } else { "no" }
+    );
+    for e in r.evidence.iter().take(5) {
+        println!("  evidence: {e:?}");
+    }
+    println!();
+    println!("the SimB transfer takes real simulated time, so the premature");
+    println!("engine reset lands while the region is still being reconfigured —");
+    println!("the reset is lost, the matching engine never starts, and the");
+    println!("checkers flag the X-ridden region outputs.\n");
+
+    println!("=== the fix (wait for the IcapCTRL completion interrupt) ===");
+    let fixed = run(SimMethod::Resim, None);
+    println!(
+        "frames displayed: {} / detected: {}",
+        fixed.frames,
+        if fixed.detected { "regression!" } else { "clean" }
+    );
+    assert!(!v.detected && r.detected && !fixed.detected);
+    println!("\npaper Table III: this bug 'can ONLY be detected by ReSim-based simulation'.");
+}

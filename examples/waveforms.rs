@@ -1,0 +1,54 @@
+//! Waveform capture: run a reconfiguration with VCD tracing enabled and
+//! point a waveform viewer (GTKWave etc.) at the output — the workflow a
+//! verification engineer uses to root-cause the bugs this repository
+//! reproduces.
+//!
+//! ```sh
+//! cargo run --release --example waveforms
+//! ```
+
+use autovision::{AvSystem, SimMethod, SystemConfig};
+
+fn main() {
+    let cfg = SystemConfig {
+        method: SimMethod::Resim,
+        width: 16,
+        height: 8,
+        n_frames: 1,
+        payload_words: 64,
+        ..Default::default()
+    };
+    let dir = std::path::Path::new("target/waves");
+    std::fs::create_dir_all(dir).unwrap();
+    let path = dir.join("reconfiguration.vcd");
+
+    let mut sys = AvSystem::build(cfg);
+    sys.sim.trace_vcd(&path).unwrap();
+    let outcome = sys.run(1_000_000);
+    sys.sim.flush_vcd().unwrap();
+    assert!(!outcome.hung);
+
+    let meta = std::fs::metadata(&path).unwrap();
+    println!("simulated {} cycles, {} frame(s) displayed", outcome.cycles, outcome.frames_captured);
+    println!("VCD trace: {} ({} KiB)", path.display(), meta.len() / 1024);
+    println!();
+    println!("signals worth inspecting around the two reconfigurations:");
+    for s in [
+        "icap_artifact.reconfiguring  (the DURING-reconfiguration window)",
+        "icap_artifact.inject         (error-injection window)",
+        "rr0.active                   (which module the portal has configured)",
+        "isolate                      (the isolation control the software drives)",
+        "rr.plb.req / rr_iso.plb.req  (region outputs before/after isolation)",
+        "cie.busy / me.busy           (engine activity)",
+        "dcr.abus / dcr.rd / dcr.wr   (software register traffic)",
+    ] {
+        println!("  {s}");
+    }
+    let head: String = std::fs::read_to_string(&path)
+        .unwrap()
+        .lines()
+        .take(5)
+        .collect::<Vec<_>>()
+        .join("\n");
+    println!("\nfile head:\n{head}");
+}

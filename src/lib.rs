@@ -1,0 +1,47 @@
+//! # optical-flow-demonstrator
+//!
+//! A full reproduction of *"RTL Simulation of High Performance Dynamic
+//! Reconfiguration: A Video Processing Case Study"* (Gong, Diessel,
+//! Paul, Stechele) as a Rust workspace: the ReSim simulation-only layer,
+//! the AutoVision Optical Flow Demonstrator it verifies, and every
+//! substrate underneath — an RTL simulation kernel, a PLB bus, a DCR
+//! daisy chain, a PowerPC-subset ISS, cycle-accurate video engines, and
+//! the verification harness that regenerates the paper's tables and
+//! figures.
+//!
+//! This meta-crate re-exports the workspace members; see each crate's
+//! documentation for details, and `DESIGN.md` / `EXPERIMENTS.md` at the
+//! repository root for the experiment index.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use autovision::{AvSystem, SimMethod, SystemConfig};
+//!
+//! // Build the Optical Flow Demonstrator under ReSim-based simulation
+//! // (two engines, two partial reconfigurations per frame).
+//! let mut sys = AvSystem::build(SystemConfig {
+//!     method: SimMethod::Resim,
+//!     width: 32,
+//!     height: 24,
+//!     n_frames: 1,
+//!     payload_words: 64,
+//!     ..Default::default()
+//! });
+//! let outcome = sys.run(2_000_000);
+//! assert!(outcome.halted && !outcome.hung);
+//! assert_eq!(outcome.frames_captured, 1);
+//! // Displayed output matches the golden pipeline bit-exactly.
+//! let golden = sys.golden_output();
+//! assert_eq!(sys.captured.borrow()[0], golden[0]);
+//! ```
+
+pub use autovision;
+pub use dcr;
+pub use engines;
+pub use plb;
+pub use ppc;
+pub use resim;
+pub use rtlsim;
+pub use verif;
+pub use video;

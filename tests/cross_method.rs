@@ -1,0 +1,136 @@
+//! Cross-crate integration: the same design under both simulation
+//! methods, and the sequencing properties of intra-frame reconfiguration.
+
+use autovision::{AvSystem, SimMethod, SystemConfig};
+use verif::probe_high_time;
+
+fn cfg(method: SimMethod) -> SystemConfig {
+    SystemConfig {
+        method,
+        width: 32,
+        height: 24,
+        n_frames: 3,
+        payload_words: 128,
+        seed: 99,
+        ..Default::default()
+    }
+}
+
+/// ReSim does not change the user design; Virtual Multiplexing hacks it
+/// but models the same functional swap. On the clean design both must
+/// produce the *identical* displayed frames — and match the golden
+/// pipeline.
+#[test]
+fn both_methods_produce_identical_output_on_the_clean_design() {
+    let mut resim = AvSystem::build(cfg(SimMethod::Resim));
+    let mut vmux = AvSystem::build(cfg(SimMethod::Vmux));
+    assert!(!resim.run(4_000_000).hung);
+    assert!(!vmux.run(4_000_000).hung);
+    let golden = resim.golden_output();
+    let r = resim.captured.borrow();
+    let v = vmux.captured.borrow();
+    assert_eq!(r.len(), 3);
+    assert_eq!(v.len(), 3);
+    for t in 0..3 {
+        assert_eq!(r[t], v[t], "frame {t} differs between methods");
+        assert_eq!(r[t], golden[t], "frame {t} differs from golden");
+    }
+}
+
+/// Same seed, same config => bit-identical runs (full determinism, a
+/// property regression debugging depends on).
+#[test]
+fn simulation_is_deterministic() {
+    let run = || {
+        let mut sys = AvSystem::build(cfg(SimMethod::Resim));
+        let out = sys.run(4_000_000);
+        let frames = sys.captured.borrow().clone();
+        (out.cycles, frames, sys.sim.stats().evals)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0, "cycle counts differ");
+    assert_eq!(a.1, b.1, "output frames differ");
+    assert_eq!(a.2, b.2, "kernel eval counts differ");
+}
+
+/// Reconfiguration sequencing: isolation must cover every *injection*
+/// window (while the SimB payload streams and the region emits X),
+/// engines must never be busy while the region reconfigures, and the
+/// two reconfigurations per frame must actually take simulated time.
+///
+/// Note the deliberate distinction: software may legally drop isolation
+/// once the controller has written the final word, even though the ICAP
+/// is still draining the trailing DESYNC — injection has already ended
+/// at the last payload word (Table I).
+#[test]
+fn reconfiguration_windows_are_isolated_and_engine_free() {
+    let mut sys = AvSystem::build(cfg(SimMethod::Resim));
+    let reconf = sys.probes.reconfiguring.unwrap();
+    let inject = sys.probes.inject.unwrap();
+    let dpr = probe_high_time(&mut sys.sim, "p.dpr", reconf);
+    let iso = probe_high_time(&mut sys.sim, "p.iso", sys.probes.isolate);
+
+    let cie_busy = sys.probes.cie_busy;
+    let me_busy = sys.probes.me_busy;
+    let isolate = sys.probes.isolate;
+    let violations = std::rc::Rc::new(std::cell::RefCell::new(0u32));
+    let vclone = violations.clone();
+    sys.sim.add_component(
+        "seq_checker",
+        rtlsim::CompKind::Vip,
+        Box::new(move |ctx: &mut rtlsim::Ctx<'_>| {
+            // No engine may run while the region's frames are rewritten.
+            if ctx.is_high(reconf) && (ctx.is_high(cie_busy) || ctx.is_high(me_busy)) {
+                *vclone.borrow_mut() += 1;
+            }
+            // Isolation must cover the entire injection window.
+            if ctx.is_high(inject) && !ctx.is_high(isolate) {
+                *vclone.borrow_mut() += 1;
+            }
+        }),
+        &[reconf, inject, cie_busy, me_busy, isolate],
+    );
+
+    assert!(!sys.run(4_000_000).hung);
+    assert_eq!(*violations.borrow(), 0, "sequencing violation during DPR");
+    let d = *dpr.borrow();
+    let i = *iso.borrow();
+    // Two reconfigurations per frame, three frames.
+    assert_eq!(d.pulses, 6, "DPR windows");
+    assert!(i.pulses >= 6, "isolation pulses: {}", i.pulses);
+    assert!(
+        i.total_ps >= d.total_ps,
+        "isolation ({}) must cover reconfiguration ({})",
+        i.total_ps,
+        d.total_ps
+    );
+    assert!(d.total_ps > 0, "reconfiguration must take simulated time");
+}
+
+/// The displayed frames contain the motion-vector overlay (the software
+/// actually drew something on frames after the first). Uses a scene
+/// whose golden output provably contains markers.
+#[test]
+fn output_frames_carry_vector_markers() {
+    let mut cfg = cfg(SimMethod::Resim);
+    cfg.width = 48;
+    cfg.height = 40;
+    cfg.scene_objects = 3;
+    cfg.seed = 7;
+    let mut sys = AvSystem::build(cfg);
+    assert!(!sys.run(4_000_000).hung);
+    let captured = sys.captured.borrow();
+    let inputs = &sys.input_frames;
+    // Frame 1+: moving objects => some anchors drawn (255) and endpoint
+    // markers (254) that were not in the raw input.
+    let mut marker_frames = 0;
+    for (out, input) in captured.iter().zip(inputs).skip(1) {
+        let diff = out.differing_pixels(input);
+        let has_anchor = out.pixels().iter().any(|p| *p == 255);
+        if diff > 0 && has_anchor {
+            marker_frames += 1;
+        }
+    }
+    assert!(marker_frames >= 1, "no vector overlay found in any frame");
+}
