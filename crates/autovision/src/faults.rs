@@ -56,6 +56,20 @@ pub enum Bug {
     /// completion at all before resetting and starting the new engine
     /// (paper Table III).
     Dpr6bNoWaitTransfer,
+    /// fault.trans.1 — a single-event upset flips one bit of one SimB
+    /// word on the memory read path; the stored bitstream itself is
+    /// untouched, so a retried transfer sees clean data.
+    TransientSimbBitFlip,
+    /// fault.trans.2 — the memory slave stalls one bitstream burst far
+    /// past its normal latency (a refresh collision); the transfer
+    /// eventually resumes on its own.
+    TransientDmaStall,
+    /// fault.trans.3 — the bus answers one bitstream read with a
+    /// spurious error response (a one-off arbiter glitch).
+    TransientBusError,
+    /// fault.trans.4 — the ICAP drops `ready` for a stretch of cycles
+    /// mid-configuration, stalling the write port.
+    TransientIcapReadyDrop,
 }
 
 impl Bug {
@@ -76,6 +90,17 @@ impl Bug {
         Bug::Dpr6bNoWaitTransfer,
     ];
 
+    /// Randomized *transient* faults used by the recovery campaign
+    /// (`verif::recovery`). Deliberately **not** part of [`Bug::ALL`]:
+    /// they are environmental upsets, not design defects, and the
+    /// paper's Table III / Figure 5 totals must not count them.
+    pub const TRANSIENTS: [Bug; 4] = [
+        Bug::TransientSimbBitFlip,
+        Bug::TransientDmaStall,
+        Bug::TransientBusError,
+        Bug::TransientIcapReadyDrop,
+    ];
+
     /// The paper-style identifier, e.g. `"bug.dpr.6b"`.
     pub fn id(&self) -> &'static str {
         match self {
@@ -92,6 +117,10 @@ impl Bug {
             Bug::Dpr5StaleSizeCalc => "bug.dpr.5",
             Bug::Dpr6aShortFixedWait => "bug.dpr.6a",
             Bug::Dpr6bNoWaitTransfer => "bug.dpr.6b",
+            Bug::TransientSimbBitFlip => "fault.trans.1",
+            Bug::TransientDmaStall => "fault.trans.2",
+            Bug::TransientBusError => "fault.trans.3",
+            Bug::TransientIcapReadyDrop => "fault.trans.4",
         }
     }
 
@@ -99,7 +128,9 @@ impl Bug {
     pub fn describe(&self) -> &'static str {
         match self {
             Bug::Hw1MemBurstWrap => "burst reads drive a stale first beat",
-            Bug::Hw2SignatureUninit => "engine_signature register not reset (VMUX-only false alarm)",
+            Bug::Hw2SignatureUninit => {
+                "engine_signature register not reset (VMUX-only false alarm)"
+            }
             Bug::Hw3VideoInShortDma => "video-in DMA end address one burst short",
             Bug::Hw4IrqPulse => "interrupt line pulses instead of holding level",
             Bug::Sw1DrawWrongBuffer => "vectors drawn onto the buffer being captured",
@@ -111,6 +142,10 @@ impl Bug {
             Bug::Dpr5StaleSizeCalc => "driver computes bitstream size with stale parameter",
             Bug::Dpr6aShortFixedWait => "fixed wait tuned for the old (faster) config clock",
             Bug::Dpr6bNoWaitTransfer => "no wait for transfer completion before engine reset",
+            Bug::TransientSimbBitFlip => "single-bit upset on one SimB word readout",
+            Bug::TransientDmaStall => "memory stalls one bitstream burst past its latency",
+            Bug::TransientBusError => "spurious bus-error response on one bitstream read",
+            Bug::TransientIcapReadyDrop => "ICAP drops ready mid-configuration",
         }
     }
 
@@ -131,6 +166,10 @@ impl Bug {
             Bug::Hw1MemBurstWrap | Bug::Hw3VideoInShortDma | Bug::Hw4IrqPulse => BugClass::Static,
             Bug::Hw2SignatureUninit => BugClass::FalseAlarm,
             Bug::Sw1DrawWrongBuffer | Bug::Sw2FlagCached => BugClass::Software,
+            Bug::TransientSimbBitFlip
+            | Bug::TransientDmaStall
+            | Bug::TransientBusError
+            | Bug::TransientIcapReadyDrop => BugClass::Transient,
             _ => BugClass::Dpr,
         }
     }
@@ -147,6 +186,9 @@ pub enum BugClass {
     Dpr,
     /// Simulation-environment artifacts (VMUX-only false alarms).
     FalseAlarm,
+    /// Randomized transient upsets injected by the recovery campaign;
+    /// recoverable by design, never counted in the paper's totals.
+    Transient,
 }
 
 /// The set of bugs injected into one system build.
@@ -215,6 +257,22 @@ mod tests {
         assert_eq!(count(BugClass::Software), 2);
         assert_eq!(count(BugClass::Dpr), 6);
         assert_eq!(count(BugClass::FalseAlarm), 1);
+    }
+
+    #[test]
+    fn transients_stay_out_of_the_paper_catalog() {
+        // The recovery campaign's transient upsets must not perturb the
+        // Table III / Figure 5 bug accounting.
+        let mut seen = std::collections::HashSet::new();
+        for b in Bug::ALL.iter().chain(Bug::TRANSIENTS.iter()) {
+            assert!(seen.insert(b.id()), "duplicate id {}", b.id());
+        }
+        for b in Bug::TRANSIENTS {
+            assert!(!Bug::ALL.contains(&b));
+            assert_eq!(b.class(), BugClass::Transient);
+            assert!(b.id().starts_with("fault.trans."));
+            assert!(!b.describe().is_empty());
+        }
     }
 
     #[test]

@@ -25,10 +25,10 @@ pub mod system;
 pub mod vips;
 
 pub use faults::{Bug, BugClass, FaultSet};
-pub use icapctrl::IcapCtrl;
+pub use icapctrl::{IcapCtrl, RecoveryPolicy, RecoveryStats};
 pub use software::{SimMethod, SwConfig};
 pub use system::{
-    golden_output, AvSystem, ErrorSourceKind, MemLayout, RunOutcome, SystemConfig, SystemProbes, CLK_PERIOD_PS,
-    MODULE_CIE, MODULE_ME, RR_ID,
+    golden_output, AvSystem, ErrorSourceKind, MemLayout, RunOutcome, SystemConfig, SystemProbes,
+    CLK_PERIOD_PS, MODULE_CIE, MODULE_ME, RR_ID,
 };
 pub use vips::{VideoInVip, VideoOutVip};

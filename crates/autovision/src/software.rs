@@ -69,6 +69,13 @@ pub struct SwConfig {
     pub isr_pad_loops: u32,
     /// Dummy-loop count for the bug.dpr.6a fixed wait.
     pub fixed_wait_loops: u32,
+    /// Generate the resilient driver: the ICAP-done handler checks the
+    /// controller's permanent-failure status bit and, once the hardware
+    /// retry budget is exhausted, keeps isolation asserted, enters
+    /// degraded mode and keeps the frame pipeline moving by republishing
+    /// the previous frame's motion vectors. `false` generates the
+    /// original program byte-for-byte.
+    pub recovery: bool,
 }
 
 /// DCR address map (shared with `system.rs`).
@@ -101,6 +108,10 @@ pub mod data_map {
     pub const DRAWBUF: u32 = 0x800C;
     /// Frames drawn+displayed by the main loop.
     pub const DRAWN: u32 = 0x8010;
+    /// Degraded-mode latch: set when reconfiguration failed permanently
+    /// and the driver falls back to stale vectors (recovery builds
+    /// only).
+    pub const DEGRADED: u32 = 0x8014;
 }
 
 /// VMUX signature values.
@@ -184,6 +195,13 @@ pub fn generate(cfg: &SwConfig) -> String {
     ] {
         p(&format!(".equ {name}, {val:#x}"));
     }
+    if cfg.recovery {
+        p(&format!(
+            ".equ ICAP_STATUS, {:#x}",
+            dcr_map::ICAPC as u32 + 1
+        ));
+        p(&format!(".equ DEGRADED, {:#x}", data_map::DEGRADED));
+    }
 
     // ----- initialisation -----
     p("init:");
@@ -196,6 +214,10 @@ pub fn generate(cfg: &SwConfig) -> String {
     p("  stw r3, 0(r10)");
     p("  liw r10, DRAWN");
     p("  stw r3, 0(r10)");
+    if cfg.recovery {
+        p("  liw r10, DEGRADED");
+        p("  stw r3, 0(r10)");
+    }
     p("  mtdcr SYS_ISOLATE, r3   # region not isolated");
     p("  li r3, INTMASK");
     p("  mtdcr INTC_ENABLE, r3");
@@ -330,6 +352,23 @@ pub fn generate(cfg: &SwConfig) -> String {
     // --- video-in done: start the CIE ---
     p("  andi. r21, r20, 1");
     p("  beq n_vin");
+    if cfg.recovery {
+        p("  liw r22, DEGRADED");
+        p("  lwz r21, 0(r22)");
+        p("  cmpwi r21, 0");
+        p("  beq vin_ok");
+        p("  # degraded mode: the region is dead behind isolation — skip");
+        p("  # the engines and republish the previous frame's vectors");
+        p("  bl cur_in");
+        p("  liw r22, DRAWBUF");
+        p("  stw r24, 0(r22)");
+        p("  li r21, 1");
+        p("  liw r22, FLAG");
+        p("  stw r21, 0(r22)");
+        p("  bl advance_frame");
+        p("  b n_vin");
+        p("vin_ok:");
+    }
     p("  bl cur_in               # r24 = IN[FRAME&1], r25 = CEN[FRAME&1]");
     p("  mtdcr ENG_SRC, r24");
     p("  mtdcr ENG_DST, r25");
@@ -446,6 +485,33 @@ pub fn generate(cfg: &SwConfig) -> String {
     if waits_for_icap {
         p("  andi. r21, r20, 4");
         p("  beq n_icap");
+        if cfg.recovery {
+            p("  mfdcr r21, ICAP_STATUS");
+            p("  andi. r21, r21, 4       # bit2: permanent failure");
+            p("  beq icap_ok");
+            p("  # retries exhausted: keep isolation asserted so the dead");
+            p("  # region cannot corrupt the bus, latch degraded mode and");
+            p("  # keep the pipeline moving on the last good vectors");
+            p("  li r21, 1");
+            p("  liw r22, DEGRADED");
+            p("  stw r21, 0(r22)");
+            p("  liw r22, PHASE");
+            p("  lwz r23, 0(r22)");
+            p("  cmpwi r23, 2");
+            p("  bne icap_dead");
+            p("  # the ME never arrived: this frame reuses the previous");
+            p("  # frame's vectors (skip the matching pass entirely)");
+            p("  bl cur_in");
+            p("  liw r22, DRAWBUF");
+            p("  stw r24, 0(r22)");
+            p("  li r21, 1");
+            p("  liw r22, FLAG");
+            p("  stw r21, 0(r22)");
+            p("icap_dead:");
+            p("  bl advance_frame");
+            p("  b n_icap");
+            p("icap_ok:");
+        }
         p("  liw r22, PHASE");
         p("  lwz r23, 0(r22)");
         p("  cmpwi r23, 2");
@@ -659,6 +725,7 @@ mod tests {
             simb_cie: (0x64000, 100),
             isr_pad_loops: 10,
             fixed_wait_loops: 100,
+            recovery: false,
         }
     }
 
@@ -681,16 +748,31 @@ mod tests {
     fn vmux_program_is_the_hacked_one() {
         let resim = generate(&cfg(SimMethod::Resim, FaultSet::none()));
         let vmux = generate(&cfg(SimMethod::Vmux, FaultSet::none()));
-        assert!(vmux.contains("SIG_REG"), "vmux writes the signature register");
-        assert!(!resim.contains("mtdcr SIG_REG"), "production software never does");
-        assert!(resim.contains("ICAP_CTRL, r21"), "production software drives IcapCTRL");
-        assert!(!vmux.contains("mtdcr ICAP_CTRL"), "hacked software does not");
+        assert!(
+            vmux.contains("SIG_REG"),
+            "vmux writes the signature register"
+        );
+        assert!(
+            !resim.contains("mtdcr SIG_REG"),
+            "production software never does"
+        );
+        assert!(
+            resim.contains("ICAP_CTRL, r21"),
+            "production software drives IcapCTRL"
+        );
+        assert!(
+            !vmux.contains("mtdcr ICAP_CTRL"),
+            "hacked software does not"
+        );
     }
 
     #[test]
     fn stale_size_halves_the_words() {
         let good = generate(&cfg(SimMethod::Resim, FaultSet::none()));
-        let bad = generate(&cfg(SimMethod::Resim, FaultSet::one(Bug::Dpr5StaleSizeCalc)));
+        let bad = generate(&cfg(
+            SimMethod::Resim,
+            FaultSet::one(Bug::Dpr5StaleSizeCalc),
+        ));
         assert!(good.contains(".equ SIMB_ME_W, 0x64"));
         assert!(bad.contains(".equ SIMB_ME_W, 0x32"));
     }

@@ -3,16 +3,21 @@
 //! shared PLB with a DCR daisy chain, under either simulation method.
 
 use crate::faults::{Bug, FaultSet};
-use crate::icapctrl::IcapCtrl;
+use crate::icapctrl::{IcapCtrl, RecoveryPolicy, RecoveryStats};
 use crate::software::{self, dcr_map, SimMethod, SwConfig, SIG_CIE, SIG_ME};
 use crate::vips::{VideoInVip, VideoOutVip};
 use dcr::{DcrChainBuilder, RegFile};
-use engines::{CensusEngine, EngineCtrl, EngineIf, EngineParamSignals, IsoPair, Isolation, MatchingEngine};
-use plb::{AddressWindow, MasterPort, MemorySlave, MonitorStats, PlbBus, PlbBusConfig, PlbMonitor, SharedMem};
+use engines::{
+    CensusEngine, EngineCtrl, EngineIf, EngineParamSignals, IsoPair, Isolation, MatchingEngine,
+};
+use plb::{
+    AddressWindow, MasterPort, MemFaultHandle, MemorySlave, MonitorStats, PlbBus, PlbBusConfig,
+    PlbMonitor, SharedMem,
+};
 use ppc::{IntController, IssConfig, IssStats, PpcIss};
 use resim::{
-    build_simb, instantiate_vmux, IcapArtifact, IcapConfig, IcapStats,
-    PortalStats, RrBoundary, SimbKind, VmuxConfig, XSource,
+    build_simb, build_simb_integrity, instantiate_vmux, IcapArtifact, IcapConfig, IcapFaultHandle,
+    IcapStats, PortalStats, RrBoundary, SimbKind, VmuxConfig, XSource,
 };
 use rtlsim::{Clock, CompKind, Component, Ctx, ResetGen, SignalId, Simulator, PS_PER_NS};
 use std::cell::RefCell;
@@ -66,6 +71,13 @@ pub struct SystemConfig {
     /// (ablation knob: `false` is ReSim's faithful deselect-and-inject
     /// behaviour; `true` is the optimistic model of earlier simulators).
     pub optimistic_region: bool,
+    /// Resilient-reconfiguration policy. When enabled the SimBs carry a
+    /// CRC32 integrity word, the ICAP defers swaps until it verifies,
+    /// IcapCTRL detects faults and retries with backoff, and the system
+    /// software degrades gracefully when the retry budget is exhausted.
+    /// Disabled (the default) leaves every paper-reproduction number
+    /// untouched.
+    pub recovery: RecoveryPolicy,
 }
 
 /// Selectable error-injection policies (see `resim::portal`).
@@ -97,6 +109,7 @@ impl Default for SystemConfig {
             error_source: ErrorSourceKind::X,
             swap_trigger: resim::icap::SwapTrigger::LastPayloadWord,
             optimistic_region: false,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -126,7 +139,10 @@ impl MemLayout {
         let in0 = 0x0004_0000;
         let cen0 = align(in0 + 2 * fb);
         let vecs = align(cen0 + 2 * fb);
-        let simb_words = (cfg.payload_words + 10) as u32;
+        // Integrity SimBs carry one extra packet (2 words) before the
+        // DESYNC trailer.
+        let integrity = if cfg.recovery.enabled { 2 } else { 0 };
+        let simb_words = (cfg.payload_words + 10 + integrity) as u32;
         let simb_me = align(vecs + 0x8000);
         let simb_cie = align(simb_me + 4 * simb_words);
         let end = align(simb_cie + 4 * simb_words);
@@ -197,6 +213,11 @@ pub struct RunOutcome {
     pub hung: bool,
     /// Clock cycles consumed.
     pub cycles: u64,
+    /// The simulation kernel itself failed (e.g. a component panic
+    /// surfaced as a kernel error) before the run could finish. Carried
+    /// in the outcome instead of panicking so verdict classification
+    /// can report it as a detected failure.
+    pub kernel_error: Option<String>,
 }
 
 /// A fully built Optical Flow Demonstrator simulation.
@@ -217,6 +238,14 @@ pub struct AvSystem {
     pub portal: Option<Rc<RefCell<PortalStats>>>,
     /// Bus protocol monitor statistics.
     pub bus_monitor: Rc<RefCell<MonitorStats>>,
+    /// Transient-fault injection handle of the memory slave (recovery
+    /// campaign).
+    pub mem_faults: MemFaultHandle,
+    /// Transient-fault injection handle of the ICAP artifact (ReSim
+    /// builds only).
+    pub icap_faults: Option<IcapFaultHandle>,
+    /// IcapCTRL recovery counters (all zero unless `recovery.enabled`).
+    pub recovery: Rc<RefCell<RecoveryStats>>,
     /// The synthetic input frames fed by the camera VIP.
     pub input_frames: Vec<Frame>,
     /// The configuration the system was built from.
@@ -251,12 +280,22 @@ impl AvSystem {
         let mut sim = Simulator::new();
         let clk = sim.signal("clk", 1);
         let rst = sim.signal("rst", 1);
-        sim.add_component("clkgen", CompKind::Vip, Box::new(Clock::new(clk, CLK_PERIOD_PS)), &[]);
-        sim.add_component("rstgen", CompKind::Vip, Box::new(ResetGen::new(rst, 5 * CLK_PERIOD_PS)), &[]);
+        sim.add_component(
+            "clkgen",
+            CompKind::Vip,
+            Box::new(Clock::new(clk, CLK_PERIOD_PS)),
+            &[],
+        );
+        sim.add_component(
+            "rstgen",
+            CompKind::Vip,
+            Box::new(ResetGen::new(rst, 5 * CLK_PERIOD_PS)),
+            &[],
+        );
 
         // ----- memory -----
         let mem = SharedMem::new(layout.mem_bytes);
-        let mem_port = MemorySlave::instantiate_with(
+        let (mem_port, mem_faults) = MemorySlave::instantiate_faulty(
             &mut sim,
             "ddr",
             clk,
@@ -286,9 +325,9 @@ impl AvSystem {
 
         // ----- region boundary, method-specific swap machinery -----
         let boundary = RrBoundary::alloc(&mut sim, "rr");
-        let (icap_port, icap_stats, portal_stats) = match cfg.method {
+        let (icap_port, icap_stats, portal_stats, icap_faults) = match cfg.method {
             SimMethod::Resim => {
-                let (icap_port, icap_stats) = IcapArtifact::instantiate(
+                let (icap_port, icap_stats, icap_faults) = IcapArtifact::instantiate_faulty(
                     &mut sim,
                     "icap_artifact",
                     clk,
@@ -297,6 +336,8 @@ impl AvSystem {
                         fifo_depth: 16,
                         cfg_divider: cfg.cfg_divider,
                         swap_trigger: cfg.swap_trigger,
+                        require_integrity: cfg.recovery.enabled,
+                        tolerant: cfg.recovery.enabled,
                     },
                 );
                 let source: Box<dyn resim::ErrorSource> = match cfg.error_source {
@@ -319,7 +360,12 @@ impl AvSystem {
                         deselect_during_inject: !cfg.optimistic_region,
                     },
                 );
-                (icap_port, Some(icap_stats), Some(portal_stats))
+                (
+                    icap_port,
+                    Some(icap_stats),
+                    Some(portal_stats),
+                    Some(icap_faults),
+                )
             }
             SimMethod::Vmux => {
                 // IcapCTRL is instantiated but unused: give it an inert
@@ -341,7 +387,7 @@ impl AvSystem {
                     boundary,
                     VmuxConfig { reset_signature },
                 );
-                (icap_port, None, None)
+                (icap_port, None, None, None)
             }
         };
 
@@ -351,8 +397,14 @@ impl AvSystem {
         let iso_done = sim.signal("iso.done", 1);
         let iso_port = MasterPort::alloc(&mut sim, "rr_iso.plb");
         let mut pairs = vec![
-            IsoPair { from: boundary.busy, to: iso_busy },
-            IsoPair { from: boundary.done, to: iso_done },
+            IsoPair {
+                from: boundary.busy,
+                to: iso_busy,
+            },
+            IsoPair {
+                from: boundary.done,
+                to: iso_done,
+            },
         ];
         for (from, to) in boundary
             .plb
@@ -363,7 +415,10 @@ impl AvSystem {
             pairs.push(IsoPair { from: *from, to });
         }
         Isolation::instantiate(&mut sim, "isolation", isolate, pairs);
-        let rev = ReverseRelay { from: iso_port, to: boundary.plb };
+        let rev = ReverseRelay {
+            from: iso_port,
+            to: boundary.plb,
+        };
         sim.add_component(
             "rr_rsp_relay",
             CompKind::UserStatic,
@@ -396,12 +451,18 @@ impl AvSystem {
         );
 
         // ----- system control -----
-        SysCtrl { clk, rst, regs: sys_regs.clone(), isolate }.register(&mut sim);
+        SysCtrl {
+            clk,
+            rst,
+            regs: sys_regs.clone(),
+            isolate,
+        }
+        .register(&mut sim);
 
         // ----- reconfiguration controller -----
         let icap_irq = sim.signal_init("irq.icap", 1, 0);
         let icapctrl_port = MasterPort::alloc(&mut sim, "icapctrl.plb");
-        IcapCtrl::instantiate(
+        let recovery_stats = IcapCtrl::instantiate(
             &mut sim,
             "icapctrl",
             clk,
@@ -411,6 +472,7 @@ impl AvSystem {
             icap_port,
             icap_irq,
             f,
+            cfg.recovery,
         );
 
         // ----- video VIPs -----
@@ -494,6 +556,7 @@ impl AvSystem {
             simb_cie: layout.simb_cie,
             isr_pad_loops: cfg.isr_pad_loops,
             fixed_wait_loops: cfg.fixed_wait_loops,
+            recovery: cfg.recovery.enabled,
         };
         let src = software::generate(&sw);
         let program = ppc::assemble(&src, 0x1000).expect("system software must assemble");
@@ -501,7 +564,11 @@ impl AvSystem {
         let isr = program.symbol("isr");
         mem.write_u32(
             0x500,
-            ppc::Instr::B { target: (isr as i64 - 0x500) as i32, link: false }.encode(),
+            ppc::Instr::B {
+                target: (isr as i64 - 0x500) as i32,
+                link: false,
+            }
+            .encode(),
         );
         let cpu_stats = PpcIss::instantiate(
             &mut sim,
@@ -512,17 +579,28 @@ impl AvSystem {
             cpu_port,
             mem.clone(),
             dcr_handle,
-            IssConfig { entry: 0x1000, vector_base: 0, trace_depth: 0 },
+            IssConfig {
+                entry: 0x1000,
+                vector_base: 0,
+                trace_depth: 0,
+            },
         );
 
         // ----- bitstream "flash": SimBs in main memory -----
+        let make_simb = |kind, seed| {
+            if cfg.recovery.enabled {
+                build_simb_integrity(kind, RR_ID, cfg.payload_words, seed)
+            } else {
+                build_simb(kind, RR_ID, cfg.payload_words, seed)
+            }
+        };
         mem.load_words(
             layout.simb_me.0,
-            &build_simb(SimbKind::Config { module: MODULE_ME }, RR_ID, cfg.payload_words, cfg.seed ^ 0x4D45),
+            &make_simb(SimbKind::Config { module: MODULE_ME }, cfg.seed ^ 0x4D45),
         );
         mem.load_words(
             layout.simb_cie.0,
-            &build_simb(SimbKind::Config { module: MODULE_CIE }, RR_ID, cfg.payload_words, cfg.seed ^ 0x0C1E),
+            &make_simb(SimbKind::Config { module: MODULE_CIE }, cfg.seed ^ 0x0C1E),
         );
 
         // ----- the shared PLB -----
@@ -546,7 +624,13 @@ impl AvSystem {
             rst,
             PlbBusConfig::default(),
             masters,
-            vec![(mem_port, AddressWindow { base: 0, len: layout.mem_bytes as u32 })],
+            vec![(
+                mem_port,
+                AddressWindow {
+                    base: 0,
+                    len: layout.mem_bytes as u32,
+                },
+            )],
         );
 
         let probes = SystemProbes {
@@ -565,6 +649,9 @@ impl AvSystem {
             icap: icap_stats,
             portal: portal_stats,
             bus_monitor,
+            mem_faults,
+            icap_faults,
+            recovery: recovery_stats,
             input_frames,
             config: cfg,
             layout,
@@ -573,32 +660,35 @@ impl AvSystem {
     }
 
     /// Run until all frames are displayed, the CPU halts, or the cycle
-    /// budget is exhausted.
+    /// budget is exhausted. A kernel failure (delta overflow etc.) does
+    /// not panic: it ends the run and is reported through
+    /// [`RunOutcome::kernel_error`] so callers can classify it as a
+    /// detected failure instead of tearing the whole process down.
     pub fn run(&mut self, budget_cycles: u64) -> RunOutcome {
         let start = self.sim.now();
         let chunk = 512 * CLK_PERIOD_PS;
+        let outcome_at = |s: &Self, cycles: u64, hung: bool, err: Option<String>| RunOutcome {
+            frames_captured: s.captured.borrow().len(),
+            halted: s.cpu.borrow().halted,
+            hung,
+            cycles,
+            kernel_error: err,
+        };
         loop {
-            self.sim.run_for(chunk).expect("kernel error");
+            if let Err(e) = self.sim.run_for(chunk) {
+                let cycles = (self.sim.now() - start) / CLK_PERIOD_PS;
+                return outcome_at(self, cycles, false, Some(e.to_string()));
+            }
             let cycles = (self.sim.now() - start) / CLK_PERIOD_PS;
             let frames = self.captured.borrow().len();
             let halted = self.cpu.borrow().halted;
             if halted || frames >= self.config.n_frames {
                 // Let in-flight display DMA finish.
-                self.sim.run_for(chunk).expect("kernel error");
-                return RunOutcome {
-                    frames_captured: self.captured.borrow().len(),
-                    halted: self.cpu.borrow().halted,
-                    hung: false,
-                    cycles,
-                };
+                let err = self.sim.run_for(chunk).err().map(|e| e.to_string());
+                return outcome_at(self, cycles, false, err);
             }
             if cycles >= budget_cycles {
-                return RunOutcome {
-                    frames_captured: frames,
-                    halted: false,
-                    hung: true,
-                    cycles,
-                };
+                return outcome_at(self, cycles, true, None);
             }
         }
     }
@@ -634,7 +724,11 @@ pub fn golden_output(inputs: &[Frame], width: usize, height: usize) -> Vec<Frame
                 continue;
             }
             frame.put(v.x as isize, v.y as isize, 255);
-            frame.put(v.x as isize + v.dx as isize, v.y as isize + v.dy as isize, 254);
+            frame.put(
+                v.x as isize + v.dx as isize,
+                v.y as isize + v.dy as isize,
+                254,
+            );
         }
         out.push(frame);
     }
@@ -658,10 +752,10 @@ mod tests {
             let fb = (cfg.width * cfg.height) as u32;
             // Ordered, non-overlapping regions.
             let regions = [
-                (0x1000u32, 0x1000 + 0x8000),          // program + data
-                (l.in0, l.in0 + 2 * fb),               // input ping-pong
-                (l.cen0, l.cen0 + 2 * fb),             // census ping-pong
-                (l.vecs, l.vecs + 0x8000),             // vectors
+                (0x1000u32, 0x1000 + 0x8000), // program + data
+                (l.in0, l.in0 + 2 * fb),      // input ping-pong
+                (l.cen0, l.cen0 + 2 * fb),    // census ping-pong
+                (l.vecs, l.vecs + 0x8000),    // vectors
                 (l.simb_me.0, l.simb_me.0 + 4 * l.simb_me.1),
                 (l.simb_cie.0, l.simb_cie.0 + 4 * l.simb_cie.1),
             ];

@@ -27,6 +27,11 @@ pub mod reg {
     pub const STATUS: u16 = 2;
 }
 
+/// Shared handle to the frames the display VIP has captured.
+pub type CapturedFrames = Rc<RefCell<Vec<Frame>>>;
+/// Shared handle to the per-frame X-poisoned word counts.
+pub type PoisonCounts = Rc<RefCell<Vec<usize>>>;
+
 /// The video-input VIP: on `go`, DMA-writes the next source frame to the
 /// programmed address and pulses its interrupt line.
 pub struct VideoInVip {
@@ -154,7 +159,7 @@ impl VideoOutVip {
         irq_out: SignalId,
         width: usize,
         height: usize,
-    ) -> (Rc<RefCell<Vec<Frame>>>, Rc<RefCell<Vec<usize>>>) {
+    ) -> (CapturedFrames, PoisonCounts) {
         let captured = Rc::new(RefCell::new(Vec::new()));
         let poisoned = Rc::new(RefCell::new(Vec::new()));
         let vip = VideoOutVip {
@@ -200,9 +205,11 @@ impl Component for VideoOutVip {
                         self.busy = false;
                         let unknowns = self.dma.unknown_beats().len();
                         let words = self.dma.take_read_data();
-                        self.captured
-                            .borrow_mut()
-                            .push(Frame::from_words(self.width, self.height, &words));
+                        self.captured.borrow_mut().push(Frame::from_words(
+                            self.width,
+                            self.height,
+                            &words,
+                        ));
                         self.poisoned.borrow_mut().push(unknowns);
                         ctx.set_bit(self.irq_out, true);
                     }

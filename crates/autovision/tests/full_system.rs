@@ -90,7 +90,11 @@ fn cpu_executes_isrs_and_main_loop_work() {
     let outcome = sys.run(2_000_000);
     assert!(!outcome.hung);
     let cpu = sys.cpu.borrow();
-    assert!(cpu.interrupts >= 2 * 5 - 1, "ISR per pipeline step: {}", cpu.interrupts);
+    assert!(
+        cpu.interrupts >= 2 * 5 - 1,
+        "ISR per pipeline step: {}",
+        cpu.interrupts
+    );
     assert!(cpu.isr_cycles > 0);
     assert!(cpu.instret > 1_000);
     assert!(cpu.error.is_none(), "{:?}", cpu.error);

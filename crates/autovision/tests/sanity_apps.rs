@@ -37,7 +37,11 @@ fn run_sanity(app: SanityApp, budget: u64) -> AvSystem {
         cycles += 512;
     }
     assert!(sys.cpu.borrow().halted, "sanity app did not halt");
-    assert!(sys.cpu.borrow().error.is_none(), "{:?}", sys.cpu.borrow().error);
+    assert!(
+        sys.cpu.borrow().error.is_none(),
+        "{:?}",
+        sys.cpu.borrow().error
+    );
     sys
 }
 
@@ -52,7 +56,10 @@ fn hello_world_runs_on_the_platform() {
 fn camera_to_display_passthrough() {
     let frames = 3u32;
     let sys = run_sanity(
-        SanityApp::CameraToDisplay { buffer: 0x40000, frames },
+        SanityApp::CameraToDisplay {
+            buffer: 0x40000,
+            frames,
+        },
         2_000_000,
     );
     let captured = sys.captured.borrow();

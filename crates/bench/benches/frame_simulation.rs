@@ -18,7 +18,10 @@ fn bench_frame(c: &mut Criterion) {
             |b, &method| {
                 b.iter_with_setup(
                     || {
-                        let cfg = SystemConfig { method, ..small_config() };
+                        let cfg = SystemConfig {
+                            method,
+                            ..small_config()
+                        };
                         AvSystem::build(cfg)
                     },
                     |mut sys| {

@@ -11,9 +11,11 @@ fn bench_census(c: &mut Criterion) {
     for (w, h) in [(64usize, 48usize), (320, 240)] {
         let f = Scene::new(w, h, 3, 1).frame(0);
         g.throughput(Throughput::Elements((w * h) as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{w}x{h}")), &f, |b, f| {
-            b.iter(|| census_transform(black_box(f)))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{w}x{h}")),
+            &f,
+            |b, f| b.iter(|| census_transform(black_box(f))),
+        );
     }
     g.finish();
 }
@@ -29,7 +31,9 @@ fn bench_matching(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::from_parameter(format!("{w}x{h}")),
             &(c0, c1),
-            |b, (c0, c1)| b.iter(|| match_frames(black_box(c0), black_box(c1), &MatchParams::default())),
+            |b, (c0, c1)| {
+                b.iter(|| match_frames(black_box(c0), black_box(c1), &MatchParams::default()))
+            },
         );
     }
     g.finish();

@@ -34,7 +34,11 @@ fn main() {
             .first()
             .map(|e| format!("{e:?}"))
             .unwrap_or_else(|| "-".to_string());
-        println!("{name:<10} {:>10}  {}", if v.detected { "FOUND" } else { "missed" }, ev);
+        println!(
+            "{name:<10} {:>10}  {}",
+            if v.detected { "FOUND" } else { "missed" },
+            ev
+        );
     }
     println!();
     println!("shape: X injection (ReSim default) flags the missing isolation via");

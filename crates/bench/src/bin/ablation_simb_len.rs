@@ -34,11 +34,8 @@ fn main() {
         };
         // Measure reconfiguration delay on the clean design.
         let mut sys = AvSystem::build(base.clone());
-        let dpr = verif::probe_high_time(
-            &mut sys.sim,
-            "probe.dpr",
-            sys.probes.reconfiguring.unwrap(),
-        );
+        let dpr =
+            verif::probe_high_time(&mut sys.sim, "probe.dpr", sys.probes.reconfiguring.unwrap());
         let t0 = Instant::now();
         let out = sys.run(30_000_000);
         let wall = t0.elapsed().as_secs_f64();

@@ -34,8 +34,16 @@ fn run(trigger: SwapTrigger, optimistic: bool, bug: Option<Bug>) -> verif::Verdi
 fn main() {
     println!("Swap-trigger ablation on bug.dpr.6b (no wait for transfer completion)\n");
     for (name, trig, optimistic) in [
-        ("ReSim: swap at last word, deselect+inject", SwapTrigger::LastPayloadWord, false),
-        ("ablation: swap at first word, deselect+inject", SwapTrigger::FirstPayloadWord, false),
+        (
+            "ReSim: swap at last word, deselect+inject",
+            SwapTrigger::LastPayloadWord,
+            false,
+        ),
+        (
+            "ablation: swap at first word, deselect+inject",
+            SwapTrigger::FirstPayloadWord,
+            false,
+        ),
         (
             "optimistic: swap at first word, module stays live, silent",
             SwapTrigger::FirstPayloadWord,

@@ -16,11 +16,7 @@ fn main() {
         println!("{word:#010X}   {label}");
     }
     println!();
-    println!(
-        "Paper reference: SYNC 0xAA995566, FAR write 0x30002001/0x01020000,"
-    );
-    println!(
-        "CMD WCFG, Type-2 FDRI size=4, 4 random words (word 0 starts error"
-    );
+    println!("Paper reference: SYNC 0xAA995566, FAR write 0x30002001/0x01020000,");
+    println!("CMD WCFG, Type-2 FDRI size=4, 4 random words (word 0 starts error");
     println!("injection, word 3 ends it and triggers the swap), CMD DESYNC.");
 }

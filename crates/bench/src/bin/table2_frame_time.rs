@@ -71,6 +71,7 @@ fn main() {
                 halted: sys.cpu.borrow().halted,
                 hung: false,
                 cycles,
+                kernel_error: None,
             };
         }
         assert!(cycles < budget, "run hung: {:?}", sys.sim.messages());
@@ -93,13 +94,30 @@ fn main() {
         "", "Simulated (ms)", "paper (ms)", "Elapsed here (s)"
     );
     let row = |name: &str, sim_ms: f64, paper: &str, wall_s: Option<f64>| {
-        let w = wall_s.map(|w| format!("{w:>18.2}")).unwrap_or_else(|| format!("{:>18}", "-"));
+        let w = wall_s
+            .map(|w| format!("{w:>18.2}"))
+            .unwrap_or_else(|| format!("{:>18}", "-"));
         println!("{name:<34} {sim_ms:>14.3} {paper:>16} {w}");
     };
-    row("CensusImg Engine", cie_ms, "1.1", Some(cie_wall / n_frames as f64));
-    row("Matching Engine", me_ms, "1.4", Some(me_wall / n_frames as f64));
+    row(
+        "CensusImg Engine",
+        cie_ms,
+        "1.1",
+        Some(cie_wall / n_frames as f64),
+    );
+    row(
+        "Matching Engine",
+        me_ms,
+        "1.4",
+        Some(me_wall / n_frames as f64),
+    );
     row("PowerPC Interrupt Handler", isr_ms, "0.5", None);
-    row("Dynamic Partial Reconfiguration", dpr_ms, "< 0.1", Some(wall_dpr / n_frames as f64));
+    row(
+        "Dynamic Partial Reconfiguration",
+        dpr_ms,
+        "< 0.1",
+        Some(wall_dpr / n_frames as f64),
+    );
     // The paper's "Overall" row is the sum of the stages above.
     row(
         "Overall",
@@ -109,13 +127,18 @@ fn main() {
     );
     println!(
         "{:<34} {:>14.3} {:>16} {:>18.2}",
-        "(end-to-end incl. draw + video I/O)", total_ms, "-", wall_other / n_frames as f64
+        "(end-to-end incl. draw + video I/O)",
+        total_ms,
+        "-",
+        wall_other / n_frames as f64
     );
 
     println!();
     let cie_rate = sys.sim.toggle_count_prefix("cie.") as f64 / cie_ms.max(1e-9);
     let me_rate = sys.sim.toggle_count_prefix("me.") as f64 / me_ms.max(1e-9);
-    println!("signal activity  : CIE {cie_rate:.0} toggles/sim-ms vs ME {me_rate:.0} toggles/sim-ms");
+    println!(
+        "signal activity  : CIE {cie_rate:.0} toggles/sim-ms vs ME {me_rate:.0} toggles/sim-ms"
+    );
     println!(
         "shape checks     : CIE_sim < ME_sim: {}; CIE activity/ms > ME activity/ms: {}; DPR << engines: {}",
         cie_ms < me_ms,
@@ -127,12 +150,9 @@ fn main() {
         cie_wall / n_frames as f64 / cie_ms.max(1e-9),
         me_wall / n_frames as f64 / me_ms.max(1e-9)
     );
-    println!(
-        "                   inversion was driven by per-toggle interpreter cost in ModelSim;");
-    println!(
-        "                   this compiled kernel charges mostly per clocked eval, so elapsed");
-    println!(
-        "                   tracks cycles while the activity asymmetry above is preserved.");
+    println!("                   inversion was driven by per-toggle interpreter cost in ModelSim;");
+    println!("                   this compiled kernel charges mostly per clocked eval, so elapsed");
+    println!("                   tracks cycles while the activity asymmetry above is preserved.");
     println!(
         "paper comparison : ModelSim needed 11 min/frame on 2009-era hardware; this kernel: {:.2} s/frame",
         wall.as_secs_f64() / n_frames as f64

@@ -9,7 +9,9 @@
 use verif::{render_matrix, run_matrix, MatrixConfig};
 
 fn main() {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mc = MatrixConfig::default();
     println!(
         "Table III — bug detection matrix ({}x{}, {} frames, SimB payload {} words, {} threads)\n",
@@ -23,13 +25,14 @@ fn main() {
         .iter()
         .filter(|r| r.bug.starts_with("bug.dpr") && !r.vmux_detected && r.resim_detected)
         .count();
-    println!(
-        "ReSim-only detections (bugs Virtual Multiplexing cannot see): {dpr_missed_by_vmux}"
-    );
+    println!("ReSim-only detections (bugs Virtual Multiplexing cannot see): {dpr_missed_by_vmux}");
     println!("\nkey paper rows:");
     for id in ["bug.hw.2", "bug.dpr.4", "bug.dpr.5", "bug.dpr.6b"] {
         if let Some(r) = rows.iter().find(|r| r.bug == id) {
-            println!("  {:<11} vmux={:<5} resim={:<5}  {}", r.bug, r.vmux_detected, r.resim_detected, r.evidence);
+            println!(
+                "  {:<11} vmux={:<5} resim={:<5}  {}",
+                r.bug, r.vmux_detected, r.resim_detected, r.evidence
+            );
         }
     }
 }

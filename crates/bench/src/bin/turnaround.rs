@@ -22,10 +22,19 @@ fn main() {
     let sec_per_frame = t0.elapsed().as_secs_f64() / frames;
 
     let t = compare(sec_per_frame, FRAMES_TO_DETECT);
-    println!("simulation cost          : {:.2} s per 320x240 frame on this host", t.sim_sec_per_frame);
-    println!("frames to expose a bug   : {} (paper: all bugs within 2-4 frames)", t.frames_to_detect);
+    println!(
+        "simulation cost          : {:.2} s per 320x240 frame on this host",
+        t.sim_sec_per_frame
+    );
+    println!(
+        "frames to expose a bug   : {} (paper: all bugs within 2-4 frames)",
+        t.frames_to_detect
+    );
     println!("simulation debug iter    : {:.2} min", t.sim_iteration_min);
-    println!("on-chip debug iter       : {:.0} min (paper: implementation + bitstream)", ONCHIP_ITERATION_MIN);
+    println!(
+        "on-chip debug iter       : {:.0} min (paper: implementation + bitstream)",
+        ONCHIP_ITERATION_MIN
+    );
     println!("advantage per iteration  : {:.0}x", t.advantage);
     println!();
     println!("paper scale: 11 min/frame -> 44 min/iteration vs 52 min on-chip;");

@@ -1,0 +1,292 @@
+//! Minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so the workspace
+//! vendors the subset of the criterion API its benches use:
+//! [`Criterion`], benchmark groups, [`BenchmarkId`], [`Throughput`],
+//! `iter` / `iter_with_setup`, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark is warmed up briefly, then timed
+//! for a fixed number of batches; median batch time is reported on
+//! stdout together with derived element throughput when configured.
+//! There is no statistical analysis, plotting, or baseline storage —
+//! only honest wall-clock numbers, which is what the paper tables need.
+//! Under `cargo test` (criterion benches run with `--test`), each
+//! bench executes exactly one iteration as a smoke test, mirroring
+//! upstream behaviour.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so call sites may use `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Per-iteration timing loop handed to the benchmark closure.
+pub struct Bencher {
+    /// Total time across timed iterations.
+    elapsed: Duration,
+    iters: u64,
+    smoke_only: bool,
+}
+
+impl Bencher {
+    fn target_iters(&self) -> u64 {
+        if self.smoke_only {
+            1
+        } else {
+            self.iters
+        }
+    }
+
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let n = self.target_iters();
+        let start = Instant::now();
+        for _ in 0..n {
+            std_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    pub fn iter_with_setup<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+    ) {
+        let n = self.target_iters();
+        let mut total = Duration::ZERO;
+        for _ in 0..n {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+struct Settings {
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    smoke_only: bool,
+}
+
+fn run_one(name: &str, settings: &Settings, f: impl Fn(&mut Bencher)) {
+    // Warm-up: one untimed pass.
+    let mut warm = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 1,
+        smoke_only: true,
+    };
+    f(&mut warm);
+    if settings.smoke_only {
+        println!("bench {name}: ok (smoke)");
+        return;
+    }
+    let mut per_iter = Vec::with_capacity(settings.sample_size);
+    for _ in 0..settings.sample_size {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 1,
+            smoke_only: false,
+        };
+        f(&mut b);
+        per_iter.push(b.elapsed);
+    }
+    per_iter.sort();
+    let median = per_iter[per_iter.len() / 2];
+    match settings.throughput {
+        Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+            let rate = n as f64 / median.as_secs_f64();
+            println!("bench {name}: median {median:?} ({rate:.0} elem/s)");
+        }
+        Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
+            let rate = n as f64 / median.as_secs_f64();
+            println!("bench {name}: median {median:?} ({rate:.0} B/s)");
+        }
+        _ => println!("bench {name}: median {median:?}"),
+    }
+}
+
+/// A named set of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    settings: Settings,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.settings.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl Fn(&mut Bencher, &I),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_one(&name, &self.settings, |b| f(b, input));
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl Fn(&mut Bencher),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_one(&name, &self.settings, f);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    smoke_only: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs harness=false benches with `--test`;
+        // `cargo bench` passes `--bench`. Smoke-run under test.
+        let args: Vec<String> = std::env::args().collect();
+        let smoke_only = !args.iter().any(|a| a == "--bench");
+        Criterion {
+            smoke_only,
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let settings = Settings {
+            sample_size: self.default_sample_size,
+            throughput: None,
+            smoke_only: self.smoke_only,
+        };
+        BenchmarkGroup {
+            name: name.into(),
+            settings,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl Fn(&mut Bencher)) -> &mut Self {
+        let settings = Settings {
+            sample_size: self.default_sample_size,
+            throughput: None,
+            smoke_only: self.smoke_only,
+        };
+        run_one(name, &settings, f);
+        self
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion {
+            smoke_only: false,
+            default_sample_size: 3,
+        };
+        let mut g = c.benchmark_group("demo");
+        g.throughput(Throughput::Elements(10));
+        g.bench_with_input(BenchmarkId::from_parameter(10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn iter_with_setup_times_only_the_routine() {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 2,
+            smoke_only: false,
+        };
+        b.iter_with_setup(
+            || vec![1u8; 64],
+            |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+        );
+        assert!(b.elapsed >= Duration::ZERO);
+    }
+
+    #[test]
+    fn bench_function_smoke() {
+        let mut c = Criterion {
+            smoke_only: true,
+            default_sample_size: 5,
+        };
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+}

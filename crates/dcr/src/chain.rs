@@ -133,7 +133,10 @@ impl Component for DcrMaster {
                 } else if cycles >= DCR_TIMEOUT_CYCLES {
                     Some(DcrResult::Timeout)
                 } else {
-                    self.state = MState::Wait { op, cycles: cycles + 1 };
+                    self.state = MState::Wait {
+                        op,
+                        cycles: cycles + 1,
+                    };
                     None
                 };
                 if let Some(r) = result {
@@ -141,9 +144,7 @@ impl Component for DcrMaster {
                         DcrResult::CorruptX => {
                             ctx.error(format!("DCR chain corrupted by X during {op:?}"))
                         }
-                        DcrResult::Timeout => {
-                            ctx.error(format!("DCR timeout on {op:?}"))
-                        }
+                        DcrResult::Timeout => ctx.error(format!("DCR timeout on {op:?}")),
                         DcrResult::Ok(_) => {}
                     }
                     ctx.set_bit(self.rd, false);

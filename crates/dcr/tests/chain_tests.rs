@@ -22,23 +22,46 @@ fn testbench(corrupt_idx: Option<usize>) -> Tb {
     let clk = sim.signal("clk", 1);
     let rst = sim.signal("rst", 1);
     let corrupt = sim.signal_init("rr_reconfiguring", 1, 0);
-    sim.add_component("clkgen", CompKind::Vip, Box::new(Clock::new(clk, PERIOD)), &[]);
-    sim.add_component("rstgen", CompKind::Vip, Box::new(ResetGen::new(rst, 2 * PERIOD)), &[]);
+    sim.add_component(
+        "clkgen",
+        CompKind::Vip,
+        Box::new(Clock::new(clk, PERIOD)),
+        &[],
+    );
+    sim.add_component(
+        "rstgen",
+        CompKind::Vip,
+        Box::new(ResetGen::new(rst, 2 * PERIOD)),
+        &[],
+    );
     let files = vec![
         RegFile::new(0x100, 8),
         RegFile::new(0x200, 8),
         RegFile::new(0x300, 4),
     ];
     let mut chain = DcrChainBuilder::new(&mut sim, "dcr", clk, rst);
-    for (i, (label, rf)) in [("engine", &files[0]), ("icap", &files[1]), ("misc", &files[2])]
-        .iter()
-        .enumerate()
+    for (i, (label, rf)) in [
+        ("engine", &files[0]),
+        ("icap", &files[1]),
+        ("misc", &files[2]),
+    ]
+    .iter()
+    .enumerate()
     {
-        let x = if corrupt_idx == Some(i) { Some(corrupt) } else { None };
+        let x = if corrupt_idx == Some(i) {
+            Some(corrupt)
+        } else {
+            None
+        };
         chain.add_slave(label, (*rf).clone(), x);
     }
     let handle = chain.finish();
-    Tb { sim, handle, corrupt, files }
+    Tb {
+        sim,
+        handle,
+        corrupt,
+        files,
+    }
 }
 
 fn run_op(tb: &mut Tb, op: DcrOp) -> DcrResult {
@@ -56,7 +79,11 @@ fn run_op(tb: &mut Tb, op: DcrOp) -> DcrResult {
 #[test]
 fn write_then_read_each_slave() {
     let mut tb = testbench(None);
-    for (base, val) in [(0x100u16, 0xAAAA_0001u32), (0x200, 0xBBBB_0002), (0x300, 0xCCCC_0003)] {
+    for (base, val) in [
+        (0x100u16, 0xAAAA_0001u32),
+        (0x200, 0xBBBB_0002),
+        (0x300, 0xCCCC_0003),
+    ] {
         assert_eq!(run_op(&mut tb, DcrOp::Write(base, val)), DcrResult::Ok(val));
         assert_eq!(run_op(&mut tb, DcrOp::Read(base)), DcrResult::Ok(val));
     }

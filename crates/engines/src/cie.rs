@@ -19,8 +19,8 @@
 //! processes the wrong buffers.
 
 use crate::ports::EngineIf;
-use plb::{DmaDriver, DmaEvent};
 use plb::dma::Handshake;
+use plb::{DmaDriver, DmaEvent};
 use rtlsim::{CompKind, Component, Ctx, SignalId, Simulator};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,7 +30,9 @@ enum St {
     ReadRow,
     /// Computing signatures for the centre row, one pixel per cycle
     /// (two when `pixels_per_cycle` is 2).
-    Compute { x: usize },
+    Compute {
+        x: usize,
+    },
     /// DMA write of the completed output row.
     WriteRow,
     DonePulse,

@@ -65,7 +65,10 @@ impl EngineCtrl {
         done_in: SignalId,
         irq_out: SignalId,
     ) {
-        assert!(regs.len() >= 8, "engine control block needs 8 DCR registers");
+        assert!(
+            regs.len() >= 8,
+            "engine control block needs 8 DCR registers"
+        );
         let c = EngineCtrl {
             clk,
             rst,

@@ -32,12 +32,7 @@ pub struct Isolation {
 impl Isolation {
     /// Build and register the module. The component re-evaluates on any
     /// input or control change, like the combinational gates it models.
-    pub fn instantiate(
-        sim: &mut Simulator,
-        name: &str,
-        isolate: SignalId,
-        pairs: Vec<IsoPair>,
-    ) {
+    pub fn instantiate(sim: &mut Simulator, name: &str, isolate: SignalId, pairs: Vec<IsoPair>) {
         let mut sens = vec![isolate];
         sens.extend(pairs.iter().map(|p| p.from));
         let iso = Isolation { isolate, pairs };
@@ -78,7 +73,10 @@ mod tests {
             &mut sim,
             "iso",
             isolate,
-            vec![IsoPair { from: a_in, to: a_out }],
+            vec![IsoPair {
+                from: a_in,
+                to: a_out,
+            }],
         );
         (sim, isolate, a_in, a_out)
     }
@@ -106,7 +104,10 @@ mod tests {
         let (mut sim, _iso, a_in, a_out) = tb();
         sim.poke(a_in, Lv::xes(8));
         sim.settle().unwrap();
-        assert!(sim.peek(a_out).has_unknown(), "X leaks into the static region");
+        assert!(
+            sim.peek(a_out).has_unknown(),
+            "X leaks into the static region"
+        );
     }
 
     #[test]

@@ -15,8 +15,8 @@
 //! (vector output) and the geometry.
 
 use crate::ports::EngineIf;
-use plb::{DmaDriver, DmaEvent};
 use plb::dma::Handshake;
+use plb::{DmaDriver, DmaEvent};
 use rtlsim::{CompKind, Component, Ctx, SignalId, Simulator};
 use video::{Frame, MatchParams, MotionVector};
 
@@ -27,7 +27,10 @@ enum St {
     LoadCurr,
     /// Searching; one anchor at a time, `cycles_left` models the systolic
     /// array latency for the current anchor.
-    Search { anchor: usize, cycles_left: u32 },
+    Search {
+        anchor: usize,
+        cycles_left: u32,
+    },
     WriteVectors,
     DonePulse,
 }
@@ -110,7 +113,11 @@ impl MatchingEngine {
             y: y as u16,
             dx: best.0 as i8,
             dy: best.1 as i8,
-            cost: if cost > self.params.max_cost { u16::MAX } else { cost },
+            cost: if cost > self.params.max_cost {
+                u16::MAX
+            } else {
+                cost
+            },
         }
     }
 
@@ -226,7 +233,10 @@ impl Component for MatchingEngine {
                                 self.st = St::DonePulse;
                             } else {
                                 let cl = self.anchor_cycles();
-                                self.st = St::Search { anchor: 0, cycles_left: cl };
+                                self.st = St::Search {
+                                    anchor: 0,
+                                    cycles_left: cl,
+                                };
                             }
                         }
                         _ => {
@@ -237,18 +247,27 @@ impl Component for MatchingEngine {
                     }
                 }
             }
-            St::Search { anchor, cycles_left } => {
+            St::Search {
+                anchor,
+                cycles_left,
+            } => {
                 // Systolic-array activity toggle.
                 ctx.set_u64(self.sig_cost, (anchor as u64 ^ cycles_left as u64) & 0xFFFF);
                 if cycles_left > 1 {
-                    self.st = St::Search { anchor, cycles_left: cycles_left - 1 };
+                    self.st = St::Search {
+                        anchor,
+                        cycles_left: cycles_left - 1,
+                    };
                 } else {
                     let (x, y) = self.anchors[anchor];
                     let v = self.search_anchor(x, y);
                     self.vectors.push(v);
                     if anchor + 1 < self.anchors.len() {
                         let cl = self.anchor_cycles();
-                        self.st = St::Search { anchor: anchor + 1, cycles_left: cl };
+                        self.st = St::Search {
+                            anchor: anchor + 1,
+                            cycles_left: cl,
+                        };
                     } else {
                         // Emit: count word, then packed vectors.
                         let mut words = Vec::with_capacity(self.vectors.len() + 1);

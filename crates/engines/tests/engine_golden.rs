@@ -23,8 +23,18 @@ fn tb(kind: &str, w: usize, h: usize) -> Tb {
     let mut sim = Simulator::new();
     let clk = sim.signal("clk", 1);
     let rst = sim.signal("rst", 1);
-    sim.add_component("clkgen", CompKind::Vip, Box::new(Clock::new(clk, PERIOD)), &[]);
-    sim.add_component("rstgen", CompKind::Vip, Box::new(ResetGen::new(rst, 2 * PERIOD)), &[]);
+    sim.add_component(
+        "clkgen",
+        CompKind::Vip,
+        Box::new(Clock::new(clk, PERIOD)),
+        &[],
+    );
+    sim.add_component(
+        "rstgen",
+        CompKind::Vip,
+        Box::new(ResetGen::new(rst, 2 * PERIOD)),
+        &[],
+    );
     let mem = SharedMem::new(1 << 20);
     let sport = MemorySlave::instantiate(&mut sim, "mem", clk, rst, mem.clone(), 0);
     let go = sim.signal_init("go", 1, 0);
@@ -42,9 +52,20 @@ fn tb(kind: &str, w: usize, h: usize) -> Tb {
         rst,
         PlbBusConfig::default(),
         vec![io.plb],
-        vec![(sport, AddressWindow { base: 0, len: 1 << 20 })],
+        vec![(
+            sport,
+            AddressWindow {
+                base: 0,
+                len: 1 << 20,
+            },
+        )],
     );
-    let mut t = Tb { sim, mem, io, params };
+    let mut t = Tb {
+        sim,
+        mem,
+        io,
+        params,
+    };
     t.sim.run_for(4 * PERIOD).unwrap(); // release reset
     t.sim.poke_u64(t.io.sel, 1);
     t.sim.poke_u64(t.params.width, w as u64);
@@ -79,8 +100,14 @@ fn cie_matches_golden_model_bit_exactly() {
     t.mem.load_words(SRC, &frame.to_words());
     t.sim.poke_u64(t.params.src_addr, SRC as u64);
     t.sim.poke_u64(t.params.dst_addr, DST as u64);
-    { let s = t.io.ereset; pulse(&mut t, s); }
-    { let s = t.io.go; pulse(&mut t, s); }
+    {
+        let s = t.io.ereset;
+        pulse(&mut t, s);
+    }
+    {
+        let s = t.io.go;
+        pulse(&mut t, s);
+    }
     run_engine(&mut t, 100_000);
     let words: Vec<u32> = t
         .mem
@@ -111,8 +138,14 @@ fn me_matches_golden_model() {
     t.sim.poke_u64(t.params.src_addr, SRC as u64);
     t.sim.poke_u64(t.params.aux_addr, PREV as u64);
     t.sim.poke_u64(t.params.vec_addr, VEC as u64);
-    { let s = t.io.ereset; pulse(&mut t, s); }
-    { let s = t.io.go; pulse(&mut t, s); }
+    {
+        let s = t.io.ereset;
+        pulse(&mut t, s);
+    }
+    {
+        let s = t.io.go;
+        pulse(&mut t, s);
+    }
     run_engine(&mut t, 400_000);
     let n = t.mem.read_u32(VEC).unwrap() as usize;
     let golden = match_frames(&c0, &c1, &MatchParams::default());
@@ -131,15 +164,24 @@ fn cie_ignores_go_when_not_selected() {
     t.mem.load_words(SRC, &Frame::new(w, h).to_words());
     t.sim.poke_u64(t.params.src_addr, SRC as u64);
     t.sim.poke_u64(t.params.dst_addr, DST as u64);
-    { let s = t.io.ereset; pulse(&mut t, s); }
+    {
+        let s = t.io.ereset;
+        pulse(&mut t, s);
+    }
     // Deselect (the region is configured with the other module).
     t.sim.poke_u64(t.io.sel, 0);
-    { let s = t.io.go; pulse(&mut t, s); }
+    {
+        let s = t.io.go;
+        pulse(&mut t, s);
+    }
     t.sim.run_for(200 * PERIOD).unwrap();
     assert_eq!(t.sim.peek_u64(t.io.busy), Some(0), "must stay idle");
     // Re-select and start: now it runs.
     t.sim.poke_u64(t.io.sel, 1);
-    { let s = t.io.go; pulse(&mut t, s); }
+    {
+        let s = t.io.go;
+        pulse(&mut t, s);
+    }
     t.sim.run_for(10 * PERIOD).unwrap();
     assert_eq!(t.sim.peek_u64(t.io.busy), Some(1));
 }
@@ -154,11 +196,17 @@ fn parameters_latch_on_reset_not_on_go() {
     t.mem.load_words(SRC, &frame.to_words());
     t.sim.poke_u64(t.params.src_addr, SRC as u64);
     t.sim.poke_u64(t.params.dst_addr, DST as u64);
-    { let s = t.io.ereset; pulse(&mut t, s); }
+    {
+        let s = t.io.ereset;
+        pulse(&mut t, s);
+    }
     // Now corrupt the wires (software reprogramming for the next frame).
     t.sim.poke_u64(t.params.src_addr, 0xF_0000);
     t.sim.poke_u64(t.params.dst_addr, 0xF_8000);
-    { let s = t.io.go; pulse(&mut t, s); }
+    {
+        let s = t.io.go;
+        pulse(&mut t, s);
+    }
     run_engine(&mut t, 50_000);
     // Output landed at the LATCHED destination, not the new wire value.
     let golden = census_transform(&frame);
@@ -169,7 +217,11 @@ fn parameters_latch_on_reset_not_on_go() {
         .map(|x| x.unwrap())
         .collect();
     assert_eq!(Frame::from_words(w, h, &words), golden);
-    assert_eq!(t.mem.read_u32(0xF_8000), Some(0), "nothing at the stale wire address");
+    assert_eq!(
+        t.mem.read_u32(0xF_8000),
+        Some(0),
+        "nothing at the stale wire address"
+    );
 }
 
 #[test]
@@ -183,8 +235,14 @@ fn stale_latch_produces_wrong_output_location() {
     t.mem.load_words(SRC, &f0.to_words());
     t.sim.poke_u64(t.params.src_addr, SRC as u64);
     t.sim.poke_u64(t.params.dst_addr, DST as u64);
-    { let s = t.io.ereset; pulse(&mut t, s); }
-    { let s = t.io.go; pulse(&mut t, s); }
+    {
+        let s = t.io.ereset;
+        pulse(&mut t, s);
+    }
+    {
+        let s = t.io.go;
+        pulse(&mut t, s);
+    }
     run_engine(&mut t, 50_000);
     // Next frame at new addresses; reset is LOST (not pulsed).
     let src2 = SRC + 0x4000;
@@ -192,12 +250,24 @@ fn stale_latch_produces_wrong_output_location() {
     t.mem.load_words(src2, &f1.to_words());
     t.sim.poke_u64(t.params.src_addr, src2 as u64);
     t.sim.poke_u64(t.params.dst_addr, dst2 as u64);
-    { let s = t.io.go; pulse(&mut t, s); }
+    {
+        let s = t.io.go;
+        pulse(&mut t, s);
+    }
     run_engine(&mut t, 50_000);
     // The engine reprocessed the OLD buffers: dst2 untouched, DST holds
     // census(f0) — not census(f1).
-    assert_eq!(t.mem.read_u32(dst2), Some(0), "new destination never written");
-    let words: Vec<u32> = t.mem.read_words(DST, w * h / 4).into_iter().map(|x| x.unwrap()).collect();
+    assert_eq!(
+        t.mem.read_u32(dst2),
+        Some(0),
+        "new destination never written"
+    );
+    let words: Vec<u32> = t
+        .mem
+        .read_words(DST, w * h / 4)
+        .into_iter()
+        .map(|x| x.unwrap())
+        .collect();
     assert_eq!(Frame::from_words(w, h, &words), census_transform(&f0));
 }
 
@@ -216,8 +286,14 @@ fn cie_is_busier_than_me_per_cycle() {
     tc.mem.load_words(SRC, &f.to_words());
     tc.sim.poke_u64(tc.params.src_addr, SRC as u64);
     tc.sim.poke_u64(tc.params.dst_addr, DST as u64);
-    { let s = tc.io.ereset; pulse(&mut tc, s); }
-    { let s = tc.io.go; pulse(&mut tc, s); }
+    {
+        let s = tc.io.ereset;
+        pulse(&mut tc, s);
+    }
+    {
+        let s = tc.io.go;
+        pulse(&mut tc, s);
+    }
     let cie_cycles = run_engine(&mut tc, 100_000);
     let cie_toggles = tc.sim.toggle_count_prefix("cie.dp.");
 
@@ -227,8 +303,14 @@ fn cie_is_busier_than_me_per_cycle() {
     tm.sim.poke_u64(tm.params.src_addr, SRC as u64);
     tm.sim.poke_u64(tm.params.aux_addr, PREV as u64);
     tm.sim.poke_u64(tm.params.vec_addr, VEC as u64);
-    { let s = tm.io.ereset; pulse(&mut tm, s); }
-    { let s = tm.io.go; pulse(&mut tm, s); }
+    {
+        let s = tm.io.ereset;
+        pulse(&mut tm, s);
+    }
+    {
+        let s = tm.io.go;
+        pulse(&mut tm, s);
+    }
     let me_cycles = run_engine(&mut tm, 400_000);
     let me_toggles = tm.sim.toggle_count_prefix("me.dp.");
 

@@ -97,6 +97,8 @@ impl Component for TestMaster {
                     log.completed += 1;
                 }
                 DmaEvent::Error => log.errors += 1,
+                // The BFM never cancels transfers.
+                DmaEvent::Aborted => {}
             }
         }
         if self.dma.idle() {

@@ -157,9 +157,7 @@ impl Component for Arbiter {
                             self.rr_next = (w + 1) % self.masters.len();
                         }
                         None => {
-                            ctx.warn(format!(
-                                "decode miss: master {w} addr {addr:#010x}"
-                            ));
+                            ctx.warn(format!("decode miss: master {w} addr {addr:#010x}"));
                             ctx.set_u64(self.errm, w as u64);
                         }
                     },
@@ -265,7 +263,10 @@ impl PlbBus {
         masters: Vec<MasterPort>,
         slaves: Vec<(SlavePort, AddressWindow)>,
     ) -> PlbBus {
-        assert!(!masters.is_empty() && !slaves.is_empty(), "bus needs >=1 master and slave");
+        assert!(
+            !masters.is_empty() && !slaves.is_empty(),
+            "bus needs >=1 master and slave"
+        );
         if cfg.mode == BusMode::PointToPoint {
             assert!(
                 masters.len() == 1 && slaves.len() == 1,
@@ -274,8 +275,7 @@ impl PlbBus {
         }
         for (i, (_, a)) in slaves.iter().enumerate() {
             for (_, b) in slaves.iter().skip(i + 1) {
-                let disjoint =
-                    a.base + a.len <= b.base || b.base + b.len <= a.base;
+                let disjoint = a.base + a.len <= b.base || b.base + b.len <= a.base;
                 assert!(disjoint, "overlapping address windows");
             }
         }
@@ -298,7 +298,12 @@ impl PlbBus {
             held_cycles: 0,
             hang_reported: false,
         };
-        sim.add_component(format!("{name}.arbiter"), CompKind::UserStatic, Box::new(arb), &[clk, rst]);
+        sim.add_component(
+            format!("{name}.arbiter"),
+            CompKind::UserStatic,
+            Box::new(arb),
+            &[clk, rst],
+        );
 
         let relay = Relay {
             masters: masters.clone(),
@@ -316,7 +321,12 @@ impl PlbBus {
         for (s, _) in &slaves {
             sens.extend_from_slice(&[s.aready, s.wready, s.rvalid, s.rdata, s.complete, s.err]);
         }
-        sim.add_component(format!("{name}.relay"), CompKind::UserStatic, Box::new(relay), &sens);
+        sim.add_component(
+            format!("{name}.relay"),
+            CompKind::UserStatic,
+            Box::new(relay),
+            &sens,
+        );
 
         PlbBus { owner, slave, errm }
     }
@@ -328,7 +338,10 @@ mod tests {
 
     #[test]
     fn window_containment() {
-        let w = AddressWindow { base: 0x1000, len: 0x100 };
+        let w = AddressWindow {
+            base: 0x1000,
+            len: 0x100,
+        };
         assert!(w.contains(0x1000));
         assert!(w.contains(0x10FF));
         assert!(!w.contains(0x1100));
@@ -352,8 +365,20 @@ mod tests {
             PlbBusConfig::default(),
             vec![m],
             vec![
-                (s0, AddressWindow { base: 0, len: 0x2000 }),
-                (s1, AddressWindow { base: 0x1000, len: 0x1000 }),
+                (
+                    s0,
+                    AddressWindow {
+                        base: 0,
+                        len: 0x2000,
+                    },
+                ),
+                (
+                    s1,
+                    AddressWindow {
+                        base: 0x1000,
+                        len: 0x1000,
+                    },
+                ),
             ],
         );
     }
@@ -367,7 +392,10 @@ mod tests {
         let m0 = MasterPort::alloc(&mut sim, "m0");
         let m1 = MasterPort::alloc(&mut sim, "m1");
         let s0 = SlavePort::alloc(&mut sim, "s0");
-        let cfg = PlbBusConfig { mode: BusMode::PointToPoint, ..Default::default() };
+        let cfg = PlbBusConfig {
+            mode: BusMode::PointToPoint,
+            ..Default::default()
+        };
         PlbBus::new(
             &mut sim,
             "plb",
@@ -375,7 +403,13 @@ mod tests {
             rst,
             cfg,
             vec![m0, m1],
-            vec![(s0, AddressWindow { base: 0, len: 0x1000 })],
+            vec![(
+                s0,
+                AddressWindow {
+                    base: 0,
+                    len: 0x1000,
+                },
+            )],
         );
     }
 }

@@ -39,6 +39,10 @@ pub enum DmaEvent {
     ReadDone,
     /// The bus reported an error (decode miss or slave abort).
     Error,
+    /// A transfer cancelled with [`DmaDriver::abort_flush`] has finished
+    /// draining; the driver is idle again and any captured data was
+    /// discarded.
+    Aborted,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +71,10 @@ pub struct DmaDriver {
     /// Read data may contain X (e.g. poisoned memory words); those beats
     /// are recorded here by index for scoreboard use.
     rx_unknown: Vec<usize>,
+    /// Set by [`DmaDriver::abort_flush`]: finish the in-flight burst
+    /// protocol-cleanly, discard its data, and do not launch the next
+    /// burst.
+    discard: bool,
 }
 
 impl DmaDriver {
@@ -85,6 +93,7 @@ impl DmaDriver {
             wpos: 0,
             rbuf: Vec::new(),
             rx_unknown: Vec::new(),
+            discard: false,
         }
     }
 
@@ -138,11 +147,42 @@ impl DmaDriver {
     pub fn reset(&mut self, ctx: &mut Ctx<'_>) {
         let p = self.port;
         self.state = St::Idle;
+        self.discard = false;
         self.wbuf.clear();
         self.rbuf.clear();
         ctx.set_bit(p.req, false);
         ctx.set_bit(p.wvalid, false);
         ctx.set_bit(p.rready, false);
+    }
+
+    /// Cancel the current transfer *protocol-cleanly*.
+    ///
+    /// A PLB master cannot simply drop a burst the arbiter has already
+    /// granted: the slave would sit in its data phase forever and the
+    /// arbiter — which releases a grant only on the slave's `complete`
+    /// pulse — would wedge the whole bus. So once the request may have
+    /// been granted, the driver instead *drains*: it finishes the
+    /// in-flight burst normally, discards the data, skips any remaining
+    /// bursts and reports [`DmaEvent::Aborted`] from a later
+    /// [`DmaDriver::step`]. Only a transfer that has not yet asserted its
+    /// bus request is cancelled immediately.
+    ///
+    /// Returns `true` when the driver is already idle afterwards; `false`
+    /// means keep stepping until `Aborted` arrives.
+    pub fn abort_flush(&mut self, ctx: &mut Ctx<'_>) -> bool {
+        match self.state {
+            St::Idle => true,
+            // `req` is only asserted when Launch is *stepped*, so the bus
+            // has not seen this transfer yet: safe to drop on the floor.
+            St::Launch => {
+                self.abort(ctx);
+                true
+            }
+            _ => {
+                self.discard = true;
+                false
+            }
+        }
     }
 
     fn burst_len(&self) -> u32 {
@@ -204,7 +244,9 @@ impl DmaDriver {
                         self.state = St::AwaitComplete;
                     } else {
                         ctx.set_u64(p.wdata, self.wbuf[self.wpos] as u64);
-                        self.state = St::WData { beats_left: beats_left - 1 };
+                        self.state = St::WData {
+                            beats_left: beats_left - 1,
+                        };
                     }
                 }
                 None
@@ -226,7 +268,9 @@ impl DmaDriver {
                         ctx.set_bit(p.rready, false);
                         self.state = St::AwaitComplete;
                     } else {
-                        self.state = St::RData { beats_left: beats_left - 1 };
+                        self.state = St::RData {
+                            beats_left: beats_left - 1,
+                        };
                     }
                 }
                 None
@@ -241,15 +285,30 @@ impl DmaDriver {
                     return None;
                 }
                 if ctx.is_high(p.err) {
+                    let draining = self.discard;
                     self.abort(ctx);
-                    return Some(DmaEvent::Error);
+                    return Some(if draining {
+                        DmaEvent::Aborted
+                    } else {
+                        DmaEvent::Error
+                    });
                 }
-                if self.words_left > 0 {
+                if self.discard {
+                    // Burst drained; drop its data and any remaining
+                    // bursts of the cancelled transfer.
+                    self.abort(ctx);
+                    self.rbuf.clear();
+                    Some(DmaEvent::Aborted)
+                } else if self.words_left > 0 {
                     self.state = St::Launch;
                     None
                 } else {
                     self.state = St::Idle;
-                    Some(if self.rnw { DmaEvent::ReadDone } else { DmaEvent::WriteDone })
+                    Some(if self.rnw {
+                        DmaEvent::ReadDone
+                    } else {
+                        DmaEvent::WriteDone
+                    })
                 }
             }
         }
@@ -258,6 +317,7 @@ impl DmaDriver {
     fn abort(&mut self, ctx: &mut Ctx<'_>) {
         let p = self.port;
         self.state = St::Idle;
+        self.discard = false;
         self.wbuf.clear();
         ctx.set_bit(p.req, false);
         ctx.set_bit(p.wvalid, false);

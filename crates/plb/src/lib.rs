@@ -55,7 +55,7 @@ pub mod port;
 pub use bfm::{BfmOp, TestMaster};
 pub use bus::{AddressWindow, ArbMode, BusMode, PlbBus, PlbBusConfig};
 pub use dma::{DmaDriver, DmaEvent};
-pub use memory::{MemorySlave, SharedMem};
+pub use memory::{MemFaultHandle, MemFaultPlan, MemorySlave, SharedMem};
 pub use monitor::{MonitorStats, PlbMonitor};
 pub use port::{MasterPort, SlavePort};
 

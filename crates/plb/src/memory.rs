@@ -54,7 +54,10 @@ impl SharedMem {
         let inner = self.inner.borrow();
         let a = addr as usize;
         assert!(a.is_multiple_of(4), "unaligned read at {addr:#010x}");
-        assert!(a + 4 <= inner.data.len(), "read out of range at {addr:#010x}");
+        assert!(
+            a + 4 <= inner.data.len(),
+            "read out of range at {addr:#010x}"
+        );
         if inner.poison[a / 4] {
             return None;
         }
@@ -66,7 +69,10 @@ impl SharedMem {
         let mut inner = self.inner.borrow_mut();
         let a = addr as usize;
         assert!(a.is_multiple_of(4), "unaligned write at {addr:#010x}");
-        assert!(a + 4 <= inner.data.len(), "write out of range at {addr:#010x}");
+        assert!(
+            a + 4 <= inner.data.len(),
+            "write out of range at {addr:#010x}"
+        );
         inner.data[a..a + 4].copy_from_slice(&v.to_le_bytes());
         inner.poison[a / 4] = false;
     }
@@ -128,6 +134,40 @@ enum MemState {
     Complete,
 }
 
+/// One-shot transient-fault plan for a [`MemorySlave`].
+///
+/// The recovery campaign arms a fault through a shared
+/// [`MemFaultHandle`] while the simulation runs; the slave consumes it on
+/// the next eligible *read* transaction and then behaves normally again —
+/// the memory contents themselves are never altered, so a retried
+/// transfer sees clean data. Write transactions are never disturbed.
+#[derive(Debug, Default)]
+pub struct MemFaultPlan {
+    /// Address window `[lo, hi)` a read must start in to be eligible.
+    /// `None` makes every read eligible. Used to target SimB fetches
+    /// without disturbing CPU instruction or frame traffic.
+    pub window: Option<(u32, u32)>,
+    /// Respond to this many eligible reads with a bus error
+    /// (`err`+`complete`, no data phase) instead of serving them.
+    pub error_next_reads: u32,
+    /// Delay the address ack of the next eligible read by this many
+    /// cycles (consumed once). The transaction then completes normally,
+    /// so a bounded stall never wedges the bus.
+    pub stall_next_read: Option<u32>,
+    /// Flip `bit` (mod 32) of beat `beat` (clamped to the burst length)
+    /// of the next eligible read — a transient single-bit readout upset.
+    pub flip_next_read: Option<(u32, u32)>,
+    /// Number of bus errors injected so far.
+    pub errors_fired: u64,
+    /// Number of stalls injected so far.
+    pub stalls_fired: u64,
+    /// Number of bit flips injected so far.
+    pub flips_fired: u64,
+}
+
+/// Shared handle through which a testbench arms [`MemFaultPlan`] faults.
+pub type MemFaultHandle = Rc<RefCell<MemFaultPlan>>;
+
 /// The memory slave FSM attached to a [`SlavePort`].
 pub struct MemorySlave {
     port: SlavePort,
@@ -145,12 +185,24 @@ pub struct MemorySlave {
     /// The read output register (observable only through the defect).
     rdata_reg: u32,
     state: MemState,
+    /// Armed transient faults (campaign-controlled), if any.
+    faults: Option<MemFaultHandle>,
+    /// A consumed flip fault waiting for its target beat.
+    active_flip: Option<(u32, u32)>,
+    /// Beat counter within the current read transaction.
+    beat_idx: u32,
 }
 
 impl MemorySlave {
     /// Create the slave FSM; register it with
     /// [`MemorySlave::instantiate`] or manually.
-    pub fn new(port: SlavePort, clk: SignalId, rst: SignalId, mem: SharedMem, wait_states: u32) -> MemorySlave {
+    pub fn new(
+        port: SlavePort,
+        clk: SignalId,
+        rst: SignalId,
+        mem: SharedMem,
+        wait_states: u32,
+    ) -> MemorySlave {
         MemorySlave {
             port,
             clk,
@@ -160,12 +212,21 @@ impl MemorySlave {
             stale_first_beat_bug: false,
             rdata_reg: 0,
             state: MemState::Idle,
+            faults: None,
+            active_flip: None,
+            beat_idx: 0,
         }
     }
 
     /// Enable the stale-first-beat burst-read defect (fault injection).
     pub fn with_stale_beat_bug(mut self, on: bool) -> MemorySlave {
         self.stale_first_beat_bug = on;
+        self
+    }
+
+    /// Attach a transient-fault plan handle (recovery campaign).
+    pub fn with_faults(mut self, faults: MemFaultHandle) -> MemorySlave {
+        self.faults = Some(faults);
         self
     }
 
@@ -194,10 +255,31 @@ impl MemorySlave {
         stale_first_beat_bug: bool,
     ) -> SlavePort {
         let port = SlavePort::alloc(sim, name);
-        let slave =
-            MemorySlave::new(port, clk, rst, mem, wait_states).with_stale_beat_bug(stale_first_beat_bug);
+        let slave = MemorySlave::new(port, clk, rst, mem, wait_states)
+            .with_stale_beat_bug(stale_first_beat_bug);
         sim.add_component(name, CompKind::UserStatic, Box::new(slave), &[clk, rst]);
         port
+    }
+
+    /// As [`MemorySlave::instantiate_with`], with a transient-fault plan
+    /// attached. Returns the port and the handle used to arm faults.
+    #[allow(clippy::too_many_arguments)]
+    pub fn instantiate_faulty(
+        sim: &mut Simulator,
+        name: &str,
+        clk: SignalId,
+        rst: SignalId,
+        mem: SharedMem,
+        wait_states: u32,
+        stale_first_beat_bug: bool,
+    ) -> (SlavePort, MemFaultHandle) {
+        let port = SlavePort::alloc(sim, name);
+        let handle: MemFaultHandle = Rc::new(RefCell::new(MemFaultPlan::default()));
+        let slave = MemorySlave::new(port, clk, rst, mem, wait_states)
+            .with_stale_beat_bug(stale_first_beat_bug)
+            .with_faults(handle.clone());
+        sim.add_component(name, CompKind::UserStatic, Box::new(slave), &[clk, rst]);
+        (port, handle)
     }
 }
 
@@ -206,6 +288,8 @@ impl Component for MemorySlave {
         let p = self.port;
         if ctx.is_high(self.rst) {
             self.state = MemState::Idle;
+            self.active_flip = None;
+            self.beat_idx = 0;
             ctx.set_bit(p.aready, false);
             ctx.set_bit(p.wready, false);
             ctx.set_bit(p.rvalid, false);
@@ -223,7 +307,9 @@ impl Component for MemorySlave {
                     if self.wait_states == 0 {
                         self.accept(ctx);
                     } else {
-                        self.state = MemState::AckWait { left: self.wait_states };
+                        self.state = MemState::AckWait {
+                            left: self.wait_states,
+                        };
                     }
                 }
             }
@@ -253,7 +339,10 @@ impl Component for MemorySlave {
                         ctx.set_bit(p.complete, true);
                         self.state = MemState::Complete;
                     } else {
-                        self.state = MemState::Write { addr: addr + 4, beats_left: beats_left - 1 };
+                        self.state = MemState::Write {
+                            addr: addr + 4,
+                            beats_left: beats_left - 1,
+                        };
                     }
                 }
             }
@@ -268,12 +357,16 @@ impl Component for MemorySlave {
                     } else {
                         let next = addr + 4;
                         self.drive_read(ctx, next, false);
-                        self.state = MemState::Read { addr: next, beats_left: beats_left - 1 };
+                        self.state = MemState::Read {
+                            addr: next,
+                            beats_left: beats_left - 1,
+                        };
                     }
                 }
             }
             MemState::Complete => {
                 ctx.set_bit(p.complete, false);
+                ctx.set_bit(p.err, false);
                 self.state = MemState::Idle;
             }
         }
@@ -286,14 +379,58 @@ impl MemorySlave {
         let addr = ctx.get(p.a_addr).to_u64_lossy() as u32;
         let size = (ctx.get(p.a_size).to_u64_lossy() as u32).max(1);
         let rnw = ctx.is_high(p.a_rnw);
+        if rnw && self.consume_read_fault(ctx, addr, size) {
+            return;
+        }
         ctx.set_bit(p.aready, true);
         if rnw {
+            self.beat_idx = 0;
             self.drive_read(ctx, addr, size > 1);
-            self.state = MemState::Read { addr, beats_left: size };
+            self.state = MemState::Read {
+                addr,
+                beats_left: size,
+            };
         } else {
             ctx.set_bit(p.wready, true);
-            self.state = MemState::Write { addr, beats_left: size };
+            self.state = MemState::Write {
+                addr,
+                beats_left: size,
+            };
         }
+    }
+
+    /// Check the armed fault plan against an incoming read. Returns
+    /// `true` when the fault replaces the normal accept path (bus error
+    /// or stall); a bit flip only arms `active_flip` and lets the
+    /// transaction proceed.
+    fn consume_read_fault(&mut self, ctx: &mut Ctx<'_>, addr: u32, size: u32) -> bool {
+        let Some(handle) = &self.faults else {
+            return false;
+        };
+        let mut plan = handle.borrow_mut();
+        let eligible = plan.window.is_none_or(|(lo, hi)| addr >= lo && addr < hi);
+        if !eligible {
+            return false;
+        }
+        if plan.error_next_reads > 0 {
+            plan.error_next_reads -= 1;
+            plan.errors_fired += 1;
+            let p = self.port;
+            ctx.set_bit(p.err, true);
+            ctx.set_bit(p.complete, true);
+            self.state = MemState::Complete;
+            return true;
+        }
+        if let Some(n) = plan.stall_next_read.take() {
+            plan.stalls_fired += 1;
+            self.state = MemState::AckWait { left: n.max(1) };
+            return true;
+        }
+        if let Some((beat, bit)) = plan.flip_next_read.take() {
+            plan.flips_fired += 1;
+            self.active_flip = Some((beat.min(size - 1), bit & 31));
+        }
+        false
     }
 
     fn drive_read(&mut self, ctx: &mut Ctx<'_>, addr: u32, first_of_burst: bool) {
@@ -301,18 +438,26 @@ impl MemorySlave {
         let stale = self.rdata_reg;
         match self.mem.read_u32(addr) {
             Some(v) => {
-                if self.stale_first_beat_bug && first_of_burst {
+                let mut out = if self.stale_first_beat_bug && first_of_burst {
                     // BUG: the output register enable lags one beat on
                     // the burst path; the previous transfer's data goes
                     // out first.
-                    ctx.set_u64(p.rdata, stale as u64);
+                    stale
                 } else {
-                    ctx.set_u64(p.rdata, v as u64);
+                    v
+                };
+                if let Some((beat, bit)) = self.active_flip {
+                    if self.beat_idx == beat {
+                        out ^= 1 << bit;
+                        self.active_flip = None;
+                    }
                 }
+                ctx.set_u64(p.rdata, out as u64);
                 self.rdata_reg = v;
             }
             None => ctx.set(p.rdata, Lv::xes(32)), // poisoned word reads as X
         }
+        self.beat_idx += 1;
         ctx.set_bit(p.rvalid, true);
     }
 }

@@ -103,37 +103,37 @@ impl Component for PlbMonitor {
             if (ctx.get(p.req).has_unknown()
                 || ctx.get(p.wvalid).has_unknown()
                 || ctx.get(p.rready).has_unknown())
-                && self.flag(i, 0, true) {
-                    ctx.error(format!(
-                        "master '{}': X/Z on bus control signal",
-                        self.masters[i].0
-                    ));
-                }
+                && self.flag(i, 0, true)
+            {
+                ctx.error(format!(
+                    "master '{}': X/Z on bus control signal",
+                    self.masters[i].0
+                ));
+            }
             // Unknown address/size while requesting.
             if ctx.is_high(p.req)
                 && (ctx.get(p.addr).has_unknown() || ctx.get(p.size).has_unknown())
-                && self.flag(i, 1, true) {
-                    ctx.error(format!(
-                        "master '{}': request with X/Z address or size",
-                        self.masters[i].0
-                    ));
-                }
+                && self.flag(i, 1, true)
+            {
+                ctx.error(format!(
+                    "master '{}': request with X/Z address or size",
+                    self.masters[i].0
+                ));
+            }
             // Unknown write data while claiming it is valid.
-            if ctx.is_high(p.wvalid) && ctx.get(p.wdata).has_unknown()
-                && self.flag(i, 2, true) {
-                    ctx.error(format!(
-                        "master '{}': X/Z write data with wvalid",
-                        self.masters[i].0
-                    ));
-                }
+            if ctx.is_high(p.wvalid) && ctx.get(p.wdata).has_unknown() && self.flag(i, 2, true) {
+                ctx.error(format!(
+                    "master '{}': X/Z write data with wvalid",
+                    self.masters[i].0
+                ));
+            }
             // Driving data without owning the bus.
-            if ctx.is_high(p.wvalid) && !ctx.is_high(p.gnt)
-                && self.flag(i, 3, false) {
-                    ctx.error(format!(
-                        "master '{}': wvalid asserted without bus grant",
-                        self.masters[i].0
-                    ));
-                }
+            if ctx.is_high(p.wvalid) && !ctx.is_high(p.gnt) && self.flag(i, 3, false) {
+                ctx.error(format!(
+                    "master '{}': wvalid asserted without bus grant",
+                    self.masters[i].0
+                ));
+            }
             // Track the address phase: data valids before the slave has
             // acknowledged the address are premature (the fixed-latency
             // point-to-point assumption colliding with a shared bus —
@@ -146,12 +146,13 @@ impl Component for PlbMonitor {
             if self.awaiting_ack[i]
                 && !ctx.is_high(p.addr_ack)
                 && (ctx.is_high(p.wvalid) || ctx.is_high(p.rready))
-                && self.flag(i, 4, false) {
-                    ctx.error(format!(
-                        "master '{}': data phase started before address ack",
-                        self.masters[i].0
-                    ));
-                }
+                && self.flag(i, 4, false)
+            {
+                ctx.error(format!(
+                    "master '{}': data phase started before address ack",
+                    self.masters[i].0
+                ));
+            }
         }
     }
 }

@@ -1,7 +1,7 @@
 //! Signal bundles for bus attachment points.
 
-use rtlsim::{SignalId, Simulator};
 use crate::{ADDR_BITS, DATA_BITS, SIZE_BITS};
+use rtlsim::{SignalId, Simulator};
 
 /// The signals a bus master exposes.
 ///

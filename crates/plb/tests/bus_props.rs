@@ -20,10 +20,7 @@ struct MasterPlan {
 
 fn arb_plan() -> impl Strategy<Value = MasterPlan> {
     (
-        prop::collection::vec(
-            (0u32..64, prop::collection::vec(any::<u32>(), 1..24)),
-            1..4,
-        ),
+        prop::collection::vec((0u32..64, prop::collection::vec(any::<u32>(), 1..24)), 1..4),
         0u32..8,
         1u32..24,
     )
@@ -36,7 +33,11 @@ fn arb_plan() -> impl Strategy<Value = MasterPlan> {
                 cursor = at + data.len() as u32 * 4;
                 writes.push((at, data));
             }
-            MasterPlan { writes, delay, burst }
+            MasterPlan {
+                writes,
+                delay,
+                burst,
+            }
         })
 }
 

@@ -1,10 +1,10 @@
 //! End-to-end transfer tests over the shared bus fabric.
 
+use plb::dma::Handshake;
 use plb::{
     AddressWindow, ArbMode, BfmOp, BusMode, MemorySlave, PlbBus, PlbBusConfig, PlbMonitor,
     SharedMem, TestMaster,
 };
-use plb::dma::Handshake;
 use rtlsim::{Clock, CompKind, ResetGen, Simulator};
 
 const PERIOD: u64 = 10_000;
@@ -22,8 +22,18 @@ fn testbench(
     let mut sim = Simulator::new();
     let clk = sim.signal("clk", 1);
     let rst = sim.signal("rst", 1);
-    sim.add_component("clkgen", CompKind::Vip, Box::new(Clock::new(clk, PERIOD)), &[]);
-    sim.add_component("rstgen", CompKind::Vip, Box::new(ResetGen::new(rst, 3 * PERIOD)), &[]);
+    sim.add_component(
+        "clkgen",
+        CompKind::Vip,
+        Box::new(Clock::new(clk, PERIOD)),
+        &[],
+    );
+    sim.add_component(
+        "rstgen",
+        CompKind::Vip,
+        Box::new(ResetGen::new(rst, 3 * PERIOD)),
+        &[],
+    );
 
     let mem = SharedMem::new(64 * 1024);
     let sport = MemorySlave::instantiate(&mut sim, "mem", clk, rst, mem.clone(), wait_states);
@@ -31,8 +41,15 @@ fn testbench(
     let mut ports = Vec::new();
     let mut logs = Vec::new();
     for (i, (hs, burst, script)) in scripts.into_iter().enumerate() {
-        let (port, log) =
-            TestMaster::instantiate(&mut sim, format!("m{i}").as_str(), clk, rst, hs, burst, script);
+        let (port, log) = TestMaster::instantiate(
+            &mut sim,
+            format!("m{i}").as_str(),
+            clk,
+            rst,
+            hs,
+            burst,
+            script,
+        );
         ports.push((format!("m{i}"), port));
         logs.push(log);
     }
@@ -44,7 +61,13 @@ fn testbench(
         rst,
         cfg,
         ports.iter().map(|(_, p)| *p).collect(),
-        vec![(sport, AddressWindow { base: 0, len: 64 * 1024 })],
+        vec![(
+            sport,
+            AddressWindow {
+                base: 0,
+                len: 64 * 1024,
+            },
+        )],
     );
     (Tb { sim, mem }, logs)
 }
@@ -59,8 +82,14 @@ fn single_master_write_then_read_back() {
             Handshake::Full,
             16,
             vec![
-                BfmOp::Write { addr: 0x100, data: data.clone() },
-                BfmOp::Read { addr: 0x100, words: 32 },
+                BfmOp::Write {
+                    addr: 0x100,
+                    data: data.clone(),
+                },
+                BfmOp::Read {
+                    addr: 0x100,
+                    words: 32,
+                },
             ],
         )],
     );
@@ -85,7 +114,10 @@ fn wait_states_slow_but_do_not_corrupt() {
             Handshake::Full,
             8,
             vec![
-                BfmOp::Write { addr: 0, data: data.clone() },
+                BfmOp::Write {
+                    addr: 0,
+                    data: data.clone(),
+                },
                 BfmOp::Read { addr: 0, words: 64 },
             ],
         )],
@@ -109,16 +141,28 @@ fn two_masters_interleave_without_data_loss() {
                 Handshake::Full,
                 16,
                 vec![
-                    BfmOp::Write { addr: 0x0, data: a.clone() },
-                    BfmOp::Read { addr: 0x0, words: 100 },
+                    BfmOp::Write {
+                        addr: 0x0,
+                        data: a.clone(),
+                    },
+                    BfmOp::Read {
+                        addr: 0x0,
+                        words: 100,
+                    },
                 ],
             ),
             (
                 Handshake::Full,
                 16,
                 vec![
-                    BfmOp::Write { addr: 0x2000, data: b.clone() },
-                    BfmOp::Read { addr: 0x2000, words: 100 },
+                    BfmOp::Write {
+                        addr: 0x2000,
+                        data: b.clone(),
+                    },
+                    BfmOp::Read {
+                        addr: 0x2000,
+                        words: 100,
+                    },
                 ],
             ),
         ],
@@ -136,11 +180,17 @@ fn fixed_priority_prefers_lower_index() {
     // Both masters hammer the bus; master 0 must finish first.
     let mk = |tag: u32| -> Vec<BfmOp> {
         (0..20)
-            .map(|i| BfmOp::Write { addr: 0x1000 * (tag + 1) + i * 64, data: vec![tag; 16] })
+            .map(|i| BfmOp::Write {
+                addr: 0x1000 * (tag + 1) + i * 64,
+                data: vec![tag; 16],
+            })
             .collect()
     };
     let (mut tb, logs) = testbench(
-        PlbBusConfig { arbitration: ArbMode::FixedPriority, ..Default::default() },
+        PlbBusConfig {
+            arbitration: ArbMode::FixedPriority,
+            ..Default::default()
+        },
         0,
         vec![(Handshake::Full, 16, mk(0)), (Handshake::Full, 16, mk(1))],
     );
@@ -160,18 +210,27 @@ fn fixed_priority_prefers_lower_index() {
         }
     }
     let (d0, d1) = (m0_done_at.unwrap(), m1_done_at.unwrap());
-    assert!(d0 < d1, "fixed priority must favour master 0 ({d0} vs {d1})");
+    assert!(
+        d0 < d1,
+        "fixed priority must favour master 0 ({d0} vs {d1})"
+    );
 }
 
 #[test]
 fn round_robin_shares_the_bus_fairly() {
     let mk = |tag: u32| -> Vec<BfmOp> {
         (0..20)
-            .map(|i| BfmOp::Write { addr: 0x1000 * (tag + 1) + i * 64, data: vec![tag; 16] })
+            .map(|i| BfmOp::Write {
+                addr: 0x1000 * (tag + 1) + i * 64,
+                data: vec![tag; 16],
+            })
             .collect()
     };
     let (mut tb, logs) = testbench(
-        PlbBusConfig { arbitration: ArbMode::RoundRobin, ..Default::default() },
+        PlbBusConfig {
+            arbitration: ArbMode::RoundRobin,
+            ..Default::default()
+        },
         0,
         vec![(Handshake::Full, 16, mk(0)), (Handshake::Full, 16, mk(1))],
     );
@@ -190,7 +249,10 @@ fn round_robin_shares_the_bus_fairly() {
         }
     }
     let (d0, d1) = (m0_done_at.unwrap() as i64, m1_done_at.unwrap() as i64);
-    assert!((d0 - d1).abs() <= 25, "round robin should finish close together ({d0} vs {d1})");
+    assert!(
+        (d0 - d1).abs() <= 25,
+        "round robin should finish close together ({d0} vs {d1})"
+    );
 }
 
 #[test]
@@ -202,9 +264,15 @@ fn decode_miss_reports_error_to_master() {
             Handshake::Full,
             16,
             vec![
-                BfmOp::Write { addr: 0xDEAD_0000, data: vec![1, 2, 3] },
+                BfmOp::Write {
+                    addr: 0xDEAD_0000,
+                    data: vec![1, 2, 3],
+                },
                 // A good transfer afterwards proves the bus recovered.
-                BfmOp::Write { addr: 0x40, data: vec![9] },
+                BfmOp::Write {
+                    addr: 0x40,
+                    data: vec![9],
+                },
             ],
         )],
     );
@@ -222,8 +290,18 @@ fn fixed_latency_master_works_on_point_to_point_bus() {
     let mut sim = Simulator::new();
     let clk = sim.signal("clk", 1);
     let rst = sim.signal("rst", 1);
-    sim.add_component("clkgen", CompKind::Vip, Box::new(Clock::new(clk, PERIOD)), &[]);
-    sim.add_component("rstgen", CompKind::Vip, Box::new(ResetGen::new(rst, 3 * PERIOD)), &[]);
+    sim.add_component(
+        "clkgen",
+        CompKind::Vip,
+        Box::new(Clock::new(clk, PERIOD)),
+        &[],
+    );
+    sim.add_component(
+        "rstgen",
+        CompKind::Vip,
+        Box::new(ResetGen::new(rst, 3 * PERIOD)),
+        &[],
+    );
     let mem = SharedMem::new(4096);
     let sport = MemorySlave::instantiate(&mut sim, "mem", clk, rst, mem.clone(), 0);
     let data: Vec<u32> = (0..16).collect();
@@ -236,14 +314,20 @@ fn fixed_latency_master_works_on_point_to_point_bus() {
         rst,
         Handshake::FixedLatency { addr_latency: 2 },
         16,
-        vec![BfmOp::Write { addr: 0x10, data: data.clone() }],
+        vec![BfmOp::Write {
+            addr: 0x10,
+            data: data.clone(),
+        }],
     );
     PlbBus::new(
         &mut sim,
         "plb",
         clk,
         rst,
-        PlbBusConfig { mode: BusMode::PointToPoint, ..Default::default() },
+        PlbBusConfig {
+            mode: BusMode::PointToPoint,
+            ..Default::default()
+        },
         vec![port],
         vec![(sport, AddressWindow { base: 0, len: 4096 })],
     );
@@ -263,10 +347,14 @@ fn fixed_latency_master_fails_on_shared_bus_and_is_flagged() {
     let (mut tb, _logs) = testbench(
         PlbBusConfig::default(),
         3, // wait states push aready well past the assumed latency
-        vec![
-            (Handshake::FixedLatency { addr_latency: 2 }, 16,
-             vec![BfmOp::Write { addr: 0x10, data: data.clone() }]),
-        ],
+        vec![(
+            Handshake::FixedLatency { addr_latency: 2 },
+            16,
+            vec![BfmOp::Write {
+                addr: 0x10,
+                data: data.clone(),
+            }],
+        )],
     );
     tb.sim.run_for(500 * PERIOD).unwrap();
     // The write must NOT have landed intact.
@@ -286,7 +374,13 @@ fn x_poisoned_memory_reads_back_as_unknown() {
         vec![(
             Handshake::Full,
             8,
-            vec![BfmOp::Delay { cycles: 5 }, BfmOp::Read { addr: 0x200, words: 4 }],
+            vec![
+                BfmOp::Delay { cycles: 5 },
+                BfmOp::Read {
+                    addr: 0x200,
+                    words: 4,
+                },
+            ],
         )],
     );
     tb.mem.load_words(0x200, &[1, 2, 3, 4]);

@@ -71,7 +71,10 @@ impl fmt::Display for AsmError {
 impl std::error::Error for AsmError {}
 
 fn err(line: usize, msg: impl Into<String>) -> AsmError {
-    AsmError { line, msg: msg.into() }
+    AsmError {
+        line,
+        msg: msg.into(),
+    }
 }
 
 struct Ctx<'a> {
@@ -116,7 +119,10 @@ impl Ctx<'_> {
         if (-(1 << 15)..(1 << 16)).contains(&v) {
             Ok(v as u16 as i16)
         } else {
-            Err(err(self.line, format!("immediate {v} does not fit 16 bits")))
+            Err(err(
+                self.line,
+                format!("immediate {v} does not fit 16 bits"),
+            ))
         }
     }
 
@@ -125,7 +131,10 @@ impl Ctx<'_> {
         if (0..(1 << 16)).contains(&v) {
             Ok(v as u16)
         } else {
-            Err(err(self.line, format!("immediate {v} does not fit unsigned 16 bits")))
+            Err(err(
+                self.line,
+                format!("immediate {v} does not fit unsigned 16 bits"),
+            ))
         }
     }
 
@@ -143,7 +152,10 @@ impl Ctx<'_> {
         if (0..(1 << 10)).contains(&v) {
             Ok(v as u16)
         } else {
-            Err(err(self.line, format!("DCR number {v} does not fit 10 bits")))
+            Err(err(
+                self.line,
+                format!("DCR number {v} does not fit 10 bits"),
+            ))
         }
     }
 
@@ -156,7 +168,11 @@ impl Ctx<'_> {
         if !t.ends_with(')') {
             return Err(err(self.line, format!("expected d(ra), got '{t}'")));
         }
-        let d = if t[..open].trim().is_empty() { 0 } else { self.simm16(&t[..open])? };
+        let d = if t[..open].trim().is_empty() {
+            0
+        } else {
+            self.simm16(&t[..open])?
+        };
         let ra = self.reg(&t[open + 1..t.len() - 1])?;
         Ok((d, ra))
     }
@@ -196,7 +212,10 @@ fn line_words(mnemonic: &str, rest: &str) -> usize {
 fn split_operands(rest: &str) -> Vec<String> {
     // Split on commas that are not inside parentheses (there are none in
     // this dialect, so a plain split suffices).
-    rest.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect()
+    rest.split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
 }
 
 /// Assemble `src` for loading at byte address `base`.
@@ -232,7 +251,10 @@ pub fn assemble(src: &str, base: u32) -> Result<Program, AsmError> {
             if ops.len() != 2 {
                 return Err(err(lineno + 1, ".equ NAME, value"));
             }
-            let ctx = Ctx { symbols: &symbols, line: lineno + 1 };
+            let ctx = Ctx {
+                symbols: &symbols,
+                line: lineno + 1,
+            };
             let v = ctx.value(&ops[1])?;
             symbols.insert(ops[0].clone(), v as u32);
         } else {
@@ -263,23 +285,35 @@ pub fn assemble(src: &str, base: u32) -> Result<Program, AsmError> {
         let (mnemonic, rest) = body.split_once(char::is_whitespace).unwrap_or((body, ""));
         let mnemonic = mnemonic.to_ascii_lowercase();
         let ops = split_operands(rest);
-        let ctx = Ctx { symbols: &symbols, line: lineno + 1 };
+        let ctx = Ctx {
+            symbols: &symbols,
+            line: lineno + 1,
+        };
         let n = ops.len();
         let want = |k: usize| -> Result<(), AsmError> {
             if n == k {
                 Ok(())
             } else {
-                Err(err(lineno + 1, format!("{mnemonic} takes {k} operands, got {n}")))
+                Err(err(
+                    lineno + 1,
+                    format!("{mnemonic} takes {k} operands, got {n}"),
+                ))
             }
         };
         let rel_target = |tok: &str, width_ok: &dyn Fn(i64) -> bool| -> Result<i64, AsmError> {
             let target = ctx.value(tok)?;
             let d = target - pc as i64;
             if !width_ok(d) {
-                return Err(err(lineno + 1, format!("branch displacement {d} out of range")));
+                return Err(err(
+                    lineno + 1,
+                    format!("branch displacement {d} out of range"),
+                ));
             }
             if d % 4 != 0 {
-                return Err(err(lineno + 1, "branch target not word aligned".to_string()));
+                return Err(err(
+                    lineno + 1,
+                    "branch target not word aligned".to_string(),
+                ));
             }
             Ok(d)
         };
@@ -292,26 +326,40 @@ pub fn assemble(src: &str, base: u32) -> Result<Program, AsmError> {
             ".space" => {
                 want(1)?;
                 let bytes = ctx.value(&ops[0])? as usize;
-                for _ in 0..bytes.div_ceil(4) {
-                    words.push(0);
-                }
+                words.resize(words.len() + bytes.div_ceil(4), 0);
             }
             ".equ" => continue,
             // --- pseudo-instructions ---
             "li" => {
                 want(2)?;
-                emit(Instr::Addi { rt: ctx.reg(&ops[0])?, ra: 0, simm: ctx.simm16(&ops[1])? });
+                emit(Instr::Addi {
+                    rt: ctx.reg(&ops[0])?,
+                    ra: 0,
+                    simm: ctx.simm16(&ops[1])?,
+                });
             }
             "lis" => {
                 want(2)?;
-                emit(Instr::Addis { rt: ctx.reg(&ops[0])?, ra: 0, simm: ctx.simm16(&ops[1])? });
+                emit(Instr::Addis {
+                    rt: ctx.reg(&ops[0])?,
+                    ra: 0,
+                    simm: ctx.simm16(&ops[1])?,
+                });
             }
             "liw" => {
                 want(2)?;
                 let rt = ctx.reg(&ops[0])?;
                 let v = ctx.value(&ops[1])? as u32;
-                emit(Instr::Addis { rt, ra: 0, simm: (v >> 16) as i16 });
-                emit(Instr::Ori { ra: rt, rs: rt, uimm: (v & 0xFFFF) as u16 });
+                emit(Instr::Addis {
+                    rt,
+                    ra: 0,
+                    simm: (v >> 16) as i16,
+                });
+                emit(Instr::Ori {
+                    ra: rt,
+                    rs: rt,
+                    uimm: (v & 0xFFFF) as u16,
+                });
             }
             "mr" => {
                 want(2)?;
@@ -321,7 +369,11 @@ pub fn assemble(src: &str, base: u32) -> Result<Program, AsmError> {
             }
             "nop" => {
                 want(0)?;
-                emit(Instr::Ori { ra: 0, rs: 0, uimm: 0 });
+                emit(Instr::Ori {
+                    ra: 0,
+                    rs: 0,
+                    uimm: 0,
+                });
             }
             "slwi" => {
                 want(3)?;
@@ -352,72 +404,139 @@ pub fn assemble(src: &str, base: u32) -> Result<Program, AsmError> {
             // --- real instructions ---
             "addi" => {
                 want(3)?;
-                emit(Instr::Addi { rt: ctx.reg(&ops[0])?, ra: ctx.reg(&ops[1])?, simm: ctx.simm16(&ops[2])? });
+                emit(Instr::Addi {
+                    rt: ctx.reg(&ops[0])?,
+                    ra: ctx.reg(&ops[1])?,
+                    simm: ctx.simm16(&ops[2])?,
+                });
             }
             "addis" => {
                 want(3)?;
-                emit(Instr::Addis { rt: ctx.reg(&ops[0])?, ra: ctx.reg(&ops[1])?, simm: ctx.simm16(&ops[2])? });
+                emit(Instr::Addis {
+                    rt: ctx.reg(&ops[0])?,
+                    ra: ctx.reg(&ops[1])?,
+                    simm: ctx.simm16(&ops[2])?,
+                });
             }
             "ori" => {
                 want(3)?;
-                emit(Instr::Ori { ra: ctx.reg(&ops[0])?, rs: ctx.reg(&ops[1])?, uimm: ctx.uimm16(&ops[2])? });
+                emit(Instr::Ori {
+                    ra: ctx.reg(&ops[0])?,
+                    rs: ctx.reg(&ops[1])?,
+                    uimm: ctx.uimm16(&ops[2])?,
+                });
             }
             "oris" => {
                 want(3)?;
-                emit(Instr::Oris { ra: ctx.reg(&ops[0])?, rs: ctx.reg(&ops[1])?, uimm: ctx.uimm16(&ops[2])? });
+                emit(Instr::Oris {
+                    ra: ctx.reg(&ops[0])?,
+                    rs: ctx.reg(&ops[1])?,
+                    uimm: ctx.uimm16(&ops[2])?,
+                });
             }
             "xori" => {
                 want(3)?;
-                emit(Instr::Xori { ra: ctx.reg(&ops[0])?, rs: ctx.reg(&ops[1])?, uimm: ctx.uimm16(&ops[2])? });
+                emit(Instr::Xori {
+                    ra: ctx.reg(&ops[0])?,
+                    rs: ctx.reg(&ops[1])?,
+                    uimm: ctx.uimm16(&ops[2])?,
+                });
             }
             "andi." => {
                 want(3)?;
-                emit(Instr::AndiDot { ra: ctx.reg(&ops[0])?, rs: ctx.reg(&ops[1])?, uimm: ctx.uimm16(&ops[2])? });
+                emit(Instr::AndiDot {
+                    ra: ctx.reg(&ops[0])?,
+                    rs: ctx.reg(&ops[1])?,
+                    uimm: ctx.uimm16(&ops[2])?,
+                });
             }
             "add" => {
                 want(3)?;
-                emit(Instr::Add { rt: ctx.reg(&ops[0])?, ra: ctx.reg(&ops[1])?, rb: ctx.reg(&ops[2])? });
+                emit(Instr::Add {
+                    rt: ctx.reg(&ops[0])?,
+                    ra: ctx.reg(&ops[1])?,
+                    rb: ctx.reg(&ops[2])?,
+                });
             }
             "subf" => {
                 want(3)?;
-                emit(Instr::Subf { rt: ctx.reg(&ops[0])?, ra: ctx.reg(&ops[1])?, rb: ctx.reg(&ops[2])? });
+                emit(Instr::Subf {
+                    rt: ctx.reg(&ops[0])?,
+                    ra: ctx.reg(&ops[1])?,
+                    rb: ctx.reg(&ops[2])?,
+                });
             }
             "sub" => {
                 // sub rt, ra, rb == subf rt, rb, ra
                 want(3)?;
-                emit(Instr::Subf { rt: ctx.reg(&ops[0])?, ra: ctx.reg(&ops[2])?, rb: ctx.reg(&ops[1])? });
+                emit(Instr::Subf {
+                    rt: ctx.reg(&ops[0])?,
+                    ra: ctx.reg(&ops[2])?,
+                    rb: ctx.reg(&ops[1])?,
+                });
             }
             "mullw" => {
                 want(3)?;
-                emit(Instr::Mullw { rt: ctx.reg(&ops[0])?, ra: ctx.reg(&ops[1])?, rb: ctx.reg(&ops[2])? });
+                emit(Instr::Mullw {
+                    rt: ctx.reg(&ops[0])?,
+                    ra: ctx.reg(&ops[1])?,
+                    rb: ctx.reg(&ops[2])?,
+                });
             }
             "divwu" => {
                 want(3)?;
-                emit(Instr::Divwu { rt: ctx.reg(&ops[0])?, ra: ctx.reg(&ops[1])?, rb: ctx.reg(&ops[2])? });
+                emit(Instr::Divwu {
+                    rt: ctx.reg(&ops[0])?,
+                    ra: ctx.reg(&ops[1])?,
+                    rb: ctx.reg(&ops[2])?,
+                });
             }
             "neg" => {
                 want(2)?;
-                emit(Instr::Neg { rt: ctx.reg(&ops[0])?, ra: ctx.reg(&ops[1])? });
+                emit(Instr::Neg {
+                    rt: ctx.reg(&ops[0])?,
+                    ra: ctx.reg(&ops[1])?,
+                });
             }
             "and" => {
                 want(3)?;
-                emit(Instr::And { ra: ctx.reg(&ops[0])?, rs: ctx.reg(&ops[1])?, rb: ctx.reg(&ops[2])? });
+                emit(Instr::And {
+                    ra: ctx.reg(&ops[0])?,
+                    rs: ctx.reg(&ops[1])?,
+                    rb: ctx.reg(&ops[2])?,
+                });
             }
             "or" => {
                 want(3)?;
-                emit(Instr::Or { ra: ctx.reg(&ops[0])?, rs: ctx.reg(&ops[1])?, rb: ctx.reg(&ops[2])? });
+                emit(Instr::Or {
+                    ra: ctx.reg(&ops[0])?,
+                    rs: ctx.reg(&ops[1])?,
+                    rb: ctx.reg(&ops[2])?,
+                });
             }
             "xor" => {
                 want(3)?;
-                emit(Instr::Xor { ra: ctx.reg(&ops[0])?, rs: ctx.reg(&ops[1])?, rb: ctx.reg(&ops[2])? });
+                emit(Instr::Xor {
+                    ra: ctx.reg(&ops[0])?,
+                    rs: ctx.reg(&ops[1])?,
+                    rb: ctx.reg(&ops[2])?,
+                });
             }
             "slw" => {
                 want(3)?;
-                emit(Instr::Slw { ra: ctx.reg(&ops[0])?, rs: ctx.reg(&ops[1])?, rb: ctx.reg(&ops[2])? });
+                emit(Instr::Slw {
+                    ra: ctx.reg(&ops[0])?,
+                    rs: ctx.reg(&ops[1])?,
+                    rb: ctx.reg(&ops[2])?,
+                });
             }
             "srw" => {
                 want(3)?;
-                emit(Instr::Srw { ra: ctx.reg(&ops[0])?, rs: ctx.reg(&ops[1])?, rb: ctx.reg(&ops[2])? });
+                emit(Instr::Srw {
+                    ra: ctx.reg(&ops[0])?,
+                    rs: ctx.reg(&ops[1])?,
+                    rb: ctx.reg(&ops[2])?,
+                });
             }
             "rlwinm" => {
                 want(5)?;
@@ -431,19 +550,31 @@ pub fn assemble(src: &str, base: u32) -> Result<Program, AsmError> {
             }
             "cmpw" => {
                 want(2)?;
-                emit(Instr::Cmpw { ra: ctx.reg(&ops[0])?, rb: ctx.reg(&ops[1])? });
+                emit(Instr::Cmpw {
+                    ra: ctx.reg(&ops[0])?,
+                    rb: ctx.reg(&ops[1])?,
+                });
             }
             "cmpwi" => {
                 want(2)?;
-                emit(Instr::Cmpwi { ra: ctx.reg(&ops[0])?, simm: ctx.simm16(&ops[1])? });
+                emit(Instr::Cmpwi {
+                    ra: ctx.reg(&ops[0])?,
+                    simm: ctx.simm16(&ops[1])?,
+                });
             }
             "cmplw" => {
                 want(2)?;
-                emit(Instr::Cmplw { ra: ctx.reg(&ops[0])?, rb: ctx.reg(&ops[1])? });
+                emit(Instr::Cmplw {
+                    ra: ctx.reg(&ops[0])?,
+                    rb: ctx.reg(&ops[1])?,
+                });
             }
             "cmplwi" => {
                 want(2)?;
-                emit(Instr::Cmplwi { ra: ctx.reg(&ops[0])?, uimm: ctx.uimm16(&ops[1])? });
+                emit(Instr::Cmplwi {
+                    ra: ctx.reg(&ops[0])?,
+                    uimm: ctx.uimm16(&ops[1])?,
+                });
             }
             "lwz" | "lbz" | "stw" | "stb" => {
                 want(2)?;
@@ -458,16 +589,27 @@ pub fn assemble(src: &str, base: u32) -> Result<Program, AsmError> {
             }
             "lwzx" => {
                 want(3)?;
-                emit(Instr::Lwzx { rt: ctx.reg(&ops[0])?, ra: ctx.reg(&ops[1])?, rb: ctx.reg(&ops[2])? });
+                emit(Instr::Lwzx {
+                    rt: ctx.reg(&ops[0])?,
+                    ra: ctx.reg(&ops[1])?,
+                    rb: ctx.reg(&ops[2])?,
+                });
             }
             "stwx" => {
                 want(3)?;
-                emit(Instr::Stwx { rs: ctx.reg(&ops[0])?, ra: ctx.reg(&ops[1])?, rb: ctx.reg(&ops[2])? });
+                emit(Instr::Stwx {
+                    rs: ctx.reg(&ops[0])?,
+                    ra: ctx.reg(&ops[1])?,
+                    rb: ctx.reg(&ops[2])?,
+                });
             }
             "b" | "bl" => {
                 want(1)?;
                 let d = rel_target(&ops[0], &|d| (-(1 << 25)..(1 << 25)).contains(&d))?;
-                emit(Instr::B { target: d as i32, link: mnemonic == "bl" });
+                emit(Instr::B {
+                    target: d as i32,
+                    link: mnemonic == "bl",
+                });
             }
             "beq" | "bne" | "blt" | "bgt" | "bge" | "ble" | "bdnz" => {
                 want(1)?;
@@ -481,7 +623,11 @@ pub fn assemble(src: &str, base: u32) -> Result<Program, AsmError> {
                     _ => Cond::Dnz,
                 };
                 let d = rel_target(&ops[0], &|d| (-(1 << 15)..(1 << 15)).contains(&d))?;
-                emit(Instr::Bc { cond, target: d as i16, link: false });
+                emit(Instr::Bc {
+                    cond,
+                    target: d as i16,
+                    link: false,
+                });
             }
             "blr" => {
                 want(0)?;
@@ -493,48 +639,77 @@ pub fn assemble(src: &str, base: u32) -> Result<Program, AsmError> {
             }
             "mtspr" => {
                 want(2)?;
-                emit(Instr::Mtspr { spr: ctx.spr(&ops[0])?, rs: ctx.reg(&ops[1])? });
+                emit(Instr::Mtspr {
+                    spr: ctx.spr(&ops[0])?,
+                    rs: ctx.reg(&ops[1])?,
+                });
             }
             "mfspr" => {
                 want(2)?;
-                emit(Instr::Mfspr { rt: ctx.reg(&ops[0])?, spr: ctx.spr(&ops[1])? });
+                emit(Instr::Mfspr {
+                    rt: ctx.reg(&ops[0])?,
+                    spr: ctx.spr(&ops[1])?,
+                });
             }
             "mtlr" => {
                 want(1)?;
-                emit(Instr::Mtspr { spr: Spr::Lr, rs: ctx.reg(&ops[0])? });
+                emit(Instr::Mtspr {
+                    spr: Spr::Lr,
+                    rs: ctx.reg(&ops[0])?,
+                });
             }
             "mflr" => {
                 want(1)?;
-                emit(Instr::Mfspr { rt: ctx.reg(&ops[0])?, spr: Spr::Lr });
+                emit(Instr::Mfspr {
+                    rt: ctx.reg(&ops[0])?,
+                    spr: Spr::Lr,
+                });
             }
             "mtctr" => {
                 want(1)?;
-                emit(Instr::Mtspr { spr: Spr::Ctr, rs: ctx.reg(&ops[0])? });
+                emit(Instr::Mtspr {
+                    spr: Spr::Ctr,
+                    rs: ctx.reg(&ops[0])?,
+                });
             }
             "mtdcr" => {
                 want(2)?;
-                emit(Instr::Mtdcr { dcrn: ctx.dcrn(&ops[0])?, rs: ctx.reg(&ops[1])? });
+                emit(Instr::Mtdcr {
+                    dcrn: ctx.dcrn(&ops[0])?,
+                    rs: ctx.reg(&ops[1])?,
+                });
             }
             "mfdcr" => {
                 want(2)?;
-                emit(Instr::Mfdcr { rt: ctx.reg(&ops[0])?, dcrn: ctx.dcrn(&ops[1])? });
+                emit(Instr::Mfdcr {
+                    rt: ctx.reg(&ops[0])?,
+                    dcrn: ctx.dcrn(&ops[1])?,
+                });
             }
             "mtmsr" => {
                 want(1)?;
-                emit(Instr::Mtmsr { rs: ctx.reg(&ops[0])? });
+                emit(Instr::Mtmsr {
+                    rs: ctx.reg(&ops[0])?,
+                });
             }
             "mfcr" => {
                 want(1)?;
-                emit(Instr::Mfcr { rt: ctx.reg(&ops[0])? });
+                emit(Instr::Mfcr {
+                    rt: ctx.reg(&ops[0])?,
+                });
             }
             "mtcrf" => {
                 // Full-mask form only: `mtcrf rS`.
                 want(1)?;
-                emit(Instr::Mtcrf { rs: ctx.reg(&ops[0])? });
+                emit(Instr::Mtcrf {
+                    rs: ctx.reg(&ops[0])?,
+                });
             }
             "mfmsr" => {
                 want(1)?;
-                emit(Instr::Mfmsr { rt: ctx.reg(&ops[0])? });
+                emit(Instr::Mfmsr {
+                    rt: ctx.reg(&ops[0])?,
+                });
             }
             "rfi" => {
                 want(0)?;
@@ -552,7 +727,11 @@ pub fn assemble(src: &str, base: u32) -> Result<Program, AsmError> {
         }
         pc = base + 4 * words.len() as u32;
     }
-    Ok(Program { base, words, symbols })
+    Ok(Program {
+        base,
+        words,
+        symbols,
+    })
 }
 
 #[cfg(test)]
@@ -580,9 +759,30 @@ mod tests {
     fn pseudo_instructions_expand() {
         let p = assemble("liw r4, 0xDEADBEEF\nmr r5, r4\nnop\nhalt\n", 0).unwrap();
         assert_eq!(p.words.len(), 5);
-        assert_eq!(Instr::decode(p.words[0]), Instr::Addis { rt: 4, ra: 0, simm: 0xDEADu16 as i16 });
-        assert_eq!(Instr::decode(p.words[1]), Instr::Ori { ra: 4, rs: 4, uimm: 0xBEEF });
-        assert_eq!(Instr::decode(p.words[2]), Instr::Or { ra: 5, rs: 4, rb: 4 });
+        assert_eq!(
+            Instr::decode(p.words[0]),
+            Instr::Addis {
+                rt: 4,
+                ra: 0,
+                simm: 0xDEADu16 as i16
+            }
+        );
+        assert_eq!(
+            Instr::decode(p.words[1]),
+            Instr::Ori {
+                ra: 4,
+                rs: 4,
+                uimm: 0xBEEF
+            }
+        );
+        assert_eq!(
+            Instr::decode(p.words[2]),
+            Instr::Or {
+                ra: 5,
+                rs: 4,
+                rb: 4
+            }
+        );
         assert_eq!(Instr::decode(p.words[4]), Instr::Trap);
     }
 
@@ -603,7 +803,14 @@ mod tests {
     fn memory_operands() {
         let p = assemble("lwz r3, 8(r1)\nstw r3, -4(r2)\nlwz r4, (r5)\n", 0).unwrap();
         assert_eq!(Instr::decode(p.words[0]), Instr::Lwz { rt: 3, ra: 1, d: 8 });
-        assert_eq!(Instr::decode(p.words[1]), Instr::Stw { rs: 3, ra: 2, d: -4 });
+        assert_eq!(
+            Instr::decode(p.words[1]),
+            Instr::Stw {
+                rs: 3,
+                ra: 2,
+                d: -4
+            }
+        );
         assert_eq!(Instr::decode(p.words[2]), Instr::Lwz { rt: 4, ra: 5, d: 0 });
     }
 
@@ -614,8 +821,14 @@ mod tests {
             0,
         )
         .unwrap();
-        assert_eq!(Instr::decode(p.words[0]), Instr::Mtdcr { dcrn: 0x200, rs: 3 });
-        assert_eq!(Instr::decode(p.words[1]), Instr::Mfdcr { rt: 4, dcrn: 0x201 });
+        assert_eq!(
+            Instr::decode(p.words[0]),
+            Instr::Mtdcr { dcrn: 0x200, rs: 3 }
+        );
+        assert_eq!(
+            Instr::decode(p.words[1]),
+            Instr::Mfdcr { rt: 4, dcrn: 0x201 }
+        );
     }
 
     #[test]
@@ -644,11 +857,23 @@ mod tests {
         let p = assemble("slwi r3, r4, 4\nsrwi r5, r6, 8\n", 0).unwrap();
         assert_eq!(
             Instr::decode(p.words[0]),
-            Instr::Rlwinm { ra: 3, rs: 4, sh: 4, mb: 0, me: 27 }
+            Instr::Rlwinm {
+                ra: 3,
+                rs: 4,
+                sh: 4,
+                mb: 0,
+                me: 27
+            }
         );
         assert_eq!(
             Instr::decode(p.words[1]),
-            Instr::Rlwinm { ra: 5, rs: 6, sh: 24, mb: 8, me: 31 }
+            Instr::Rlwinm {
+                ra: 5,
+                rs: 6,
+                sh: 24,
+                mb: 8,
+                me: 31
+            }
         );
     }
 

@@ -10,8 +10,8 @@
 //! (the heart of bug.dpr.5 and bug.dpr.6b) are simulated faithfully.
 
 use crate::insn::{Cond, Instr, Spr};
-use plb::{DmaDriver, DmaEvent, MasterPort, SharedMem};
 use dcr::{DcrHandle, DcrOp, DcrResult};
+use plb::{DmaDriver, DmaEvent, MasterPort, SharedMem};
 use rtlsim::{CompKind, Component, Ctx, SignalId, Simulator};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -119,11 +119,19 @@ impl CpuCore {
     }
 
     fn set_cr0_signed(&mut self, a: i32, b: i32) {
-        self.cr0 = Cr0 { lt: a < b, gt: a > b, eq: a == b };
+        self.cr0 = Cr0 {
+            lt: a < b,
+            gt: a > b,
+            eq: a == b,
+        };
     }
 
     fn set_cr0_unsigned(&mut self, a: u32, b: u32) {
-        self.cr0 = Cr0 { lt: a < b, gt: a > b, eq: a == b };
+        self.cr0 = Cr0 {
+            lt: a < b,
+            gt: a > b,
+            eq: a == b,
+        };
     }
 
     fn cond_taken(&mut self, c: Cond) -> bool {
@@ -212,7 +220,7 @@ impl CpuCore {
             }
             Divwu { rt, ra, rb } => {
                 let d = g(rb);
-                self.gpr[rt as usize] = if d == 0 { 0 } else { g(ra) / d };
+                self.gpr[rt as usize] = g(ra).checked_div(d).unwrap_or(0);
                 Action::Continue { extra_cycles: 35 }
             }
             Neg { rt, ra } => {
@@ -268,15 +276,27 @@ impl CpuCore {
             }
             Lwz { rt, ra, d } => {
                 let base = if ra == 0 { 0 } else { g(ra) };
-                Action::Load { addr: base.wrapping_add(d as i32 as u32), size: 4, reg: rt }
+                Action::Load {
+                    addr: base.wrapping_add(d as i32 as u32),
+                    size: 4,
+                    reg: rt,
+                }
             }
             Lbz { rt, ra, d } => {
                 let base = if ra == 0 { 0 } else { g(ra) };
-                Action::Load { addr: base.wrapping_add(d as i32 as u32), size: 1, reg: rt }
+                Action::Load {
+                    addr: base.wrapping_add(d as i32 as u32),
+                    size: 1,
+                    reg: rt,
+                }
             }
             Stw { rs, ra, d } => {
                 let base = if ra == 0 { 0 } else { g(ra) };
-                Action::Store { addr: base.wrapping_add(d as i32 as u32), size: 4, value: g(rs) }
+                Action::Store {
+                    addr: base.wrapping_add(d as i32 as u32),
+                    size: 4,
+                    value: g(rs),
+                }
             }
             Stb { rs, ra, d } => {
                 let base = if ra == 0 { 0 } else { g(ra) };
@@ -288,11 +308,19 @@ impl CpuCore {
             }
             Lwzx { rt, ra, rb } => {
                 let base = if ra == 0 { 0 } else { g(ra) };
-                Action::Load { addr: base.wrapping_add(g(rb)), size: 4, reg: rt }
+                Action::Load {
+                    addr: base.wrapping_add(g(rb)),
+                    size: 4,
+                    reg: rt,
+                }
             }
             Stwx { rs, ra, rb } => {
                 let base = if ra == 0 { 0 } else { g(ra) };
-                Action::Store { addr: base.wrapping_add(g(rb)), size: 4, value: g(rs) }
+                Action::Store {
+                    addr: base.wrapping_add(g(rb)),
+                    size: 4,
+                    value: g(rs),
+                }
             }
             B { target, link } => {
                 if link {
@@ -404,14 +432,25 @@ pub struct IssStats {
 enum IssState {
     Run,
     Stall(u32),
-    WaitLoadWord { reg: u8 },
-    WaitLoadByte { reg: u8, byte_off: u32 },
+    WaitLoadWord {
+        reg: u8,
+    },
+    WaitLoadByte {
+        reg: u8,
+        byte_off: u32,
+    },
     WaitStore,
     /// Byte store: read-modify-write (read phase).
-    WaitRmwRead { addr: u32, byte_off: u32, value: u8 },
+    WaitRmwRead {
+        addr: u32,
+        byte_off: u32,
+        value: u8,
+    },
     /// Byte store: write phase in flight.
     WaitRmwWrite,
-    WaitDcr { reg: Option<u8> },
+    WaitDcr {
+        reg: Option<u8>,
+    },
     Halted,
 }
 
@@ -428,7 +467,11 @@ pub struct IssConfig {
 
 impl Default for IssConfig {
     fn default() -> Self {
-        IssConfig { entry: 0x1000, vector_base: 0, trace_depth: 0 }
+        IssConfig {
+            entry: 0x1000,
+            vector_base: 0,
+            trace_depth: 0,
+        }
     }
 }
 
@@ -488,7 +531,11 @@ impl PpcIss {
     fn begin_action(&mut self, ctx: &mut Ctx<'_>, action: Action) {
         match action {
             Action::Continue { extra_cycles } => {
-                self.state = if extra_cycles > 0 { IssState::Stall(extra_cycles) } else { IssState::Run };
+                self.state = if extra_cycles > 0 {
+                    IssState::Stall(extra_cycles)
+                } else {
+                    IssState::Run
+                };
             }
             Action::Load { addr, size: 4, reg } => {
                 self.dma.start_read(addr & !3, 1);
@@ -496,9 +543,16 @@ impl PpcIss {
             }
             Action::Load { addr, reg, .. } => {
                 self.dma.start_read(addr & !3, 1);
-                self.state = IssState::WaitLoadByte { reg, byte_off: addr & 3 };
+                self.state = IssState::WaitLoadByte {
+                    reg,
+                    byte_off: addr & 3,
+                };
             }
-            Action::Store { addr, size: 4, value } => {
+            Action::Store {
+                addr,
+                size: 4,
+                value,
+            } => {
                 self.dma.start_write(addr & !3, vec![value]);
                 self.state = IssState::WaitStore;
             }
@@ -653,7 +707,11 @@ impl Component for PpcIss {
                     }
                 }
             }
-            IssState::WaitRmwRead { addr, byte_off, value } => {
+            IssState::WaitRmwRead {
+                addr,
+                byte_off,
+                value,
+            } => {
                 let (addr, off, val) = (*addr, *byte_off, *value);
                 self.stats.borrow_mut().mem_stall_cycles += 1;
                 if let Some(ev) = self.dma.step(ctx) {
@@ -721,8 +779,7 @@ mod tests {
     fn run_bare(src: &str, max_steps: usize) -> CpuCore {
         let p = assemble(src, 0x1000).unwrap();
         let mut mem = vec![0u8; 64 * 1024];
-        mem[p.base as usize..p.base as usize + p.words.len() * 4]
-            .copy_from_slice(&p.to_bytes());
+        mem[p.base as usize..p.base as usize + p.words.len() * 4].copy_from_slice(&p.to_bytes());
         let mut core = CpuCore::new(0x1000, 0);
         for _ in 0..max_steps {
             let pc = core.pc as usize;
@@ -732,13 +789,16 @@ mod tests {
                 Action::Load { addr, size, reg } => {
                     let a = (addr & !3) as usize;
                     let w = u32::from_le_bytes(mem[a..a + 4].try_into().unwrap());
-                    let v = if size == 4 { w } else { (w >> (8 * (addr & 3))) & 0xFF };
+                    let v = if size == 4 {
+                        w
+                    } else {
+                        (w >> (8 * (addr & 3))) & 0xFF
+                    };
                     core.complete_load(reg, v);
                 }
                 Action::Store { addr, size, value } => {
                     if size == 4 {
-                        mem[addr as usize..addr as usize + 4]
-                            .copy_from_slice(&value.to_le_bytes());
+                        mem[addr as usize..addr as usize + 4].copy_from_slice(&value.to_le_bytes());
                     } else {
                         mem[addr as usize] = value as u8;
                     }
@@ -855,11 +915,17 @@ mod tests {
         core.gpr[3] = 0xCAFE;
         assert_eq!(
             core.execute(Instr::Mtdcr { dcrn: 0x100, rs: 3 }),
-            Action::DcrWrite { dcrn: 0x100, value: 0xCAFE }
+            Action::DcrWrite {
+                dcrn: 0x100,
+                value: 0xCAFE
+            }
         );
         assert_eq!(
             core.execute(Instr::Mfdcr { rt: 4, dcrn: 0x101 }),
-            Action::DcrRead { dcrn: 0x101, reg: 4 }
+            Action::DcrRead {
+                dcrn: 0x101,
+                reg: 4
+            }
         );
         core.complete_load(4, 77);
         assert_eq!(core.gpr[4], 77);

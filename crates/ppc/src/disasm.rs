@@ -7,11 +7,15 @@ use crate::insn::{Cond, Instr};
 pub fn disassemble(w: u32) -> String {
     use Instr::*;
     match Instr::decode(w) {
-        Addi { rt, ra, simm } if ra == 0 => format!("li r{rt}, {simm}"),
+        Addi { rt, ra: 0, simm } => format!("li r{rt}, {simm}"),
         Addi { rt, ra, simm } => format!("addi r{rt}, r{ra}, {simm}"),
-        Addis { rt, ra, simm } if ra == 0 => format!("lis r{rt}, {simm}"),
+        Addis { rt, ra: 0, simm } => format!("lis r{rt}, {simm}"),
         Addis { rt, ra, simm } => format!("addis r{rt}, r{ra}, {simm}"),
-        Ori { ra: 0, rs: 0, uimm: 0 } => "nop".to_string(),
+        Ori {
+            ra: 0,
+            rs: 0,
+            uimm: 0,
+        } => "nop".to_string(),
         Ori { ra, rs, uimm } => format!("ori r{ra}, r{rs}, {uimm:#x}"),
         Oris { ra, rs, uimm } => format!("oris r{ra}, r{rs}, {uimm:#x}"),
         Xori { ra, rs, uimm } => format!("xori r{ra}, r{rs}, {uimm:#x}"),

@@ -103,53 +103,185 @@ impl Cond {
 #[allow(missing_docs)] // operand meanings follow the PowerPC UISA
 pub enum Instr {
     // D-form arithmetic/logical with immediate.
-    Addi { rt: u8, ra: u8, simm: i16 },
-    Addis { rt: u8, ra: u8, simm: i16 },
-    Ori { ra: u8, rs: u8, uimm: u16 },
-    Oris { ra: u8, rs: u8, uimm: u16 },
-    Xori { ra: u8, rs: u8, uimm: u16 },
-    AndiDot { ra: u8, rs: u8, uimm: u16 },
+    Addi {
+        rt: u8,
+        ra: u8,
+        simm: i16,
+    },
+    Addis {
+        rt: u8,
+        ra: u8,
+        simm: i16,
+    },
+    Ori {
+        ra: u8,
+        rs: u8,
+        uimm: u16,
+    },
+    Oris {
+        ra: u8,
+        rs: u8,
+        uimm: u16,
+    },
+    Xori {
+        ra: u8,
+        rs: u8,
+        uimm: u16,
+    },
+    AndiDot {
+        ra: u8,
+        rs: u8,
+        uimm: u16,
+    },
     // X-form register-register integer ops.
-    Add { rt: u8, ra: u8, rb: u8 },
-    Subf { rt: u8, ra: u8, rb: u8 },
-    Mullw { rt: u8, ra: u8, rb: u8 },
-    Divwu { rt: u8, ra: u8, rb: u8 },
-    Neg { rt: u8, ra: u8 },
-    And { ra: u8, rs: u8, rb: u8 },
-    Or { ra: u8, rs: u8, rb: u8 },
-    Xor { ra: u8, rs: u8, rb: u8 },
-    Slw { ra: u8, rs: u8, rb: u8 },
-    Srw { ra: u8, rs: u8, rb: u8 },
+    Add {
+        rt: u8,
+        ra: u8,
+        rb: u8,
+    },
+    Subf {
+        rt: u8,
+        ra: u8,
+        rb: u8,
+    },
+    Mullw {
+        rt: u8,
+        ra: u8,
+        rb: u8,
+    },
+    Divwu {
+        rt: u8,
+        ra: u8,
+        rb: u8,
+    },
+    Neg {
+        rt: u8,
+        ra: u8,
+    },
+    And {
+        ra: u8,
+        rs: u8,
+        rb: u8,
+    },
+    Or {
+        ra: u8,
+        rs: u8,
+        rb: u8,
+    },
+    Xor {
+        ra: u8,
+        rs: u8,
+        rb: u8,
+    },
+    Slw {
+        ra: u8,
+        rs: u8,
+        rb: u8,
+    },
+    Srw {
+        ra: u8,
+        rs: u8,
+        rb: u8,
+    },
     // M-form rotate-and-mask.
-    Rlwinm { ra: u8, rs: u8, sh: u8, mb: u8, me: u8 },
+    Rlwinm {
+        ra: u8,
+        rs: u8,
+        sh: u8,
+        mb: u8,
+        me: u8,
+    },
     // Compares (CR0 only in this subset).
-    Cmpw { ra: u8, rb: u8 },
-    Cmpwi { ra: u8, simm: i16 },
-    Cmplw { ra: u8, rb: u8 },
-    Cmplwi { ra: u8, uimm: u16 },
+    Cmpw {
+        ra: u8,
+        rb: u8,
+    },
+    Cmpwi {
+        ra: u8,
+        simm: i16,
+    },
+    Cmplw {
+        ra: u8,
+        rb: u8,
+    },
+    Cmplwi {
+        ra: u8,
+        uimm: u16,
+    },
     // Loads/stores (D-form and X-form indexed).
-    Lwz { rt: u8, ra: u8, d: i16 },
-    Lbz { rt: u8, ra: u8, d: i16 },
-    Stw { rs: u8, ra: u8, d: i16 },
-    Stb { rs: u8, ra: u8, d: i16 },
-    Lwzx { rt: u8, ra: u8, rb: u8 },
-    Stwx { rs: u8, ra: u8, rb: u8 },
+    Lwz {
+        rt: u8,
+        ra: u8,
+        d: i16,
+    },
+    Lbz {
+        rt: u8,
+        ra: u8,
+        d: i16,
+    },
+    Stw {
+        rs: u8,
+        ra: u8,
+        d: i16,
+    },
+    Stb {
+        rs: u8,
+        ra: u8,
+        d: i16,
+    },
+    Lwzx {
+        rt: u8,
+        ra: u8,
+        rb: u8,
+    },
+    Stwx {
+        rs: u8,
+        ra: u8,
+        rb: u8,
+    },
     // Branches. Displacements are byte offsets relative to the branch.
-    B { target: i32, link: bool },
-    Bc { cond: Cond, target: i16, link: bool },
+    B {
+        target: i32,
+        link: bool,
+    },
+    Bc {
+        cond: Cond,
+        target: i16,
+        link: bool,
+    },
     Blr,
     Bctr,
     // System.
-    Mtspr { spr: Spr, rs: u8 },
-    Mfspr { rt: u8, spr: Spr },
-    Mtdcr { dcrn: u16, rs: u8 },
-    Mfdcr { rt: u8, dcrn: u16 },
-    Mtmsr { rs: u8 },
-    Mfmsr { rt: u8 },
+    Mtspr {
+        spr: Spr,
+        rs: u8,
+    },
+    Mfspr {
+        rt: u8,
+        spr: Spr,
+    },
+    Mtdcr {
+        dcrn: u16,
+        rs: u8,
+    },
+    Mfdcr {
+        rt: u8,
+        dcrn: u16,
+    },
+    Mtmsr {
+        rs: u8,
+    },
+    Mfmsr {
+        rt: u8,
+    },
     /// `mtcrf 0xFF, rs` — restore the condition register.
-    Mtcrf { rs: u8 },
+    Mtcrf {
+        rs: u8,
+    },
     /// `mfcr rt` — read the condition register.
-    Mfcr { rt: u8 },
+    Mfcr {
+        rt: u8,
+    },
     Rfi,
     Sync,
     Isync,
@@ -217,9 +349,7 @@ impl Instr {
             Stb { rs, ra, d } => d_form(38, rs, ra, d as u16),
             Lwzx { rt, ra, rb } => x_form(rt, ra, rb, 23),
             Stwx { rs, ra, rb } => x_form(rs, ra, rb, 151),
-            B { target, link } => {
-                (18 << 26) | ((target as u32) & 0x03FF_FFFC) | link as u32
-            }
+            B { target, link } => (18 << 26) | ((target as u32) & 0x03FF_FFFC) | link as u32,
             Bc { cond, target, link } => {
                 let (bo, bi) = cond.to_bo_bi();
                 (16 << 26)
@@ -264,22 +394,40 @@ impl Instr {
         let imm = (w & 0xFFFF) as u16;
         match op {
             10 => Cmplwi { ra, uimm: imm },
-            11 => Cmpwi { ra, simm: imm as i16 },
-            14 => Addi { rt, ra, simm: imm as i16 },
-            15 => Addis { rt, ra, simm: imm as i16 },
+            11 => Cmpwi {
+                ra,
+                simm: imm as i16,
+            },
+            14 => Addi {
+                rt,
+                ra,
+                simm: imm as i16,
+            },
+            15 => Addis {
+                rt,
+                ra,
+                simm: imm as i16,
+            },
             16 => {
                 let bo = rt;
                 let bi = ra;
                 let bd = (imm & 0xFFFC) as i16;
                 match Cond::from_bo_bi(bo, bi) {
-                    Some(cond) => Bc { cond, target: bd, link: w & 1 != 0 },
+                    Some(cond) => Bc {
+                        cond,
+                        target: bd,
+                        link: w & 1 != 0,
+                    },
                     None => Illegal(w),
                 }
             }
             18 => {
                 // Sign-extend the 24-bit displacement (<<2).
                 let li = ((w & 0x03FF_FFFC) as i32) << 6 >> 6;
-                B { target: li, link: w & 1 != 0 }
+                B {
+                    target: li,
+                    link: w & 1 != 0,
+                }
             }
             19 => match (w >> 1) & 0x3FF {
                 16 if rt == 20 => Blr,
@@ -295,14 +443,46 @@ impl Instr {
                 mb: ((w >> 6) & 0x1F) as u8,
                 me: ((w >> 1) & 0x1F) as u8,
             },
-            24 => Ori { ra, rs: rt, uimm: imm },
-            25 => Oris { ra, rs: rt, uimm: imm },
-            26 => Xori { ra, rs: rt, uimm: imm },
-            28 => AndiDot { ra, rs: rt, uimm: imm },
-            32 => Lwz { rt, ra, d: imm as i16 },
-            34 => Lbz { rt, ra, d: imm as i16 },
-            36 => Stw { rs: rt, ra, d: imm as i16 },
-            38 => Stb { rs: rt, ra, d: imm as i16 },
+            24 => Ori {
+                ra,
+                rs: rt,
+                uimm: imm,
+            },
+            25 => Oris {
+                ra,
+                rs: rt,
+                uimm: imm,
+            },
+            26 => Xori {
+                ra,
+                rs: rt,
+                uimm: imm,
+            },
+            28 => AndiDot {
+                ra,
+                rs: rt,
+                uimm: imm,
+            },
+            32 => Lwz {
+                rt,
+                ra,
+                d: imm as i16,
+            },
+            34 => Lbz {
+                rt,
+                ra,
+                d: imm as i16,
+            },
+            36 => Stw {
+                rs: rt,
+                ra,
+                d: imm as i16,
+            },
+            38 => Stb {
+                rs: rt,
+                ra,
+                d: imm as i16,
+            },
             31 => {
                 let xo = (w >> 1) & 0x3FF;
                 let spl = (w >> 11) & 0x3FF;
@@ -323,13 +503,19 @@ impl Instr {
                     235 => Mullw { rt, ra, rb },
                     266 => Add { rt, ra, rb },
                     316 => Xor { ra, rs: rt, rb },
-                    323 => Mfdcr { rt, dcrn: unsplit10(spl) },
+                    323 => Mfdcr {
+                        rt,
+                        dcrn: unsplit10(spl),
+                    },
                     339 => match Spr::from_number(unsplit10(spl)) {
                         Some(spr) => Mfspr { rt, spr },
                         None => Illegal(w),
                     },
                     444 => Or { ra, rs: rt, rb },
-                    451 => Mtdcr { dcrn: unsplit10(spl), rs: rt },
+                    451 => Mtdcr {
+                        dcrn: unsplit10(spl),
+                        rs: rt,
+                    },
                     459 => Divwu { rt, ra, rb },
                     467 => match Spr::from_number(unsplit10(spl)) {
                         Some(spr) => Mtspr { spr, rs: rt },
@@ -356,38 +542,149 @@ mod tests {
 
     #[test]
     fn encode_decode_round_trip_all_forms() {
-        roundtrip(Instr::Addi { rt: 3, ra: 0, simm: -42 });
-        roundtrip(Instr::Addis { rt: 31, ra: 1, simm: 0x7FFF });
-        roundtrip(Instr::Ori { ra: 5, rs: 6, uimm: 0xBEEF });
-        roundtrip(Instr::Oris { ra: 5, rs: 6, uimm: 0xDEAD });
-        roundtrip(Instr::Xori { ra: 1, rs: 2, uimm: 3 });
-        roundtrip(Instr::AndiDot { ra: 9, rs: 10, uimm: 0xFF });
-        roundtrip(Instr::Add { rt: 1, ra: 2, rb: 3 });
-        roundtrip(Instr::Subf { rt: 4, ra: 5, rb: 6 });
-        roundtrip(Instr::Mullw { rt: 7, ra: 8, rb: 9 });
-        roundtrip(Instr::Divwu { rt: 10, ra: 11, rb: 12 });
+        roundtrip(Instr::Addi {
+            rt: 3,
+            ra: 0,
+            simm: -42,
+        });
+        roundtrip(Instr::Addis {
+            rt: 31,
+            ra: 1,
+            simm: 0x7FFF,
+        });
+        roundtrip(Instr::Ori {
+            ra: 5,
+            rs: 6,
+            uimm: 0xBEEF,
+        });
+        roundtrip(Instr::Oris {
+            ra: 5,
+            rs: 6,
+            uimm: 0xDEAD,
+        });
+        roundtrip(Instr::Xori {
+            ra: 1,
+            rs: 2,
+            uimm: 3,
+        });
+        roundtrip(Instr::AndiDot {
+            ra: 9,
+            rs: 10,
+            uimm: 0xFF,
+        });
+        roundtrip(Instr::Add {
+            rt: 1,
+            ra: 2,
+            rb: 3,
+        });
+        roundtrip(Instr::Subf {
+            rt: 4,
+            ra: 5,
+            rb: 6,
+        });
+        roundtrip(Instr::Mullw {
+            rt: 7,
+            ra: 8,
+            rb: 9,
+        });
+        roundtrip(Instr::Divwu {
+            rt: 10,
+            ra: 11,
+            rb: 12,
+        });
         roundtrip(Instr::Neg { rt: 13, ra: 14 });
-        roundtrip(Instr::And { ra: 1, rs: 2, rb: 3 });
-        roundtrip(Instr::Or { ra: 4, rs: 5, rb: 6 });
-        roundtrip(Instr::Xor { ra: 7, rs: 8, rb: 9 });
-        roundtrip(Instr::Slw { ra: 10, rs: 11, rb: 12 });
-        roundtrip(Instr::Srw { ra: 13, rs: 14, rb: 15 });
-        roundtrip(Instr::Rlwinm { ra: 1, rs: 2, sh: 3, mb: 4, me: 31 });
+        roundtrip(Instr::And {
+            ra: 1,
+            rs: 2,
+            rb: 3,
+        });
+        roundtrip(Instr::Or {
+            ra: 4,
+            rs: 5,
+            rb: 6,
+        });
+        roundtrip(Instr::Xor {
+            ra: 7,
+            rs: 8,
+            rb: 9,
+        });
+        roundtrip(Instr::Slw {
+            ra: 10,
+            rs: 11,
+            rb: 12,
+        });
+        roundtrip(Instr::Srw {
+            ra: 13,
+            rs: 14,
+            rb: 15,
+        });
+        roundtrip(Instr::Rlwinm {
+            ra: 1,
+            rs: 2,
+            sh: 3,
+            mb: 4,
+            me: 31,
+        });
         roundtrip(Instr::Cmpw { ra: 3, rb: 4 });
         roundtrip(Instr::Cmpwi { ra: 3, simm: -1 });
         roundtrip(Instr::Cmplw { ra: 3, rb: 4 });
-        roundtrip(Instr::Cmplwi { ra: 3, uimm: 0xFFFF });
-        roundtrip(Instr::Lwz { rt: 3, ra: 1, d: -8 });
-        roundtrip(Instr::Lbz { rt: 3, ra: 1, d: 100 });
+        roundtrip(Instr::Cmplwi {
+            ra: 3,
+            uimm: 0xFFFF,
+        });
+        roundtrip(Instr::Lwz {
+            rt: 3,
+            ra: 1,
+            d: -8,
+        });
+        roundtrip(Instr::Lbz {
+            rt: 3,
+            ra: 1,
+            d: 100,
+        });
         roundtrip(Instr::Stw { rs: 3, ra: 1, d: 4 });
-        roundtrip(Instr::Stb { rs: 3, ra: 1, d: -4 });
-        roundtrip(Instr::Lwzx { rt: 1, ra: 2, rb: 3 });
-        roundtrip(Instr::Stwx { rs: 4, ra: 5, rb: 6 });
-        roundtrip(Instr::B { target: -1024, link: false });
-        roundtrip(Instr::B { target: 0x20_0000, link: true });
-        for cond in [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Gt, Cond::Ge, Cond::Le, Cond::Dnz] {
-            roundtrip(Instr::Bc { cond, target: -64, link: false });
-            roundtrip(Instr::Bc { cond, target: 128, link: true });
+        roundtrip(Instr::Stb {
+            rs: 3,
+            ra: 1,
+            d: -4,
+        });
+        roundtrip(Instr::Lwzx {
+            rt: 1,
+            ra: 2,
+            rb: 3,
+        });
+        roundtrip(Instr::Stwx {
+            rs: 4,
+            ra: 5,
+            rb: 6,
+        });
+        roundtrip(Instr::B {
+            target: -1024,
+            link: false,
+        });
+        roundtrip(Instr::B {
+            target: 0x20_0000,
+            link: true,
+        });
+        for cond in [
+            Cond::Eq,
+            Cond::Ne,
+            Cond::Lt,
+            Cond::Gt,
+            Cond::Ge,
+            Cond::Le,
+            Cond::Dnz,
+        ] {
+            roundtrip(Instr::Bc {
+                cond,
+                target: -64,
+                link: false,
+            });
+            roundtrip(Instr::Bc {
+                cond,
+                target: 128,
+                link: true,
+            });
         }
         roundtrip(Instr::Blr);
         roundtrip(Instr::Bctr);
@@ -409,12 +706,18 @@ mod tests {
 
     #[test]
     fn branch_displacement_sign_extension() {
-        let b = Instr::B { target: -4, link: false };
+        let b = Instr::B {
+            target: -4,
+            link: false,
+        };
         match Instr::decode(b.encode()) {
             Instr::B { target, .. } => assert_eq!(target, -4),
             other => panic!("{other:?}"),
         }
-        let far = Instr::B { target: -(1 << 25), link: false };
+        let far = Instr::B {
+            target: -(1 << 25),
+            link: false,
+        };
         match Instr::decode(far.encode()) {
             Instr::B { target, .. } => assert_eq!(target, -(1 << 25)),
             other => panic!("{other:?}"),
@@ -433,20 +736,54 @@ mod tests {
         assert!(matches!(Instr::decode(0xFFFF_FFFF), Instr::Illegal(_)));
         assert!(matches!(Instr::decode(0x0000_0000), Instr::Illegal(_)));
         // opcode 31 with unused XO.
-        assert!(matches!(Instr::decode((31 << 26) | (1023 << 1)), Instr::Illegal(_)));
+        assert!(matches!(
+            Instr::decode((31 << 26) | (1023 << 1)),
+            Instr::Illegal(_)
+        ));
     }
 
     #[test]
     fn real_powerpc_encodings_spot_check() {
         // li r3, 1  ==  addi r3, r0, 1  ==  0x38600001
-        assert_eq!(Instr::Addi { rt: 3, ra: 0, simm: 1 }.encode(), 0x3860_0001);
+        assert_eq!(
+            Instr::Addi {
+                rt: 3,
+                ra: 0,
+                simm: 1
+            }
+            .encode(),
+            0x3860_0001
+        );
         // blr == 0x4e800020
         assert_eq!(Instr::Blr.encode(), 0x4E80_0020);
         // mflr r0 == mfspr r0, 8 == 0x7c0802a6
-        assert_eq!(Instr::Mfspr { rt: 0, spr: Spr::Lr }.encode(), 0x7C08_02A6);
+        assert_eq!(
+            Instr::Mfspr {
+                rt: 0,
+                spr: Spr::Lr
+            }
+            .encode(),
+            0x7C08_02A6
+        );
         // stw r31, 8(r1) == 0x93e10008
-        assert_eq!(Instr::Stw { rs: 31, ra: 1, d: 8 }.encode(), 0x93E1_0008);
+        assert_eq!(
+            Instr::Stw {
+                rs: 31,
+                ra: 1,
+                d: 8
+            }
+            .encode(),
+            0x93E1_0008
+        );
         // add r3, r4, r5 == 0x7c642a14
-        assert_eq!(Instr::Add { rt: 3, ra: 4, rb: 5 }.encode(), 0x7C64_2A14);
+        assert_eq!(
+            Instr::Add {
+                rt: 3,
+                ra: 4,
+                rb: 5
+            }
+            .encode(),
+            0x7C64_2A14
+        );
     }
 }

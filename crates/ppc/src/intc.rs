@@ -84,7 +84,10 @@ impl IntController {
         clear_race_bug: bool,
         pulse_irq_bug: bool,
     ) {
-        assert!(regs.len() >= 3, "interrupt controller needs 3 DCR registers");
+        assert!(
+            regs.len() >= 3,
+            "interrupt controller needs 3 DCR registers"
+        );
         assert!(lines.len() <= 32, "at most 32 interrupt lines");
         let mut sens = vec![clk, rst];
         sens.extend_from_slice(&lines);
@@ -181,14 +184,39 @@ mod tests {
         let mut sim = Simulator::new();
         let clk = sim.signal("clk", 1);
         let rst = sim.signal("rst", 1);
-        sim.add_component("clkgen", CompKind::Vip, Box::new(Clock::new(clk, PERIOD)), &[]);
-        sim.add_component("rstgen", CompKind::Vip, Box::new(ResetGen::new(rst, 2 * PERIOD)), &[]);
-        let lines: Vec<SignalId> =
-            (0..4).map(|i| sim.signal_init(format!("l{i}"), 1, 0)).collect();
+        sim.add_component(
+            "clkgen",
+            CompKind::Vip,
+            Box::new(Clock::new(clk, PERIOD)),
+            &[],
+        );
+        sim.add_component(
+            "rstgen",
+            CompKind::Vip,
+            Box::new(ResetGen::new(rst, 2 * PERIOD)),
+            &[],
+        );
+        let lines: Vec<SignalId> = (0..4)
+            .map(|i| sim.signal_init(format!("l{i}"), 1, 0))
+            .collect();
         let irq = sim.signal("irq", 1);
         let regs = RegFile::new(0x300, 3);
-        IntController::instantiate(&mut sim, "intc", clk, rst, lines.clone(), irq, regs.clone(), buggy);
-        Tb { sim, lines, irq, regs }
+        IntController::instantiate(
+            &mut sim,
+            "intc",
+            clk,
+            rst,
+            lines.clone(),
+            irq,
+            regs.clone(),
+            buggy,
+        );
+        Tb {
+            sim,
+            lines,
+            irq,
+            regs,
+        }
     }
 
     #[test]

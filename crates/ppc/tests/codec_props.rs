@@ -9,11 +9,27 @@ use proptest::prelude::*;
 fn arb_instr() -> impl Strategy<Value = Instr> {
     let r = 0u8..32;
     prop_oneof![
-        (r.clone(), r.clone(), any::<i16>()).prop_map(|(rt, ra, simm)| Instr::Addi { rt, ra, simm }),
-        (r.clone(), r.clone(), any::<i16>()).prop_map(|(rt, ra, simm)| Instr::Addis { rt, ra, simm }),
+        (r.clone(), r.clone(), any::<i16>()).prop_map(|(rt, ra, simm)| Instr::Addi {
+            rt,
+            ra,
+            simm
+        }),
+        (r.clone(), r.clone(), any::<i16>()).prop_map(|(rt, ra, simm)| Instr::Addis {
+            rt,
+            ra,
+            simm
+        }),
         (r.clone(), r.clone(), any::<u16>()).prop_map(|(ra, rs, uimm)| Instr::Ori { ra, rs, uimm }),
-        (r.clone(), r.clone(), any::<u16>()).prop_map(|(ra, rs, uimm)| Instr::Xori { ra, rs, uimm }),
-        (r.clone(), r.clone(), any::<u16>()).prop_map(|(ra, rs, uimm)| Instr::AndiDot { ra, rs, uimm }),
+        (r.clone(), r.clone(), any::<u16>()).prop_map(|(ra, rs, uimm)| Instr::Xori {
+            ra,
+            rs,
+            uimm
+        }),
+        (r.clone(), r.clone(), any::<u16>()).prop_map(|(ra, rs, uimm)| Instr::AndiDot {
+            ra,
+            rs,
+            uimm
+        }),
         (r.clone(), r.clone(), r.clone()).prop_map(|(rt, ra, rb)| Instr::Add { rt, ra, rb }),
         (r.clone(), r.clone(), r.clone()).prop_map(|(rt, ra, rb)| Instr::Subf { rt, ra, rb }),
         (r.clone(), r.clone(), r.clone()).prop_map(|(rt, ra, rb)| Instr::Mullw { rt, ra, rb }),

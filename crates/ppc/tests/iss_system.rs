@@ -25,8 +25,18 @@ fn build(src: &str) -> Sys {
     let mut sim = Simulator::new();
     let clk = sim.signal("clk", 1);
     let rst = sim.signal("rst", 1);
-    sim.add_component("clkgen", CompKind::Vip, Box::new(Clock::new(clk, PERIOD)), &[]);
-    sim.add_component("rstgen", CompKind::Vip, Box::new(ResetGen::new(rst, 2 * PERIOD)), &[]);
+    sim.add_component(
+        "clkgen",
+        CompKind::Vip,
+        Box::new(Clock::new(clk, PERIOD)),
+        &[],
+    );
+    sim.add_component(
+        "rstgen",
+        CompKind::Vip,
+        Box::new(ResetGen::new(rst, 2 * PERIOD)),
+        &[],
+    );
 
     let mem = SharedMem::new(1 << 20);
     let sport = MemorySlave::instantiate(&mut sim, "mem", clk, rst, mem.clone(), 1);
@@ -39,7 +49,13 @@ fn build(src: &str) -> Sys {
         rst,
         PlbBusConfig::default(),
         vec![cpu_port],
-        vec![(sport, AddressWindow { base: 0, len: 1 << 20 })],
+        vec![(
+            sport,
+            AddressWindow {
+                base: 0,
+                len: 1 << 20,
+            },
+        )],
     );
 
     let scratch = RegFile::new(0x100, 8);
@@ -71,7 +87,11 @@ fn build(src: &str) -> Sys {
         let jump = assemble(&format!("b target\n.equ target, {isr:#x}\n"), 0x500);
         // `b` needs a resolvable relative target; assemble directly:
         drop(jump);
-        let word = ppc::Instr::B { target: (*isr as i64 - 0x500) as i32, link: false }.encode();
+        let word = ppc::Instr::B {
+            target: (*isr as i64 - 0x500) as i32,
+            link: false,
+        }
+        .encode();
         mem.write_u32(0x500, word);
     }
 
@@ -84,9 +104,19 @@ fn build(src: &str) -> Sys {
         cpu_port,
         mem.clone(),
         dcr_handle,
-        IssConfig { entry: 0x1000, vector_base: 0, trace_depth: 0 },
+        IssConfig {
+            entry: 0x1000,
+            vector_base: 0,
+            trace_depth: 0,
+        },
     );
-    Sys { sim, mem, stats, intc_regs, line0 }
+    Sys {
+        sim,
+        mem,
+        stats,
+        intc_regs,
+        line0,
+    }
 }
 
 fn run_to_halt(sys: &mut Sys, max_cycles: u64) {
@@ -226,7 +256,10 @@ fn stats_account_for_stalls() {
     let s = sys.stats.borrow();
     assert!(s.instret >= 6);
     assert!(s.mem_stall_cycles > 0, "bus transactions must cost cycles");
-    assert!(s.cycles > s.instret, "CPI must exceed 1 with memory traffic");
+    assert!(
+        s.cycles > s.instret,
+        "CPI must exceed 1 with memory traffic"
+    );
 }
 
 #[test]

@@ -1,0 +1,234 @@
+//! Minimal, dependency-free stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the tiny subset of the `rand` API it actually uses: a seedable
+//! [`rngs::StdRng`] plus [`RngExt::random`] / [`RngExt::random_range`]
+//! for the primitive types that appear in the codebase. The generator is
+//! xoshiro256** seeded through splitmix64 — high-quality, deterministic,
+//! and stable across platforms, which is all the simulation needs
+//! (seeded SimB payload filler, synthetic scenes, test stimulus).
+//!
+//! Not a cryptographic RNG; never use for secrets.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core generator interface: a source of 64 random bits.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be drawn uniformly from the full domain.
+pub trait Standard: Sized {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Uniform sampling within a half-open or inclusive range.
+pub trait SampleUniform: Sized {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high_excl: Self) -> Self;
+    fn sample_range_incl<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high_excl: Self) -> Self {
+                assert!(low < high_excl, "empty range in random_range");
+                let span = (high_excl as i128).wrapping_sub(low as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                ((low as i128) + v as i128) as $t
+            }
+            fn sample_range_incl<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "empty range in random_range");
+                let span = (high as i128).wrapping_sub(low as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                ((low as i128) + v as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high_excl: Self) -> Self {
+        assert!(low < high_excl, "empty range in random_range");
+        low + f64::draw(rng) * (high_excl - low)
+    }
+    fn sample_range_incl<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        Self::sample_range(rng, low, high + f64::EPSILON * high.abs().max(1.0))
+    }
+}
+
+/// A range argument accepted by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range_incl(rng, *self.start(), *self.end())
+    }
+}
+
+/// Convenience draws layered over any [`RngCore`].
+pub trait RngExt: RngCore {
+    fn random<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample(self)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool {
+        f64::draw(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Alias kept for call sites written against the classic `Rng` name.
+pub use self::RngExt as Rng;
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256** — the workspace's standard generator.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = StdRng::seed_from_u64(2013);
+        let mut b = StdRng::seed_from_u64(2013);
+        for _ in 0..64 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..16)
+            .filter(|_| a.random::<u64>() == b.random::<u64>())
+            .count();
+        assert!(same < 16);
+    }
+
+    #[test]
+    fn ranges_are_honoured() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: u8 = rng.random_range(0..25);
+            assert!(v < 25);
+            let f: f64 = rng.random_range(-3.0..3.0);
+            assert!((-3.0..3.0).contains(&f));
+            let u: usize = rng.random_range(8..9);
+            assert_eq!(u, 8);
+            let i: i32 = rng.random_range(-10..=10);
+            assert!((-10..=10).contains(&i));
+        }
+    }
+
+    #[test]
+    fn full_domain_draws_cover_extremes_statistically() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut seen_high_bit = false;
+        for _ in 0..64 {
+            if rng.random::<u32>() & 0x8000_0000 != 0 {
+                seen_high_bit = true;
+            }
+        }
+        assert!(seen_high_bit);
+    }
+}

@@ -46,6 +46,20 @@ pub struct IcapConfig {
     /// When the module swap fires (ablation knob; keep the default for
     /// faithful ReSim behaviour).
     pub swap_trigger: SwapTrigger,
+    /// Require a verified CRC32 integrity packet before swapping: the
+    /// module swap strobe is deferred from the final payload word to the
+    /// `CrcOk` event, a CRC mismatch raises a distinct integrity error
+    /// (and latches `crc_error`) instead of silently activating a
+    /// corrupted module, and a stream that DESYNCs without any integrity
+    /// word is refused. Off by default — plain SimBs carry no CRC and
+    /// every paper-reproduction number is unchanged.
+    pub require_integrity: bool,
+    /// Report recoverable transfer faults (CRC mismatch, missing
+    /// integrity word, malformed words, FIFO overflow) at warning
+    /// severity instead of error: a retrying reconfiguration controller
+    /// owns escalation and raises the error itself once its retry
+    /// budget is exhausted. Off by default.
+    pub tolerant: bool,
 }
 
 impl Default for IcapConfig {
@@ -54,6 +68,8 @@ impl Default for IcapConfig {
             fifo_depth: 16,
             cfg_divider: 4,
             swap_trigger: SwapTrigger::LastPayloadWord,
+            require_integrity: false,
+            tolerant: false,
         }
     }
 }
@@ -84,6 +100,16 @@ pub struct IcapPort {
     pub capture_strobe: SignalId,
     /// Out: one-cycle strobe — restore state (GRESTORE).
     pub restore_strobe: SignalId,
+    /// Out: integrity failure latch — set on CRC mismatch (or a stream
+    /// refused for lacking its integrity word), cleared by the next
+    /// SYNC or reset. The reconfiguration controller polls this after a
+    /// transfer to decide whether to retry.
+    pub crc_error: SignalId,
+    /// In: transfer-abort strobe (models the device's ICAP abort
+    /// sequence). While high, the artifact discards its FIFO and resets
+    /// the SimB parser so a retried bitstream starts from a clean SYNC
+    /// search, and deasserts `inject`/`reconfiguring`.
+    pub abort: SignalId,
 }
 
 impl IcapPort {
@@ -101,6 +127,8 @@ impl IcapPort {
             swap_module: sim.signal_init(format!("{prefix}.swap_module"), 8, 0),
             capture_strobe: sim.signal_init(format!("{prefix}.capture_strobe"), 1, 0),
             restore_strobe: sim.signal_init(format!("{prefix}.restore_strobe"), 1, 0),
+            crc_error: sim.signal_init(format!("{prefix}.crc_error"), 1, 0),
+            abort: sim.signal_init(format!("{prefix}.abort"), 1, 0),
         }
     }
 }
@@ -121,7 +149,32 @@ pub struct IcapStats {
     pub desyncs: u64,
     /// Times `ready` deasserted (backpressure actually exercised).
     pub backpressure_events: u64,
+    /// Integrity packets that verified OK.
+    pub crc_ok: u64,
+    /// Integrity packets that failed verification.
+    pub crc_mismatches: u64,
+    /// Streams refused because `require_integrity` was set but the SimB
+    /// carried no integrity word.
+    pub integrity_missing: u64,
+    /// Transfer aborts requested through the `abort` input.
+    pub aborts: u64,
 }
+
+/// Transient faults injectable at the ICAP boundary (recovery
+/// campaign). One-shot: counters decrement as the fault plays out.
+#[derive(Debug, Default)]
+pub struct IcapFaultPlan {
+    /// Force `ready` low for this many active cycles — models a
+    /// configuration-logic hiccup where the port stops accepting words.
+    /// A controller honouring `ready` stops feeding; its DMA-progress
+    /// watchdog is what recovers.
+    pub drop_ready_for: u32,
+    /// Cycles of dropped ready actually applied so far.
+    pub drops_fired: u64,
+}
+
+/// Shared handle for arming [`IcapFaultPlan`] faults.
+pub type IcapFaultHandle = Rc<RefCell<IcapFaultPlan>>;
 
 /// The ICAP artifact component.
 pub struct IcapArtifact {
@@ -133,6 +186,9 @@ pub struct IcapArtifact {
     parser: SimbParser,
     drain_count: u32,
     last_far: (u8, u8),
+    /// A completed payload waiting for integrity verification before the
+    /// swap strobe may fire (`require_integrity` mode only).
+    swap_deferred: bool,
     /// A strobe output was set high last cycle and must be cleared.
     strobe_pending: bool,
     /// Last driven value of `ready` (avoid redundant writes on the idle
@@ -140,6 +196,10 @@ pub struct IcapArtifact {
     /// flows).
     ready_driven: Option<bool>,
     stats: Rc<RefCell<IcapStats>>,
+    /// Campaign-armed transient faults, if attached.
+    faults: Option<IcapFaultHandle>,
+    /// Edge-detect for the `abort` input.
+    abort_seen: bool,
 }
 
 impl IcapArtifact {
@@ -151,9 +211,23 @@ impl IcapArtifact {
         rst: SignalId,
         cfg: IcapConfig,
     ) -> (IcapPort, Rc<RefCell<IcapStats>>) {
+        let (port, stats, _) = Self::instantiate_faulty(sim, name, clk, rst, cfg);
+        (port, stats)
+    }
+
+    /// As [`IcapArtifact::instantiate`], also returning the handle used
+    /// by the recovery campaign to arm ICAP-side transient faults.
+    pub fn instantiate_faulty(
+        sim: &mut Simulator,
+        name: &str,
+        clk: SignalId,
+        rst: SignalId,
+        cfg: IcapConfig,
+    ) -> (IcapPort, Rc<RefCell<IcapStats>>, IcapFaultHandle) {
         assert!(cfg.fifo_depth >= 4 && cfg.cfg_divider >= 1);
         let port = IcapPort::alloc(sim, name);
         let stats = Rc::new(RefCell::new(IcapStats::default()));
+        let faults: IcapFaultHandle = Rc::new(RefCell::new(IcapFaultPlan::default()));
         let icap = IcapArtifact {
             clk,
             rst,
@@ -163,12 +237,26 @@ impl IcapArtifact {
             parser: SimbParser::new(),
             drain_count: 0,
             last_far: (0, 0),
+            swap_deferred: false,
             strobe_pending: false,
             ready_driven: None,
             stats: stats.clone(),
+            faults: Some(faults.clone()),
+            abort_seen: false,
         };
         sim.add_component(name, CompKind::Artifact, Box::new(icap), &[clk, rst]);
-        (port, stats)
+        (port, stats, faults)
+    }
+
+    /// Report a recoverable transfer fault: warning in `tolerant` mode
+    /// (the retrying controller escalates on exhaustion), error
+    /// otherwise.
+    fn report(&self, ctx: &mut Ctx<'_>, msg: impl Into<String>) {
+        if self.cfg.tolerant {
+            ctx.warn(msg.into());
+        } else {
+            ctx.error(msg.into());
+        }
     }
 }
 
@@ -179,7 +267,9 @@ impl Component for IcapArtifact {
             self.fifo.clear();
             self.parser = SimbParser::new();
             self.drain_count = 0;
+            self.swap_deferred = false;
             self.strobe_pending = false;
+            self.abort_seen = false;
             self.ready_driven = Some(true);
             ctx.set_bit(p.ready, true);
             ctx.set_bit(p.reconfiguring, false);
@@ -187,6 +277,7 @@ impl Component for IcapArtifact {
             ctx.set_bit(p.swap_strobe, false);
             ctx.set_bit(p.capture_strobe, false);
             ctx.set_bit(p.restore_strobe, false);
+            ctx.set_bit(p.crc_error, false);
             return;
         }
         if !ctx.rose(self.clk) {
@@ -194,8 +285,10 @@ impl Component for IcapArtifact {
         }
         // Fast idle path: no traffic, nothing buffered, nothing to clear
         // — the artifact costs (almost) nothing while no bitstream flows.
-        let active = ctx.is_high(p.ce) || !self.fifo.is_empty() || self.strobe_pending;
+        let aborting = ctx.is_high(p.abort);
+        let active = ctx.is_high(p.ce) || !self.fifo.is_empty() || self.strobe_pending || aborting;
         if !active {
+            self.abort_seen = false;
             return;
         }
         // Strobes are single-cycle.
@@ -205,6 +298,31 @@ impl Component for IcapArtifact {
             ctx.set_bit(p.capture_strobe, false);
             ctx.set_bit(p.restore_strobe, false);
         }
+
+        // Abort sequence: dump the FIFO and re-arm the parser so a
+        // retried SimB starts from a clean SYNC search. `crc_error`
+        // stays latched until the next SYNC (the controller has already
+        // sampled it, but the testbench may still want to see it).
+        if aborting {
+            if !self.abort_seen {
+                self.abort_seen = true;
+                self.stats.borrow_mut().aborts += 1;
+                self.fifo.clear();
+                self.parser = SimbParser::new();
+                self.drain_count = 0;
+                self.swap_deferred = false;
+                ctx.set_bit(p.reconfiguring, false);
+                ctx.set_bit(p.inject, false);
+            }
+            // Restore ready (FIFO is now empty) and take no other action
+            // while the abort strobe is held.
+            if self.ready_driven != Some(true) {
+                self.ready_driven = Some(true);
+                ctx.set_bit(p.ready, true);
+            }
+            return;
+        }
+        self.abort_seen = false;
 
         // Accept a word if the controller writes.
         if ctx.is_high(p.ce) && ctx.is_high(p.cwrite) {
@@ -221,7 +339,7 @@ impl Component for IcapArtifact {
                 }
             } else {
                 self.stats.borrow_mut().words_dropped += 1;
-                ctx.error("ICAP FIFO overflow: configuration word dropped");
+                self.report(ctx, "ICAP FIFO overflow: configuration word dropped");
             }
         }
 
@@ -232,7 +350,11 @@ impl Component for IcapArtifact {
             if let Some(w) = self.fifo.pop_front() {
                 for ev in self.parser.push(w) {
                     match ev {
-                        SimbEvent::Sync => ctx.set_bit(p.reconfiguring, true),
+                        SimbEvent::Sync => {
+                            ctx.set_bit(p.reconfiguring, true);
+                            ctx.set_bit(p.crc_error, false);
+                            self.swap_deferred = false;
+                        }
                         SimbEvent::Far { rr, module } => {
                             self.last_far = (rr, module);
                             ctx.set_u64(p.swap_rr, rr as u64);
@@ -250,9 +372,15 @@ impl Component for IcapArtifact {
                         SimbEvent::PayloadEnd => {
                             ctx.set_bit(p.inject, false);
                             if self.cfg.swap_trigger == SwapTrigger::LastPayloadWord {
-                                ctx.set_bit(p.swap_strobe, true);
-                                self.strobe_pending = true;
-                                self.stats.borrow_mut().swaps += 1;
+                                if self.cfg.require_integrity {
+                                    // Hold the swap until the stream's
+                                    // CRC packet verifies.
+                                    self.swap_deferred = true;
+                                } else {
+                                    ctx.set_bit(p.swap_strobe, true);
+                                    self.strobe_pending = true;
+                                    self.stats.borrow_mut().swaps += 1;
+                                }
                             }
                         }
                         SimbEvent::Capture => {
@@ -266,10 +394,43 @@ impl Component for IcapArtifact {
                         SimbEvent::Desync => {
                             ctx.set_bit(p.reconfiguring, false);
                             self.stats.borrow_mut().desyncs += 1;
+                            if self.swap_deferred {
+                                // require_integrity is set but the SimB
+                                // carried no CRC packet: refuse the swap.
+                                self.swap_deferred = false;
+                                ctx.set_bit(p.crc_error, true);
+                                self.stats.borrow_mut().integrity_missing += 1;
+                                self.report(
+                                    ctx,
+                                    "SimB ended without its integrity word: module swap refused",
+                                );
+                            }
                         }
                         SimbEvent::Malformed { word } => {
                             self.stats.borrow_mut().malformed += 1;
-                            ctx.error(format!("malformed SimB word {word:#010x}"));
+                            self.report(ctx, format!("malformed SimB word {word:#010x}"));
+                        }
+                        SimbEvent::CrcOk => {
+                            self.stats.borrow_mut().crc_ok += 1;
+                            if self.swap_deferred {
+                                self.swap_deferred = false;
+                                ctx.set_bit(p.swap_strobe, true);
+                                self.strobe_pending = true;
+                                self.stats.borrow_mut().swaps += 1;
+                            }
+                        }
+                        SimbEvent::CrcMismatch { expected, got } => {
+                            self.stats.borrow_mut().crc_mismatches += 1;
+                            self.swap_deferred = false;
+                            ctx.set_bit(p.crc_error, true);
+                            self.report(
+                                ctx,
+                                format!(
+                                    "SimB integrity error: CRC mismatch \
+                                     (computed {expected:#010x}, received {got:#010x}) — \
+                                     module swap refused"
+                                ),
+                            );
                         }
                     }
                 }
@@ -280,7 +441,15 @@ impl Component for IcapArtifact {
         // controller can still land two more words, so reserve two
         // slots. (A controller that ignores `ready` altogether —
         // bug.dpr.3 — still overflows and is flagged above.)
-        let ready = self.fifo.len() + 2 < self.cfg.fifo_depth;
+        let mut ready = self.fifo.len() + 2 < self.cfg.fifo_depth;
+        if let Some(faults) = &self.faults {
+            let mut plan = faults.borrow_mut();
+            if plan.drop_ready_for > 0 {
+                plan.drop_ready_for -= 1;
+                plan.drops_fired += 1;
+                ready = false;
+            }
+        }
         if self.ready_driven != Some(ready) {
             self.ready_driven = Some(ready);
             ctx.set_bit(p.ready, ready);

@@ -33,10 +33,14 @@ pub mod portal;
 pub mod simb;
 pub mod vmux;
 
-pub use icap::{IcapArtifact, IcapConfig, IcapPort, IcapStats, SwapTrigger};
+pub use icap::{
+    IcapArtifact, IcapConfig, IcapFaultHandle, IcapFaultPlan, IcapPort, IcapStats, SwapTrigger,
+};
 pub use portal::{
     instantiate_region, instantiate_region_with, ErrorSource, ExtendedPortal, PortalStats,
     RandomSource, RegionOptions, RrBoundary, SilentSource, XSource,
 };
-pub use simb::{annotate_simb, build_simb, SimbEvent, SimbKind, SimbParser};
+pub use simb::{
+    annotate_simb, build_simb, build_simb_integrity, crc32, SimbEvent, SimbKind, SimbParser,
+};
 pub use vmux::{instantiate_vmux, VmuxConfig};

@@ -67,7 +67,10 @@ impl RandomSource {
 
 impl ErrorSource for RandomSource {
     fn value(&mut self, width: u8) -> Lv {
-        self.state = self.state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         Lv::from_u64(width, self.state >> 8)
     }
 }
@@ -85,7 +88,9 @@ pub struct RegionOptions {
 
 impl Default for RegionOptions {
     fn default() -> Self {
-        RegionOptions { deselect_during_inject: true }
+        RegionOptions {
+            deselect_during_inject: true,
+        }
     }
 }
 
@@ -262,7 +267,11 @@ impl Component for RrMux {
                 ctx.set(b.done, dv);
                 for t in b.plb.master_driven() {
                     let w = 32; // widths coerced by Ctx::set
-                    let v = if inject { self.source.value(w) } else { Lv::zeros(w) };
+                    let v = if inject {
+                        self.source.value(w)
+                    } else {
+                        Lv::zeros(w)
+                    };
                     ctx.set(t, v);
                 }
             }
@@ -342,15 +351,24 @@ pub fn instantiate_region_with(
         format!("{name}.portal"),
         CompKind::Artifact,
         Box::new(portal),
-        &[icap.swap_strobe, icap.capture_strobe, icap.restore_strobe, rst],
+        &[
+            icap.swap_strobe,
+            icap.capture_strobe,
+            icap.restore_strobe,
+            rst,
+        ],
     );
 
     let ifs: Vec<EngineIf> = modules.iter().map(|(_, e)| *e).collect();
     // The mux re-evaluates whenever any engine IO, boundary response, or
     // steering state toggles — the paper's "triggered whenever the
     // engine IOs toggled".
-    let mut sens: Vec<SignalId> =
-        vec![active, icap.inject, icap.capture_strobe, icap.restore_strobe];
+    let mut sens: Vec<SignalId> = vec![
+        active,
+        icap.inject,
+        icap.capture_strobe,
+        icap.restore_strobe,
+    ];
     for e in &ifs {
         sens.push(e.busy);
         sens.push(e.done);
@@ -375,6 +393,11 @@ pub fn instantiate_region_with(
         restore: icap.restore_strobe,
         source,
     };
-    sim.add_component(format!("{name}.mux"), CompKind::Artifact, Box::new(mux), &sens);
+    sim.add_component(
+        format!("{name}.mux"),
+        CompKind::Artifact,
+        Box::new(mux),
+        &sens,
+    );
     stats
 }

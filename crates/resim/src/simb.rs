@@ -37,6 +37,36 @@ pub const CMD_DESYNC: u32 = 0x0000_000D;
 pub const CMD_GCAPTURE: u32 = 0x0000_000C;
 /// CMD register code: restore flip-flop state.
 pub const CMD_GRESTORE: u32 = 0x0000_000A;
+/// Type-1 packet: write 1 word to the CRC register (integrity word).
+/// Real bitstreams carry the same packet; a SimB built with
+/// [`build_simb_integrity`] appends it just before DESYNC so the ICAP
+/// artifact can verify the transfer end to end.
+pub const T1_WRITE_CRC: u32 = 0x3000_0001;
+
+/// CRC32 (IEEE 802.3, bit-reversed, init/final `0xFFFF_FFFF`) over a
+/// word stream, each word contributing its 4 bytes big-endian — the
+/// integrity function of SimB CRC packets.
+pub fn crc32(words: &[u32]) -> u32 {
+    let mut acc = CRC_INIT;
+    for &w in words {
+        acc = crc32_fold(acc, w);
+    }
+    acc ^ 0xFFFF_FFFF
+}
+
+const CRC_INIT: u32 = 0xFFFF_FFFF;
+
+/// Fold one word into a raw (not yet finalised) CRC32 accumulator.
+fn crc32_fold(mut acc: u32, word: u32) -> u32 {
+    for byte in word.to_be_bytes() {
+        acc ^= byte as u32;
+        for _ in 0..8 {
+            let mask = (acc & 1).wrapping_neg();
+            acc = (acc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    acc
+}
 
 /// Frame-address encoding: region ID in bits \[31:24\], module ID in
 /// \[23:16\] (Table I: `FA=0x01020000` selects module 0x02 in region 0x01).
@@ -68,6 +98,31 @@ pub enum SimbKind {
 /// `payload_words` is the designer-chosen FDRI payload length (≥1);
 /// payload content is seeded-random filler, as in Table I.
 pub fn build_simb(kind: SimbKind, rr_id: u8, payload_words: usize, seed: u64) -> Vec<u32> {
+    build_simb_opts(kind, rr_id, payload_words, seed, false)
+}
+
+/// Build a SimB word stream with a trailing CRC32 integrity packet.
+///
+/// Identical to [`build_simb`] except that a `T1_WRITE_CRC` packet
+/// carrying the CRC32 of every word after SYNC is inserted just before
+/// the DESYNC command. The ICAP artifact verifies it and refuses the
+/// module swap on mismatch (see `icap::IcapConfig::require_integrity`).
+pub fn build_simb_integrity(
+    kind: SimbKind,
+    rr_id: u8,
+    payload_words: usize,
+    seed: u64,
+) -> Vec<u32> {
+    build_simb_opts(kind, rr_id, payload_words, seed, true)
+}
+
+fn build_simb_opts(
+    kind: SimbKind,
+    rr_id: u8,
+    payload_words: usize,
+    seed: u64,
+    integrity: bool,
+) -> Vec<u32> {
     assert!(payload_words >= 1, "SimB needs at least one payload word");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut w = Vec::with_capacity(payload_words + 10);
@@ -97,6 +152,13 @@ pub fn build_simb(kind: SimbKind, rr_id: u8, payload_words: usize, seed: u64) ->
             w.push(T1_WRITE_CMD);
             w.push(CMD_GRESTORE);
         }
+    }
+    if integrity {
+        // CRC covers every word after SYNC, excluding the CRC packet
+        // itself — the same span the parser accumulates.
+        let crc = crc32(&w[1..]);
+        w.push(T1_WRITE_CRC);
+        w.push(crc);
     }
     w.push(T1_WRITE_CMD);
     w.push(CMD_DESYNC);
@@ -137,6 +199,16 @@ pub enum SimbEvent {
         /// The offending word.
         word: u32,
     },
+    /// A CRC packet verified: the stream so far is intact.
+    CrcOk,
+    /// A CRC packet FAILED verification: the transferred stream is
+    /// corrupt and must not trigger a module swap.
+    CrcMismatch {
+        /// CRC the parser computed over the received words.
+        expected: u32,
+        /// CRC word carried by the stream.
+        got: u32,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -147,7 +219,10 @@ enum Ps {
     ExpectFar,
     ExpectCmd,
     ExpectT2,
-    Payload { left: u32 },
+    ExpectCrc,
+    Payload {
+        left: u32,
+    },
 }
 
 /// A streaming SimB parser — the protocol brain of the ICAP artifact.
@@ -156,6 +231,11 @@ pub struct SimbParser {
     st: Ps,
     /// Words consumed since SYNC (diagnostic).
     pub words_seen: u64,
+    /// Raw CRC32 accumulator over post-SYNC words (excluding any CRC
+    /// packet); lets the parser verify `T1_WRITE_CRC` integrity words.
+    crc_acc: u32,
+    /// True once a CRC packet verified OK in the current synced stream.
+    crc_verified: bool,
 }
 
 impl Default for SimbParser {
@@ -167,12 +247,22 @@ impl Default for SimbParser {
 impl SimbParser {
     /// A parser in the unsynchronised state.
     pub fn new() -> SimbParser {
-        SimbParser { st: Ps::Unsynced, words_seen: 0 }
+        SimbParser {
+            st: Ps::Unsynced,
+            words_seen: 0,
+            crc_acc: CRC_INIT,
+            crc_verified: false,
+        }
     }
 
     /// True between SYNC and DESYNC.
     pub fn synced(&self) -> bool {
         self.st != Ps::Unsynced
+    }
+
+    /// True if a CRC packet verified OK since the last SYNC.
+    pub fn crc_verified(&self) -> bool {
+        self.crc_verified
     }
 
     /// Consume one word; return the events it causes (0..=2).
@@ -181,11 +271,22 @@ impl SimbParser {
         if self.st != Ps::Unsynced {
             self.words_seen += 1;
         }
+        // Fold every post-SYNC word into the running CRC except the CRC
+        // packet itself (header consumed in Idle, value in ExpectCrc) —
+        // mirroring the span `build_simb_integrity` covers.
+        let fold = self.st != Ps::Unsynced
+            && self.st != Ps::ExpectCrc
+            && !(self.st == Ps::Idle && word == T1_WRITE_CRC);
+        if fold {
+            self.crc_acc = crc32_fold(self.crc_acc, word);
+        }
         match self.st {
             Ps::Unsynced => {
                 if word == SYNC_WORD {
                     self.st = Ps::Idle;
                     self.words_seen = 1;
+                    self.crc_acc = CRC_INIT;
+                    self.crc_verified = false;
                     vec![Sync]
                 } else {
                     vec![] // pre-sync padding is legal
@@ -205,12 +306,29 @@ impl SimbParser {
                     self.st = Ps::ExpectT2;
                     vec![]
                 }
+                T1_WRITE_CRC => {
+                    self.st = Ps::ExpectCrc;
+                    vec![]
+                }
                 w => vec![Malformed { word: w }],
             },
             Ps::ExpectFar => {
                 let (rr, module) = decode_far(word);
                 self.st = Ps::Idle;
                 vec![Far { rr, module }]
+            }
+            Ps::ExpectCrc => {
+                self.st = Ps::Idle;
+                let expected = self.crc_acc ^ 0xFFFF_FFFF;
+                if word == expected {
+                    self.crc_verified = true;
+                    vec![CrcOk]
+                } else {
+                    vec![CrcMismatch {
+                        expected,
+                        got: word,
+                    }]
+                }
             }
             Ps::ExpectCmd => {
                 self.st = Ps::Idle;
@@ -286,6 +404,7 @@ pub fn annotate_simb(words: &[u32]) -> Vec<(u32, String)> {
                 }
                 T1_WRITE_CMD => "Type 1 Write CMD".to_string(),
                 T1_WRITE_FDRI => "Type 1 Write FDRI".to_string(),
+                T1_WRITE_CRC => "Type 1 Write CRC".to_string(),
                 _ => String::new(),
             }
         };
@@ -312,6 +431,12 @@ pub fn annotate_simb(words: &[u32]) -> Vec<(u32, String)> {
                 }
                 SimbEvent::PayloadEnd => in_payload = false,
                 SimbEvent::Malformed { word } => label = format!("MALFORMED word {word:#010x}"),
+                SimbEvent::CrcOk => label = format!("CRC={w:#010x} — integrity check passed"),
+                SimbEvent::CrcMismatch { expected, got } => {
+                    label = format!(
+                        "CRC MISMATCH — stream computes {expected:#010x}, word carries {got:#010x}"
+                    )
+                }
                 SimbEvent::Sync => {}
             }
         }
@@ -410,11 +535,106 @@ mod tests {
         let mut p = SimbParser::new();
         // Drop the last 3 payload words and everything after (the
         // bug.dpr.5 scenario: wrong size calculation).
-        let events: Vec<SimbEvent> =
-            simb[..simb.len() - 5].iter().flat_map(|w| p.push(*w)).collect();
+        let events: Vec<SimbEvent> = simb[..simb.len() - 5]
+            .iter()
+            .flat_map(|w| p.push(*w))
+            .collect();
         assert!(events.contains(&SimbEvent::PayloadStart { words: 10 }));
         assert!(!events.contains(&SimbEvent::PayloadEnd), "{events:?}");
         assert!(p.synced(), "stream left hanging mid-reconfiguration");
+    }
+
+    #[test]
+    fn integrity_simb_extends_plain_framing_by_one_packet() {
+        let plain = build_simb(SimbKind::Config { module: 0x02 }, 0x01, 4, 7);
+        let crc = build_simb_integrity(SimbKind::Config { module: 0x02 }, 0x01, 4, 7);
+        // Everything before the DESYNC trailer is byte-identical.
+        assert_eq!(&crc[..plain.len() - 2], &plain[..plain.len() - 2]);
+        assert_eq!(crc.len(), plain.len() + 2);
+        assert_eq!(crc[crc.len() - 4], T1_WRITE_CRC);
+        assert_eq!(&crc[crc.len() - 2..], &plain[plain.len() - 2..]);
+    }
+
+    #[test]
+    fn intact_integrity_simb_verifies() {
+        let simb = build_simb_integrity(SimbKind::Config { module: 3 }, 2, 16, 11);
+        let mut p = SimbParser::new();
+        let events: Vec<SimbEvent> = simb.iter().flat_map(|w| p.push(*w)).collect();
+        assert!(events.contains(&SimbEvent::CrcOk), "{events:?}");
+        assert!(!events
+            .iter()
+            .any(|e| matches!(e, SimbEvent::CrcMismatch { .. })));
+        assert_eq!(*events.last().unwrap(), SimbEvent::Desync);
+        assert!(p.crc_verified());
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_caught() {
+        let simb = build_simb_integrity(SimbKind::Config { module: 1 }, 1, 8, 42);
+        // Flip one bit in each coverable word (after SYNC, before the
+        // CRC packet): no corrupted stream may ever verify. Flips that
+        // leave the framing intact must raise an explicit mismatch.
+        for i in 1..simb.len() - 4 {
+            for bit in [0u32, 13, 31] {
+                let mut bad = simb.clone();
+                bad[i] ^= 1 << bit;
+                let mut p = SimbParser::new();
+                let events: Vec<SimbEvent> = bad.iter().flat_map(|w| p.push(*w)).collect();
+                assert!(
+                    !events.contains(&SimbEvent::CrcOk),
+                    "flip at word {i} bit {bit} verified OK: {events:?}"
+                );
+                assert!(!p.crc_verified(), "flip at word {i} bit {bit}");
+            }
+            // Payload-word flips never change framing: explicit mismatch.
+            if (8..16).contains(&i) {
+                let mut bad = simb.clone();
+                bad[i] ^= 1 << (i % 32);
+                let mut p = SimbParser::new();
+                let events: Vec<SimbEvent> = bad.iter().flat_map(|w| p.push(*w)).collect();
+                assert!(
+                    events
+                        .iter()
+                        .any(|e| matches!(e, SimbEvent::CrcMismatch { .. })),
+                    "payload flip at word {i} went undetected: {events:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plain_simb_reports_no_crc_events() {
+        let simb = build_simb(SimbKind::Config { module: 1 }, 1, 8, 42);
+        let mut p = SimbParser::new();
+        let events: Vec<SimbEvent> = simb.iter().flat_map(|w| p.push(*w)).collect();
+        assert!(!events
+            .iter()
+            .any(|e| matches!(e, SimbEvent::CrcOk | SimbEvent::CrcMismatch { .. })));
+        assert!(!p.crc_verified());
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // CRC32("abcd") via one big-endian word = 0xED82CD11.
+        assert_eq!(crc32(&[0x6162_6364]), 0xED82_CD11);
+        assert_eq!(crc32(&[]), 0);
+    }
+
+    #[test]
+    fn annotation_labels_crc_packet() {
+        let simb = build_simb_integrity(SimbKind::Config { module: 0x02 }, 0x01, 4, 7);
+        let rows = annotate_simb(&simb);
+        let n = rows.len();
+        assert!(
+            rows[n - 4].1.contains("Type 1 Write CRC"),
+            "{:?}",
+            rows[n - 4]
+        );
+        assert!(
+            rows[n - 3].1.contains("integrity check passed"),
+            "{:?}",
+            rows[n - 3]
+        );
     }
 
     #[test]

@@ -31,7 +31,9 @@ pub struct VmuxConfig {
 
 impl Default for VmuxConfig {
     fn default() -> Self {
-        VmuxConfig { reset_signature: Some(0) }
+        VmuxConfig {
+            reset_signature: Some(0),
+        }
     }
 }
 
@@ -139,8 +141,19 @@ pub fn instantiate_vmux(
     assert!(!regs.is_empty(), "engine_signature needs one register");
     let init = cfg.reset_signature.unwrap_or(GARBAGE);
     let signature = sim.signal_init(format!("{name}.signature"), 32, init as u64);
-    let ctl = VmuxCtl { clk, rst, regs, cfg, signature };
-    sim.add_component(format!("{name}.ctl"), CompKind::Artifact, Box::new(ctl), &[clk, rst]);
+    let ctl = VmuxCtl {
+        clk,
+        rst,
+        regs,
+        cfg,
+        signature,
+    };
+    sim.add_component(
+        format!("{name}.ctl"),
+        CompKind::Artifact,
+        Box::new(ctl),
+        &[clk, rst],
+    );
 
     let mut sens: Vec<SignalId> = vec![signature];
     for (_, e) in &modules {
@@ -157,6 +170,15 @@ pub fn instantiate_vmux(
         boundary.plb.complete,
         boundary.plb.err,
     ]);
-    let mux = VmuxMux { modules, boundary, signature };
-    sim.add_component(format!("{name}.mux"), CompKind::Artifact, Box::new(mux), &sens);
+    let mux = VmuxMux {
+        modules,
+        boundary,
+        signature,
+    };
+    sim.add_component(
+        format!("{name}.mux"),
+        CompKind::Artifact,
+        Box::new(mux),
+        &sens,
+    );
 }

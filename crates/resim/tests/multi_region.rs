@@ -3,7 +3,9 @@
 //! to exactly the portal it names.
 
 use engines::{EngineIf, EngineParamSignals};
-use resim::{build_simb, instantiate_region, IcapArtifact, IcapConfig, RrBoundary, SimbKind, XSource};
+use resim::{
+    build_simb, instantiate_region, IcapArtifact, IcapConfig, RrBoundary, SimbKind, XSource,
+};
 use rtlsim::{Clock, CompKind, Ctx, ResetGen, Simulator};
 
 const PERIOD: u64 = 10_000;
@@ -29,12 +31,18 @@ fn two_regions_swap_independently_through_one_icap() {
     let clk = sim.signal("clk", 1);
     let rst = sim.signal("rst", 1);
     sim.add_component("clk", CompKind::Vip, Box::new(Clock::new(clk, PERIOD)), &[]);
-    sim.add_component("rst", CompKind::Vip, Box::new(ResetGen::new(rst, 2 * PERIOD)), &[]);
+    sim.add_component(
+        "rst",
+        CompKind::Vip,
+        Box::new(ResetGen::new(rst, 2 * PERIOD)),
+        &[],
+    );
     let go = sim.signal_init("go", 1, 0);
     let er = sim.signal_init("er", 1, 0);
     let params = EngineParamSignals::alloc(&mut sim, "p");
 
-    let (icap, stats) = IcapArtifact::instantiate(&mut sim, "icap", clk, rst, IcapConfig::default());
+    let (icap, stats) =
+        IcapArtifact::instantiate(&mut sim, "icap", clk, rst, IcapConfig::default());
 
     // Region 1 hosts modules 0x11/0x12; region 2 hosts 0x21/0x22.
     let mut boundaries = Vec::new();
@@ -85,8 +93,16 @@ fn two_regions_swap_independently_through_one_icap() {
         sim.run_for(300 * PERIOD).unwrap();
     };
     feed(&simb, &mut sim);
-    assert_eq!(sim.peek_u64(boundaries[1].plb.wdata), Some(0x22), "region 2 swapped");
-    assert_eq!(sim.peek_u64(boundaries[0].plb.wdata), Some(0x11), "region 1 untouched");
+    assert_eq!(
+        sim.peek_u64(boundaries[1].plb.wdata),
+        Some(0x22),
+        "region 2 swapped"
+    );
+    assert_eq!(
+        sim.peek_u64(boundaries[0].plb.wdata),
+        Some(0x11),
+        "region 1 untouched"
+    );
     assert_eq!(portals[0].borrow().swaps, 0);
     assert_eq!(portals[1].borrow().swaps, 1);
 

@@ -42,8 +42,18 @@ fn tb(cfg: IcapConfig) -> Tb {
     let mut sim = Simulator::new();
     let clk = sim.signal("clk", 1);
     let rst = sim.signal("rst", 1);
-    sim.add_component("clkgen", CompKind::Vip, Box::new(Clock::new(clk, PERIOD)), &[]);
-    sim.add_component("rstgen", CompKind::Vip, Box::new(ResetGen::new(rst, 2 * PERIOD)), &[]);
+    sim.add_component(
+        "clkgen",
+        CompKind::Vip,
+        Box::new(Clock::new(clk, PERIOD)),
+        &[],
+    );
+    sim.add_component(
+        "rstgen",
+        CompKind::Vip,
+        Box::new(ResetGen::new(rst, 2 * PERIOD)),
+        &[],
+    );
     let go = sim.signal_init("go", 1, 0);
     let ereset = sim.signal_init("ereset", 1, 0);
     let params = EngineParamSignals::alloc(&mut sim, "p");
@@ -65,7 +75,13 @@ fn tb(cfg: IcapConfig) -> Tb {
         Some(0x01),
         Box::new(XSource),
     );
-    let mut t = Tb { sim, icap, icap_stats, portal_stats, boundary };
+    let mut t = Tb {
+        sim,
+        icap,
+        icap_stats,
+        portal_stats,
+        boundary,
+    };
     t.sim.run_for(4 * PERIOD).unwrap();
     t
 }
@@ -106,7 +122,11 @@ fn simb_transfer_swaps_the_module() {
     let simb = build_simb(SimbKind::Config { module: 0x02 }, 0x01, 32, 1);
     write_simb(&mut t, &simb);
     drain(&mut t, 200);
-    assert_eq!(t.sim.peek_u64(t.boundary.plb.wdata), Some(0x22), "module swapped");
+    assert_eq!(
+        t.sim.peek_u64(t.boundary.plb.wdata),
+        Some(0x22),
+        "module swapped"
+    );
     assert_eq!(t.icap_stats.borrow().swaps, 1);
     assert_eq!(t.icap_stats.borrow().desyncs, 1);
     assert_eq!(t.portal_stats.borrow().swaps, 1);
@@ -115,7 +135,11 @@ fn simb_transfer_swaps_the_module() {
 
 #[test]
 fn x_is_injected_while_payload_streams() {
-    let mut t = tb(IcapConfig { cfg_divider: 8, fifo_depth: 16, ..Default::default() });
+    let mut t = tb(IcapConfig {
+        cfg_divider: 8,
+        fifo_depth: 16,
+        ..Default::default()
+    });
     let simb = build_simb(SimbKind::Config { module: 0x02 }, 0x01, 64, 2);
     // Write the header plus half the payload, then stop: the region is
     // mid-reconfiguration.
@@ -141,11 +165,19 @@ fn x_is_injected_while_payload_streams() {
 fn swap_triggers_only_after_the_last_payload_word() {
     // "ReSim did not activate the newly configured module until all
     // words of the SimB were successfully written to the ICAP."
-    let mut t = tb(IcapConfig { cfg_divider: 1, fifo_depth: 16, ..Default::default() });
+    let mut t = tb(IcapConfig {
+        cfg_divider: 1,
+        fifo_depth: 16,
+        ..Default::default()
+    });
     let simb = build_simb(SimbKind::Config { module: 0x02 }, 0x01, 128, 3);
     write_simb(&mut t, &simb[..simb.len() - 4]); // all but last payload word + trailer
     drain(&mut t, 50);
-    assert_eq!(t.icap_stats.borrow().swaps, 0, "no swap until the stream completes");
+    assert_eq!(
+        t.icap_stats.borrow().swaps,
+        0,
+        "no swap until the stream completes"
+    );
     assert_eq!(t.sim.peek_u64(t.icap.reconfiguring), Some(1));
     write_simb(&mut t, &simb[simb.len() - 4..]);
     drain(&mut t, 50);
@@ -157,7 +189,11 @@ fn swap_triggers_only_after_the_last_payload_word() {
 fn ignoring_ready_overflows_the_fifo_and_is_detected() {
     // bug.dpr.3 in miniature: the controller blasts words without
     // checking `ready` while the config clock drains slowly.
-    let mut t = tb(IcapConfig { cfg_divider: 16, fifo_depth: 4, ..Default::default() });
+    let mut t = tb(IcapConfig {
+        cfg_divider: 16,
+        fifo_depth: 4,
+        ..Default::default()
+    });
     let simb = build_simb(SimbKind::Config { module: 0x02 }, 0x01, 64, 4);
     t.sim.poke_u64(t.icap.ce, 1);
     for w in &simb {
@@ -189,7 +225,10 @@ fn capture_and_restore_strobes_reach_the_portal() {
 #[test]
 fn unknown_module_id_is_an_error() {
     let mut t = tb(IcapConfig::default());
-    write_simb(&mut t, &build_simb(SimbKind::Config { module: 0x77 }, 0x01, 8, 5));
+    write_simb(
+        &mut t,
+        &build_simb(SimbKind::Config { module: 0x77 }, 0x01, 8, 5),
+    );
     drain(&mut t, 200);
     assert!(t.sim.has_errors());
     assert_eq!(t.portal_stats.borrow().bad_module_ids, 1);
@@ -200,7 +239,10 @@ fn unknown_module_id_is_an_error() {
 #[test]
 fn simb_for_other_region_is_ignored_by_this_portal() {
     let mut t = tb(IcapConfig::default());
-    write_simb(&mut t, &build_simb(SimbKind::Config { module: 0x02 }, 0x05, 8, 6));
+    write_simb(
+        &mut t,
+        &build_simb(SimbKind::Config { module: 0x02 }, 0x05, 8, 6),
+    );
     drain(&mut t, 200);
     assert_eq!(t.portal_stats.borrow().swaps, 0);
     // Module 1 still active.
@@ -212,7 +254,11 @@ fn transfer_time_scales_with_simb_length_and_divider() {
     // The reconfiguration delay is the bitstream transfer time — the
     // property VMUX cannot model. Measure cycles to swap for two lengths.
     let time_to_swap = |payload: usize, divider: u32| -> u64 {
-        let mut t = tb(IcapConfig { cfg_divider: divider, fifo_depth: 16, ..Default::default() });
+        let mut t = tb(IcapConfig {
+            cfg_divider: divider,
+            fifo_depth: 16,
+            ..Default::default()
+        });
         let simb = build_simb(SimbKind::Config { module: 0x02 }, 0x01, payload, 9);
         let start = t.sim.now();
         write_simb(&mut t, &simb);
@@ -227,8 +273,14 @@ fn transfer_time_scales_with_simb_length_and_divider() {
     let short = time_to_swap(64, 4);
     let long = time_to_swap(512, 4);
     let slow = time_to_swap(64, 16);
-    assert!(long > short * 4, "8x payload must take >4x: {short} vs {long}");
-    assert!(slow > short * 2, "slower config clock must stretch the transfer: {short} vs {slow}");
+    assert!(
+        long > short * 4,
+        "8x payload must take >4x: {short} vs {long}"
+    );
+    assert!(
+        slow > short * 2,
+        "slower config clock must stretch the transfer: {short} vs {slow}"
+    );
 }
 
 #[test]
@@ -237,8 +289,18 @@ fn vmux_swaps_instantly_with_no_errors() {
     let mut sim = Simulator::new();
     let clk = sim.signal("clk", 1);
     let rst = sim.signal("rst", 1);
-    sim.add_component("clkgen", CompKind::Vip, Box::new(Clock::new(clk, PERIOD)), &[]);
-    sim.add_component("rstgen", CompKind::Vip, Box::new(ResetGen::new(rst, 2 * PERIOD)), &[]);
+    sim.add_component(
+        "clkgen",
+        CompKind::Vip,
+        Box::new(Clock::new(clk, PERIOD)),
+        &[],
+    );
+    sim.add_component(
+        "rstgen",
+        CompKind::Vip,
+        Box::new(ResetGen::new(rst, 2 * PERIOD)),
+        &[],
+    );
     let go = sim.signal_init("go", 1, 0);
     let ereset = sim.signal_init("ereset", 1, 0);
     let params = EngineParamSignals::alloc(&mut sim, "p");
@@ -256,7 +318,9 @@ fn vmux_swaps_instantly_with_no_errors() {
         sig_regs.clone(),
         vec![(1, m1), (2, m2)],
         boundary,
-        VmuxConfig { reset_signature: Some(1) },
+        VmuxConfig {
+            reset_signature: Some(1),
+        },
     );
     sim.run_for(10 * PERIOD).unwrap();
     assert_eq!(sim.peek_u64(boundary.plb.wdata), Some(0x11));
@@ -275,8 +339,18 @@ fn vmux_uninitialised_signature_selects_nothing() {
     let mut sim = Simulator::new();
     let clk = sim.signal("clk", 1);
     let rst = sim.signal("rst", 1);
-    sim.add_component("clkgen", CompKind::Vip, Box::new(Clock::new(clk, PERIOD)), &[]);
-    sim.add_component("rstgen", CompKind::Vip, Box::new(ResetGen::new(rst, 2 * PERIOD)), &[]);
+    sim.add_component(
+        "clkgen",
+        CompKind::Vip,
+        Box::new(Clock::new(clk, PERIOD)),
+        &[],
+    );
+    sim.add_component(
+        "rstgen",
+        CompKind::Vip,
+        Box::new(ResetGen::new(rst, 2 * PERIOD)),
+        &[],
+    );
     let go = sim.signal_init("go", 1, 0);
     let ereset = sim.signal_init("ereset", 1, 0);
     let params = EngineParamSignals::alloc(&mut sim, "p");
@@ -291,7 +365,9 @@ fn vmux_uninitialised_signature_selects_nothing() {
         RegFile::new(0x400, 1),
         vec![(1, m1)],
         boundary,
-        VmuxConfig { reset_signature: None },
+        VmuxConfig {
+            reset_signature: None,
+        },
     );
     sim.run_for(20 * PERIOD).unwrap();
     assert_eq!(sim.peek_u64(m1.sel), Some(0), "no module selected");

@@ -5,7 +5,9 @@
 
 use engines::{CensusEngine, EngineIf, EngineParamSignals};
 use plb::{AddressWindow, MemorySlave, PlbBus, PlbBusConfig, SharedMem};
-use resim::{build_simb, instantiate_region, IcapArtifact, IcapConfig, RrBoundary, SimbKind, XSource};
+use resim::{
+    build_simb, instantiate_region, IcapArtifact, IcapConfig, RrBoundary, SimbKind, XSource,
+};
 use rtlsim::{Clock, CompKind, Ctx, ResetGen, Simulator};
 use video::{census_transform, Frame, Scene};
 
@@ -35,7 +37,12 @@ fn gcapture_grestore_round_trip_preserves_module_state() {
     let clk = sim.signal("clk", 1);
     let rst = sim.signal("rst", 1);
     sim.add_component("clk", CompKind::Vip, Box::new(Clock::new(clk, PERIOD)), &[]);
-    sim.add_component("rst", CompKind::Vip, Box::new(ResetGen::new(rst, 2 * PERIOD)), &[]);
+    sim.add_component(
+        "rst",
+        CompKind::Vip,
+        Box::new(ResetGen::new(rst, 2 * PERIOD)),
+        &[],
+    );
     let mem = SharedMem::new(256 * 1024);
     let sport = MemorySlave::instantiate(&mut sim, "mem", clk, rst, mem.clone(), 0);
 
@@ -47,7 +54,8 @@ fn gcapture_grestore_round_trip_preserves_module_state() {
     CensusEngine::instantiate(&mut sim, "cie", cie_if, 2);
     filler_module(&mut sim, other_if);
 
-    let (icap, _stats) = IcapArtifact::instantiate(&mut sim, "icap", clk, rst, IcapConfig::default());
+    let (icap, _stats) =
+        IcapArtifact::instantiate(&mut sim, "icap", clk, rst, IcapConfig::default());
     let boundary = RrBoundary::alloc(&mut sim, "rr");
     let portal = instantiate_region(
         &mut sim,
@@ -68,7 +76,13 @@ fn gcapture_grestore_round_trip_preserves_module_state() {
         rst,
         PlbBusConfig::default(),
         vec![boundary.plb],
-        vec![(sport, AddressWindow { base: 0, len: 256 * 1024 })],
+        vec![(
+            sport,
+            AddressWindow {
+                base: 0,
+                len: 256 * 1024,
+            },
+        )],
     );
     sim.run_for(5 * PERIOD).unwrap();
 
@@ -107,11 +121,17 @@ fn gcapture_grestore_round_trip_preserves_module_state() {
     // static-region registers get reused by other software), swap the
     // CIE back, restore, and start WITHOUT a reset.
     feed(&mut sim, &build_simb(SimbKind::Capture, 1, 1, 0));
-    feed(&mut sim, &build_simb(SimbKind::Config { module: 2 }, 1, 32, 1));
+    feed(
+        &mut sim,
+        &build_simb(SimbKind::Config { module: 2 }, 1, 32, 1),
+    );
     sim.poke_u64(params.src_addr, 0xDEAD0000u64);
     sim.poke_u64(params.dst_addr, 0xBEEF0000u64);
     sim.run_for(5 * PERIOD).unwrap();
-    feed(&mut sim, &build_simb(SimbKind::Config { module: 1 }, 1, 32, 2));
+    feed(
+        &mut sim,
+        &build_simb(SimbKind::Config { module: 1 }, 1, 32, 2),
+    );
     feed(&mut sim, &build_simb(SimbKind::Restore, 1, 1, 0));
 
     sim.poke_u64(go, 1);
@@ -139,7 +159,11 @@ fn gcapture_grestore_round_trip_preserves_module_state() {
         .map(|x| x.expect("clean output"))
         .collect();
     let got = Frame::from_words(w, h, &words);
-    assert_eq!(got, census_transform(&frame), "state survived the swap round trip");
+    assert_eq!(
+        got,
+        census_transform(&frame),
+        "state survived the swap round trip"
+    );
     assert!(!sim.has_errors(), "{:?}", sim.messages());
 }
 
@@ -154,7 +178,12 @@ fn without_restore_the_swapped_back_module_uses_stale_wires_semantics() {
     let clk = sim.signal("clk", 1);
     let rst = sim.signal("rst", 1);
     sim.add_component("clk", CompKind::Vip, Box::new(Clock::new(clk, PERIOD)), &[]);
-    sim.add_component("rst", CompKind::Vip, Box::new(ResetGen::new(rst, 2 * PERIOD)), &[]);
+    sim.add_component(
+        "rst",
+        CompKind::Vip,
+        Box::new(ResetGen::new(rst, 2 * PERIOD)),
+        &[],
+    );
     let go = sim.signal_init("go", 1, 0);
     let er = sim.signal_init("er", 1, 0);
     let params = EngineParamSignals::alloc(&mut sim, "p");
@@ -206,5 +235,9 @@ fn without_restore_the_swapped_back_module_uses_stale_wires_semantics() {
         sim.run_for(200 * PERIOD).unwrap();
     };
     feed(&mut sim, &build_simb(SimbKind::Capture, 9, 1, 0));
-    assert_eq!(portal.borrow().captures, 0, "other region's capture ignored");
+    assert_eq!(
+        portal.borrow().captures,
+        0,
+        "other region's capture ignored"
+    );
 }

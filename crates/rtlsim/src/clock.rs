@@ -21,7 +21,10 @@ impl Clock {
     /// Create a clock with the given full period in picoseconds.
     /// Panics if the period is not a positive even number.
     pub fn new(out: SignalId, period_ps: u64) -> Clock {
-        assert!(period_ps >= 2 && period_ps.is_multiple_of(2), "clock period must be even and >= 2 ps");
+        assert!(
+            period_ps >= 2 && period_ps.is_multiple_of(2),
+            "clock period must be even and >= 2 ps"
+        );
         Clock {
             out,
             half_period_ps: period_ps / 2,
@@ -87,7 +90,12 @@ mod tests {
     fn clock_toggles_at_half_period() {
         let mut sim = Simulator::new();
         let clk = sim.signal("clk", 1);
-        sim.add_component("clkgen", CompKind::Vip, Box::new(Clock::new(clk, 10_000)), &[]);
+        sim.add_component(
+            "clkgen",
+            CompKind::Vip,
+            Box::new(Clock::new(clk, 10_000)),
+            &[],
+        );
         sim.run_until(4_999).unwrap();
         assert_eq!(sim.peek_u64(clk), Some(0));
         sim.run_until(5_000).unwrap();
@@ -111,7 +119,12 @@ mod tests {
     fn reset_pulse_shape() {
         let mut sim = Simulator::new();
         let rst = sim.signal("rst", 1);
-        sim.add_component("rstgen", CompKind::Vip, Box::new(ResetGen::new(rst, 25_000)), &[]);
+        sim.add_component(
+            "rstgen",
+            CompKind::Vip,
+            Box::new(ResetGen::new(rst, 25_000)),
+            &[],
+        );
         sim.settle().unwrap();
         assert_eq!(sim.peek_u64(rst), Some(1));
         sim.run_until(24_999).unwrap();
@@ -132,9 +145,6 @@ mod tests {
         sim.add_component("s", CompKind::Vip, Box::new(Clock::new(slow, 40_000)), &[]);
         sim.run_until(400_000).unwrap();
         // Discount the initial X->0 change on each clock.
-        assert_eq!(
-            sim.toggle_count(fast) - 1,
-            4 * (sim.toggle_count(slow) - 1)
-        );
+        assert_eq!(sim.toggle_count(fast) - 1, 4 * (sim.toggle_count(slow) - 1));
     }
 }

@@ -114,7 +114,8 @@ impl Ctx<'_> {
     #[inline]
     pub fn set_after(&mut self, s: SignalId, v: Lv, delay_ps: u64) {
         let w = self.core.signals[s.0 as usize].width;
-        self.core.schedule_drive(self.core.now + delay_ps, s, v.resize(w));
+        self.core
+            .schedule_drive(self.core.now + delay_ps, s, v.resize(w));
     }
 
     /// Request re-evaluation of this component `delay_ps` from now,
@@ -129,18 +130,14 @@ impl Ctx<'_> {
     #[inline]
     pub fn rose(&self, s: SignalId) -> bool {
         let sig = &self.core.signals[s.0 as usize];
-        sig.last_change == self.core.step
-            && !sig.prev.truthy()
-            && sig.cur.truthy()
+        sig.last_change == self.core.step && !sig.prev.truthy() && sig.cur.truthy()
     }
 
     /// Did `s` change to known 0 in the delta that triggered this eval?
     #[inline]
     pub fn fell(&self, s: SignalId) -> bool {
         let sig = &self.core.signals[s.0 as usize];
-        sig.last_change == self.core.step
-            && sig.prev.truthy()
-            && !sig.cur.truthy()
+        sig.last_change == self.core.step && sig.prev.truthy() && !sig.cur.truthy()
     }
 
     /// Did `s` change value in the delta that triggered this eval?

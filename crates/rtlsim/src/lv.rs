@@ -187,7 +187,11 @@ impl Lv {
     /// Get bit `i` (LSB = 0). Panics if out of range.
     #[inline]
     pub fn get(&self, i: u8) -> Logic {
-        assert!(i < self.width, "bit {i} out of range for width {}", self.width);
+        assert!(
+            i < self.width,
+            "bit {i} out of range for width {}",
+            self.width
+        );
         let v = (self.val >> i) & 1;
         let u = (self.xz >> i) & 1;
         match (u, v) {
@@ -201,7 +205,11 @@ impl Lv {
     /// Return a copy with bit `i` set to `l`. Panics if out of range.
     #[inline]
     pub fn with_bit(&self, i: u8, l: Logic) -> Lv {
-        assert!(i < self.width, "bit {i} out of range for width {}", self.width);
+        assert!(
+            i < self.width,
+            "bit {i} out of range for width {}",
+            self.width
+        );
         let (v, u) = match l {
             Logic::Zero => (0u64, 0u64),
             Logic::One => (1, 0),
@@ -219,7 +227,11 @@ impl Lv {
     /// Extract bits `hi..=lo` as a new vector. Panics on bad range.
     #[inline]
     pub fn slice(&self, hi: u8, lo: u8) -> Lv {
-        assert!(hi >= lo && hi < self.width, "bad slice [{hi}:{lo}] of width {}", self.width);
+        assert!(
+            hi >= lo && hi < self.width,
+            "bad slice [{hi}:{lo}] of width {}",
+            self.width
+        );
         let w = hi - lo + 1;
         Lv::from_planes(w, self.val >> lo, self.xz >> lo)
     }

@@ -150,7 +150,10 @@ impl Profiler {
     pub fn total(&self) -> Duration {
         let floor = self.floor_secs();
         Duration::from_secs_f64(
-            self.entries.iter().map(|e| self.estimate_secs(e, floor)).sum(),
+            self.entries
+                .iter()
+                .map(|e| self.estimate_secs(e, floor))
+                .sum(),
         )
     }
 
@@ -163,7 +166,11 @@ impl Profiler {
     /// Fraction of total eval time spent in components of `kind`.
     pub fn fraction_of_kind(&self, kind: CompKind) -> f64 {
         let floor = self.floor_secs();
-        let total: f64 = self.entries.iter().map(|e| self.estimate_secs(e, floor)).sum();
+        let total: f64 = self
+            .entries
+            .iter()
+            .map(|e| self.estimate_secs(e, floor))
+            .sum();
         if total == 0.0 {
             return 0.0;
         }
@@ -201,7 +208,7 @@ impl Profiler {
                 }
             })
             .collect();
-        rows.sort_by(|a, b| b.time.cmp(&a.time));
+        rows.sort_by_key(|r| std::cmp::Reverse(r.time));
         rows
     }
 }

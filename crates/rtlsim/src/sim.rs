@@ -371,7 +371,12 @@ impl Simulator {
         self.core.finish_requested
     }
 
-    fn mark_sensitive(signals: &[SignalState], comps: &mut [CompSlot], ready: &mut Vec<CompId>, sig: SignalId) {
+    fn mark_sensitive(
+        signals: &[SignalState],
+        comps: &mut [CompSlot],
+        ready: &mut Vec<CompId>,
+        sig: SignalId,
+    ) {
         for &c in &signals[sig.0 as usize].sensitive {
             let slot = &mut comps[c.0 as usize];
             if !slot.queued {

@@ -1,14 +1,19 @@
 //! Integration tests for the simulation kernel: scheduling semantics,
 //! delta cycles, X propagation, tracing and diagnostics.
 
-use rtlsim::{CompKind, Ctx, Logic, Lv, Severity, SimError, Simulator, Clock};
+use rtlsim::{Clock, CompKind, Ctx, Logic, Lv, Severity, SimError, Simulator};
 
 const PERIOD: u64 = 10_000; // 10 ns
 
 fn clocked_system() -> (Simulator, rtlsim::SignalId) {
     let mut sim = Simulator::new();
     let clk = sim.signal("clk", 1);
-    sim.add_component("clkgen", CompKind::Vip, Box::new(Clock::new(clk, PERIOD)), &[]);
+    sim.add_component(
+        "clkgen",
+        CompKind::Vip,
+        Box::new(Clock::new(clk, PERIOD)),
+        &[],
+    );
     (sim, clk)
 }
 
@@ -53,7 +58,8 @@ fn flip_flop_chain_has_nba_semantics() {
     }
     // After N posedges the last stage lags the source by `stages` cycles.
     let cycles = 20u64;
-    sim.run_until(PERIOD / 2 + (cycles - 1) * PERIOD + 1).unwrap();
+    sim.run_until(PERIOD / 2 + (cycles - 1) * PERIOD + 1)
+        .unwrap();
     let head = sim.peek_u64(regs[0]).unwrap();
     let tail = sim.peek_u64(regs[stages]).unwrap();
     assert_eq!(head, cycles);
@@ -303,7 +309,10 @@ fn profiler_attributes_time_by_kind() {
     sim.run_until(2_000 * PERIOD).unwrap();
     let user = sim.profiler().fraction_of_kind(CompKind::UserStatic);
     let artifact = sim.profiler().fraction_of_kind(CompKind::Artifact);
-    assert!(user > artifact, "heavy user logic must dominate: {user} vs {artifact}");
+    assert!(
+        user > artifact,
+        "heavy user logic must dominate: {user} vs {artifact}"
+    );
     assert!(user > 0.5, "user fraction {user}");
     let names = sim.eval_counts();
     let rows = sim.profiler().report(&names);
@@ -367,5 +376,9 @@ fn stats_track_activity() {
     assert!(stats.evals > 200, "evals: {}", stats.evals);
     assert!(stats.deltas > 100, "deltas: {}", stats.deltas);
     assert!(stats.toggles > 200, "toggles: {}", stats.toggles);
-    assert!(stats.time_points >= 200, "time points: {}", stats.time_points);
+    assert!(
+        stats.time_points >= 200,
+        "time points: {}",
+        stats.time_points
+    );
 }

@@ -8,12 +8,17 @@ use proptest::prelude::*;
 use rtlsim::{Logic, Lv};
 
 fn arb_lv(max_width: u8) -> impl Strategy<Value = Lv> {
-    (1..=max_width, any::<u64>(), any::<u64>())
-        .prop_map(|(w, val, xz)| Lv::from_planes(w, val, xz))
+    (1..=max_width, any::<u64>(), any::<u64>()).prop_map(|(w, val, xz)| Lv::from_planes(w, val, xz))
 }
 
 fn arb_lv_pair() -> impl Strategy<Value = (Lv, Lv)> {
-    (1u8..=64, any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>())
+    (
+        1u8..=64,
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
         .prop_map(|(w, v1, x1, v2, x2)| (Lv::from_planes(w, v1, x1), Lv::from_planes(w, v2, x2)))
 }
 

@@ -18,7 +18,6 @@
 
 use crate::probe::{probe_high_time, HighTime};
 use autovision::AvSystem;
-use serde::Serialize;
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -31,7 +30,7 @@ pub struct CoverageProbes {
 }
 
 /// The collected coverage record.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DprCoverage {
     /// Module swaps observed.
     pub swaps: u64,
@@ -65,7 +64,11 @@ impl CoverageProbes {
             .probes
             .reconfiguring
             .map(|s| probe_high_time(&mut sys.sim, "cov.reconf", s));
-        CoverageProbes { isolation, injection, reconfiguring }
+        CoverageProbes {
+            isolation,
+            injection,
+            reconfiguring,
+        }
     }
 
     /// Gather the record after the run.
@@ -74,7 +77,11 @@ impl CoverageProbes {
         DprCoverage {
             swaps: icap.as_ref().map(|i| i.swaps).unwrap_or(0),
             desyncs: icap.as_ref().map(|i| i.desyncs).unwrap_or(0),
-            injection_windows: self.injection.as_ref().map(|p| p.borrow().pulses).unwrap_or(0),
+            injection_windows: self
+                .injection
+                .as_ref()
+                .map(|p| p.borrow().pulses)
+                .unwrap_or(0),
             isolation_pulses: self.isolation.borrow().pulses,
             isolation_ps: self.isolation.borrow().total_ps,
             reconfiguring_ps: self
@@ -151,7 +158,12 @@ mod tests {
     #[test]
     fn resim_covers_every_dpr_point() {
         let cov = run(SimMethod::Resim);
-        assert!(cov.holes().is_empty(), "holes: {:?} in {:?}", cov.holes(), cov);
+        assert!(
+            cov.holes().is_empty(),
+            "holes: {:?} in {:?}",
+            cov.holes(),
+            cov
+        );
         assert_eq!(cov.score(), 1.0);
         assert_eq!(cov.swaps, 4);
         assert_eq!(cov.desyncs, 4);
@@ -170,7 +182,10 @@ mod tests {
             "isolation control exercised",
             "ICAP backpressure exercised",
         ] {
-            assert!(holes.contains(&expected), "missing hole '{expected}': {holes:?}");
+            assert!(
+                holes.contains(&expected),
+                "missing hole '{expected}': {holes:?}"
+            );
         }
         // But the functional pipeline itself still runs.
         assert_eq!(cov.frames, 2);

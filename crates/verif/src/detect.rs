@@ -9,10 +9,9 @@
 //! violations in the waveform).
 
 use autovision::{AvSystem, SystemConfig};
-use serde::Serialize;
 
 /// One piece of evidence that a run misbehaved.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Evidence {
     /// A kernel error diagnostic (protocol monitor, ICAP artifact, DCR
     /// master, engine checker...).
@@ -51,7 +50,7 @@ pub enum Evidence {
 }
 
 /// The classified outcome of one experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Verdict {
     /// Did any oracle fire?
     pub detected: bool,
@@ -99,7 +98,10 @@ pub fn run_experiment(cfg: SystemConfig, budget_cycles: u64) -> Verdict {
     }
     for (i, words) in sys.captured_poison.borrow().iter().enumerate() {
         if *words > 0 {
-            evidence.push(Evidence::PoisonedOutput { frame: i, words: *words });
+            evidence.push(Evidence::PoisonedOutput {
+                frame: i,
+                words: *words,
+            });
         }
     }
 

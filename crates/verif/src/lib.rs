@@ -11,20 +11,27 @@
 //! * [`timeline`] — the Figure 5 development timeline, with the bug
 //!   series regenerated from the matrix;
 //! * [`turnaround`] — the §V-B simulation vs on-chip debug-turnaround
-//!   comparison.
+//!   comparison;
+//! * [`recovery`] — the randomized transient-fault injection campaign
+//!   measuring the resilient-reconfiguration machinery.
 
 pub mod coverage;
 pub mod detect;
-pub mod probe;
 pub mod matrix;
+pub mod probe;
+pub mod recovery;
 pub mod timeline;
 pub mod turnaround;
 
 pub use coverage::{CoverageProbes, DprCoverage};
 pub use detect::{run_experiment, Evidence, Verdict};
-pub use probe::{probe_high_time, HighTime};
 pub use matrix::{
     expected_detection, render_matrix, run_bug, run_clean, run_matrix, MatrixConfig, MatrixRow,
+};
+pub use probe::{probe_high_time, HighTime};
+pub use recovery::{
+    render_campaign, run_campaign, run_one, summarize, CampaignConfig, CampaignSummary, RunClass,
+    RunReport,
 };
 pub use timeline::{build_timeline, render_timeline, Phase, WeekRow, LOC_SERIES};
 pub use turnaround::{compare, Turnaround, FRAMES_TO_DETECT, ONCHIP_ITERATION_MIN};

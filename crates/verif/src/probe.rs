@@ -38,13 +38,13 @@ impl Component for HighTimeProbe {
 }
 
 /// Attach a high-time probe to `sig`; read results through the handle.
-pub fn probe_high_time(
-    sim: &mut Simulator,
-    name: &str,
-    sig: SignalId,
-) -> Rc<RefCell<HighTime>> {
+pub fn probe_high_time(sim: &mut Simulator, name: &str, sig: SignalId) -> Rc<RefCell<HighTime>> {
     let out = Rc::new(RefCell::new(HighTime::default()));
-    let probe = HighTimeProbe { sig, rose_at: None, out: out.clone() };
+    let probe = HighTimeProbe {
+        sig,
+        rose_at: None,
+        out: out.clone(),
+    };
     sim.add_component(name, CompKind::Vip, Box::new(probe), &[sig]);
     out
 }

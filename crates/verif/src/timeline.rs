@@ -10,10 +10,9 @@
 
 use crate::matrix::MatrixRow;
 use autovision::{Bug, BugClass};
-use serde::Serialize;
 
 /// Simulation activity during a development week.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Phase {
     /// Assembling the design and baseline testbench (weeks 1-3).
     Setup,
@@ -24,7 +23,7 @@ pub enum Phase {
 }
 
 /// One week of Figure 5.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct WeekRow {
     /// Week number (1-based).
     pub week: usize,
@@ -73,7 +72,10 @@ pub fn build_timeline(matrix: &[MatrixRow]) -> Vec<WeekRow> {
         .iter()
         .filter(|r| {
             r.resim_detected
-                && matches!(bug_class(&r.bug), Some(BugClass::Dpr) | Some(BugClass::Software))
+                && matches!(
+                    bug_class(&r.bug),
+                    Some(BugClass::Dpr) | Some(BugClass::Software)
+                )
         })
         .collect();
 
@@ -171,7 +173,10 @@ mod tests {
             .filter(|w| w.bugs_detected.iter().any(|b| b.starts_with("bug.hw")))
             .map(|w| w.week)
             .collect();
-        assert!(static_weeks.iter().all(|w| (6..=9).contains(w)), "{static_weeks:?}");
+        assert!(
+            static_weeks.iter().all(|w| (6..=9).contains(w)),
+            "{static_weeks:?}"
+        );
         // DPR/software bugs in weeks 10-11.
         let dpr_weeks: Vec<usize> = weeks
             .iter()
@@ -188,7 +193,12 @@ mod tests {
         // LoC is monotone non-decreasing, dominated by the week-3 import.
         assert!(LOC_SERIES.windows(2).all(|w| w[0] <= w[1]));
         let week3_jump = LOC_SERIES[2] - LOC_SERIES[1];
-        let rest_max = LOC_SERIES.windows(2).skip(2).map(|w| w[1] - w[0]).max().unwrap();
+        let rest_max = LOC_SERIES
+            .windows(2)
+            .skip(2)
+            .map(|w| w[1] - w[0])
+            .max()
+            .unwrap();
         assert!(week3_jump > 10 * rest_max, "import dwarfs later changes");
         // Render does not panic and mentions every week.
         let text = render_timeline(&weeks);

@@ -7,8 +7,6 @@
 //! extra iterations on-chip probing needs because it sees only a few
 //! signals at a time.
 
-use serde::Serialize;
-
 /// Paper-reported constant: implementation + bitstream generation time
 /// for one on-chip debug iteration, in minutes.
 pub const ONCHIP_ITERATION_MIN: f64 = 52.0;
@@ -16,7 +14,7 @@ pub const ONCHIP_ITERATION_MIN: f64 = 52.0;
 pub const FRAMES_TO_DETECT: u64 = 4;
 
 /// One row of the turnaround comparison.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Turnaround {
     /// Wall-clock seconds to simulate one frame (measured on this host).
     pub sim_sec_per_frame: f64,

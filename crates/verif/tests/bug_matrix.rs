@@ -24,7 +24,11 @@ fn check(bug: Bug) {
 fn clean_design_is_silent_under_both_methods() {
     let row = run_clean(&MatrixConfig::default());
     assert!(!row.vmux_detected, "VMUX false positive: {}", row.evidence);
-    assert!(!row.resim_detected, "ReSim false positive: {}", row.evidence);
+    assert!(
+        !row.resim_detected,
+        "ReSim false positive: {}",
+        row.evidence
+    );
 }
 
 #[test]
@@ -102,11 +106,22 @@ fn resim_strictly_dominates_on_real_bugs() {
         .filter(|r| r.bug.starts_with("bug.") && r.bug != "bug.hw.2")
         .collect();
     // Every real bug is found by ReSim...
-    assert!(real.iter().all(|r| r.resim_detected), "{}", verif::render_matrix(&rows));
+    assert!(
+        real.iter().all(|r| r.resim_detected),
+        "{}",
+        verif::render_matrix(&rows)
+    );
     // ...while VMUX misses every DPR bug...
-    let dpr: Vec<_> = real.iter().filter(|r| r.bug.starts_with("bug.dpr")).collect();
+    let dpr: Vec<_> = real
+        .iter()
+        .filter(|r| r.bug.starts_with("bug.dpr"))
+        .collect();
     assert!(!dpr.is_empty());
-    assert!(dpr.iter().all(|r| !r.vmux_detected), "{}", verif::render_matrix(&rows));
+    assert!(
+        dpr.iter().all(|r| !r.vmux_detected),
+        "{}",
+        verif::render_matrix(&rows)
+    );
     // ...and raises the false alarm ReSim cannot raise.
     let fa = rows.iter().find(|r| r.bug == "bug.hw.2").unwrap();
     assert!(fa.vmux_detected && !fa.resim_detected);

@@ -99,9 +99,9 @@ pub fn detect_objects(vectors: &[MotionVector], p: &AnalysisParams) -> Vec<Detec
     // Gather clusters.
     let mut clusters: std::collections::HashMap<usize, Vec<&MotionVector>> =
         std::collections::HashMap::new();
-    for i in 0..n {
+    for (i, mv) in moving.iter().enumerate() {
         let r = find(&mut parent, i);
-        clusters.entry(r).or_default().push(moving[i]);
+        clusters.entry(r).or_default().push(*mv);
     }
     let mut objects: Vec<DetectedObject> = clusters
         .into_values()
@@ -140,7 +140,13 @@ mod tests {
     use super::*;
 
     fn v(x: u16, y: u16, dx: i8, dy: i8) -> MotionVector {
-        MotionVector { x, y, dx, dy, cost: 3 }
+        MotionVector {
+            x,
+            y,
+            dx,
+            dy,
+            cost: 3,
+        }
     }
 
     #[test]
@@ -154,14 +160,25 @@ mod tests {
     fn zero_and_nomatch_vectors_are_background() {
         let field = [
             v(10, 10, 0, 0),
-            MotionVector { x: 20, y: 20, dx: 3, dy: 0, cost: u16::MAX },
+            MotionVector {
+                x: 20,
+                y: 20,
+                dx: 3,
+                dy: 0,
+                cost: u16::MAX,
+            },
         ];
         assert!(detect_objects(&field, &AnalysisParams::default()).is_empty());
     }
 
     #[test]
     fn coherent_neighbours_form_one_object() {
-        let field = [v(10, 10, 3, 0), v(18, 10, 3, 0), v(10, 18, 3, 1), v(18, 18, 3, 0)];
+        let field = [
+            v(10, 10, 3, 0),
+            v(18, 10, 3, 0),
+            v(10, 18, 3, 1),
+            v(18, 18, 3, 0),
+        ];
         let objs = detect_objects(&field, &AnalysisParams::default());
         assert_eq!(objs.len(), 1);
         let o = &objs[0];
@@ -200,13 +217,20 @@ mod tests {
         let field = [v(10, 10, 3, 0)]; // a single noisy anchor
         let p = AnalysisParams::default();
         assert!(detect_objects(&field, &p).is_empty());
-        let p1 = AnalysisParams { min_support: 1, ..p };
+        let p1 = AnalysisParams {
+            min_support: 1,
+            ..p
+        };
         assert_eq!(detect_objects(&field, &p1).len(), 1);
     }
 
     #[test]
     fn speed_is_euclidean() {
-        let o = DetectedObject { bbox: (0, 0, 1, 1), velocity: (3.0, 4.0), support: 2 };
+        let o = DetectedObject {
+            bbox: (0, 0, 1, 1),
+            velocity: (3.0, 4.0),
+            support: 2,
+        };
         assert!((o.speed() - 5.0).abs() < 1e-9);
     }
 }

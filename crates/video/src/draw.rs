@@ -38,7 +38,14 @@ pub fn draw_vectors(f: &mut Frame, vectors: &[MotionVector], scale: isize) {
         }
         let x0 = v.x as isize;
         let y0 = v.y as isize;
-        line(f, x0, y0, x0 + v.dx as isize * scale, y0 + v.dy as isize * scale, 255);
+        line(
+            f,
+            x0,
+            y0,
+            x0 + v.dx as isize * scale,
+            y0 + v.dy as isize * scale,
+            255,
+        );
         f.put(x0, y0, 0);
     }
 }
@@ -72,8 +79,20 @@ mod tests {
     fn vectors_draw_rays_and_skip_nomatch() {
         let mut f = Frame::new(32, 32);
         let vs = [
-            MotionVector { x: 10, y: 10, dx: 3, dy: 0, cost: 1 },
-            MotionVector { x: 20, y: 20, dx: 3, dy: 0, cost: u16::MAX },
+            MotionVector {
+                x: 10,
+                y: 10,
+                dx: 3,
+                dy: 0,
+                cost: 1,
+            },
+            MotionVector {
+                x: 20,
+                y: 20,
+                dx: 3,
+                dy: 0,
+                cost: u16::MAX,
+            },
         ];
         draw_vectors(&mut f, &vs, 2);
         assert_eq!(f.get(10, 10), 0, "anchor dot");

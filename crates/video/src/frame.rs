@@ -13,15 +13,29 @@ impl Frame {
     /// exactly into 32-bit bus words.
     pub fn new(width: usize, height: usize) -> Frame {
         assert!(width > 0 && height > 0, "empty frame");
-        assert!(width.is_multiple_of(4), "width must be a multiple of 4 (bus packing)");
-        Frame { width, height, data: vec![0; width * height] }
+        assert!(
+            width.is_multiple_of(4),
+            "width must be a multiple of 4 (bus packing)"
+        );
+        Frame {
+            width,
+            height,
+            data: vec![0; width * height],
+        }
     }
 
     /// Build from raw row-major pixels.
     pub fn from_data(width: usize, height: usize, data: Vec<u8>) -> Frame {
         assert_eq!(data.len(), width * height, "pixel count mismatch");
-        assert!(width.is_multiple_of(4), "width must be a multiple of 4 (bus packing)");
-        Frame { width, height, data }
+        assert!(
+            width.is_multiple_of(4),
+            "width must be a multiple of 4 (bus packing)"
+        );
+        Frame {
+            width,
+            height,
+            data,
+        }
     }
 
     /// Frame width in pixels.
@@ -116,7 +130,11 @@ impl Frame {
 
     /// Count of exactly differing pixels.
     pub fn differing_pixels(&self, other: &Frame) -> usize {
-        self.data.iter().zip(&other.data).filter(|(a, b)| a != b).count()
+        self.data
+            .iter()
+            .zip(&other.data)
+            .filter(|(a, b)| a != b)
+            .count()
     }
 }
 
@@ -212,7 +230,13 @@ mod tests {
     #[test]
     fn motion_vector_pack_round_trip() {
         for (x, y, dx, dy) in [(0u16, 0u16, 0i8, 0i8), (319, 239, -8, 7), (100, 50, 3, -4)] {
-            let v = MotionVector { x, y, dx, dy, cost: 0 };
+            let v = MotionVector {
+                x,
+                y,
+                dx,
+                dy,
+                cost: 0,
+            };
             let u = MotionVector::unpack(v.pack());
             assert_eq!((u.x, u.y, u.dx, u.dy), (x, y, dx, dy));
         }

@@ -48,7 +48,11 @@ pub fn read_pgm(r: &mut impl Read) -> io::Result<Frame> {
         if start == pos {
             return Err(bad("truncated PGM header"));
         }
-        tokens.push(std::str::from_utf8(&bytes[start..pos]).map_err(|_| bad("bad header"))?.to_string());
+        tokens.push(
+            std::str::from_utf8(&bytes[start..pos])
+                .map_err(|_| bad("bad header"))?
+                .to_string(),
+        );
     }
     if tokens[0] != "P5" {
         return Err(bad("not a binary PGM (P5) file"));
@@ -63,7 +67,11 @@ pub fn read_pgm(r: &mut impl Read) -> io::Result<Frame> {
     if bytes.len() < pos + width * height {
         return Err(bad("truncated PGM raster"));
     }
-    Ok(Frame::from_data(width, height, bytes[pos..pos + width * height].to_vec()))
+    Ok(Frame::from_data(
+        width,
+        height,
+        bytes[pos..pos + width * height].to_vec(),
+    ))
 }
 
 /// Read a frame from a PGM file.

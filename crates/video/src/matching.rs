@@ -26,7 +26,12 @@ pub struct MatchParams {
 
 impl Default for MatchParams {
     fn default() -> Self {
-        MatchParams { grid_step: 8, patch_half: 2, search_radius: 4, max_cost: 60 }
+        MatchParams {
+            grid_step: 8,
+            patch_half: 2,
+            search_radius: 4,
+            max_cost: 60,
+        }
     }
 }
 
@@ -156,7 +161,10 @@ mod tests {
             *p = ((i * 2654435761) >> 7) as u8;
         }
         let curr = census_transform(&junk);
-        let strict = MatchParams { max_cost: 5, ..Default::default() };
+        let strict = MatchParams {
+            max_cost: 5,
+            ..Default::default()
+        };
         let vs = match_frames(&prev, &curr, &strict);
         let rejected = vs.iter().filter(|v| v.cost == u16::MAX).count();
         assert!(rejected * 10 >= vs.len() * 5, "{rejected}/{}", vs.len());

@@ -75,7 +75,12 @@ impl Scene {
                 shade: rng.random_range(140..240),
             });
         }
-        Scene { width, height, background, objects }
+        Scene {
+            width,
+            height,
+            background,
+            objects,
+        }
     }
 
     /// Scene width.
@@ -163,7 +168,15 @@ mod tests {
         // background: the matcher must report rightward motion inside
         // the object and ~zero outside.
         let mut s = Scene::new(96, 64, 0, 1);
-        s.objects.push(Object { x0: 20.0, y0: 20.0, w: 30, h: 20, vx: 3.0, vy: 0.0, shade: 220 });
+        s.objects.push(Object {
+            x0: 20.0,
+            y0: 20.0,
+            w: 30,
+            h: 20,
+            vx: 3.0,
+            vy: 0.0,
+            shade: 220,
+        });
         let c0 = census_transform(&s.frame(0));
         let c1 = census_transform(&s.frame(1));
         let vs = match_frames(&c0, &c1, &MatchParams::default());

@@ -6,8 +6,7 @@ use video::{census_transform, match_frames, Frame, MatchParams, MotionVector};
 fn arb_frame(max_w: usize, max_h: usize) -> impl Strategy<Value = Frame> {
     (1..=max_w / 4, 1..=max_h).prop_flat_map(|(wq, h)| {
         let w = wq * 4;
-        prop::collection::vec(any::<u8>(), w * h)
-            .prop_map(move |data| Frame::from_data(w, h, data))
+        prop::collection::vec(any::<u8>(), w * h).prop_map(move |data| Frame::from_data(w, h, data))
     })
 }
 

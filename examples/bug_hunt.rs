@@ -32,7 +32,11 @@ fn main() {
     println!(
         "frames displayed: {} / detected: {}",
         v.frames,
-        if v.detected { "YES" } else { "no — the bug sails through" }
+        if v.detected {
+            "YES"
+        } else {
+            "no — the bug sails through"
+        }
     );
     println!("(module swaps are instantaneous and software is hacked, so the");
     println!(" transfer-completion race cannot occur in this testbench)\n");
@@ -58,7 +62,11 @@ fn main() {
     println!(
         "frames displayed: {} / detected: {}",
         fixed.frames,
-        if fixed.detected { "regression!" } else { "clean" }
+        if fixed.detected {
+            "regression!"
+        } else {
+            "clean"
+        }
     );
     assert!(!v.detected && r.detected && !fixed.detected);
     println!("\npaper Table III: this bug 'can ONLY be detected by ReSim-based simulation'.");

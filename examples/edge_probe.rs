@@ -14,7 +14,11 @@ fn main() {
     let default_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {}));
     let r = std::panic::catch_unwind(|| {
-        AvSystem::build(SystemConfig { width: 30, height: 24, ..Default::default() })
+        AvSystem::build(SystemConfig {
+            width: 30,
+            height: 24,
+            ..Default::default()
+        })
     });
     std::panic::set_hook(default_hook);
     match r {

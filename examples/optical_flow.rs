@@ -38,7 +38,10 @@ fn main() {
     }
 
     let mut sys = AvSystem::build(cfg.clone());
-    println!("\nsimulating {} frames (two reconfigurations each)...", cfg.n_frames);
+    println!(
+        "\nsimulating {} frames (two reconfigurations each)...",
+        cfg.n_frames
+    );
     let outcome = sys.run(30_000_000);
     assert!(!outcome.hung, "{:?}", sys.sim.messages());
     println!(
@@ -97,5 +100,8 @@ fn main() {
     println!("  scene hazard: {:?}", video::classify(&objects, &params));
 
     println!("frames written to {}", dir.display());
-    assert!(moving_total > 0 && correct * 2 >= moving_total, "optical flow quality");
+    assert!(
+        moving_total > 0 && correct * 2 >= moving_total,
+        "optical flow quality"
+    );
 }

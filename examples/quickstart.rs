@@ -18,7 +18,10 @@ fn main() {
         payload_words: 128,
         ..Default::default()
     };
-    println!("building the Optical Flow Demonstrator ({:?})...", cfg.method);
+    println!(
+        "building the Optical Flow Demonstrator ({:?})...",
+        cfg.method
+    );
     let mut sys = AvSystem::build(cfg);
 
     println!("running until the frame is displayed...");

@@ -29,7 +29,10 @@ fn main() {
     assert!(!outcome.hung);
 
     let meta = std::fs::metadata(&path).unwrap();
-    println!("simulated {} cycles, {} frame(s) displayed", outcome.cycles, outcome.frames_captured);
+    println!(
+        "simulated {} cycles, {} frame(s) displayed",
+        outcome.cycles, outcome.frames_captured
+    );
     println!("VCD trace: {} ({} KiB)", path.display(), meta.len() / 1024);
     println!();
     println!("signals worth inspecting around the two reconfigurations:");

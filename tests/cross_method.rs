@@ -127,7 +127,7 @@ fn output_frames_carry_vector_markers() {
     let mut marker_frames = 0;
     for (out, input) in captured.iter().zip(inputs).skip(1) {
         let diff = out.differing_pixels(input);
-        let has_anchor = out.pixels().iter().any(|p| *p == 255);
+        let has_anchor = out.pixels().contains(&255);
         if diff > 0 && has_anchor {
             marker_frames += 1;
         }

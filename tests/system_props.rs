@@ -7,7 +7,6 @@ use proptest::prelude::*;
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 6, // each case is a full-system simulation
-        .. ProptestConfig::default()
     })]
 
     /// Any small clean configuration completes and matches golden under
