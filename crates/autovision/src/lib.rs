@@ -28,7 +28,7 @@ pub use faults::{Bug, BugClass, FaultSet};
 pub use icapctrl::{IcapCtrl, RecoveryPolicy, RecoveryStats};
 pub use software::{SimMethod, SwConfig};
 pub use system::{
-    golden_output, AvSystem, ErrorSourceKind, MemLayout, RunOutcome, SystemConfig, SystemProbes,
-    CLK_PERIOD_PS, MODULE_CIE, MODULE_ME, RR_ID,
+    golden_output, AvSystem, ConfigError, ErrorSourceKind, MemLayout, RunOutcome, SystemConfig,
+    SystemConfigBuilder, SystemProbes, CLK_PERIOD_PS, MODULE_CIE, MODULE_ME, RR_ID,
 };
 pub use vips::{VideoInVip, VideoOutVip};

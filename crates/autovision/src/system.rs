@@ -19,8 +19,11 @@ use resim::{
     build_simb, build_simb_integrity, instantiate_vmux, IcapArtifact, IcapConfig, IcapFaultHandle,
     IcapStats, PortalStats, RrBoundary, SimbKind, VmuxConfig, XSource,
 };
-use rtlsim::{Clock, CompKind, Component, Ctx, ResetGen, SignalId, Simulator, PS_PER_NS};
+use rtlsim::{
+    Clock, CompKind, Component, Ctx, KernelError, ResetGen, SignalId, Simulator, PS_PER_NS,
+};
 use std::cell::RefCell;
+use std::fmt;
 use std::rc::Rc;
 use video::{Frame, MatchParams, Scene};
 
@@ -111,6 +114,196 @@ impl Default for SystemConfig {
             optimistic_region: false,
             recovery: RecoveryPolicy::default(),
         }
+    }
+}
+
+impl SystemConfig {
+    /// Start a validating fluent builder seeded with the defaults.
+    ///
+    /// Unlike mutating a struct literal, [`SystemConfigBuilder::build`]
+    /// rejects configurations the system cannot actually run (width not
+    /// a multiple of 4, zero frames, a zero configuration-clock divider)
+    /// instead of failing deep inside `AvSystem::build`.
+    ///
+    /// ```
+    /// use autovision::SystemConfig;
+    /// let cfg = SystemConfig::builder()
+    ///     .width(32)
+    ///     .height(24)
+    ///     .n_frames(1)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(cfg.width, 32);
+    /// assert!(SystemConfig::builder().width(30).build().is_err());
+    /// ```
+    pub fn builder() -> SystemConfigBuilder {
+        SystemConfigBuilder {
+            cfg: SystemConfig::default(),
+        }
+    }
+}
+
+/// An invalid [`SystemConfig`], rejected by [`SystemConfigBuilder::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Frame width must be a positive multiple of 4 (the census engine
+    /// processes pixel quads and the DMA engines move word-aligned rows).
+    WidthNotMultipleOf4 {
+        /// The rejected width.
+        width: usize,
+    },
+    /// Frame height must be positive.
+    ZeroHeight,
+    /// At least one frame must be processed.
+    ZeroFrames,
+    /// The ICAP configuration-clock divider cannot be zero.
+    ZeroDivider,
+    /// The SimB payload must contain at least one word.
+    ZeroPayload,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::WidthNotMultipleOf4 { width } => {
+                write!(f, "frame width {width} is not a positive multiple of 4")
+            }
+            ConfigError::ZeroHeight => write!(f, "frame height must be positive"),
+            ConfigError::ZeroFrames => write!(f, "at least one frame must be processed"),
+            ConfigError::ZeroDivider => {
+                write!(f, "configuration-clock divider must be positive")
+            }
+            ConfigError::ZeroPayload => write!(f, "SimB payload must be at least one word"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Fluent, validating builder for [`SystemConfig`]; see
+/// [`SystemConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct SystemConfigBuilder {
+    cfg: SystemConfig,
+}
+
+impl SystemConfigBuilder {
+    /// DPR simulation method.
+    pub fn method(mut self, method: SimMethod) -> Self {
+        self.cfg.method = method;
+        self
+    }
+
+    /// Injected bugs.
+    pub fn faults(mut self, faults: FaultSet) -> Self {
+        self.cfg.faults = faults;
+        self
+    }
+
+    /// Frame width in pixels (must be a positive multiple of 4).
+    pub fn width(mut self, width: usize) -> Self {
+        self.cfg.width = width;
+        self
+    }
+
+    /// Frame height in pixels (must be positive).
+    pub fn height(mut self, height: usize) -> Self {
+        self.cfg.height = height;
+        self
+    }
+
+    /// Frames to process (must be positive).
+    pub fn n_frames(mut self, n_frames: usize) -> Self {
+        self.cfg.n_frames = n_frames;
+        self
+    }
+
+    /// SimB FDRI payload length in words (must be positive).
+    pub fn payload_words(mut self, payload_words: usize) -> Self {
+        self.cfg.payload_words = payload_words;
+        self
+    }
+
+    /// Configuration-clock divider of the ICAP artifact (must be
+    /// positive).
+    pub fn cfg_divider(mut self, cfg_divider: u32) -> Self {
+        self.cfg.cfg_divider = cfg_divider;
+        self
+    }
+
+    /// Memory first-access wait states.
+    pub fn mem_wait_states(mut self, mem_wait_states: u32) -> Self {
+        self.cfg.mem_wait_states = mem_wait_states;
+        self
+    }
+
+    /// Calibrated ISR housekeeping loops.
+    pub fn isr_pad_loops(mut self, isr_pad_loops: u32) -> Self {
+        self.cfg.isr_pad_loops = isr_pad_loops;
+        self
+    }
+
+    /// bug.dpr.6a's fixed wait loop count.
+    pub fn fixed_wait_loops(mut self, fixed_wait_loops: u32) -> Self {
+        self.cfg.fixed_wait_loops = fixed_wait_loops;
+        self
+    }
+
+    /// Scene generator seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Moving objects in the synthetic scene.
+    pub fn scene_objects(mut self, scene_objects: usize) -> Self {
+        self.cfg.scene_objects = scene_objects;
+        self
+    }
+
+    /// Error source driven onto region outputs during reconfiguration.
+    pub fn error_source(mut self, error_source: ErrorSourceKind) -> Self {
+        self.cfg.error_source = error_source;
+        self
+    }
+
+    /// When the ICAP artifact triggers the module swap.
+    pub fn swap_trigger(mut self, swap_trigger: resim::icap::SwapTrigger) -> Self {
+        self.cfg.swap_trigger = swap_trigger;
+        self
+    }
+
+    /// Keep the configured module selected while the payload streams.
+    pub fn optimistic_region(mut self, optimistic_region: bool) -> Self {
+        self.cfg.optimistic_region = optimistic_region;
+        self
+    }
+
+    /// Resilient-reconfiguration policy.
+    pub fn recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.cfg.recovery = recovery;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<SystemConfig, ConfigError> {
+        let cfg = self.cfg;
+        if cfg.width == 0 || !cfg.width.is_multiple_of(4) {
+            return Err(ConfigError::WidthNotMultipleOf4 { width: cfg.width });
+        }
+        if cfg.height == 0 {
+            return Err(ConfigError::ZeroHeight);
+        }
+        if cfg.n_frames == 0 {
+            return Err(ConfigError::ZeroFrames);
+        }
+        if cfg.cfg_divider == 0 {
+            return Err(ConfigError::ZeroDivider);
+        }
+        if cfg.payload_words == 0 {
+            return Err(ConfigError::ZeroPayload);
+        }
+        Ok(cfg)
     }
 }
 
@@ -213,11 +406,12 @@ pub struct RunOutcome {
     pub hung: bool,
     /// Clock cycles consumed.
     pub cycles: u64,
-    /// The simulation kernel itself failed (e.g. a component panic
-    /// surfaced as a kernel error) before the run could finish. Carried
-    /// in the outcome instead of panicking so verdict classification
-    /// can report it as a detected failure.
-    pub kernel_error: Option<String>,
+    /// The simulation kernel itself failed (e.g. a delta-cycle
+    /// oscillation) before the run could finish. Carried as the typed
+    /// [`rtlsim::KernelError`] — the same value `run_for` returned —
+    /// instead of panicking, so verdict classification can report it as
+    /// a detected failure.
+    pub kernel_error: Option<KernelError>,
 }
 
 /// A fully built Optical Flow Demonstrator simulation.
@@ -667,7 +861,7 @@ impl AvSystem {
     pub fn run(&mut self, budget_cycles: u64) -> RunOutcome {
         let start = self.sim.now();
         let chunk = 512 * CLK_PERIOD_PS;
-        let outcome_at = |s: &Self, cycles: u64, hung: bool, err: Option<String>| RunOutcome {
+        let outcome_at = |s: &Self, cycles: u64, hung: bool, err: Option<KernelError>| RunOutcome {
             frames_captured: s.captured.borrow().len(),
             halted: s.cpu.borrow().halted,
             hung,
@@ -677,14 +871,14 @@ impl AvSystem {
         loop {
             if let Err(e) = self.sim.run_for(chunk) {
                 let cycles = (self.sim.now() - start) / CLK_PERIOD_PS;
-                return outcome_at(self, cycles, false, Some(e.to_string()));
+                return outcome_at(self, cycles, false, Some(e));
             }
             let cycles = (self.sim.now() - start) / CLK_PERIOD_PS;
             let frames = self.captured.borrow().len();
             let halted = self.cpu.borrow().halted;
             if halted || frames >= self.config.n_frames {
                 // Let in-flight display DMA finish.
-                let err = self.sim.run_for(chunk).err().map(|e| e.to_string());
+                let err = self.sim.run_for(chunk).err();
                 return outcome_at(self, cycles, false, err);
             }
             if cycles >= budget_cycles {

@@ -18,16 +18,16 @@ fn main() {
         ("random", ErrorSourceKind::Random),
         ("silent", ErrorSourceKind::Silent),
     ] {
-        let cfg = SystemConfig {
-            method: SimMethod::Resim,
-            faults: FaultSet::one(Bug::Dpr1NoIsolation),
-            width: 32,
-            height: 24,
-            n_frames: 2,
-            payload_words: 256,
-            error_source: kind,
-            ..Default::default()
-        };
+        let cfg = SystemConfig::builder()
+            .method(SimMethod::Resim)
+            .faults(FaultSet::one(Bug::Dpr1NoIsolation))
+            .width(32)
+            .height(24)
+            .n_frames(2)
+            .payload_words(256)
+            .error_source(kind)
+            .build()
+            .expect("ablation config is valid");
         let v = run_experiment(cfg, 1_000_000);
         let ev = v
             .evidence

@@ -24,14 +24,14 @@ fn main() {
     );
     println!("{}", "-".repeat(58));
     for payload in [64usize, 128, 256, 1024, 4096, 16384] {
-        let base = SystemConfig {
-            method: SimMethod::Resim,
-            width: 32,
-            height: 24,
-            n_frames: 2,
-            payload_words: payload,
-            ..Default::default()
-        };
+        let base = SystemConfig::builder()
+            .method(SimMethod::Resim)
+            .width(32)
+            .height(24)
+            .n_frames(2)
+            .payload_words(payload)
+            .build()
+            .expect("ablation config is valid");
         // Measure reconfiguration delay on the clean design.
         let mut sys = AvSystem::build(base.clone());
         let dpr =

@@ -12,22 +12,22 @@ use resim::SwapTrigger;
 use verif::run_experiment;
 
 fn run(trigger: SwapTrigger, optimistic: bool, bug: Option<Bug>) -> verif::Verdict {
-    let cfg = SystemConfig {
-        method: SimMethod::Resim,
-        faults: bug.map(FaultSet::one).unwrap_or_default(),
-        width: 32,
-        height: 24,
-        n_frames: 2,
-        payload_words: 1024,
-        swap_trigger: trigger,
-        optimistic_region: optimistic,
-        error_source: if optimistic {
+    let cfg = SystemConfig::builder()
+        .method(SimMethod::Resim)
+        .faults(bug.map(FaultSet::one).unwrap_or_default())
+        .width(32)
+        .height(24)
+        .n_frames(2)
+        .payload_words(1024)
+        .swap_trigger(trigger)
+        .optimistic_region(optimistic)
+        .error_source(if optimistic {
             autovision::ErrorSourceKind::Silent
         } else {
             autovision::ErrorSourceKind::X
-        },
-        ..Default::default()
-    };
+        })
+        .build()
+        .expect("ablation config is valid");
     run_experiment(cfg, 1_500_000)
 }
 

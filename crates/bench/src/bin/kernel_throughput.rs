@@ -1,0 +1,273 @@
+//! kernel_throughput — raw simulation-kernel throughput on the full
+//! AutoVision system.
+//!
+//! Two modes:
+//!
+//! * **default** — runs the paper-scale Table II system plus the small
+//!   smoke system, reports cycles/sec and events/sec, and writes the
+//!   `BENCH_kernel.json` baseline (committed at the repo root).
+//! * **`--smoke`** — re-runs only the small system and compares against
+//!   the committed baseline: the deterministic kernel counters (evals,
+//!   deltas, toggles, events) must match *exactly*, and host-normalized
+//!   throughput must not regress by more than 10% (override with the
+//!   `KERNEL_SMOKE_MAX_REGRESSION` env var, a fraction). Exits nonzero
+//!   on either failure, which is what CI gates on.
+//!
+//! Wall-clock numbers are host-dependent, so throughput is normalized
+//! by a fixed-work calibration loop measured on the same host in the
+//! same process; only the *ratio* kernel-throughput / calibration-speed
+//! is compared across runs.
+
+use autovision::{AvSystem, SystemConfig};
+use bench::{paper_scale_config, small_config};
+use std::time::Instant;
+
+const BASELINE_PATH: &str = "BENCH_kernel.json";
+const DEFAULT_MAX_REGRESSION: f64 = 0.10;
+
+/// One measured run of a configuration.
+struct Measurement {
+    wall_s: f64,
+    cycles: u64,
+    evals: u64,
+    deltas: u64,
+    toggles: u64,
+    events: u64,
+    frames: usize,
+}
+
+impl Measurement {
+    fn cycles_per_sec(&self) -> f64 {
+        self.cycles as f64 / self.wall_s
+    }
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_s
+    }
+}
+
+fn measure(cfg: SystemConfig, budget_cycles: u64) -> Measurement {
+    let mut sys = AvSystem::build(cfg);
+    let t0 = Instant::now();
+    let outcome = sys.run(budget_cycles);
+    let wall_s = t0.elapsed().as_secs_f64();
+    assert!(!outcome.hung, "benchmark run hung");
+    assert!(outcome.kernel_error.is_none(), "kernel error during bench");
+    let stats = sys.sim.stats();
+    Measurement {
+        wall_s,
+        cycles: outcome.cycles,
+        evals: stats.evals,
+        deltas: stats.deltas,
+        toggles: stats.toggles,
+        events: stats.events,
+        frames: outcome.frames_captured,
+    }
+}
+
+/// Best-of-n smoke measurement (the run is short; take the fastest to
+/// cut scheduler noise).
+fn measure_smoke() -> Measurement {
+    let mut best: Option<Measurement> = None;
+    for _ in 0..5 {
+        let m = measure(small_config(), 10_000_000);
+        if best.as_ref().map(|b| m.wall_s < b.wall_s).unwrap_or(true) {
+            best = Some(m);
+        }
+    }
+    best.unwrap()
+}
+
+/// Fixed-work integer loop, in M ops/sec — a host speed yardstick that
+/// cancels out of cross-host throughput comparisons.
+fn calibrate_mops() -> f64 {
+    let iters = 200_000_000u64;
+    let t0 = Instant::now();
+    let mut x = 0x2545_F491_4F6C_DD1Du64;
+    for i in 0..iters {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+    }
+    std::hint::black_box(x);
+    iters as f64 / t0.elapsed().as_secs_f64() / 1e6
+}
+
+fn render_section(m: &Measurement, calib_mops: f64) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "    \"wall_seconds\": {:.6},\n",
+            "    \"cycles\": {},\n",
+            "    \"cycles_per_sec\": {:.1},\n",
+            "    \"events\": {},\n",
+            "    \"events_per_sec\": {:.1},\n",
+            "    \"evals\": {},\n",
+            "    \"deltas\": {},\n",
+            "    \"toggles\": {},\n",
+            "    \"frames\": {},\n",
+            "    \"calibration_mops\": {:.1},\n",
+            "    \"normalized_score\": {:.6}\n",
+            "  }}"
+        ),
+        m.wall_s,
+        m.cycles,
+        m.cycles_per_sec(),
+        m.events,
+        m.events_per_sec(),
+        m.evals,
+        m.deltas,
+        m.toggles,
+        m.frames,
+        calib_mops,
+        m.cycles_per_sec() / (calib_mops * 1e6),
+    )
+}
+
+/// Pull the number after `"key":` inside the flat object following
+/// `"section":` — enough of a JSON reader for the file this bin writes.
+fn json_number(doc: &str, section: &str, key: &str) -> Option<f64> {
+    let sec = doc.find(&format!("\"{section}\""))?;
+    let rest = &doc[sec..];
+    let open = rest.find('{')?;
+    let close = open + rest[open..].find('}')?;
+    let obj = &rest[open..close];
+    let k = obj.find(&format!("\"{key}\""))?;
+    let after = &obj[k..];
+    let colon = after.find(':')?;
+    let tail = after[colon + 1..].trim_start();
+    let num: String = tail
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+        .collect();
+    num.parse().ok()
+}
+
+fn print_measurement(label: &str, m: &Measurement, calib: f64) {
+    println!("{label}:");
+    println!("  wall           : {:.3} s ({} frames)", m.wall_s, m.frames);
+    println!(
+        "  cycles         : {} ({:.2} M cycles/sec)",
+        m.cycles,
+        m.cycles_per_sec() / 1e6
+    );
+    println!(
+        "  events         : {} ({:.2} M events/sec)",
+        m.events,
+        m.events_per_sec() / 1e6
+    );
+    println!(
+        "  evals/deltas   : {} / {} ({:.2} M evals/sec)",
+        m.evals,
+        m.deltas,
+        m.evals as f64 / m.wall_s / 1e6
+    );
+    println!("  toggles        : {}", m.toggles);
+    println!(
+        "  normalized     : {:.4} cycles per calibration op (host {:.0} Mops)",
+        m.cycles_per_sec() / (calib * 1e6),
+        calib
+    );
+}
+
+fn run_full() {
+    println!("kernel_throughput — full AutoVision system (paper scale + smoke)\n");
+    let calib = calibrate_mops();
+    let full = measure(paper_scale_config(), 40_000_000);
+    let smoke = measure_smoke();
+    print_measurement("paper-scale (320x240, SimB 4096)", &full, calib);
+    println!();
+    print_measurement("smoke (32x24, SimB 128)", &smoke, calib);
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"bench_kernel/v1\",\n",
+            "  \"full\": {},\n",
+            "  \"smoke\": {}\n",
+            "}}\n"
+        ),
+        render_section(&full, calib),
+        render_section(&smoke, calib),
+    );
+    std::fs::write(BASELINE_PATH, &json).expect("write BENCH_kernel.json");
+    println!("\nwrote {BASELINE_PATH}");
+}
+
+fn run_smoke() -> i32 {
+    println!("kernel_throughput --smoke — regression gate vs {BASELINE_PATH}\n");
+    let doc = match std::fs::read_to_string(BASELINE_PATH) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("FAIL: cannot read {BASELINE_PATH}: {e}");
+            eprintln!("run `kernel_throughput` (no args) once to produce it");
+            return 2;
+        }
+    };
+    let calib = calibrate_mops();
+    let m = measure_smoke();
+    print_measurement("smoke (32x24, SimB 128)", &m, calib);
+    println!();
+
+    // 1) Deterministic counters must match the baseline exactly: any
+    //    drift means the kernel's scheduling semantics changed.
+    let mut semantic_ok = true;
+    for (key, got) in [
+        ("evals", m.evals),
+        ("deltas", m.deltas),
+        ("toggles", m.toggles),
+        ("events", m.events),
+        ("cycles", m.cycles),
+    ] {
+        match json_number(&doc, "smoke", key) {
+            Some(want) if want == got as f64 => {
+                println!("  {key:<8} {got} == baseline");
+            }
+            Some(want) => {
+                eprintln!("FAIL: {key} = {got}, baseline {want} — kernel semantics changed");
+                semantic_ok = false;
+            }
+            None => {
+                eprintln!("FAIL: baseline is missing smoke.{key}");
+                semantic_ok = false;
+            }
+        }
+    }
+    if !semantic_ok {
+        return 2;
+    }
+
+    // 2) Host-normalized throughput must not regress beyond tolerance.
+    let max_regression = std::env::var("KERNEL_SMOKE_MAX_REGRESSION")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(DEFAULT_MAX_REGRESSION);
+    let baseline_norm = match json_number(&doc, "smoke", "normalized_score") {
+        Some(v) if v > 0.0 => v,
+        _ => {
+            eprintln!("FAIL: baseline is missing smoke.normalized_score");
+            return 2;
+        }
+    };
+    let norm = m.cycles_per_sec() / (calib * 1e6);
+    let ratio = norm / baseline_norm;
+    println!(
+        "\n  normalized throughput: {norm:.4} vs baseline {baseline_norm:.4} (ratio {ratio:.3}, \
+         tolerance -{:.0}%)",
+        max_regression * 100.0
+    );
+    if ratio < 1.0 - max_regression {
+        eprintln!(
+            "FAIL: kernel throughput regressed {:.1}% vs committed baseline",
+            (1.0 - ratio) * 100.0
+        );
+        return 1;
+    }
+    println!("PASS");
+    0
+}
+
+fn main() {
+    let smoke = std::env::args().skip(1).any(|a| a == "--smoke");
+    if smoke {
+        std::process::exit(run_smoke());
+    }
+    run_full();
+}

@@ -16,7 +16,7 @@
 use autovision::AvSystem;
 use bench::paper_scale_config;
 use std::time::Instant;
-use verif::probe_high_time;
+use verif::{probe_high_time, Probe};
 
 fn main() {
     let cfg = paper_scale_config();
@@ -26,12 +26,16 @@ fn main() {
         cfg.width, cfg.height, cfg.payload_words, cfg.n_frames
     );
     let mut sys = AvSystem::build(cfg);
+    // Typed views over the system's busy/window signals.
+    let cie_probe = Probe::<u64>::new(sys.probes.cie_busy);
+    let me_probe = Probe::<u64>::new(sys.probes.me_busy);
+    let dpr_probe = sys.probes.reconfiguring.map(Probe::<u64>::new);
     let cie_busy = probe_high_time(&mut sys.sim, "probe.cie", sys.probes.cie_busy);
     let me_busy = probe_high_time(&mut sys.sim, "probe.me", sys.probes.me_busy);
     let dpr = probe_high_time(
         &mut sys.sim,
         "probe.dpr",
-        sys.probes.reconfiguring.expect("ReSim build"),
+        dpr_probe.expect("ReSim build").as_view(),
     );
 
     // Run in short slices, attributing each slice's wall time to the
@@ -49,14 +53,12 @@ fn main() {
         let t0 = Instant::now();
         sys.sim.run_for(slice).expect("kernel error");
         let dt = t0.elapsed().as_secs_f64();
-        if sys.sim.peek_u64(sys.probes.cie_busy) == Some(1) {
+        if cie_probe.read(&sys.sim) == Some(1) {
             wall_cie += dt;
-        } else if sys.sim.peek_u64(sys.probes.me_busy) == Some(1) {
+        } else if me_probe.read(&sys.sim) == Some(1) {
             wall_me += dt;
-        } else if sys
-            .probes
-            .reconfiguring
-            .map(|s| sys.sim.peek_u64(s) == Some(1))
+        } else if dpr_probe
+            .map(|p| p.read(&sys.sim) == Some(1))
             .unwrap_or(false)
         {
             wall_dpr += dt;

@@ -23,26 +23,26 @@ use autovision::{SimMethod, SystemConfig};
 /// 4 K-word payload, fast configuration clock, ISR workload calibrated
 /// to the published 0.5 ms/frame.
 pub fn paper_scale_config() -> SystemConfig {
-    SystemConfig {
-        method: SimMethod::Resim,
-        width: 320,
-        height: 240,
-        n_frames: 2,
-        payload_words: 4096,
-        cfg_divider: 1,
-        isr_pad_loops: 4400,
-        ..Default::default()
-    }
+    SystemConfig::builder()
+        .method(SimMethod::Resim)
+        .width(320)
+        .height(240)
+        .n_frames(2)
+        .payload_words(4096)
+        .cfg_divider(1)
+        .isr_pad_loops(4400)
+        .build()
+        .expect("paper-scale config is valid")
 }
 
 /// A small, fast configuration for smoke benches.
 pub fn small_config() -> SystemConfig {
-    SystemConfig {
-        method: SimMethod::Resim,
-        width: 32,
-        height: 24,
-        n_frames: 1,
-        payload_words: 128,
-        ..Default::default()
-    }
+    SystemConfig::builder()
+        .method(SimMethod::Resim)
+        .width(32)
+        .height(24)
+        .n_frames(1)
+        .payload_words(128)
+        .build()
+        .expect("smoke config is valid")
 }

@@ -146,12 +146,13 @@ impl Ctx<'_> {
         self.core.signals[s.0 as usize].last_change == self.core.step
     }
 
-    /// Record a diagnostic message attributed to this component.
+    /// Record a diagnostic message attributed to this component. The
+    /// component name is an interned handle, so this never copies it.
     pub fn report(&mut self, severity: Severity, text: impl Into<String>) {
         let msg = SimMessage {
             time_ps: self.core.now,
             severity,
-            component: self.core.comp_name(self.me).to_string(),
+            component: self.core.comp_name(self.me).clone(),
             text: text.into(),
         };
         self.core.messages.push(msg);

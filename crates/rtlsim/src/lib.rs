@@ -48,6 +48,7 @@ pub mod clock;
 pub mod component;
 pub mod logic;
 pub mod lv;
+pub mod name;
 pub mod profile;
 pub mod sim;
 mod vcd;
@@ -56,7 +57,8 @@ pub use clock::{Clock, ResetGen};
 pub use component::{CompKind, Component, Ctx};
 pub use logic::Logic;
 pub use lv::Lv;
-pub use sim::{SimError, SimMessage, SimStats, Simulator, DELTA_LIMIT};
+pub use name::{Name, NameId};
+pub use sim::{KernelError, SimError, SimMessage, SimStats, Simulator, DELTA_LIMIT};
 
 /// Handle to a signal in a [`Simulator`]'s arena.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

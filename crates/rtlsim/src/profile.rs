@@ -16,6 +16,7 @@
 //! drown the signal.
 
 use crate::component::CompKind;
+use crate::name::Name;
 use crate::CompId;
 use std::time::{Duration, Instant};
 
@@ -52,8 +53,8 @@ pub const SAMPLE_SHIFT: u32 = 4;
 /// One row of a profiling report.
 #[derive(Debug, Clone)]
 pub struct ProfileRow {
-    /// Component name.
-    pub name: String,
+    /// Component name (interned handle; cloning is cheap).
+    pub name: Name,
     /// Component classification.
     pub kind: CompKind,
     /// Cumulative eval wall time.
@@ -67,7 +68,9 @@ pub struct ProfileRow {
 impl Profiler {
     pub(crate) fn new() -> Profiler {
         Profiler {
-            enabled: true,
+            // Off by default: even sampled clock reads cost measurable
+            // kernel throughput. `Simulator::set_profiling` opts in.
+            enabled: false,
             entries: Vec::new(),
             tick: 0,
             next_sample: 1,
@@ -185,7 +188,7 @@ impl Profiler {
 
     /// Build a full report given component names (from the simulator),
     /// sorted by descending estimated time.
-    pub fn report(&self, names: &[(String, CompKind, u64)]) -> Vec<ProfileRow> {
+    pub fn report(&self, names: &[(Name, CompKind, u64)]) -> Vec<ProfileRow> {
         let floor = self.floor_secs();
         let total: f64 = self
             .entries

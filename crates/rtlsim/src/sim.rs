@@ -1,8 +1,37 @@
-//! The discrete-event simulation core: signal arena, event wheel,
+//! The discrete-event simulation core: signal arena, two-level event
+//! scheduler (near-term timing wheel + far-horizon heap), allocation-free
 //! delta-cycle loop, message log and statistics.
+//!
+//! # Scheduler
+//!
+//! Events live in one of two structures depending on how far ahead they
+//! are scheduled:
+//!
+//! * A **timing wheel** of `WHEEL_SLOTS` dense slots, each covering
+//!   2^`TICK_SHIFT` ps. The wheel spans ~105 clock periods of the
+//!   AutoVision system clock, so in steady state essentially every event
+//!   (clock edges, register updates, bus handshakes) is an O(1) push into
+//!   a slot `Vec` plus one bit set in an occupancy bitmap.
+//! * A **far-horizon `BinaryHeap`** for the rare event beyond the wheel
+//!   window (watchdog deadlines, long reset delays). Events migrate
+//!   lazily from the heap into the wheel as time advances.
+//!
+//! Determinism is preserved exactly: every event carries the global
+//! sequence number it was scheduled with, and the batch extracted at one
+//! timestamp is sorted by that sequence before it is applied, so
+//! same-timestamp ordering is identical to the old single-heap kernel
+//! (pinned by `tests/determinism.rs`).
+//!
+//! # Delta loop
+//!
+//! The loop allocates nothing per delta: the popped-event batch, the
+//! ready queue and the non-blocking-write list are all reusable buffers,
+//! and ready-queue membership is tracked with a generation stamp instead
+//! of a drained `bool` flag.
 
 use crate::component::{CompKind, Component, Ctx};
 use crate::lv::Lv;
+use crate::name::{Name, NameArena, NameId};
 use crate::profile::Profiler;
 use crate::vcd::VcdWriter;
 use crate::{CompId, Severity, SignalId};
@@ -21,8 +50,9 @@ pub struct SimMessage {
     pub time_ps: u64,
     /// Message class.
     pub severity: Severity,
-    /// Hierarchical name of the reporting component.
-    pub component: String,
+    /// Hierarchical name of the reporting component (interned; cloning
+    /// is a reference-count bump).
+    pub component: Name,
     /// Free-form text.
     pub text: String,
 }
@@ -38,7 +68,7 @@ impl fmt::Display for SimMessage {
 }
 
 pub(crate) struct SignalState {
-    pub name: String,
+    pub name: NameId,
     pub width: u8,
     pub cur: Lv,
     pub prev: Lv,
@@ -51,20 +81,23 @@ pub(crate) struct SignalState {
 }
 
 struct CompSlot {
-    name: String,
+    name: NameId,
     kind: CompKind,
     body: Option<Box<dyn Component>>,
-    /// True while the component is queued in the current ready set.
-    queued: bool,
+    /// Equals the simulator's current ready generation while the
+    /// component is queued in the ready set (generation stamping avoids
+    /// a clear pass over all slots per delta).
+    queued_gen: u64,
     evals: u64,
 }
 
-#[derive(PartialEq, Eq)]
+#[derive(Clone, Copy, PartialEq, Eq)]
 enum EventKind {
     Drive(SignalId, Lv),
     Wake(CompId),
 }
 
+#[derive(Clone, Copy)]
 struct Event {
     time: u64,
     seq: u64,
@@ -88,6 +121,148 @@ impl Ord for Event {
     }
 }
 
+/// Number of slots in the near-term timing wheel. Power of two.
+const WHEEL_SLOTS: usize = 1024;
+const WHEEL_MASK: usize = WHEEL_SLOTS - 1;
+/// log2 of the time span (ps) covered by one wheel slot.
+const TICK_SHIFT: u32 = 10;
+/// Words in the slot-occupancy bitmap.
+const OCC_WORDS: usize = WHEEL_SLOTS / 64;
+
+/// Two-level event scheduler: dense timing wheel for the near term, heap
+/// for the far horizon.
+///
+/// Invariants (checked in debug builds):
+/// * No event is ever scheduled in the past, so every pending event's
+///   tick is ≥ `self.tick` — slots behind the cursor are empty.
+/// * Within the wheel window of `WHEEL_SLOTS` ticks, each tick maps to a
+///   unique slot, so all events in one slot share a tick.
+/// * Far-heap events all lie beyond the window, so whenever the wheel is
+///   non-empty its minimum precedes the heap's minimum.
+struct Scheduler {
+    slots: Box<[Vec<Event>]>,
+    /// One bit per slot: set iff the slot is non-empty.
+    occ: [u64; OCC_WORDS],
+    /// Wheel cursor: current time >> [`TICK_SHIFT`].
+    tick: u64,
+    /// Events currently in the wheel.
+    len: usize,
+    /// Events beyond the wheel window, migrated in lazily by `advance`.
+    far: BinaryHeap<Reverse<Event>>,
+}
+
+impl Scheduler {
+    fn new() -> Scheduler {
+        Scheduler {
+            slots: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            occ: [0; OCC_WORDS],
+            tick: 0,
+            len: 0,
+            far: BinaryHeap::new(),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, ev: Event) {
+        let t = ev.time >> TICK_SHIFT;
+        debug_assert!(t >= self.tick, "event scheduled in the past");
+        if t < self.tick + WHEEL_SLOTS as u64 {
+            self.push_wheel(ev, t);
+        } else {
+            self.far.push(Reverse(ev));
+        }
+    }
+
+    #[inline]
+    fn push_wheel(&mut self, ev: Event, tick: u64) {
+        let idx = (tick as usize) & WHEEL_MASK;
+        self.slots[idx].push(ev);
+        self.occ[idx / 64] |= 1u64 << (idx % 64);
+        self.len += 1;
+    }
+
+    /// Move the cursor forward to `now`'s tick and migrate far-heap
+    /// events that fall inside the new wheel window.
+    fn advance(&mut self, now: u64) {
+        let new_tick = now >> TICK_SHIFT;
+        if new_tick <= self.tick {
+            return;
+        }
+        self.tick = new_tick;
+        let horizon = new_tick + WHEEL_SLOTS as u64;
+        loop {
+            let tick = match self.far.peek() {
+                Some(Reverse(ev)) if (ev.time >> TICK_SHIFT) < horizon => ev.time >> TICK_SHIFT,
+                _ => break,
+            };
+            let Reverse(ev) = self.far.pop().unwrap();
+            self.push_wheel(ev, tick);
+        }
+    }
+
+    /// Extract every event scheduled for exactly `now` into `out`, in
+    /// the order it was scheduled (sequence order).
+    fn pop_at(&mut self, now: u64, out: &mut Vec<Event>) {
+        self.advance(now);
+        out.clear();
+        let idx = ((now >> TICK_SHIFT) as usize) & WHEEL_MASK;
+        if self.occ[idx / 64] & (1u64 << (idx % 64)) == 0 {
+            return;
+        }
+        let slot = &mut self.slots[idx];
+        let mut i = 0;
+        while i < slot.len() {
+            if slot[i].time == now {
+                out.push(slot.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        self.len -= out.len();
+        if slot.is_empty() {
+            self.occ[idx / 64] &= !(1u64 << (idx % 64));
+        }
+        // swap_remove scrambles order, and heap→wheel migration can
+        // interleave batches; the global sequence number restores the
+        // exact scheduling order at this timestamp.
+        out.sort_unstable_by_key(|e| e.seq);
+    }
+
+    /// Time of the earliest pending event, if any.
+    fn next_time(&self) -> Option<u64> {
+        if self.len > 0 {
+            let idx = self
+                .first_occupied((self.tick as usize) & WHEEL_MASK)
+                .expect("wheel count positive but occupancy bitmap empty");
+            return self.slots[idx].iter().map(|e| e.time).min();
+        }
+        self.far.peek().map(|r| r.0.time)
+    }
+
+    /// First non-empty slot at or circularly after `start` (ascending
+    /// tick order, since the window maps ticks to slots injectively).
+    fn first_occupied(&self, start: usize) -> Option<usize> {
+        let sw = start / 64;
+        let sb = start % 64;
+        let w = self.occ[sw] & (!0u64 << sb);
+        if w != 0 {
+            return Some(sw * 64 + w.trailing_zeros() as usize);
+        }
+        for off in 1..OCC_WORDS {
+            let wi = (sw + off) & (OCC_WORDS - 1);
+            let w = self.occ[wi];
+            if w != 0 {
+                return Some(wi * 64 + w.trailing_zeros() as usize);
+            }
+        }
+        let w = self.occ[sw] & !(!0u64 << sb);
+        if w != 0 {
+            return Some(sw * 64 + w.trailing_zeros() as usize);
+        }
+        None
+    }
+}
+
 /// Mutable kernel state shared with evaluation contexts.
 pub(crate) struct SimCore {
     pub now: u64,
@@ -96,35 +271,36 @@ pub(crate) struct SimCore {
     pub step: u64,
     seq: u64,
     pub signals: Vec<SignalState>,
-    events: BinaryHeap<Reverse<Event>>,
+    sched: Scheduler,
     /// Non-blocking writes accumulated during the current delta.
     pub pending: Vec<(SignalId, Lv)>,
     pub messages: Vec<SimMessage>,
     pub finish_requested: bool,
-    comp_names: Vec<(String, CompKind)>,
+    pub names: NameArena,
+    comp_names: Vec<(NameId, CompKind)>,
 }
 
 impl SimCore {
     pub fn schedule_drive(&mut self, time: u64, sig: SignalId, v: Lv) {
         self.seq += 1;
-        self.events.push(Reverse(Event {
+        self.sched.push(Event {
             time,
             seq: self.seq,
             kind: EventKind::Drive(sig, v),
-        }));
+        });
     }
 
     pub fn schedule_wake(&mut self, time: u64, comp: CompId) {
         self.seq += 1;
-        self.events.push(Reverse(Event {
+        self.sched.push(Event {
             time,
             seq: self.seq,
             kind: EventKind::Wake(comp),
-        }));
+        });
     }
 
-    pub fn comp_name(&self, c: CompId) -> &str {
-        &self.comp_names[c.0 as usize].0
+    pub fn comp_name(&self, c: CompId) -> &Name {
+        self.names.resolve(self.comp_names[c.0 as usize].0)
     }
 }
 
@@ -139,6 +315,8 @@ pub struct SimStats {
     pub time_points: u64,
     /// Total signal value changes.
     pub toggles: u64,
+    /// Total events scheduled (drives + wakeups).
+    pub events: u64,
 }
 
 /// The top-level event-driven simulator.
@@ -151,9 +329,17 @@ pub struct SimStats {
 pub struct Simulator {
     core: SimCore,
     comps: Vec<CompSlot>,
+    /// Reusable ready queue; membership tracked by `ready_gen` stamps.
     ready: Vec<CompId>,
+    ready_gen: u64,
+    /// Reusable buffer for the event batch popped at one timestamp.
+    pop_scratch: Vec<Event>,
     profiler: Profiler,
+    /// Mirror of the profiler's enabled flag, checked on the hot path.
+    profiling: bool,
     vcd: Option<VcdWriter>,
+    /// True iff a VCD sink is attached; hot-path gate for trace hooks.
+    tracing: bool,
     stats: SimStats,
     /// Components that have never run yet (initial eval at first run call).
     uninitialized: Vec<CompId>,
@@ -174,16 +360,21 @@ impl Simulator {
                 step: 1,
                 seq: 0,
                 signals: Vec::new(),
-                events: BinaryHeap::new(),
+                sched: Scheduler::new(),
                 pending: Vec::new(),
                 messages: Vec::new(),
                 finish_requested: false,
+                names: NameArena::new(),
                 comp_names: Vec::new(),
             },
             comps: Vec::new(),
             ready: Vec::new(),
+            ready_gen: 1,
+            pop_scratch: Vec::new(),
             profiler: Profiler::new(),
+            profiling: false,
             vcd: None,
+            tracing: false,
             stats: SimStats::default(),
             uninitialized: Vec::new(),
         }
@@ -191,10 +382,11 @@ impl Simulator {
 
     /// Declare a new signal. Initial value is all-`X` (uninitialised), as
     /// in a 4-state HDL simulator.
-    pub fn signal(&mut self, name: impl Into<String>, width: u8) -> SignalId {
+    pub fn signal(&mut self, name: impl AsRef<str>, width: u8) -> SignalId {
         let id = SignalId(self.core.signals.len() as u32);
+        let name = self.core.names.intern(name.as_ref());
         self.core.signals.push(SignalState {
-            name: name.into(),
+            name,
             width,
             cur: Lv::xes(width),
             prev: Lv::xes(width),
@@ -206,7 +398,7 @@ impl Simulator {
     }
 
     /// Declare a signal with a known initial value.
-    pub fn signal_init(&mut self, name: impl Into<String>, width: u8, init: u64) -> SignalId {
+    pub fn signal_init(&mut self, name: impl AsRef<str>, width: u8, init: u64) -> SignalId {
         let id = self.signal(name, width);
         self.core.signals[id.0 as usize].cur = Lv::from_u64(width, init);
         self.core.signals[id.0 as usize].prev = Lv::from_u64(width, init);
@@ -218,18 +410,18 @@ impl Simulator {
     /// evaluation when the simulation first runs (like an HDL `initial`).
     pub fn add_component(
         &mut self,
-        name: impl Into<String>,
+        name: impl AsRef<str>,
         kind: CompKind,
         body: Box<dyn Component>,
         sensitivity: &[SignalId],
     ) -> CompId {
         let id = CompId(self.comps.len() as u32);
-        let name = name.into();
+        let name = self.core.names.intern(name.as_ref());
         self.comps.push(CompSlot {
-            name: name.clone(),
+            name,
             kind,
             body: Some(body),
-            queued: false,
+            queued_gen: 0,
             evals: 0,
         });
         self.core.comp_names.push((name, kind));
@@ -279,7 +471,10 @@ impl Simulator {
 
     /// Signal name lookup.
     pub fn signal_name(&self, s: SignalId) -> &str {
-        &self.core.signals[s.0 as usize].name
+        self.core
+            .names
+            .resolve(self.core.signals[s.0 as usize].name)
+            .as_str()
     }
 
     /// Number of value changes a signal has seen (activity measure; the
@@ -295,7 +490,7 @@ impl Simulator {
         self.core
             .signals
             .iter()
-            .filter(|s| s.name.starts_with(prefix))
+            .filter(|s| self.core.names.resolve(s.name).starts_with(prefix))
             .map(|s| s.toggles)
             .sum()
     }
@@ -306,14 +501,17 @@ impl Simulator {
             .core
             .signals
             .iter()
-            .map(|s| (s.name.clone(), s.width))
+            .map(|s| (self.core.names.resolve(s.name).to_string(), s.width))
             .collect();
         self.vcd = Some(VcdWriter::create(path, &names)?);
+        self.tracing = true;
         Ok(())
     }
 
-    /// Enable or disable per-component wall-time profiling.
+    /// Enable or disable per-component wall-time profiling (off by
+    /// default — sampling clock reads cost measurable throughput).
     pub fn set_profiling(&mut self, on: bool) {
+        self.profiling = on;
         self.profiler.set_enabled(on);
     }
 
@@ -326,14 +524,16 @@ impl Simulator {
     pub fn stats(&self) -> SimStats {
         let mut s = self.stats;
         s.toggles = self.core.signals.iter().map(|x| x.toggles).sum();
+        s.events = self.core.seq;
         s
     }
 
-    /// Per-component evaluation counts, as (name, kind, evals).
-    pub fn eval_counts(&self) -> Vec<(String, CompKind, u64)> {
+    /// Per-component evaluation counts, as (name, kind, evals). Names are
+    /// interned handles; cloning the result does not copy strings.
+    pub fn eval_counts(&self) -> Vec<(Name, CompKind, u64)> {
         self.comps
             .iter()
-            .map(|c| (c.name.clone(), c.kind, c.evals))
+            .map(|c| (self.core.names.resolve(c.name).clone(), c.kind, c.evals))
             .collect()
     }
 
@@ -357,11 +557,13 @@ impl Simulator {
 
     /// Record a message from the testbench itself.
     pub fn report(&mut self, severity: Severity, text: impl Into<String>) {
+        let id = self.core.names.intern("testbench");
+        let component = self.core.names.resolve(id).clone();
         let now = self.core.now;
         self.core.messages.push(SimMessage {
             time_ps: now,
             severity,
-            component: "testbench".into(),
+            component,
             text: text.into(),
         });
     }
@@ -375,12 +577,13 @@ impl Simulator {
         signals: &[SignalState],
         comps: &mut [CompSlot],
         ready: &mut Vec<CompId>,
+        gen: u64,
         sig: SignalId,
     ) {
         for &c in &signals[sig.0 as usize].sensitive {
             let slot = &mut comps[c.0 as usize];
-            if !slot.queued {
-                slot.queued = true;
+            if slot.queued_gen != gen {
+                slot.queued_gen = gen;
                 ready.push(c);
             }
         }
@@ -396,75 +599,103 @@ impl Simulator {
         s.cur = v;
         s.last_change = self.core.step;
         s.toggles += 1;
-        if let Some(vcd) = &mut self.vcd {
-            vcd.change(self.core.now, sig, v);
+        if self.tracing {
+            if let Some(vcd) = &mut self.vcd {
+                vcd.change(self.core.now, sig, v);
+            }
         }
-        Self::mark_sensitive(&self.core.signals, &mut self.comps, &mut self.ready, sig);
+        Self::mark_sensitive(
+            &self.core.signals,
+            &mut self.comps,
+            &mut self.ready,
+            self.ready_gen,
+            sig,
+        );
         true
     }
 
     fn eval_ready(&mut self) {
-        let ready: Vec<CompId> = self.ready.drain(..).collect();
-        for c in ready {
-            self.comps[c.0 as usize].queued = false;
-            let mut body = self.comps[c.0 as usize]
+        // Components cannot be re-queued while this batch runs (queueing
+        // only happens in `apply`, which the eval phase never calls), so
+        // the length is fixed and index iteration is safe.
+        let n = self.ready.len();
+        for i in 0..n {
+            let c = self.ready[i];
+            let slot = &mut self.comps[c.0 as usize];
+            slot.evals += 1;
+            let mut body = slot
                 .body
                 .take()
                 .expect("component re-entered during its own eval");
-            self.comps[c.0 as usize].evals += 1;
             self.stats.evals += 1;
-            let t0 = self.profiler.begin();
-            {
+            if self.profiling {
+                let t0 = self.profiler.begin();
+                {
+                    let mut ctx = Ctx {
+                        core: &mut self.core,
+                        me: c,
+                    };
+                    body.eval(&mut ctx);
+                }
+                self.profiler.end(c, t0);
+            } else {
                 let mut ctx = Ctx {
                     core: &mut self.core,
                     me: c,
                 };
                 body.eval(&mut ctx);
             }
-            self.profiler.end(c, t0);
             self.comps[c.0 as usize].body = Some(body);
         }
+        self.ready.clear();
+        // Bumping the generation un-queues every component at once.
+        self.ready_gen += 1;
     }
 
     /// Execute all deltas at the current time until quiescent.
-    fn settle_now(&mut self) -> Result<(), SimError> {
+    fn settle_now(&mut self) -> Result<(), KernelError> {
         let mut deltas = 0u32;
         loop {
-            // Pop events scheduled for exactly `now`.
-            let mut popped = false;
-            while let Some(Reverse(ev)) = self.core.events.peek() {
-                if ev.time != self.core.now {
-                    break;
-                }
-                let Reverse(ev) = self.core.events.pop().unwrap();
-                popped = true;
+            // Pop the batch of events scheduled for exactly `now`.
+            let now = self.core.now;
+            let mut batch = std::mem::take(&mut self.pop_scratch);
+            self.core.sched.pop_at(now, &mut batch);
+            let popped = !batch.is_empty();
+            for &ev in batch.iter() {
                 match ev.kind {
                     EventKind::Drive(sig, v) => {
                         self.apply(sig, v);
                     }
                     EventKind::Wake(c) => {
+                        let gen = self.ready_gen;
                         let slot = &mut self.comps[c.0 as usize];
-                        if !slot.queued {
-                            slot.queued = true;
+                        if slot.queued_gen != gen {
+                            slot.queued_gen = gen;
                             self.ready.push(c);
                         }
                     }
                 }
             }
+            self.pop_scratch = batch;
             if self.ready.is_empty() && !popped {
                 return Ok(());
             }
             self.eval_ready();
             // Apply non-blocking writes; they constitute the next delta.
-            let pending: Vec<(SignalId, Lv)> = self.core.pending.drain(..).collect();
+            // Nothing pushes to `core.pending` while they apply, so the
+            // buffer can be taken and handed back without reallocating.
+            let mut pending = std::mem::take(&mut self.core.pending);
             self.core.step += 1;
             self.stats.deltas += 1;
-            for (sig, v) in pending {
+            for &(sig, v) in pending.iter() {
                 self.apply(sig, v);
             }
+            pending.clear();
+            debug_assert!(self.core.pending.is_empty());
+            self.core.pending = pending;
             deltas += 1;
             if deltas > DELTA_LIMIT {
-                return Err(SimError::DeltaOverflow {
+                return Err(KernelError::DeltaOverflow {
                     time_ps: self.core.now,
                 });
             }
@@ -477,8 +708,8 @@ impl Simulator {
     fn init_components(&mut self) {
         for c in std::mem::take(&mut self.uninitialized) {
             let slot = &mut self.comps[c.0 as usize];
-            if !slot.queued {
-                slot.queued = true;
+            if slot.queued_gen != self.ready_gen {
+                slot.queued_gen = self.ready_gen;
                 self.ready.push(c);
             }
         }
@@ -488,39 +719,43 @@ impl Simulator {
     /// until a component calls `finish`. On return the current time is
     /// `deadline` (unless finished early), so testbench pokes issued
     /// between run calls land when wall-of-code order suggests.
-    pub fn run_until(&mut self, deadline: u64) -> Result<(), SimError> {
+    pub fn run_until(&mut self, deadline: u64) -> Result<(), KernelError> {
         self.init_components();
         loop {
             self.settle_now()?;
             if self.core.finish_requested {
                 return Ok(());
             }
-            let next = match self.core.events.peek() {
-                Some(Reverse(ev)) => ev.time,
+            let next = match self.core.sched.next_time() {
+                Some(t) => t,
                 None => {
-                    self.core.now = self.core.now.max(deadline);
+                    let t = self.core.now.max(deadline);
+                    self.core.now = t;
+                    self.core.sched.advance(t);
                     return Ok(());
                 }
             };
             debug_assert!(next > self.core.now, "settle_now left same-time events");
             if next > deadline {
                 self.core.now = deadline;
+                self.core.sched.advance(deadline);
                 return Ok(());
             }
             self.core.now = next;
+            self.core.sched.advance(next);
             self.core.step += 1;
             self.stats.time_points += 1;
         }
     }
 
     /// Run for `duration` ps past the current time.
-    pub fn run_for(&mut self, duration: u64) -> Result<(), SimError> {
+    pub fn run_for(&mut self, duration: u64) -> Result<(), KernelError> {
         let d = self.core.now + duration;
         self.run_until(d)
     }
 
     /// Execute pending same-time activity without advancing time.
-    pub fn settle(&mut self) -> Result<(), SimError> {
+    pub fn settle(&mut self) -> Result<(), KernelError> {
         self.init_components();
         self.settle_now()
     }
@@ -534,9 +769,11 @@ impl Simulator {
     }
 }
 
-/// Kernel-level failures.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SimError {
+/// Kernel-level failures, reported by [`Simulator::run_until`] and
+/// surfaced unchanged in `autovision`'s `RunOutcome::kernel_error` and
+/// `verif`'s recovery campaign — one error type across the stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelError {
     /// Combinational oscillation: the delta limit was exceeded at one
     /// time point.
     DeltaOverflow {
@@ -545,14 +782,85 @@ pub enum SimError {
     },
 }
 
-impl fmt::Display for SimError {
+/// Former name of [`KernelError`], kept as an alias for existing code.
+pub type SimError = KernelError;
+
+impl fmt::Display for KernelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::DeltaOverflow { time_ps } => {
+            KernelError::DeltaOverflow { time_ps } => {
                 write!(f, "delta-cycle oscillation at t={time_ps} ps")
             }
         }
     }
 }
 
-impl std::error::Error for SimError {}
+impl std::error::Error for KernelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(time: u64, seq: u64) -> Event {
+        Event {
+            time,
+            seq,
+            kind: EventKind::Wake(CompId(0)),
+        }
+    }
+
+    #[test]
+    fn wheel_orders_same_timestamp_by_sequence() {
+        let mut s = Scheduler::new();
+        for seq in [3u64, 1, 2] {
+            s.push(ev(500, seq));
+        }
+        let mut out = Vec::new();
+        s.pop_at(500, &mut out);
+        let seqs: Vec<u64> = out.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, [1, 2, 3]);
+        assert_eq!(s.next_time(), None);
+    }
+
+    #[test]
+    fn far_events_migrate_into_the_wheel() {
+        let mut s = Scheduler::new();
+        let far_time = (WHEEL_SLOTS as u64 + 10) << TICK_SHIFT;
+        s.push(ev(far_time, 1));
+        assert_eq!(s.len, 0, "beyond the window goes to the heap");
+        assert_eq!(s.next_time(), Some(far_time));
+        s.advance(far_time - 100);
+        assert_eq!(s.len, 1, "migrated once within the window");
+        let mut out = Vec::new();
+        s.pop_at(far_time, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(s.next_time(), None);
+    }
+
+    #[test]
+    fn next_time_scans_across_bitmap_words_and_wraps() {
+        let mut s = Scheduler::new();
+        // Advance so the cursor sits mid-wheel, then schedule an event
+        // whose slot index wraps below the cursor.
+        let base = (WHEEL_SLOTS as u64 / 2) << TICK_SHIFT;
+        s.advance(base);
+        let wrapped = ((WHEEL_SLOTS as u64 / 2) + WHEEL_SLOTS as u64 - 3) << TICK_SHIFT;
+        s.push(ev(wrapped, 1));
+        assert_eq!(s.next_time(), Some(wrapped));
+        let near = base + 2048;
+        s.push(ev(near, 2));
+        assert_eq!(s.next_time(), Some(near));
+    }
+
+    #[test]
+    fn pop_at_leaves_later_events_in_the_same_slot() {
+        let mut s = Scheduler::new();
+        // Same tick (0), two different times within it.
+        s.push(ev(100, 1));
+        s.push(ev(900, 2));
+        let mut out = Vec::new();
+        s.pop_at(100, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(s.next_time(), Some(900));
+    }
+}

@@ -304,8 +304,10 @@ fn profiler_attributes_time_by_kind() {
         Box::new(move |_ctx: &mut Ctx<'_>| {}),
         &[clk],
     );
-    // The profiler samples 1 in 16 evals; run long enough for the law of
-    // large numbers to take over.
+    // Profiling is opt-in (off by default to keep the hot path free of
+    // clock reads); the profiler samples 1 in 16 evals, so run long
+    // enough for the law of large numbers to take over.
+    sim.set_profiling(true);
     sim.run_until(2_000 * PERIOD).unwrap();
     let user = sim.profiler().fraction_of_kind(CompKind::UserStatic);
     let artifact = sim.profiler().fraction_of_kind(CompKind::Artifact);
@@ -379,6 +381,12 @@ fn stats_track_activity() {
     assert!(
         stats.time_points >= 200,
         "time points: {}",
+        stats.time_points
+    );
+    assert!(
+        stats.events >= stats.time_points,
+        "events: {} vs time points: {}",
+        stats.events,
         stats.time_points
     );
 }

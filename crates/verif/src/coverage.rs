@@ -16,8 +16,9 @@
 //! points — the coverage *holes* it leaves are the quantified version of
 //! "VMUX does not simulate an integrated design".
 
-use crate::probe::{probe_high_time, HighTime};
+use crate::probe::{probe_high_time, HighTime, Probe};
 use autovision::AvSystem;
+use rtlsim::Lv;
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -55,15 +56,19 @@ pub struct DprCoverage {
 impl CoverageProbes {
     /// Install probes on a freshly built system (before running it).
     pub fn install(sys: &mut AvSystem) -> CoverageProbes {
-        let isolation = probe_high_time(&mut sys.sim, "cov.isolate", sys.probes.isolate);
+        let isolation = probe_high_time(
+            &mut sys.sim,
+            "cov.isolate",
+            Probe::<Lv>::new(sys.probes.isolate),
+        );
         let injection = sys
             .probes
             .inject
-            .map(|s| probe_high_time(&mut sys.sim, "cov.inject", s));
+            .map(|s| probe_high_time(&mut sys.sim, "cov.inject", Probe::<Lv>::new(s)));
         let reconfiguring = sys
             .probes
             .reconfiguring
-            .map(|s| probe_high_time(&mut sys.sim, "cov.reconf", s));
+            .map(|s| probe_high_time(&mut sys.sim, "cov.reconf", Probe::<Lv>::new(s)));
         CoverageProbes {
             isolation,
             injection,

@@ -75,7 +75,7 @@ pub fn run_experiment(cfg: SystemConfig, budget_cycles: u64) -> Verdict {
     for m in sys.sim.messages() {
         if m.severity == rtlsim::Severity::Error {
             evidence.push(Evidence::CheckerError {
-                component: m.component.clone(),
+                component: m.component.to_string(),
                 text: m.text.clone(),
             });
         }

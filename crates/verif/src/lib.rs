@@ -28,7 +28,7 @@ pub use detect::{run_experiment, Evidence, Verdict};
 pub use matrix::{
     expected_detection, render_matrix, run_bug, run_clean, run_matrix, MatrixConfig, MatrixRow,
 };
-pub use probe::{probe_high_time, HighTime};
+pub use probe::{probe_high_time, HighTime, Probe};
 pub use recovery::{
     render_campaign, run_campaign, run_one, summarize, CampaignConfig, CampaignSummary, RunClass,
     RunReport,

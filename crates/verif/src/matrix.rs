@@ -28,7 +28,7 @@ pub fn expected_detection(bug: Bug, method: SimMethod) -> bool {
 }
 
 /// One row of the matrix.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MatrixRow {
     /// Bug identifier (`bug.dpr.4` style); `"(none)"` for the clean run.
     pub bug: String,

@@ -1,0 +1,20 @@
+//! Thread-count equivalence for the detection matrix.
+//!
+//! `run_matrix` fans independent (bug, method) runs out over OS threads;
+//! each thread builds its own single-threaded simulator. The rows it
+//! returns must therefore be completely independent of the thread count
+//! — any difference would mean the kernel leaks state across simulator
+//! instances or the fan-out reorders results.
+
+use verif::{run_matrix, MatrixConfig};
+
+#[test]
+fn matrix_rows_are_identical_across_thread_counts() {
+    let mc = MatrixConfig::default();
+    let one = run_matrix(&mc, 1);
+    let four = run_matrix(&mc, 4);
+    let eight = run_matrix(&mc, 8);
+    assert!(!one.is_empty());
+    assert_eq!(one, four, "4-thread matrix differs from serial run");
+    assert_eq!(one, eight, "8-thread matrix differs from serial run");
+}
