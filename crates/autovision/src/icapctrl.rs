@@ -424,7 +424,10 @@ impl Component for IcapCtrl {
                 let can_write =
                     !self.feed.is_empty() && (self.ignore_ready || ctx.is_high(icap.ready));
                 if can_write {
-                    let w = self.feed.pop_front().unwrap();
+                    let w = self
+                        .feed
+                        .pop_front()
+                        .expect("can_write is only set with a queued word");
                     ctx.set_bit(icap.cwrite, true);
                     ctx.set_u64(icap.cdata, w as u64);
                     self.write_left -= 1;

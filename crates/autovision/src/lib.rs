@@ -18,6 +18,7 @@
 //! [`AvSystem::run`] executes frames to completion with golden-model
 //! scoring available via [`AvSystem::golden_output`].
 
+pub mod fabric;
 pub mod faults;
 pub mod icapctrl;
 pub mod software;
@@ -26,9 +27,10 @@ pub mod vips;
 
 pub use faults::{Bug, BugClass, FaultSet};
 pub use icapctrl::{IcapCtrl, RecoveryPolicy, RecoveryStats};
-pub use software::{SimMethod, SwConfig};
+pub use software::{SimMethod, SplitSwConfig, SwConfig};
 pub use system::{
-    golden_output, AvSystem, ConfigError, ErrorSourceKind, MemLayout, RunOutcome, SystemConfig,
-    SystemConfigBuilder, SystemProbes, CLK_PERIOD_PS, MODULE_CIE, MODULE_ME, RR_ID,
+    golden_output, AvSystem, ConfigError, EngineKind, ErrorSourceKind, MemLayout, ModuleSpec,
+    RegionProbes, RegionSpec, RunOutcome, Scenario, SimbSlot, SystemConfig, SystemConfigBuilder,
+    SystemProbes, CLK_PERIOD_PS, MODULE_CIE, MODULE_ME, RR_ID, RR_ID_B,
 };
 pub use vips::{VideoInVip, VideoOutVip};

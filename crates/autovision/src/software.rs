@@ -41,6 +41,21 @@ pub enum SimMethod {
     Resim,
 }
 
+impl SimMethod {
+    /// Whether the backend this method selects models the configuration
+    /// bitstream itself (DMA traffic, error injection, transfer-timed
+    /// swaps). Mirrors `ReconfigBackend::models_bitstream` for callers
+    /// that reason about capabilities before a system is built —
+    /// expectation tables, coverage analyses — so they need not match on
+    /// the method enum.
+    pub fn models_bitstream(self) -> bool {
+        match self {
+            SimMethod::Resim => true,
+            SimMethod::Vmux => false,
+        }
+    }
+}
+
 /// Everything the program needs to know about the platform.
 #[derive(Debug, Clone)]
 pub struct SwConfig {
@@ -92,8 +107,26 @@ pub mod dcr_map {
     pub const VIN: u16 = 0x140;
     /// Video-out VIP base.
     pub const VOUT: u16 = 0x148;
-    /// VMUX `engine_signature` register (simulation-only).
+    /// Engine control block of the second region (split-pipeline
+    /// scenario; further regions follow at 8-register strides).
+    pub const ENG_B: u16 = 0x150;
+    /// VMUX `engine_signature` register (simulation-only; one register
+    /// per region, consecutive addresses).
     pub const SIG: u16 = 0x1F0;
+
+    /// Engine control block base of region `idx`.
+    pub fn eng_base(idx: usize) -> u16 {
+        if idx == 0 {
+            ENG
+        } else {
+            ENG_B + 8 * (idx as u16 - 1)
+        }
+    }
+
+    /// Signature register address of region `idx`.
+    pub fn sig_base(idx: usize) -> u16 {
+        SIG + idx as u16
+    }
 }
 
 /// Software data addresses (below the program, above the vectors).
@@ -112,6 +145,10 @@ pub mod data_map {
     /// and the driver falls back to stale vectors (recovery builds
     /// only).
     pub const DEGRADED: u32 = 0x8014;
+    /// Half-frame rendezvous bitmask (split-pipeline scenario): bit 0 =
+    /// the computing engine finished, bit 1 = the idle region's reload
+    /// finished. The pipeline advances only when both are set.
+    pub const PEND: u32 = 0x8018;
 }
 
 /// VMUX signature values.
@@ -577,6 +614,451 @@ pub fn generate(cfg: &SwConfig) -> String {
     p("  mtdcr ENG_CTRL, r27     # reset: latch ME parameters");
     p("  li r27, 1");
     p("  mtdcr ENG_CTRL, r27     # start the ME");
+    p("  mtlr r30");
+    p("  blr");
+
+    p("advance_frame:");
+    p("  mflr r30");
+    p("  liw r27, FRAME");
+    p("  lwz r24, 0(r27)");
+    p("  addi r24, r24, 1");
+    p("  stw r24, 0(r27)");
+    p("  li r25, 0");
+    p("  liw r27, PHASE");
+    p("  stw r25, 0(r27)         # phase 0: waiting for the camera");
+    p("  cmplwi r24, NFRAMES");
+    p("  bge adv_done            # no more frames to request");
+    p("  bl next_in2");
+    p("  mtdcr VIN_ADDR, r24");
+    p("  li r25, 1");
+    p("  mtdcr VIN_CTRL, r25");
+    p("adv_done:");
+    p("  mtlr r30");
+    p("  blr");
+    p("next_in2:");
+    p("  liw r24, FRAME");
+    p("  lwz r24, 0(r24)");
+    p("  andi. r27, r24, 1");
+    p("  liw r25, STRIDE");
+    p("  mullw r27, r27, r25");
+    p("  liw r24, IN0");
+    p("  add r24, r24, r27");
+    p("  blr");
+
+    s
+}
+
+/// Everything the split-pipeline (two-region) program needs to know
+/// about the platform. Region A (`RR_ID`) hosts the CIE behind the
+/// legacy `ENG_*` control block; region B ([`crate::system::RR_ID_B`])
+/// hosts the ME behind `ENG_B`. Bug variants are not generated for this
+/// scenario (the builder rejects them).
+#[derive(Debug, Clone)]
+pub struct SplitSwConfig {
+    /// Simulation method (selects the swap mechanism).
+    pub method: SimMethod,
+    /// Frame width in pixels.
+    pub width: u32,
+    /// Frame height in pixels.
+    pub height: u32,
+    /// Frames to process before halting.
+    pub n_frames: u32,
+    /// First input frame buffer (double-buffered).
+    pub in0: u32,
+    /// First census buffer (double-buffered).
+    pub cen0: u32,
+    /// Motion-vector buffer.
+    pub vecs: u32,
+    /// ME SimB location and length in words (targets region B).
+    pub simb_me: (u32, u32),
+    /// CIE SimB location and length in words (targets region A).
+    pub simb_cie: (u32, u32),
+    /// Calibrated ISR housekeeping loop count.
+    pub isr_pad_loops: u32,
+}
+
+/// Generate the split-pipeline program source. Assemble at `0x1000`.
+///
+/// Per frame (ReSim):
+///
+/// 1. video-in interrupt: start the CIE in region A *and* isolate
+///    region B while IcapCTRL reloads its ME image — reconfiguration
+///    overlaps computation instead of serialising with it;
+/// 2. when *both* the CIE and the reload finish (`PEND` rendezvous,
+///    either order): start the ME in region B and reload region A's
+///    CIE image behind isolation;
+/// 3. when both the ME and that reload finish: publish the vectors and
+///    request the next frame.
+///
+/// Still two partial reconfigurations per frame, but each hides behind
+/// the other region's compute half. Under VMUX both engines are
+/// permanently resident (their signature registers are programmed once
+/// at init) and the ISR simply chains CIE → ME → publish.
+pub fn generate_split(cfg: &SplitSwConfig) -> String {
+    let frame_bytes = cfg.width * cfg.height;
+    // videoin | engine A | icap | engine B (engine B is INTC line 4;
+    // line 3 is videoout, left unmasked like the classic program).
+    let int_mask: u32 = match cfg.method {
+        SimMethod::Resim => 0b1_0111,
+        SimMethod::Vmux => 0b1_0011,
+    };
+    let resim = cfg.method == SimMethod::Resim;
+
+    let mut s = String::with_capacity(16 * 1024);
+    let mut p = |line: &str| {
+        s.push_str(line);
+        s.push('\n');
+    };
+
+    p("# AutoVision Optical Flow Demonstrator — split-pipeline software");
+    p(&format!("# method={:?} regions=A:CIE B:ME", cfg.method));
+    for (name, val) in [
+        ("ENG_CTRL", dcr_map::ENG as u32),
+        ("ENG_SRC", dcr_map::ENG as u32 + 2),
+        ("ENG_DST", dcr_map::ENG as u32 + 3),
+        ("ENG_W", dcr_map::ENG as u32 + 6),
+        ("ENG_H", dcr_map::ENG as u32 + 7),
+        ("ENGB_CTRL", dcr_map::ENG_B as u32),
+        ("ENGB_SRC", dcr_map::ENG_B as u32 + 2),
+        ("ENGB_AUX", dcr_map::ENG_B as u32 + 4),
+        ("ENGB_VEC", dcr_map::ENG_B as u32 + 5),
+        ("ENGB_W", dcr_map::ENG_B as u32 + 6),
+        ("ENGB_H", dcr_map::ENG_B as u32 + 7),
+        ("ICAP_CTRL", dcr_map::ICAPC as u32),
+        ("ICAP_ADDR", dcr_map::ICAPC as u32 + 2),
+        ("ICAP_SIZE", dcr_map::ICAPC as u32 + 3),
+        ("INTC_STATUS", dcr_map::INTC as u32),
+        ("INTC_ENABLE", dcr_map::INTC as u32 + 1),
+        ("INTC_ACK", dcr_map::INTC as u32 + 2),
+        ("SYS_ISOLATE", dcr_map::SYS as u32),
+        ("SYS_HEARTBEAT", dcr_map::SYS as u32 + 2),
+        ("VIN_ADDR", dcr_map::VIN as u32),
+        ("VIN_CTRL", dcr_map::VIN as u32 + 1),
+        ("VOUT_ADDR", dcr_map::VOUT as u32),
+        ("VOUT_CTRL", dcr_map::VOUT as u32 + 1),
+        ("VOUT_STATUS", dcr_map::VOUT as u32 + 2),
+        ("SIG_A_REG", dcr_map::sig_base(0) as u32),
+        ("SIG_B_REG", dcr_map::sig_base(1) as u32),
+        ("FLAG", data_map::FLAG),
+        ("PHASE", data_map::PHASE),
+        ("FRAME", data_map::FRAME),
+        ("DRAWBUF", data_map::DRAWBUF),
+        ("DRAWN", data_map::DRAWN),
+        ("PEND", data_map::PEND),
+        ("IN0", cfg.in0),
+        ("CEN0", cfg.cen0),
+        ("VECS", cfg.vecs),
+        ("STRIDE", frame_bytes),
+        ("WIDTH", cfg.width),
+        ("HEIGHT", cfg.height),
+        ("NFRAMES", cfg.n_frames),
+        ("SIMB_ME", cfg.simb_me.0),
+        ("SIMB_ME_W", cfg.simb_me.1),
+        ("SIMB_CIE", cfg.simb_cie.0),
+        ("SIMB_CIE_W", cfg.simb_cie.1),
+        ("INTMASK", int_mask),
+        ("ISRPAD", cfg.isr_pad_loops.max(1)),
+    ] {
+        p(&format!(".equ {name}, {val:#x}"));
+    }
+
+    // ----- initialisation -----
+    p("init:");
+    p("  li r3, 0");
+    for var in ["FLAG", "PHASE", "FRAME", "DRAWN", "PEND"] {
+        p(&format!("  liw r10, {var}"));
+        p("  stw r3, 0(r10)");
+    }
+    p("  mtdcr SYS_ISOLATE, r3   # no region isolated");
+    p("  li r3, INTMASK");
+    p("  mtdcr INTC_ENABLE, r3");
+    p("  # engine geometry never changes: program both regions once");
+    p("  liw r3, WIDTH");
+    p("  mtdcr ENG_W, r3");
+    p("  mtdcr ENGB_W, r3");
+    p("  liw r3, HEIGHT");
+    p("  mtdcr ENG_H, r3");
+    p("  mtdcr ENGB_H, r3");
+    if !resim {
+        p("  # VMUX hack: both engines permanently resident");
+        p(&format!("  li r3, {SIG_CIE}"));
+        p("  mtdcr SIG_A_REG, r3");
+        p(&format!("  li r3, {SIG_ME}"));
+        p("  mtdcr SIG_B_REG, r3");
+    }
+    p("  # request the first frame into IN0");
+    p("  liw r3, IN0");
+    p("  mtdcr VIN_ADDR, r3");
+    p("  li r3, 1");
+    p("  mtdcr VIN_CTRL, r3");
+    p("  # enable external interrupts");
+    p("  liw r3, 0x8000");
+    p("  mtmsr r3");
+
+    // ----- main loop (identical contract to the classic program) -----
+    p("main:");
+    p("  li r6, 0                # heartbeat counter");
+    p("mloop:");
+    p("  addi r6, r6, 1");
+    p("  mtdcr SYS_HEARTBEAT, r6 # liveness telemetry every iteration");
+    p("  liw r10, FLAG");
+    p("  lwz r5, 0(r10)");
+    p("  cmpwi r5, 0");
+    p("  beq mloop");
+    p("  # vectors ready: clear the flag and draw them");
+    p("  li r5, 0");
+    p("  liw r10, FLAG");
+    p("  stw r5, 0(r10)");
+    p("  bl draw");
+    p("  # display the drawn buffer");
+    p("  liw r10, DRAWBUF");
+    p("  lwz r3, 0(r10)");
+    p("  mtdcr VOUT_ADDR, r3");
+    p("  li r3, 1");
+    p("  mtdcr VOUT_CTRL, r3");
+    p("  # count it; halt after the last frame drains");
+    p("  liw r10, DRAWN");
+    p("  lwz r3, 0(r10)");
+    p("  addi r3, r3, 1");
+    p("  stw r3, 0(r10)");
+    p("  cmplwi r3, NFRAMES");
+    p("  blt mloop");
+    p("wait_vout:");
+    p("  mfdcr r3, VOUT_STATUS");
+    p("  cmpwi r3, 0");
+    p("  bne wait_vout");
+    p("  halt");
+
+    // ----- draw: anchor + endpoint markers for each motion vector -----
+    p("draw:");
+    p("  liw r8, VECS");
+    p("  lwz r7, 0(r8)           # vector count");
+    p("  cmpwi r7, 0");
+    p("  beq drawret");
+    p("  mtctr r7");
+    p("  addi r8, r8, 4");
+    p("  liw r10, DRAWBUF");
+    p("  lwz r9, 0(r10)          # target buffer");
+    p("  liw r4, WIDTH");
+    p("dloop:");
+    p("  lwz r11, 0(r8)");
+    p("  addi r8, r8, 4");
+    p("  srwi r12, r11, 20       # x");
+    p("  andi. r12, r12, 0xFFF");
+    p("  srwi r13, r11, 8        # y");
+    p("  andi. r13, r13, 0xFFF");
+    p("  srwi r14, r11, 4        # dx+8");
+    p("  andi. r14, r14, 0xF");
+    p("  addi r14, r14, -8");
+    p("  andi. r15, r11, 0xF     # dy+8");
+    p("  addi r15, r15, -8");
+    p("  or r16, r14, r15");
+    p("  cmpwi r16, 0");
+    p("  beq dskip               # zero vector: nothing to draw");
+    p("  mullw r16, r13, r4      # anchor marker");
+    p("  add r16, r16, r12");
+    p("  add r16, r16, r9");
+    p("  li r17, 255");
+    p("  stb r17, 0(r16)");
+    p("  add r18, r12, r14       # endpoint marker at (x+dx, y+dy)");
+    p("  add r19, r13, r15");
+    p("  mullw r16, r19, r4");
+    p("  add r16, r16, r18");
+    p("  add r16, r16, r9");
+    p("  li r17, 254");
+    p("  stb r17, 0(r16)");
+    p("dskip:");
+    p("  bdnz dloop");
+    p("drawret:");
+    p("  blr");
+
+    // ----- interrupt service routine -----
+    p("isr:");
+    p("  mfcr r29");
+    p("  mflr r28");
+    p("  mfspr r31, ctr          # the main loop's draw uses CTR too");
+    p("  mfdcr r20, INTC_STATUS");
+    p("  mtdcr INTC_ACK, r20");
+    p("  # calibrated housekeeping (frame statistics, watchdog petting)");
+    p("  liw r21, ISRPAD");
+    p("  mtctr r21");
+    p("ipad:");
+    p("  bdnz ipad");
+
+    // --- video-in done: first half-frame begins ---
+    p("  andi. r21, r20, 1");
+    p("  beq n_vin");
+    p("  bl cur_in               # r24 = IN[FRAME&1], r25 = CEN[FRAME&1]");
+    p("  mtdcr ENG_SRC, r24");
+    p("  mtdcr ENG_DST, r25");
+    p("  li r21, 2               # region A: reset (latch parameters)");
+    p("  mtdcr ENG_CTRL, r21");
+    p("  li r21, 1               # region A: start the CIE");
+    p("  mtdcr ENG_CTRL, r21");
+    p("  li r21, 0");
+    p("  liw r22, PEND");
+    p("  stw r21, 0(r22)");
+    p("  li r21, 1");
+    p("  liw r22, PHASE");
+    p("  stw r21, 0(r22)         # phase 1: CIE computing, B reloading");
+    if resim {
+        p("  li r21, 2               # isolate region B (bit 1)");
+        p("  mtdcr SYS_ISOLATE, r21");
+        p("  liw r21, SIMB_ME        # reload B's ME image while A works");
+        p("  mtdcr ICAP_ADDR, r21");
+        p("  liw r21, SIMB_ME_W");
+        p("  mtdcr ICAP_SIZE, r21");
+        p("  li r21, 1");
+        p("  mtdcr ICAP_CTRL, r21");
+    }
+    p("n_vin:");
+
+    // --- region A engine (CIE) done ---
+    p("  andi. r21, r20, 2");
+    p("  beq n_enga");
+    p("  liw r22, PHASE");
+    p("  lwz r23, 0(r22)");
+    p("  cmpwi r23, 1");
+    p("  bne n_enga");
+    if resim {
+        p("  liw r22, PEND");
+        p("  lwz r23, 0(r22)");
+        p("  ori r23, r23, 1         # CIE half done");
+        p("  stw r23, 0(r22)");
+        p("  cmpwi r23, 3");
+        p("  beq half2               # reload also done: switch halves");
+    } else {
+        p("  b half2                 # nothing to wait for under VMUX");
+    }
+    p("n_enga:");
+
+    // --- region B engine (ME) done ---
+    p("  andi. r21, r20, 16");
+    p("  beq n_engb");
+    p("  liw r22, PHASE");
+    p("  lwz r23, 0(r22)");
+    p("  cmpwi r23, 2");
+    p("  bne n_engb");
+    p("  li r21, 1");
+    p("  liw r22, FLAG");
+    p("  stw r21, 0(r22)         # vectors ready for the main loop");
+    p("  bl cur_in");
+    p("  liw r22, DRAWBUF");
+    p("  stw r24, 0(r22)");
+    if resim {
+        p("  liw r22, PEND");
+        p("  lwz r23, 0(r22)");
+        p("  ori r23, r23, 1         # ME half done");
+        p("  stw r23, 0(r22)");
+        p("  cmpwi r23, 3");
+        p("  beq frame_done          # reload also done: next frame");
+    } else {
+        p("  bl advance_frame");
+    }
+    p("n_engb:");
+
+    // --- IcapCTRL done: the idle region's reload finished ---
+    if resim {
+        p("  andi. r21, r20, 4");
+        p("  beq n_icap");
+        p("  # NOTE: isolation is NOT dropped here. The done interrupt");
+        p("  # fires when the last word enters the ICAP FIFO; the error-");
+        p("  # injection window only closes once the FIFO tail drains.");
+        p("  # The half2/frame_done phase switches rewrite the mask later,");
+        p("  # safely past the drain.");
+        p("  liw r22, PHASE");
+        p("  lwz r23, 0(r22)");
+        p("  cmpwi r23, 1");
+        p("  bne icap_p2");
+        p("  liw r22, PEND");
+        p("  lwz r23, 0(r22)");
+        p("  ori r23, r23, 2         # B reload done");
+        p("  stw r23, 0(r22)");
+        p("  cmpwi r23, 3");
+        p("  beq half2               # CIE also done: switch halves");
+        p("  b n_icap");
+        p("icap_p2:");
+        p("  cmpwi r23, 2");
+        p("  bne n_icap");
+        p("  liw r22, PEND");
+        p("  lwz r23, 0(r22)");
+        p("  ori r23, r23, 2         # A reload done");
+        p("  stw r23, 0(r22)");
+        p("  cmpwi r23, 3");
+        p("  beq frame_done          # ME also done: next frame");
+        p("n_icap:");
+    }
+    p("isr_exit:");
+    p("  mtspr ctr, r31");
+    p("  mtlr r28");
+    p("  mtcrf r29");
+    p("  rfi");
+
+    // --- second half-frame: ME computes on B, A reloads its CIE ---
+    p("half2:");
+    p("  li r21, 0");
+    p("  liw r22, PEND");
+    p("  stw r21, 0(r22)");
+    p("  li r21, 2");
+    p("  liw r22, PHASE");
+    p("  stw r21, 0(r22)         # phase 2: ME computing, A reloading");
+    if resim {
+        p("  li r21, 1               # isolate A, release B (mask bit 0)");
+        p("  mtdcr SYS_ISOLATE, r21");
+    }
+    p("  bl start_me_b");
+    if resim {
+        p("  liw r21, SIMB_CIE       # reload A's CIE image while B works");
+        p("  mtdcr ICAP_ADDR, r21");
+        p("  liw r21, SIMB_CIE_W");
+        p("  mtdcr ICAP_SIZE, r21");
+        p("  li r21, 1");
+        p("  mtdcr ICAP_CTRL, r21");
+    }
+    p("  b isr_exit");
+
+    // --- both halves complete: request the next frame ---
+    p("frame_done:");
+    if resim {
+        p("  li r21, 0               # release region A");
+        p("  mtdcr SYS_ISOLATE, r21");
+    }
+    p("  bl advance_frame");
+    p("  b isr_exit");
+
+    // ----- ISR helpers (use r24-r27 and the link register) -----
+    p("# r24 = IN[FRAME&1], r25 = CEN[FRAME&1], r26 = CEN[(FRAME+1)&1]");
+    p("cur_in:");
+    p("  liw r24, FRAME");
+    p("  lwz r24, 0(r24)");
+    p("  andi. r27, r24, 1");
+    p("  liw r25, STRIDE");
+    p("  mullw r27, r27, r25");
+    p("  liw r24, IN0");
+    p("  add r24, r24, r27");
+    p("  liw r25, CEN0");
+    p("  add r25, r25, r27");
+    p("  liw r26, FRAME");
+    p("  lwz r26, 0(r26)");
+    p("  addi r26, r26, 1");
+    p("  andi. r26, r26, 1");
+    p("  liw r27, STRIDE");
+    p("  mullw r26, r26, r27");
+    p("  liw r27, CEN0");
+    p("  add r26, r26, r27");
+    p("  blr");
+
+    p("start_me_b:");
+    p("  mflr r30                # nested call: save return");
+    p("  bl cur_in");
+    p("  mtdcr ENGB_SRC, r25     # current census image");
+    p("  mtdcr ENGB_AUX, r26     # previous census image");
+    p("  liw r27, VECS");
+    p("  mtdcr ENGB_VEC, r27");
+    p("  li r27, 2");
+    p("  mtdcr ENGB_CTRL, r27    # region B: reset (latch ME parameters)");
+    p("  li r27, 1");
+    p("  mtdcr ENGB_CTRL, r27    # region B: start the ME");
     p("  mtlr r30");
     p("  blr");
 

@@ -1,31 +1,37 @@
 //! Full-system assembly of the Optical Flow Demonstrator (Figure 1 of
 //! the paper): engines + reconfiguration machinery + PowerPC + VIPs on a
 //! shared PLB with a DCR daisy chain, under either simulation method.
+//!
+//! The assembly is composed from the subsystem builders in
+//! [`crate::fabric`] plus a [`resim::ReconfigBackend`] that populates
+//! the reconfigurable regions — [`SimMethod`] selects the backend, it is
+//! no longer control flow threaded through the build. The
+//! reconfiguration plane is region-indexed end-to-end: `SystemConfig`
+//! carries a `Vec<RegionSpec>`, each region gets its own engine
+//! cluster, isolation layer, engine-control block and interrupt line,
+//! and all regions share one IcapCTRL whose SimB streams are routed by
+//! the RR ID carried in each bitstream's frame address. The paper's
+//! single-region system is the one-element case and is byte-identical
+//! to the pre-refactor monolith.
 
+use crate::fabric::{self, RegionNames};
 use crate::faults::{Bug, FaultSet};
 use crate::icapctrl::{IcapCtrl, RecoveryPolicy, RecoveryStats};
-use crate::software::{self, dcr_map, SimMethod, SwConfig, SIG_CIE, SIG_ME};
-use crate::vips::{VideoInVip, VideoOutVip};
+use crate::software::{self, dcr_map, SimMethod, SplitSwConfig, SwConfig};
 use dcr::{DcrChainBuilder, RegFile};
-use engines::{
-    CensusEngine, EngineCtrl, EngineIf, EngineParamSignals, IsoPair, Isolation, MatchingEngine,
-};
-use plb::{
-    AddressWindow, MasterPort, MemFaultHandle, MemorySlave, MonitorStats, PlbBus, PlbBusConfig,
-    PlbMonitor, SharedMem,
-};
-use ppc::{IntController, IssConfig, IssStats, PpcIss};
+use engines::EngineCtrl;
+use plb::{MasterPort, MemFaultHandle, MonitorStats, SharedMem};
+use ppc::IssStats;
 use resim::{
-    build_simb, build_simb_integrity, instantiate_vmux, IcapArtifact, IcapConfig, IcapFaultHandle,
-    IcapStats, PortalStats, RrBoundary, SimbKind, VmuxConfig, XSource,
+    build_simb, build_simb_integrity, IcapConfig, IcapFaultHandle, IcapStats, PortalStats,
+    ReconfigBackend, RegionPlan, ResimBackend, RrBoundary, SimbKind, VmuxBackend, VmuxConfig,
+    VmuxRegion, XSource,
 };
-use rtlsim::{
-    Clock, CompKind, Component, Ctx, KernelError, ResetGen, SignalId, Simulator, PS_PER_NS,
-};
+use rtlsim::{KernelError, SignalId, Simulator, PS_PER_NS};
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
-use video::{Frame, MatchParams, Scene};
+use video::{Frame, Scene};
 
 /// System clock period (100 MHz).
 pub const CLK_PERIOD_PS: u64 = 10 * PS_PER_NS;
@@ -33,16 +39,98 @@ pub const CLK_PERIOD_PS: u64 = 10 * PS_PER_NS;
 pub const MODULE_CIE: u8 = 0x01;
 /// SimB module ID of the matching engine (Table I's example).
 pub const MODULE_ME: u8 = 0x02;
-/// The reconfigurable region's ID.
+/// The (first) reconfigurable region's ID.
 pub const RR_ID: u8 = 0x01;
+/// Region ID of the second region in the split-pipeline scenario.
+pub const RR_ID_B: u8 = 0x02;
+
+/// What kind of engine a region module is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Census-transform image engine (CIE).
+    Census,
+    /// Motion-vector matching engine (ME).
+    Matching,
+}
+
+/// One candidate module of a reconfigurable region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModuleSpec {
+    /// SimB module ID (doubles as the VMUX signature value).
+    pub id: u8,
+    /// Which engine this module instantiates.
+    pub kind: EngineKind,
+}
+
+impl ModuleSpec {
+    /// A census-engine module with SimB ID `id`.
+    pub fn census(id: u8) -> ModuleSpec {
+        ModuleSpec {
+            id,
+            kind: EngineKind::Census,
+        }
+    }
+
+    /// A matching-engine module with SimB ID `id`.
+    pub fn matching(id: u8) -> ModuleSpec {
+        ModuleSpec {
+            id,
+            kind: EngineKind::Matching,
+        }
+    }
+}
+
+/// One reconfigurable region of the platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionSpec {
+    /// Region ID carried in SimB frame addresses.
+    pub id: u8,
+    /// Boundary signal prefix (also names the region's isolation and
+    /// portal machinery; see [`fabric::RegionNames`]).
+    pub boundary: String,
+    /// Candidate modules, in instantiation order.
+    pub modules: Vec<ModuleSpec>,
+    /// Module present in the initial (full) configuration.
+    pub initial: Option<u8>,
+}
+
+impl RegionSpec {
+    /// The paper's region: CIE and ME time-shared in one RR, CIE
+    /// initially resident.
+    pub fn time_shared() -> RegionSpec {
+        RegionSpec {
+            id: RR_ID,
+            boundary: "rr".into(),
+            modules: vec![
+                ModuleSpec::census(MODULE_CIE),
+                ModuleSpec::matching(MODULE_ME),
+            ],
+            initial: Some(MODULE_CIE),
+        }
+    }
+}
+
+/// The region topologies the system software supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// One region time-shared between the census and matching engines —
+    /// the paper's demonstrator, two reconfigurations per frame.
+    SingleRegion,
+    /// CIE and ME resident in separate regions; each region is reloaded
+    /// during the half-frame its engine idles, overlapping
+    /// reconfiguration with the other engine's computation.
+    SplitPipeline,
+}
 
 /// Build-time configuration of one simulation run.
 #[derive(Debug, Clone)]
 pub struct SystemConfig {
-    /// DPR simulation method.
+    /// DPR simulation method (selects the [`ReconfigBackend`]).
     pub method: SimMethod,
     /// Injected bugs.
     pub faults: FaultSet,
+    /// Reconfigurable regions, in instantiation order.
+    pub regions: Vec<RegionSpec>,
     /// Frame width (multiple of 4).
     pub width: usize,
     /// Frame height.
@@ -99,6 +187,7 @@ impl Default for SystemConfig {
         SystemConfig {
             method: SimMethod::Resim,
             faults: FaultSet::none(),
+            regions: vec![RegionSpec::time_shared()],
             width: 64,
             height: 48,
             n_frames: 2,
@@ -122,8 +211,9 @@ impl SystemConfig {
     ///
     /// Unlike mutating a struct literal, [`SystemConfigBuilder::build`]
     /// rejects configurations the system cannot actually run (width not
-    /// a multiple of 4, zero frames, a zero configuration-clock divider)
-    /// instead of failing deep inside `AvSystem::build`.
+    /// a multiple of 4, zero frames, a zero configuration-clock divider,
+    /// an unsupported region topology) instead of failing deep inside
+    /// `AvSystem::build`.
     ///
     /// ```
     /// use autovision::SystemConfig;
@@ -140,6 +230,92 @@ impl SystemConfig {
         SystemConfigBuilder {
             cfg: SystemConfig::default(),
         }
+    }
+
+    /// The two-region demonstrator's region list: CIE resident in region
+    /// `RR_ID`, ME resident in region [`RR_ID_B`], each reloaded on
+    /// alternating half-frames.
+    pub fn split_regions() -> Vec<RegionSpec> {
+        vec![
+            RegionSpec {
+                id: RR_ID,
+                boundary: "rr".into(),
+                modules: vec![ModuleSpec::census(MODULE_CIE)],
+                initial: Some(MODULE_CIE),
+            },
+            RegionSpec {
+                id: RR_ID_B,
+                boundary: "rrb".into(),
+                modules: vec![ModuleSpec::matching(MODULE_ME)],
+                initial: Some(MODULE_ME),
+            },
+        ]
+    }
+
+    /// Classify (and validate) the region topology.
+    ///
+    /// Region-level structural errors (no regions, duplicate IDs, empty
+    /// module sets, an `initial` module not in the set) are reported
+    /// first; a structurally sound topology the system software cannot
+    /// drive is [`ConfigError::UnsupportedTopology`].
+    pub fn scenario(&self) -> Result<Scenario, ConfigError> {
+        if self.regions.is_empty() {
+            return Err(ConfigError::NoRegions);
+        }
+        for (i, r) in self.regions.iter().enumerate() {
+            if self.regions[..i].iter().any(|o| o.id == r.id) {
+                return Err(ConfigError::DuplicateRegionId { id: r.id });
+            }
+            if r.modules.is_empty() {
+                return Err(ConfigError::EmptyRegion { id: r.id });
+            }
+            for (j, m) in r.modules.iter().enumerate() {
+                if r.modules[..j].iter().any(|o| o.id == m.id) {
+                    return Err(ConfigError::DuplicateModuleId {
+                        region: r.id,
+                        module: m.id,
+                    });
+                }
+            }
+            if let Some(init) = r.initial {
+                if !r.modules.iter().any(|m| m.id == init) {
+                    return Err(ConfigError::UnknownInitialModule {
+                        region: r.id,
+                        module: init,
+                    });
+                }
+            }
+        }
+        let kinds: Vec<Vec<EngineKind>> = self
+            .regions
+            .iter()
+            .map(|r| r.modules.iter().map(|m| m.kind).collect())
+            .collect();
+        let scenario = match kinds.as_slice() {
+            [one] if one.contains(&EngineKind::Census) && one.contains(&EngineKind::Matching) => {
+                Scenario::SingleRegion
+            }
+            [a, b]
+                if a.as_slice() == [EngineKind::Census]
+                    && b.as_slice() == [EngineKind::Matching] =>
+            {
+                Scenario::SplitPipeline
+            }
+            _ => return Err(ConfigError::UnsupportedTopology),
+        };
+        if scenario == Scenario::SplitPipeline {
+            if !self.faults.bugs().is_empty() {
+                return Err(ConfigError::UnsupportedInSplit {
+                    feature: "injected bugs",
+                });
+            }
+            if self.recovery.enabled {
+                return Err(ConfigError::UnsupportedInSplit {
+                    feature: "the recovery policy",
+                });
+            }
+        }
+        Ok(scenario)
     }
 }
 
@@ -160,6 +336,41 @@ pub enum ConfigError {
     ZeroDivider,
     /// The SimB payload must contain at least one word.
     ZeroPayload,
+    /// The platform needs at least one reconfigurable region.
+    NoRegions,
+    /// Two regions share one SimB region ID.
+    DuplicateRegionId {
+        /// The repeated ID.
+        id: u8,
+    },
+    /// A region has no candidate modules.
+    EmptyRegion {
+        /// The offending region.
+        id: u8,
+    },
+    /// A region lists one module ID twice.
+    DuplicateModuleId {
+        /// The offending region.
+        region: u8,
+        /// The repeated module ID.
+        module: u8,
+    },
+    /// A region's initial module is not in its module set.
+    UnknownInitialModule {
+        /// The offending region.
+        region: u8,
+        /// The unknown module ID.
+        module: u8,
+    },
+    /// The region/module topology matches no scenario the system
+    /// software can drive (supported: one census+matching region;
+    /// census-only region plus matching-only region).
+    UnsupportedTopology,
+    /// A feature the split-pipeline software does not implement.
+    UnsupportedInSplit {
+        /// What was requested.
+        feature: &'static str,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -174,6 +385,31 @@ impl fmt::Display for ConfigError {
                 write!(f, "configuration-clock divider must be positive")
             }
             ConfigError::ZeroPayload => write!(f, "SimB payload must be at least one word"),
+            ConfigError::NoRegions => write!(f, "at least one reconfigurable region is required"),
+            ConfigError::DuplicateRegionId { id } => {
+                write!(f, "region ID {id:#x} is used by more than one region")
+            }
+            ConfigError::EmptyRegion { id } => {
+                write!(f, "region {id:#x} has no candidate modules")
+            }
+            ConfigError::DuplicateModuleId { region, module } => {
+                write!(f, "region {region:#x} lists module {module:#x} twice")
+            }
+            ConfigError::UnknownInitialModule { region, module } => {
+                write!(
+                    f,
+                    "region {region:#x}'s initial module {module:#x} is not in its module set"
+                )
+            }
+            ConfigError::UnsupportedTopology => {
+                write!(f, "region topology matches no supported scenario")
+            }
+            ConfigError::UnsupportedInSplit { feature } => {
+                write!(
+                    f,
+                    "{feature} are not supported in the split-pipeline scenario"
+                )
+            }
         }
     }
 }
@@ -197,6 +433,13 @@ impl SystemConfigBuilder {
     /// Injected bugs.
     pub fn faults(mut self, faults: FaultSet) -> Self {
         self.cfg.faults = faults;
+        self
+    }
+
+    /// Reconfigurable regions (validated against the supported
+    /// scenarios; see [`SystemConfig::scenario`]).
+    pub fn regions(mut self, regions: Vec<RegionSpec>) -> Self {
+        self.cfg.regions = regions;
         self
     }
 
@@ -303,12 +546,28 @@ impl SystemConfigBuilder {
         if cfg.payload_words == 0 {
             return Err(ConfigError::ZeroPayload);
         }
+        cfg.scenario()?;
         Ok(cfg)
     }
 }
 
+/// One SimB image staged in the bitstream "flash" region of memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimbSlot {
+    /// Target region ID carried in the SimB's frame addresses.
+    pub rr_id: u8,
+    /// Module the SimB configures.
+    pub module: u8,
+    /// The module's engine kind (selects the payload seed).
+    pub kind: EngineKind,
+    /// Byte address of the image in main memory.
+    pub addr: u32,
+    /// Image length in words.
+    pub words: u32,
+}
+
 /// Memory layout derived from a configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct MemLayout {
     /// Total memory bytes.
     pub mem_bytes: usize,
@@ -318,10 +577,13 @@ pub struct MemLayout {
     pub cen0: u32,
     /// Vector buffer.
     pub vecs: u32,
-    /// ME SimB (address, words).
+    /// ME SimB (address, words) — the first matching-engine image.
     pub simb_me: (u32, u32),
-    /// CIE SimB (address, words).
+    /// CIE SimB (address, words) — the first census-engine image.
     pub simb_cie: (u32, u32),
+    /// Every SimB image, one per region module, matching-engine images
+    /// first (the legacy single-region order).
+    pub simbs: Vec<SimbSlot>,
 }
 
 impl MemLayout {
@@ -336,62 +598,45 @@ impl MemLayout {
         // DESYNC trailer.
         let integrity = if cfg.recovery.enabled { 2 } else { 0 };
         let simb_words = (cfg.payload_words + 10 + integrity) as u32;
-        let simb_me = align(vecs + 0x8000);
-        let simb_cie = align(simb_me + 4 * simb_words);
-        let end = align(simb_cie + 4 * simb_words);
+        let mut images: Vec<(u8, u8, EngineKind)> = cfg
+            .regions
+            .iter()
+            .flat_map(|r| r.modules.iter().map(move |m| (r.id, m.id, m.kind)))
+            .collect();
+        // ME image first, then CIE (stable within each kind) — the
+        // legacy flash order, reproduced for every topology.
+        images.sort_by_key(|(_, _, kind)| match kind {
+            EngineKind::Matching => 0,
+            EngineKind::Census => 1,
+        });
+        let mut addr = align(vecs + 0x8000);
+        let mut simbs = Vec::with_capacity(images.len());
+        for (rr_id, module, kind) in images {
+            simbs.push(SimbSlot {
+                rr_id,
+                module,
+                kind,
+                addr,
+                words: simb_words,
+            });
+            addr = align(addr + 4 * simb_words);
+        }
+        let first = |kind: EngineKind| {
+            simbs
+                .iter()
+                .find(|s| s.kind == kind)
+                .map(|s| (s.addr, s.words))
+                .unwrap_or((0, 0))
+        };
         MemLayout {
-            mem_bytes: end.max(0x0020_0000) as usize,
+            mem_bytes: (addr.max(0x0020_0000)) as usize,
             in0,
             cen0,
             vecs,
-            simb_me: (simb_me, simb_words),
-            simb_cie: (simb_cie, simb_words),
+            simb_me: first(EngineKind::Matching),
+            simb_cie: first(EngineKind::Census),
+            simbs,
         }
-    }
-}
-
-/// Drives the isolate wire from the SYS DCR block and stores heartbeats.
-struct SysCtrl {
-    clk: SignalId,
-    rst: SignalId,
-    regs: RegFile,
-    isolate: SignalId,
-}
-
-impl Component for SysCtrl {
-    fn eval(&mut self, ctx: &mut Ctx<'_>) {
-        if ctx.is_high(self.rst) {
-            ctx.set_bit(self.isolate, false);
-            return;
-        }
-        if !ctx.rose(self.clk) {
-            return;
-        }
-        for (off, v) in self.regs.take_writes() {
-            if off == 0 {
-                ctx.set_bit(self.isolate, v & 1 != 0);
-            }
-            // off 2 = heartbeat: value is already stored in the regfile.
-        }
-    }
-}
-
-/// Copies the bus responses of the isolated port back to the region
-/// boundary (inputs into the region need no isolation).
-struct ReverseRelay {
-    from: MasterPort,
-    to: MasterPort,
-}
-
-impl Component for ReverseRelay {
-    fn eval(&mut self, ctx: &mut Ctx<'_>) {
-        ctx.set(self.to.gnt, ctx.get(self.from.gnt));
-        ctx.set(self.to.addr_ack, ctx.get(self.from.addr_ack));
-        ctx.set(self.to.wready, ctx.get(self.from.wready));
-        ctx.set(self.to.rvalid, ctx.get(self.from.rvalid));
-        ctx.set(self.to.rdata, ctx.get(self.from.rdata));
-        ctx.set(self.to.complete, ctx.get(self.from.complete));
-        ctx.set(self.to.err, ctx.get(self.from.err));
     }
 }
 
@@ -428,8 +673,11 @@ pub struct AvSystem {
     pub cpu: Rc<RefCell<IssStats>>,
     /// ICAP artifact statistics (ReSim builds only).
     pub icap: Option<Rc<RefCell<IcapStats>>>,
-    /// Portal statistics (ReSim builds only).
+    /// First region's portal statistics (ReSim builds only).
     pub portal: Option<Rc<RefCell<PortalStats>>>,
+    /// Per-region portal statistics, in [`RegionSpec`] order (ReSim
+    /// builds only; empty under VMUX).
+    pub portals: Vec<Rc<RefCell<PortalStats>>>,
     /// Bus protocol monitor statistics.
     pub bus_monitor: Rc<RefCell<MonitorStats>>,
     /// Transient-fault injection handle of the memory slave (recovery
@@ -451,7 +699,7 @@ pub struct AvSystem {
 }
 
 /// Signals the benchmarks attach measurement probes to.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SystemProbes {
     /// CIE busy (high while the census engine processes a frame).
     pub cie_busy: SignalId,
@@ -462,70 +710,84 @@ pub struct SystemProbes {
     /// Error-injection window: high while the SimB payload streams
     /// (ReSim builds only).
     pub inject: Option<SignalId>,
-    /// Isolation control.
+    /// First region's isolation control.
     pub isolate: SignalId,
+    /// Per-region isolation probes, in [`RegionSpec`] order.
+    pub regions: Vec<RegionProbes>,
+}
+
+/// Isolation-layer probe signals of one region.
+#[derive(Debug, Clone, Copy)]
+pub struct RegionProbes {
+    /// Isolation control (high = region outputs gated to zero).
+    pub isolate: SignalId,
+    /// The region's gated busy output.
+    pub busy: SignalId,
+    /// The region's gated done output.
+    pub done: SignalId,
 }
 
 impl AvSystem {
     /// Build the complete system.
     pub fn build(cfg: SystemConfig) -> AvSystem {
+        let scenario = cfg
+            .scenario()
+            .expect("region topology must be valid (validated by SystemConfig::builder)");
         let layout = MemLayout::for_config(&cfg);
         let f = &cfg.faults;
         let mut sim = Simulator::new();
-        let clk = sim.signal("clk", 1);
-        let rst = sim.signal("rst", 1);
-        sim.add_component(
-            "clkgen",
-            CompKind::Vip,
-            Box::new(Clock::new(clk, CLK_PERIOD_PS)),
-            &[],
-        );
-        sim.add_component(
-            "rstgen",
-            CompKind::Vip,
-            Box::new(ResetGen::new(rst, 5 * CLK_PERIOD_PS)),
-            &[],
-        );
+        let cr = fabric::clock_reset(&mut sim);
 
         // ----- memory -----
-        let mem = SharedMem::new(layout.mem_bytes);
-        let (mem_port, mem_faults) = MemorySlave::instantiate_faulty(
+        let main_mem = fabric::main_memory(
             &mut sim,
-            "ddr",
-            clk,
-            rst,
-            mem.clone(),
+            cr,
+            layout.mem_bytes,
             cfg.mem_wait_states,
             f.has(Bug::Hw1MemBurstWrap),
         );
 
         // ----- DCR register blocks -----
-        let eng_regs = RegFile::new(dcr_map::ENG, 8);
+        let n = cfg.regions.len();
+        let eng_regs: Vec<RegFile> = (0..n)
+            .map(|i| RegFile::new(dcr_map::eng_base(i), 8))
+            .collect();
         let icap_regs = RegFile::new(dcr_map::ICAPC, 8);
         let intc_regs = RegFile::new(dcr_map::INTC, 3);
         let sys_regs = RegFile::new(dcr_map::SYS, 4);
         let vin_regs = RegFile::new(dcr_map::VIN, 4);
         let vout_regs = RegFile::new(dcr_map::VOUT, 4);
-        let sig_regs = RegFile::new(dcr_map::SIG, 1);
+        let sig_regs: Vec<RegFile> = (0..n)
+            .map(|i| RegFile::new(dcr_map::sig_base(i), 1))
+            .collect();
 
-        // ----- engines (both instantiated in parallel) -----
-        let go = sim.signal_init("eng.go", 1, 0);
-        let ereset = sim.signal_init("eng.ereset", 1, 0);
-        let params = EngineParamSignals::alloc(&mut sim, "eng.params");
-        let cie_if = EngineIf::alloc(&mut sim, "cie", clk, rst, go, ereset, &params);
-        let me_if = EngineIf::alloc(&mut sim, "me", clk, rst, go, ereset, &params);
-        CensusEngine::instantiate(&mut sim, "cie", cie_if, 2);
-        MatchingEngine::instantiate(&mut sim, "me", me_if, MatchParams::default());
+        // ----- per-region engine clusters and boundaries -----
+        let names: Vec<RegionNames> = cfg
+            .regions
+            .iter()
+            .enumerate()
+            .map(|(i, r)| RegionNames::for_region(i, &r.boundary))
+            .collect();
+        let clusters: Vec<fabric::EngineCluster> = cfg
+            .regions
+            .iter()
+            .zip(&names)
+            .map(|(spec, nm)| fabric::engine_cluster(&mut sim, cr, nm, spec))
+            .collect();
+        let boundaries: Vec<RrBoundary> = cfg
+            .regions
+            .iter()
+            .map(|r| RrBoundary::alloc(&mut sim, &r.boundary))
+            .collect();
 
-        // ----- region boundary, method-specific swap machinery -----
-        let boundary = RrBoundary::alloc(&mut sim, "rr");
-        let (icap_port, icap_stats, portal_stats, icap_faults) = match cfg.method {
+        // ----- reconfiguration backend -----
+        let mut backend: Box<dyn ReconfigBackend> = match cfg.method {
             SimMethod::Resim => {
-                let (icap_port, icap_stats, icap_faults) = IcapArtifact::instantiate_faulty(
-                    &mut sim,
+                let kind = cfg.error_source;
+                let seed = cfg.seed;
+                let mut first = true;
+                Box::new(ResimBackend::new(
                     "icap_artifact",
-                    clk,
-                    rst,
                     IcapConfig {
                         fifo_depth: 16,
                         cfg_divider: cfg.cfg_divider,
@@ -533,137 +795,108 @@ impl AvSystem {
                         require_integrity: cfg.recovery.enabled,
                         tolerant: cfg.recovery.enabled,
                     },
-                );
-                let source: Box<dyn resim::ErrorSource> = match cfg.error_source {
-                    ErrorSourceKind::X => Box::new(XSource),
-                    ErrorSourceKind::Silent => Box::new(resim::SilentSource),
-                    ErrorSourceKind::Random => Box::new(resim::RandomSource::new(cfg.seed)),
-                };
-                let portal_stats = resim::instantiate_region_with(
-                    &mut sim,
-                    "rr0",
-                    clk,
-                    rst,
-                    RR_ID,
-                    icap_port,
-                    vec![(MODULE_CIE, cie_if), (MODULE_ME, me_if)],
-                    boundary,
-                    Some(MODULE_CIE),
-                    source,
                     resim::RegionOptions {
                         deselect_during_inject: !cfg.optimistic_region,
                     },
-                );
-                (
-                    icap_port,
-                    Some(icap_stats),
-                    Some(portal_stats),
-                    Some(icap_faults),
-                )
+                    Box::new(move |rr| {
+                        // The first region keeps the configured seed so
+                        // single-region runs are unchanged; later
+                        // regions derive theirs from the RR ID.
+                        let s = if first {
+                            seed
+                        } else {
+                            seed ^ ((rr as u64) << 32)
+                        };
+                        first = false;
+                        match kind {
+                            ErrorSourceKind::X => Box::new(XSource),
+                            ErrorSourceKind::Silent => Box::new(resim::SilentSource),
+                            ErrorSourceKind::Random => Box::new(resim::RandomSource::new(s)),
+                        }
+                    }),
+                ))
             }
             SimMethod::Vmux => {
-                // IcapCTRL is instantiated but unused: give it an inert
-                // ICAP port that is always ready.
-                let icap_port = resim::IcapPort::alloc(&mut sim, "icap_unused");
-                sim.poke_u64(icap_port.ready, 1);
-                let reset_signature = if f.has(Bug::Hw2SignatureUninit) {
-                    None
-                } else {
-                    Some(SIG_CIE)
-                };
-                instantiate_vmux(
-                    &mut sim,
-                    "vmux",
-                    clk,
-                    rst,
-                    sig_regs.clone(),
-                    vec![(SIG_CIE, cie_if), (SIG_ME, me_if)],
-                    boundary,
-                    VmuxConfig { reset_signature },
-                );
-                (icap_port, None, None, None)
+                let vmux_regions: Vec<VmuxRegion> = cfg
+                    .regions
+                    .iter()
+                    .enumerate()
+                    .map(|(idx, r)| {
+                        let reset_signature = if idx == 0 && f.has(Bug::Hw2SignatureUninit) {
+                            None
+                        } else {
+                            r.initial.map(u32::from)
+                        };
+                        VmuxRegion {
+                            name: names[idx].vmux.clone(),
+                            regs: sig_regs[idx].clone(),
+                            config: VmuxConfig { reset_signature },
+                        }
+                    })
+                    .collect();
+                Box::new(VmuxBackend::new("icap_unused", vmux_regions))
             }
         };
-
-        // ----- isolation between the region boundary and the bus -----
-        let isolate = sim.signal_init("isolate", 1, 0);
-        let iso_busy = sim.signal("iso.busy", 1);
-        let iso_done = sim.signal("iso.done", 1);
-        let iso_port = MasterPort::alloc(&mut sim, "rr_iso.plb");
-        let mut pairs = vec![
-            IsoPair {
-                from: boundary.busy,
-                to: iso_busy,
-            },
-            IsoPair {
-                from: boundary.done,
-                to: iso_done,
-            },
-        ];
-        for (from, to) in boundary
-            .plb
-            .master_driven()
+        let plans: Vec<RegionPlan> = cfg
+            .regions
             .iter()
-            .zip(iso_port.master_driven())
-        {
-            pairs.push(IsoPair { from: *from, to });
-        }
-        Isolation::instantiate(&mut sim, "isolation", isolate, pairs);
-        let rev = ReverseRelay {
-            from: iso_port,
-            to: boundary.plb,
-        };
-        sim.add_component(
-            "rr_rsp_relay",
-            CompKind::UserStatic,
-            Box::new(rev),
-            &[
-                iso_port.gnt,
-                iso_port.addr_ack,
-                iso_port.wready,
-                iso_port.rvalid,
-                iso_port.rdata,
-                iso_port.complete,
-                iso_port.err,
-            ],
-        );
+            .enumerate()
+            .map(|(idx, spec)| RegionPlan {
+                rr_id: spec.id,
+                name: names[idx].portal.clone(),
+                modules: clusters[idx].modules.clone(),
+                boundary: boundaries[idx],
+                initial: spec.initial,
+            })
+            .collect();
+        let handles = backend.instantiate(&mut sim, cr.clk, cr.rst, plans);
 
-        // ----- engine control block (static region) -----
-        let eng_irq = sim.signal_init("irq.engine", 1, 0);
-        EngineCtrl::instantiate(
-            &mut sim,
-            "eng_ctrl",
-            clk,
-            rst,
-            eng_regs.clone(),
-            params,
-            go,
-            ereset,
-            iso_busy,
-            iso_done,
-            eng_irq,
-        );
+        // ----- isolation between each region boundary and the bus -----
+        let isolations: Vec<fabric::RegionIsolation> = names
+            .iter()
+            .zip(&boundaries)
+            .map(|(nm, b)| fabric::region_isolation(&mut sim, nm, *b))
+            .collect();
+
+        // ----- engine control blocks (static region) -----
+        let mut eng_irqs = Vec::with_capacity(n);
+        for (idx, (cluster, iso)) in clusters.iter().zip(&isolations).enumerate() {
+            let irq = sim.signal_init(&*names[idx].eng_irq, 1, 0);
+            EngineCtrl::instantiate(
+                &mut sim,
+                &names[idx].eng_ctrl,
+                cr.clk,
+                cr.rst,
+                eng_regs[idx].clone(),
+                cluster.params,
+                cluster.go,
+                cluster.ereset,
+                iso.busy,
+                iso.done,
+                irq,
+            );
+            eng_irqs.push(irq);
+        }
 
         // ----- system control -----
-        SysCtrl {
-            clk,
-            rst,
-            regs: sys_regs.clone(),
-            isolate,
-        }
-        .register(&mut sim);
+        fabric::system_control(
+            &mut sim,
+            cr,
+            sys_regs.clone(),
+            isolations.iter().map(|i| i.isolate).collect(),
+        );
 
-        // ----- reconfiguration controller -----
+        // ----- reconfiguration controller (shared by all regions) -----
         let icap_irq = sim.signal_init("irq.icap", 1, 0);
         let icapctrl_port = MasterPort::alloc(&mut sim, "icapctrl.plb");
         let recovery_stats = IcapCtrl::instantiate(
             &mut sim,
             "icapctrl",
-            clk,
-            rst,
+            cr.clk,
+            cr.rst,
             icap_regs.clone(),
             icapctrl_port,
-            icap_port,
+            handles.icap,
             icap_irq,
             f,
             cfg.recovery,
@@ -672,179 +905,154 @@ impl AvSystem {
         // ----- video VIPs -----
         let scene = Scene::new(cfg.width, cfg.height, cfg.scene_objects, cfg.seed);
         let input_frames: Vec<Frame> = (0..cfg.n_frames).map(|t| scene.frame(t)).collect();
-        let vin_irq = sim.signal_init("irq.videoin", 1, 0);
-        let vout_irq = sim.signal_init("irq.videoout", 1, 0);
-        let vin_port = MasterPort::alloc(&mut sim, "videoin.plb");
-        let vout_port = MasterPort::alloc(&mut sim, "videoout.plb");
-        VideoInVip::instantiate(
+        let video = fabric::video_subsystem(
             &mut sim,
-            "videoin",
-            clk,
-            rst,
+            cr,
             vin_regs.clone(),
-            vin_port,
-            vin_irq,
-            input_frames.clone(),
-            f.has(Bug::Hw3VideoInShortDma),
-        );
-        let (captured, captured_poison) = VideoOutVip::instantiate(
-            &mut sim,
-            "videoout",
-            clk,
-            rst,
             vout_regs.clone(),
-            vout_port,
-            vout_irq,
+            input_frames.clone(),
             cfg.width,
             cfg.height,
+            f.has(Bug::Hw3VideoInShortDma),
         );
 
-        // ----- interrupt controller -----
-        let cpu_irq = sim.signal("irq.cpu", 1);
-        IntController::instantiate_with(
+        // ----- interrupt fabric -----
+        // Line order fixes the status bits the software sees: the legacy
+        // four first, extra regions' engine lines appended.
+        let mut irq_lines = vec![video.vin_irq, eng_irqs[0], icap_irq, video.vout_irq];
+        irq_lines.extend(eng_irqs.iter().skip(1).copied());
+        let cpu_irq = fabric::interrupt_fabric(
             &mut sim,
-            "intc",
-            clk,
-            rst,
-            vec![vin_irq, eng_irq, icap_irq, vout_irq],
-            cpu_irq,
+            cr,
+            irq_lines,
             intc_regs.clone(),
-            false,
             f.has(Bug::Hw4IrqPulse),
         );
 
         // ----- DCR daisy chain -----
         // Default order keeps the engine block early; the dpr.2 variant
-        // moves it *last* (nearest the return path) and marks it as
-        // living inside the region, corrupted while the SimB streams.
-        let mut chain = DcrChainBuilder::new(&mut sim, "dcr", clk, rst);
-        let eng_in_rr = f.has(Bug::Dpr2DcrInRr) && cfg.method == SimMethod::Resim;
+        // moves region 0's *last* (nearest the return path) and marks it
+        // as living inside the region, corrupted while the SimB streams.
+        let mut chain = DcrChainBuilder::new(&mut sim, "dcr", cr.clk, cr.rst);
+        let eng_in_rr = f.has(Bug::Dpr2DcrInRr) && backend.models_bitstream();
         if !eng_in_rr {
-            chain.add_slave("eng", eng_regs.clone(), None);
+            chain.add_slave("eng", eng_regs[0].clone(), None);
+        }
+        for (idx, regs) in eng_regs.iter().enumerate().skip(1) {
+            chain.add_slave(&names[idx].eng, regs.clone(), None);
         }
         chain.add_slave("icapctrl", icap_regs.clone(), None);
         chain.add_slave("intc", intc_regs.clone(), None);
         chain.add_slave("sys", sys_regs.clone(), None);
         chain.add_slave("videoin", vin_regs.clone(), None);
         chain.add_slave("videoout", vout_regs.clone(), None);
-        if cfg.method == SimMethod::Vmux {
-            chain.add_slave("signature", sig_regs.clone(), None);
+        if !backend.models_bitstream() {
+            for (idx, regs) in sig_regs.iter().enumerate() {
+                chain.add_slave(&names[idx].sig_slave, regs.clone(), None);
+            }
         }
         if eng_in_rr {
-            chain.add_slave("eng", eng_regs.clone(), Some(icap_port.inject));
+            chain.add_slave("eng", eng_regs[0].clone(), handles.inject);
         }
         let dcr_handle = chain.finish();
 
         // ----- CPU -----
-        let cpu_port = MasterPort::alloc(&mut sim, "cpu.plb");
-        let sw = SwConfig {
-            method: cfg.method,
-            faults: cfg.faults.clone(),
-            width: cfg.width as u32,
-            height: cfg.height as u32,
-            n_frames: cfg.n_frames as u32,
-            in0: layout.in0,
-            cen0: layout.cen0,
-            vecs: layout.vecs,
-            simb_me: layout.simb_me,
-            simb_cie: layout.simb_cie,
-            isr_pad_loops: cfg.isr_pad_loops,
-            fixed_wait_loops: cfg.fixed_wait_loops,
-            recovery: cfg.recovery.enabled,
+        let src = match scenario {
+            Scenario::SingleRegion => software::generate(&SwConfig {
+                method: cfg.method,
+                faults: cfg.faults.clone(),
+                width: cfg.width as u32,
+                height: cfg.height as u32,
+                n_frames: cfg.n_frames as u32,
+                in0: layout.in0,
+                cen0: layout.cen0,
+                vecs: layout.vecs,
+                simb_me: layout.simb_me,
+                simb_cie: layout.simb_cie,
+                isr_pad_loops: cfg.isr_pad_loops,
+                fixed_wait_loops: cfg.fixed_wait_loops,
+                recovery: cfg.recovery.enabled,
+            }),
+            Scenario::SplitPipeline => software::generate_split(&SplitSwConfig {
+                method: cfg.method,
+                width: cfg.width as u32,
+                height: cfg.height as u32,
+                n_frames: cfg.n_frames as u32,
+                in0: layout.in0,
+                cen0: layout.cen0,
+                vecs: layout.vecs,
+                simb_me: layout.simb_me,
+                simb_cie: layout.simb_cie,
+                isr_pad_loops: cfg.isr_pad_loops,
+            }),
         };
-        let src = software::generate(&sw);
-        let program = ppc::assemble(&src, 0x1000).expect("system software must assemble");
-        mem.load_bytes(program.base, &program.to_bytes());
-        let isr = program.symbol("isr");
-        mem.write_u32(
-            0x500,
-            ppc::Instr::B {
-                target: (isr as i64 - 0x500) as i32,
-                link: false,
-            }
-            .encode(),
-        );
-        let cpu_stats = PpcIss::instantiate(
-            &mut sim,
-            "ppc_iss",
-            clk,
-            rst,
-            cpu_irq,
-            cpu_port,
-            mem.clone(),
-            dcr_handle,
-            IssConfig {
-                entry: 0x1000,
-                vector_base: 0,
-                trace_depth: 0,
-            },
-        );
+        let cpu = fabric::cpu_subsystem(&mut sim, cr, cpu_irq, &main_mem.mem, dcr_handle, &src);
 
         // ----- bitstream "flash": SimBs in main memory -----
-        let make_simb = |kind, seed| {
-            if cfg.recovery.enabled {
-                build_simb_integrity(kind, RR_ID, cfg.payload_words, seed)
+        for slot in &layout.simbs {
+            let seed = cfg.seed
+                ^ match slot.kind {
+                    EngineKind::Matching => 0x4D45,
+                    EngineKind::Census => 0x0C1E,
+                };
+            let simb_kind = SimbKind::Config {
+                module: slot.module,
+            };
+            let words = if cfg.recovery.enabled {
+                build_simb_integrity(simb_kind, slot.rr_id, cfg.payload_words, seed)
             } else {
-                build_simb(kind, RR_ID, cfg.payload_words, seed)
-            }
-        };
-        mem.load_words(
-            layout.simb_me.0,
-            &make_simb(SimbKind::Config { module: MODULE_ME }, cfg.seed ^ 0x4D45),
-        );
-        mem.load_words(
-            layout.simb_cie.0,
-            &make_simb(SimbKind::Config { module: MODULE_CIE }, cfg.seed ^ 0x0C1E),
-        );
+                build_simb(simb_kind, slot.rr_id, cfg.payload_words, seed)
+            };
+            main_mem.mem.load_words(slot.addr, &words);
+        }
 
         // ----- the shared PLB -----
-        // Priority: video-in, video-out, engine region, IcapCTRL, CPU.
-        let masters = vec![vin_port, vout_port, iso_port, icapctrl_port, cpu_port];
-        let named: Vec<(String, MasterPort)> = [
-            ("videoin", vin_port),
-            ("videoout", vout_port),
-            ("engine_rr", iso_port),
-            ("icapctrl", icapctrl_port),
-            ("cpu", cpu_port),
-        ]
-        .into_iter()
-        .map(|(n, p)| (n.to_string(), p))
-        .collect();
-        let bus_monitor = PlbMonitor::instantiate(&mut sim, "plb_monitor", clk, rst, named);
-        PlbBus::new(
-            &mut sim,
-            "plb",
-            clk,
-            rst,
-            PlbBusConfig::default(),
-            masters,
-            vec![(
-                mem_port,
-                AddressWindow {
-                    base: 0,
-                    len: layout.mem_bytes as u32,
-                },
-            )],
-        );
+        // Priority: video-in, video-out, engine regions, IcapCTRL, CPU.
+        let mut masters: Vec<(String, MasterPort)> = vec![
+            ("videoin".to_string(), video.vin_port),
+            ("videoout".to_string(), video.vout_port),
+        ];
+        for (nm, iso) in names.iter().zip(&isolations) {
+            masters.push((nm.bus_label.clone(), iso.port));
+        }
+        masters.push(("icapctrl".to_string(), icapctrl_port));
+        masters.push(("cpu".to_string(), cpu.port));
+        let bus_monitor =
+            fabric::shared_bus(&mut sim, cr, masters, main_mem.port, layout.mem_bytes);
 
         let probes = SystemProbes {
-            cie_busy: cie_if.busy,
-            me_busy: me_if.busy,
-            reconfiguring: icap_stats.as_ref().map(|_| icap_port.reconfiguring),
-            inject: icap_stats.as_ref().map(|_| icap_port.inject),
-            isolate,
+            cie_busy: clusters
+                .iter()
+                .find_map(|c| c.census_busy)
+                .expect("every supported topology has a census engine"),
+            me_busy: clusters
+                .iter()
+                .find_map(|c| c.matching_busy)
+                .expect("every supported topology has a matching engine"),
+            reconfiguring: handles.reconfiguring,
+            inject: handles.inject,
+            isolate: isolations[0].isolate,
+            regions: isolations
+                .iter()
+                .map(|i| RegionProbes {
+                    isolate: i.isolate,
+                    busy: i.busy,
+                    done: i.done,
+                })
+                .collect(),
         };
         AvSystem {
             sim,
-            mem,
-            captured,
-            captured_poison,
-            cpu: cpu_stats,
-            icap: icap_stats,
-            portal: portal_stats,
+            mem: main_mem.mem,
+            captured: video.captured,
+            captured_poison: video.captured_poison,
+            cpu: cpu.stats,
+            icap: handles.icap_stats,
+            portal: handles.portals.first().cloned(),
+            portals: handles.portals,
             bus_monitor,
-            mem_faults,
-            icap_faults,
+            mem_faults: main_mem.faults,
+            icap_faults: handles.icap_faults,
             recovery: recovery_stats,
             input_frames,
             config: cfg,
@@ -890,22 +1098,17 @@ impl AvSystem {
     /// Golden prediction of the displayed frames, replicating the
     /// hardware pipeline's buffer semantics (census ping-pong, matching
     /// against the previous census buffer, software vector markers).
+    /// Both scenarios implement the same pipeline, so the prediction is
+    /// topology-independent.
     pub fn golden_output(&self) -> Vec<Frame> {
         golden_output(&self.input_frames, self.config.width, self.config.height)
-    }
-}
-
-impl SysCtrl {
-    fn register(self, sim: &mut Simulator) {
-        let sens = [self.clk, self.rst];
-        sim.add_component("sysctrl", CompKind::UserStatic, Box::new(self), &sens);
     }
 }
 
 /// Pipeline-exact golden model of the displayed output frames.
 pub fn golden_output(inputs: &[Frame], width: usize, height: usize) -> Vec<Frame> {
     let mut census_bufs = [Frame::new(width, height), Frame::new(width, height)];
-    let params = MatchParams::default();
+    let params = video::MatchParams::default();
     let mut out = Vec::with_capacity(inputs.len());
     for (t, input) in inputs.iter().enumerate() {
         let cur = t & 1;
@@ -964,6 +1167,26 @@ mod tests {
                 assert_eq!(base & 0xFFF, 0, "{base:#x} unaligned");
             }
         }
+    }
+
+    #[test]
+    fn split_layout_matches_single_region_addresses() {
+        let single = MemLayout::for_config(&SystemConfig::default());
+        let split = MemLayout::for_config(&SystemConfig {
+            regions: SystemConfig::split_regions(),
+            ..Default::default()
+        });
+        // Same two images at the same addresses — only the ME image's
+        // target region differs.
+        assert_eq!(single.simb_me, split.simb_me);
+        assert_eq!(single.simb_cie, split.simb_cie);
+        assert_eq!(split.simbs.len(), 2);
+        assert_eq!(split.simbs[0].rr_id, RR_ID_B);
+        assert_eq!(split.simbs[0].module, MODULE_ME);
+        assert_eq!(split.simbs[1].rr_id, RR_ID);
+        assert_eq!(split.simbs[1].module, MODULE_CIE);
+        assert_eq!(single.simbs[0].rr_id, RR_ID);
+        assert_eq!(single.simbs[1].rr_id, RR_ID);
     }
 
     #[test]

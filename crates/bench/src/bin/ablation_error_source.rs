@@ -6,38 +6,29 @@
 //! three policies and shows that the optimistic "silent" policy — which
 //! is effectively what Virtual Multiplexing does — cannot detect it.
 
-use autovision::{Bug, ErrorSourceKind, FaultSet, SimMethod, SystemConfig};
+use autovision::{Bug, ErrorSourceKind, FaultSet};
+use bench::harness;
 use verif::run_experiment;
 
 fn main() {
     println!("Error-source ablation on bug.dpr.1 (isolation never asserted)\n");
     println!("{:<10} {:>10}  evidence", "policy", "detected");
-    println!("{}", "-".repeat(72));
+    println!("{}", harness::rule(72));
     for (name, kind) in [
         ("X", ErrorSourceKind::X),
         ("random", ErrorSourceKind::Random),
         ("silent", ErrorSourceKind::Silent),
     ] {
-        let cfg = SystemConfig::builder()
-            .method(SimMethod::Resim)
+        let cfg = harness::experiment(256)
             .faults(FaultSet::one(Bug::Dpr1NoIsolation))
-            .width(32)
-            .height(24)
-            .n_frames(2)
-            .payload_words(256)
             .error_source(kind)
             .build()
             .expect("ablation config is valid");
         let v = run_experiment(cfg, 1_000_000);
-        let ev = v
-            .evidence
-            .first()
-            .map(|e| format!("{e:?}"))
-            .unwrap_or_else(|| "-".to_string());
         println!(
             "{name:<10} {:>10}  {}",
             if v.detected { "FOUND" } else { "missed" },
-            ev
+            harness::evidence(&v, "-")
         );
     }
     println!();

@@ -12,8 +12,8 @@
 //! the buggy fixed wait elapses and *mask* the bug, exactly the
 //! accuracy-for-speed trade the paper describes.
 
-use autovision::{AvSystem, Bug, FaultSet, SimMethod, SystemConfig};
-use std::time::Instant;
+use autovision::{AvSystem, Bug, FaultSet, SystemConfig};
+use bench::harness;
 use verif::run_experiment;
 
 fn main() {
@@ -22,23 +22,16 @@ fn main() {
         "{:>10} {:>16} {:>12} {:>14}",
         "payload", "DPR delay (us)", "wall (s)", "dpr.6a found?"
     );
-    println!("{}", "-".repeat(58));
+    println!("{}", harness::rule(58));
     for payload in [64usize, 128, 256, 1024, 4096, 16384] {
-        let base = SystemConfig::builder()
-            .method(SimMethod::Resim)
-            .width(32)
-            .height(24)
-            .n_frames(2)
-            .payload_words(payload)
+        let base = harness::experiment(payload)
             .build()
             .expect("ablation config is valid");
         // Measure reconfiguration delay on the clean design.
         let mut sys = AvSystem::build(base.clone());
         let dpr =
             verif::probe_high_time(&mut sys.sim, "probe.dpr", sys.probes.reconfiguring.unwrap());
-        let t0 = Instant::now();
-        let out = sys.run(30_000_000);
-        let wall = t0.elapsed().as_secs_f64();
+        let (out, wall) = harness::timed(|| sys.run(30_000_000));
         assert!(!out.hung, "clean run hung at payload {payload}");
         let pulses = dpr.borrow().pulses.max(1);
         let us_per_dpr = dpr.borrow().total_ps as f64 / pulses as f64 / 1e6;

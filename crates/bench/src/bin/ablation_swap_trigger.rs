@@ -7,18 +7,14 @@
 //! with the swap moved to the *first* payload word (the optimistic model
 //! of earlier DPR simulators) and shows the detection evidence weaken.
 
-use autovision::{Bug, FaultSet, SimMethod, SystemConfig};
+use autovision::{Bug, FaultSet};
+use bench::harness;
 use resim::SwapTrigger;
 use verif::run_experiment;
 
 fn run(trigger: SwapTrigger, optimistic: bool, bug: Option<Bug>) -> verif::Verdict {
-    let cfg = SystemConfig::builder()
-        .method(SimMethod::Resim)
+    let cfg = harness::experiment(1024)
         .faults(bug.map(FaultSet::one).unwrap_or_default())
-        .width(32)
-        .height(24)
-        .n_frames(2)
-        .payload_words(1024)
         .swap_trigger(trigger)
         .optimistic_region(optimistic)
         .error_source(if optimistic {
@@ -61,11 +57,7 @@ fn main() {
             "  bug.dpr.6b   : frames={} detected={} evidence={}",
             buggy.frames,
             buggy.detected,
-            buggy
-                .evidence
-                .first()
-                .map(|e| format!("{e:?}"))
-                .unwrap_or_default()
+            harness::evidence(&buggy, "")
         );
         println!();
     }

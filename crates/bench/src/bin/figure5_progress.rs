@@ -7,12 +7,11 @@
 //! that phase, so the detections plotted per week come from real
 //! simulations of this repository.
 
+use bench::harness;
 use verif::{build_timeline, render_timeline, run_matrix, MatrixConfig};
 
 fn main() {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let threads = harness::threads();
     println!("Figure 5 — development workload and bugs detected\n");
     let rows = run_matrix(&MatrixConfig::default(), threads);
     let weeks = build_timeline(&rows);

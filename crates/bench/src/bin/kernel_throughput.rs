@@ -18,8 +18,8 @@
 //! same process; only the *ratio* kernel-throughput / calibration-speed
 //! is compared across runs.
 
-use autovision::{AvSystem, SystemConfig};
-use bench::{paper_scale_config, small_config};
+use autovision::SystemConfig;
+use bench::{harness, paper_scale_config, small_config};
 use std::time::Instant;
 
 const BASELINE_PATH: &str = "BENCH_kernel.json";
@@ -46,12 +46,7 @@ impl Measurement {
 }
 
 fn measure(cfg: SystemConfig, budget_cycles: u64) -> Measurement {
-    let mut sys = AvSystem::build(cfg);
-    let t0 = Instant::now();
-    let outcome = sys.run(budget_cycles);
-    let wall_s = t0.elapsed().as_secs_f64();
-    assert!(!outcome.hung, "benchmark run hung");
-    assert!(outcome.kernel_error.is_none(), "kernel error during bench");
+    let (sys, outcome, wall_s) = harness::run_built(cfg, budget_cycles);
     let stats = sys.sim.stats();
     Measurement {
         wall_s,
@@ -265,8 +260,7 @@ fn run_smoke() -> i32 {
 }
 
 fn main() {
-    let smoke = std::env::args().skip(1).any(|a| a == "--smoke");
-    if smoke {
+    if harness::has_flag("--smoke") {
         std::process::exit(run_smoke());
     }
     run_full();

@@ -8,7 +8,7 @@
 //! breakdown for our artifacts.
 
 use autovision::AvSystem;
-use bench::paper_scale_config;
+use bench::{harness, paper_scale_config};
 use rtlsim::CompKind;
 
 /// One measured repetition: (mux fraction, other-artifact fraction,
@@ -37,10 +37,7 @@ fn measure() -> (f64, f64, f64, f64, Vec<rtlsim::profile::ProfileRow>) {
     (mux, other, user, vip, rows)
 }
 
-fn median(mut v: Vec<f64>) -> f64 {
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    v[v.len() / 2]
-}
+use harness::median;
 
 fn main() {
     let cfg = paper_scale_config();
@@ -56,7 +53,7 @@ fn main() {
     let rows = runs.into_iter().last().unwrap().4;
 
     println!("{:<44} {:>10} {:>12}", "component class", "here", "paper");
-    println!("{}", "-".repeat(70));
+    println!("{}", harness::rule(70));
     println!(
         "{:<44} {:>9.2}% {:>12}",
         "Engine_wrapper multiplexer (region mux)",

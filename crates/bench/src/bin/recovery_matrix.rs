@@ -9,17 +9,13 @@
 //! design shrugs off, which corrupt frames or hang the pipeline, and
 //! the retry/latency cost of recovering all of them.
 
+use bench::harness;
 use verif::{render_campaign, run_campaign, summarize, CampaignConfig};
 
 fn main() {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let threads = harness::threads();
     let mut cc = CampaignConfig::default();
-    if let Some(runs) = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse::<usize>().ok())
-    {
+    if let Some(runs) = harness::parse_arg::<usize>(1) {
         cc.runs = runs;
     }
     println!(

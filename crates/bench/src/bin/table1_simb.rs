@@ -4,13 +4,14 @@
 //! into reconfigurable region id=0x01 with a 4-word random payload,
 //! with the per-word interpretation produced by the actual ICAP parser.
 
+use bench::harness;
 use resim::{annotate_simb, build_simb, SimbKind};
 
 fn main() {
     println!("Table I — An example SimB for configuring a new module");
     println!("(module id=0x02 into region id=0x01, 4 payload words)\n");
     println!("{:<12} Explanation / actions taken", "SimB");
-    println!("{}", "-".repeat(76));
+    println!("{}", harness::rule(76));
     let simb = build_simb(SimbKind::Config { module: 0x02 }, 0x01, 4, 2013);
     for (word, label) in annotate_simb(&simb) {
         println!("{word:#010X}   {label}");

@@ -6,12 +6,11 @@
 //! expectation (DPR bugs ReSim-only, the signature false alarm
 //! VMUX-only, static/software bugs found by both).
 
+use bench::harness;
 use verif::{render_matrix, run_matrix, MatrixConfig};
 
 fn main() {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let threads = harness::threads();
     let mc = MatrixConfig::default();
     println!(
         "Table III — bug detection matrix ({}x{}, {} frames, SimB payload {} words, {} threads)\n",

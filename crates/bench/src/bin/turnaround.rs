@@ -5,9 +5,7 @@
 //! within 2-4 simulated frames) against the paper's 52-minute
 //! implementation+bitstream iteration for ChipScope on-chip debugging.
 
-use autovision::AvSystem;
-use bench::paper_scale_config;
-use std::time::Instant;
+use bench::{harness, paper_scale_config};
 use verif::{compare, FRAMES_TO_DETECT, ONCHIP_ITERATION_MIN};
 
 fn main() {
@@ -15,11 +13,8 @@ fn main() {
     let mut cfg = paper_scale_config();
     cfg.n_frames = 2;
     let frames = cfg.n_frames as f64;
-    let mut sys = AvSystem::build(cfg);
-    let t0 = Instant::now();
-    let outcome = sys.run(40_000_000);
-    assert!(!outcome.hung);
-    let sec_per_frame = t0.elapsed().as_secs_f64() / frames;
+    let (_sys, _outcome, wall_s) = harness::run_built(cfg, 40_000_000);
+    let sec_per_frame = wall_s / frames;
 
     let t = compare(sec_per_frame, FRAMES_TO_DETECT);
     println!(

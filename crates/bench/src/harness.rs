@@ -1,0 +1,119 @@
+//! Shared plumbing for the experiment binaries.
+//!
+//! Every bin in `src/bin/` used to open with the same boilerplate: an
+//! `available_parallelism` lookup, a hand-rolled argv scan, the
+//! 32×24/two-frame experiment configuration spelled out field by field,
+//! `Instant` bracketing, and the first-evidence `Debug` formatting.
+//! This module is that boilerplate, written once. The helpers are
+//! deliberately thin — the point is that the bins stay small enough to
+//! read as experiment descriptions, not that this becomes a framework.
+
+use autovision::{AvSystem, RunOutcome, SimMethod, SystemConfig, SystemConfigBuilder};
+use std::time::Instant;
+use verif::Verdict;
+
+/// Worker threads for the fan-out harnesses: one per hardware thread,
+/// falling back to serial when the host will not say.
+pub fn threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The base configuration the ablations and matrices start from: the
+/// small 32×24 two-frame ReSim system with a `payload_words`-word SimB.
+/// Callers chain further knobs onto the returned builder.
+pub fn experiment(payload_words: usize) -> SystemConfigBuilder {
+    SystemConfig::builder()
+        .method(SimMethod::Resim)
+        .width(32)
+        .height(24)
+        .n_frames(2)
+        .payload_words(payload_words)
+}
+
+/// `true` when `flag` appears among the command-line arguments.
+pub fn has_flag(flag: &str) -> bool {
+    std::env::args().skip(1).any(|a| a == flag)
+}
+
+/// Positional command-line argument `n` (1-based, as in `args().nth`),
+/// parsed; `None` when absent or unparsable.
+pub fn parse_arg<T: std::str::FromStr>(n: usize) -> Option<T> {
+    std::env::args().nth(n).and_then(|a| a.parse().ok())
+}
+
+/// Run a closure, returning its result and the wall-clock seconds it
+/// took.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+/// Build a system and run it to completion, panicking on a hang or a
+/// kernel error; returns the system (for post-run statistics), the
+/// outcome, and the run's wall-clock seconds (build time excluded).
+pub fn run_built(cfg: SystemConfig, budget_cycles: u64) -> (AvSystem, RunOutcome, f64) {
+    let mut sys = AvSystem::build(cfg);
+    let (outcome, wall_s) = timed(|| sys.run(budget_cycles));
+    assert!(
+        !outcome.hung,
+        "run hung after {} cycles: {:?}",
+        outcome.cycles,
+        sys.sim.messages()
+    );
+    assert!(
+        outcome.kernel_error.is_none(),
+        "kernel error during run: {:?}",
+        outcome.kernel_error
+    );
+    (sys, outcome, wall_s)
+}
+
+/// The first piece of evidence a verdict carries, `Debug`-formatted;
+/// `fallback` when the run was silent.
+pub fn evidence(v: &Verdict, fallback: &str) -> String {
+    v.evidence
+        .first()
+        .map(|e| format!("{e:?}"))
+        .unwrap_or_else(|| fallback.to_string())
+}
+
+/// A horizontal table rule, `width` columns wide.
+pub fn rule(width: usize) -> String {
+    "-".repeat(width)
+}
+
+/// Median of an f64 sample (upper median for even lengths — matches a
+/// `len/2` index into the sorted sample).
+pub fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[v.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_builder_produces_the_matrix_base() {
+        let cfg = experiment(256).build().unwrap();
+        assert_eq!(
+            (cfg.width, cfg.height, cfg.n_frames, cfg.payload_words),
+            (32, 24, 2, 256)
+        );
+        assert_eq!(cfg.method, SimMethod::Resim);
+    }
+
+    #[test]
+    fn median_takes_the_middle_sample() {
+        assert_eq!(median(vec![3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(vec![4.0, 1.0]), 4.0);
+    }
+
+    #[test]
+    fn rule_is_a_dash_run() {
+        assert_eq!(rule(4), "----");
+    }
+}

@@ -12,10 +12,15 @@
 //! | `turnaround` | §V-B — debug-turnaround comparison |
 //! | `ablation_simb_len` | §IV-B — SimB length accuracy/turnaround trade-off |
 //! | `ablation_error_source` | error-injection policy ablation |
+//! | `two_region_pipeline` | two-region split pipeline, per-region DPR statistics |
 //!
 //! plus Criterion micro-benchmarks (`cargo bench`) for the SimB codec,
 //! the simulation kernel, the golden video models and a full-system
-//! frame.
+//! frame. The boilerplate the bins share (thread counts, argv, the
+//! small experiment configuration, timing, evidence formatting) lives
+//! in [`harness`].
+
+pub mod harness;
 
 use autovision::{SimMethod, SystemConfig};
 

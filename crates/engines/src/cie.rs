@@ -265,7 +265,14 @@ impl Component for CensusEngine {
                 // Datapath activity: these toggles are what make the CIE
                 // "hotter" per simulated ms than the ME.
                 ctx.set_u64(self.sig_px, self.rows[1][x.min(w) - 1] as u64);
-                ctx.set_u64(self.sig_out, *self.out_row.last().unwrap() as u64);
+                ctx.set_u64(
+                    self.sig_out,
+                    *self
+                        .out_row
+                        .last()
+                        .expect("a compute step emits at least one census signature")
+                        as u64,
+                );
                 ctx.set_u64(self.sig_acc, acc as u64);
                 if x >= w {
                     // Row finished: write it out.

@@ -93,8 +93,14 @@ impl MatchingEngine {
     }
 
     fn search_anchor(&self, x: usize, y: usize) -> MotionVector {
-        let prev = self.prev.as_ref().unwrap();
-        let curr = self.curr.as_ref().unwrap();
+        let prev = self
+            .prev
+            .as_ref()
+            .expect("search runs only after the DMA latched the previous frame");
+        let curr = self
+            .curr
+            .as_ref()
+            .expect("search runs only after the DMA latched the current frame");
         let r = self.params.search_radius as isize;
         let mut best = (0isize, 0isize, u32::MAX);
         for dy in -r..=r {

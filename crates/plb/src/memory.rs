@@ -61,7 +61,10 @@ impl SharedMem {
         if inner.poison[a / 4] {
             return None;
         }
-        Some(u32::from_le_bytes(inner.data[a..a + 4].try_into().unwrap()))
+        let bytes = inner.data[a..a + 4]
+            .try_into()
+            .expect("range-checked 4-byte slice");
+        Some(u32::from_le_bytes(bytes))
     }
 
     /// Write a little-endian 32-bit word and clear its poison flag.

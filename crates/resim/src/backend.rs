@@ -1,0 +1,404 @@
+//! Reconfiguration backends: one trait, two simulation methods.
+//!
+//! A *backend* owns everything method-specific about module swapping —
+//! the ICAP artifact, per-region portals and error injection for ReSim;
+//! the signature-register wrapper for Virtual Multiplexing — behind a
+//! single instantiate/stats/probe interface. The platform (clocking,
+//! bus, isolation, controllers, software) is built once; which backend
+//! populates the reconfigurable regions is a constructor argument, not
+//! control flow scattered through the system assembly.
+//!
+//! Every backend consumes the same [`RegionPlan`] list, so a system
+//! generalises from one region to N without either backend knowing how
+//! many regions exist ahead of time: ReSim routes SimBs to regions by
+//! the FAR's region ID through one shared ICAP; VMUX gives each region
+//! its own `engine_signature` register.
+
+use crate::icap::{IcapArtifact, IcapConfig, IcapFaultHandle, IcapPort, IcapStats};
+use crate::portal::{instantiate_region_with, ErrorSource, PortalStats, RegionOptions, RrBoundary};
+use crate::vmux::{instantiate_vmux, VmuxConfig};
+use dcr::RegFile;
+use engines::EngineIf;
+use rtlsim::{SignalId, Simulator};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Everything a backend needs to know about one reconfigurable region.
+pub struct RegionPlan {
+    /// Region ID carried in SimB frame addresses (ReSim routing key).
+    pub rr_id: u8,
+    /// Instance-name prefix for the region's swap machinery.
+    pub name: String,
+    /// Candidate modules: SimB module ID paired with the module's
+    /// boundary interface. Under VMUX the module ID doubles as the
+    /// signature value.
+    pub modules: Vec<(u8, EngineIf)>,
+    /// The region's output boundary (muxed from the active module).
+    pub boundary: RrBoundary,
+    /// Module present in the initial (full) configuration.
+    pub initial: Option<u8>,
+}
+
+/// Handles a backend returns: the configuration port the IcapCTRL
+/// drives, plus whatever statistics and probe signals the method
+/// actually models (`None`/empty where it models nothing — VMUX has no
+/// bitstream traffic, so no ICAP stats, no portals, no injection
+/// window).
+pub struct BackendHandles {
+    /// Configuration port wired to the reconfiguration controller.
+    /// Inert (always ready, never strobing) under VMUX.
+    pub icap: IcapPort,
+    /// ICAP artifact counters (ReSim only).
+    pub icap_stats: Option<Rc<RefCell<IcapStats>>>,
+    /// ICAP transient-fault injection handle (ReSim only).
+    pub icap_faults: Option<IcapFaultHandle>,
+    /// Per-region portal statistics, in [`RegionPlan`] order (ReSim
+    /// only; empty under VMUX).
+    pub portals: Vec<Rc<RefCell<PortalStats>>>,
+    /// High while a reconfiguration is in flight (ReSim only).
+    pub reconfiguring: Option<SignalId>,
+    /// High while the SimB payload streams and region outputs carry the
+    /// error source (ReSim only).
+    pub inject: Option<SignalId>,
+}
+
+/// A DPR simulation method, as a swappable component supplier.
+///
+/// `instantiate` is called exactly once, after the module interfaces and
+/// region boundaries exist but before the isolation/controller layers
+/// that only need the returned handles.
+pub trait ReconfigBackend {
+    /// Stable lowercase name ("resim" / "vmux") for labels and reports.
+    fn method_name(&self) -> &'static str;
+
+    /// True when the backend models the configuration bitstream itself:
+    /// DMA traffic on the system bus, error injection while the payload
+    /// streams, swap timing tied to the transfer. Capability checks
+    /// (e.g. "does bug dpr.2's corruption path exist in this build?")
+    /// should ask this, not compare method enums.
+    fn models_bitstream(&self) -> bool;
+
+    /// Build the swap machinery for every region and return the shared
+    /// handles.
+    fn instantiate(
+        &mut self,
+        sim: &mut Simulator,
+        clk: SignalId,
+        rst: SignalId,
+        regions: Vec<RegionPlan>,
+    ) -> BackendHandles;
+}
+
+/// Factory for per-region error sources. Each region needs its own boxed
+/// source (sources are stateful), keyed by the region's ID.
+pub type ErrorSourceFactory = Box<dyn FnMut(u8) -> Box<dyn ErrorSource>>;
+
+/// The ReSim method: one shared ICAP artifact feeding per-region
+/// extended portals, with error injection during payload streaming.
+pub struct ResimBackend {
+    icap_name: String,
+    config: IcapConfig,
+    options: RegionOptions,
+    source_factory: ErrorSourceFactory,
+}
+
+impl ResimBackend {
+    /// A backend instantiating the ICAP artifact under `icap_name` with
+    /// `config`, and one portal+mux per region with `options` and an
+    /// error source from `source_factory`.
+    pub fn new(
+        icap_name: impl Into<String>,
+        config: IcapConfig,
+        options: RegionOptions,
+        source_factory: ErrorSourceFactory,
+    ) -> ResimBackend {
+        ResimBackend {
+            icap_name: icap_name.into(),
+            config,
+            options,
+            source_factory,
+        }
+    }
+}
+
+impl ReconfigBackend for ResimBackend {
+    fn method_name(&self) -> &'static str {
+        "resim"
+    }
+
+    fn models_bitstream(&self) -> bool {
+        true
+    }
+
+    fn instantiate(
+        &mut self,
+        sim: &mut Simulator,
+        clk: SignalId,
+        rst: SignalId,
+        regions: Vec<RegionPlan>,
+    ) -> BackendHandles {
+        let (icap, icap_stats, icap_faults) =
+            IcapArtifact::instantiate_faulty(sim, &self.icap_name, clk, rst, self.config);
+        let mut portals = Vec::with_capacity(regions.len());
+        for r in regions {
+            let source = (self.source_factory)(r.rr_id);
+            portals.push(instantiate_region_with(
+                sim,
+                &r.name,
+                clk,
+                rst,
+                r.rr_id,
+                icap,
+                r.modules,
+                r.boundary,
+                r.initial,
+                source,
+                self.options,
+            ));
+        }
+        BackendHandles {
+            icap,
+            icap_stats: Some(icap_stats),
+            icap_faults: Some(icap_faults),
+            portals,
+            reconfiguring: Some(icap.reconfiguring),
+            inject: Some(icap.inject),
+        }
+    }
+}
+
+/// Per-region configuration of the VMUX backend.
+pub struct VmuxRegion {
+    /// Instance-name prefix of the wrapper.
+    pub name: String,
+    /// The region's simulation-only `engine_signature` DCR register.
+    pub regs: RegFile,
+    /// Reset behaviour of the signature register.
+    pub config: VmuxConfig,
+}
+
+/// The Virtual Multiplexing baseline: per-region signature registers,
+/// zero-delay swaps, no bitstream and no error injection. The ICAP port
+/// it returns is inert (always ready) so the unchanged IcapCTRL can be
+/// instantiated against it.
+pub struct VmuxBackend {
+    icap_name: String,
+    regions: Vec<VmuxRegion>,
+}
+
+impl VmuxBackend {
+    /// A backend allocating the inert ICAP port under `icap_name` and
+    /// one signature-register wrapper per [`VmuxRegion`]. `regions` must
+    /// pair up one-to-one with the [`RegionPlan`] list later passed to
+    /// [`ReconfigBackend::instantiate`].
+    pub fn new(icap_name: impl Into<String>, regions: Vec<VmuxRegion>) -> VmuxBackend {
+        VmuxBackend {
+            icap_name: icap_name.into(),
+            regions,
+        }
+    }
+}
+
+impl ReconfigBackend for VmuxBackend {
+    fn method_name(&self) -> &'static str {
+        "vmux"
+    }
+
+    fn models_bitstream(&self) -> bool {
+        false
+    }
+
+    fn instantiate(
+        &mut self,
+        sim: &mut Simulator,
+        clk: SignalId,
+        rst: SignalId,
+        regions: Vec<RegionPlan>,
+    ) -> BackendHandles {
+        assert_eq!(
+            regions.len(),
+            self.regions.len(),
+            "VmuxBackend configured for {} regions, asked to instantiate {}",
+            self.regions.len(),
+            regions.len()
+        );
+        let icap = IcapPort::alloc(sim, &self.icap_name);
+        sim.poke_u64(icap.ready, 1);
+        for (plan, vr) in regions.into_iter().zip(&self.regions) {
+            let modules: Vec<(u32, EngineIf)> = plan
+                .modules
+                .into_iter()
+                .map(|(id, e)| (id as u32, e))
+                .collect();
+            instantiate_vmux(
+                sim,
+                &vr.name,
+                clk,
+                rst,
+                vr.regs.clone(),
+                modules,
+                plan.boundary,
+                vr.config,
+            );
+        }
+        BackendHandles {
+            icap,
+            icap_stats: None,
+            icap_faults: None,
+            portals: Vec::new(),
+            reconfiguring: None,
+            inject: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::portal::XSource;
+    use crate::simb::{build_simb, SimbKind};
+    use engines::EngineParamSignals;
+    use rtlsim::{Clock, CompKind, Ctx, ResetGen};
+
+    const PERIOD: u64 = 10_000;
+
+    fn dummy(sim: &mut Simulator, name: &str, io: EngineIf, id: u64) {
+        let clk = io.clk;
+        sim.add_component(
+            name,
+            CompKind::UserReconf,
+            Box::new(move |ctx: &mut Ctx<'_>| {
+                if ctx.rose(clk) {
+                    let sel = ctx.is_high(io.sel);
+                    ctx.set_u64(io.plb.wdata, if sel { id } else { 0 });
+                }
+            }),
+            &[clk],
+        );
+    }
+
+    fn tb() -> (
+        Simulator,
+        SignalId,
+        SignalId,
+        Vec<RegionPlan>,
+        Vec<RrBoundary>,
+    ) {
+        let mut sim = Simulator::new();
+        let clk = sim.signal("clk", 1);
+        let rst = sim.signal("rst", 1);
+        sim.add_component("clk", CompKind::Vip, Box::new(Clock::new(clk, PERIOD)), &[]);
+        sim.add_component(
+            "rst",
+            CompKind::Vip,
+            Box::new(ResetGen::new(rst, 2 * PERIOD)),
+            &[],
+        );
+        let go = sim.signal_init("go", 1, 0);
+        let er = sim.signal_init("er", 1, 0);
+        let params = EngineParamSignals::alloc(&mut sim, "p");
+        let mut plans = Vec::new();
+        let mut boundaries = Vec::new();
+        for (rr, ids) in [(1u8, [0x11u8, 0x12]), (2, [0x21, 0x22])] {
+            let a = EngineIf::alloc(&mut sim, &format!("r{rr}a"), clk, rst, go, er, &params);
+            let b = EngineIf::alloc(&mut sim, &format!("r{rr}b"), clk, rst, go, er, &params);
+            dummy(&mut sim, &format!("r{rr}da"), a, ids[0] as u64);
+            dummy(&mut sim, &format!("r{rr}db"), b, ids[1] as u64);
+            let boundary = RrBoundary::alloc(&mut sim, &format!("rr{rr}"));
+            boundaries.push(boundary);
+            plans.push(RegionPlan {
+                rr_id: rr,
+                name: format!("region{rr}"),
+                modules: vec![(ids[0], a), (ids[1], b)],
+                boundary,
+                initial: Some(ids[0]),
+            });
+        }
+        (sim, clk, rst, plans, boundaries)
+    }
+
+    #[test]
+    fn resim_backend_routes_simbs_per_region() {
+        let (mut sim, clk, rst, plans, boundaries) = tb();
+        let mut backend = ResimBackend::new(
+            "icap",
+            IcapConfig::default(),
+            RegionOptions::default(),
+            Box::new(|_| Box::new(XSource)),
+        );
+        assert!(backend.models_bitstream());
+        let h = backend.instantiate(&mut sim, clk, rst, plans);
+        assert_eq!(h.portals.len(), 2);
+        assert!(h.icap_stats.is_some());
+        sim.run_for(5 * PERIOD).unwrap();
+        assert_eq!(sim.peek_u64(boundaries[0].plb.wdata), Some(0x11));
+        assert_eq!(sim.peek_u64(boundaries[1].plb.wdata), Some(0x21));
+
+        // Reconfigure region 2 only, through the shared ICAP.
+        let simb = build_simb(SimbKind::Config { module: 0x22 }, 2, 32, 5);
+        sim.poke_u64(h.icap.ce, 1);
+        for w in &simb {
+            let mut guard = 0;
+            while sim.peek_u64(h.icap.ready) != Some(1) {
+                sim.poke_u64(h.icap.cwrite, 0);
+                sim.run_for(PERIOD).unwrap();
+                guard += 1;
+                assert!(guard < 10_000);
+            }
+            sim.poke_u64(h.icap.cdata, *w as u64);
+            sim.poke_u64(h.icap.cwrite, 1);
+            sim.run_for(PERIOD).unwrap();
+        }
+        sim.poke_u64(h.icap.cwrite, 0);
+        sim.poke_u64(h.icap.ce, 0);
+        sim.run_for(300 * PERIOD).unwrap();
+        assert_eq!(sim.peek_u64(boundaries[1].plb.wdata), Some(0x22));
+        assert_eq!(sim.peek_u64(boundaries[0].plb.wdata), Some(0x11));
+        assert_eq!(h.portals[0].borrow().swaps, 0);
+        assert_eq!(h.portals[1].borrow().swaps, 1);
+        assert!(!sim.has_errors(), "{:?}", sim.messages());
+    }
+
+    #[test]
+    fn vmux_backend_swaps_by_signature_per_region() {
+        let (mut sim, clk, rst, plans, boundaries) = tb();
+        let sig1 = RegFile::new(0x1F0, 1);
+        let sig2 = RegFile::new(0x1F1, 1);
+        let mut backend = VmuxBackend::new(
+            "icap_unused",
+            vec![
+                VmuxRegion {
+                    name: "vm1".into(),
+                    regs: sig1.clone(),
+                    config: VmuxConfig {
+                        reset_signature: Some(0x11),
+                    },
+                },
+                VmuxRegion {
+                    name: "vm2".into(),
+                    regs: sig2.clone(),
+                    config: VmuxConfig {
+                        reset_signature: Some(0x21),
+                    },
+                },
+            ],
+        );
+        assert!(!backend.models_bitstream());
+        let h = backend.instantiate(&mut sim, clk, rst, plans);
+        assert!(h.portals.is_empty());
+        assert!(h.icap_stats.is_none());
+        sim.run_for(5 * PERIOD).unwrap();
+        assert_eq!(sim.peek_u64(boundaries[0].plb.wdata), Some(0x11));
+        assert_eq!(sim.peek_u64(boundaries[1].plb.wdata), Some(0x21));
+        // The inert ICAP port stays ready without ever strobing.
+        assert_eq!(sim.peek_u64(h.icap.ready), Some(1));
+
+        // Swap region 2 by writing its signature register; region 1 is
+        // untouched.
+        sig2.bus_write(0x1F1, 0x22);
+        sim.run_for(3 * PERIOD).unwrap();
+        assert_eq!(sim.peek_u64(boundaries[1].plb.wdata), Some(0x22));
+        assert_eq!(sim.peek_u64(boundaries[0].plb.wdata), Some(0x11));
+        assert!(!sim.has_errors(), "{:?}", sim.messages());
+    }
+}

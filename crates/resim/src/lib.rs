@@ -28,10 +28,16 @@
 //! swaps modules by software writes to a simulation-only
 //! `engine_signature` register, with zero delay and no error injection.
 
+pub mod backend;
 pub mod icap;
 pub mod portal;
 pub mod simb;
 pub mod vmux;
+
+pub use backend::{
+    BackendHandles, ErrorSourceFactory, ReconfigBackend, RegionPlan, ResimBackend, VmuxBackend,
+    VmuxRegion,
+};
 
 pub use icap::{
     IcapArtifact, IcapConfig, IcapFaultHandle, IcapFaultPlan, IcapPort, IcapStats, SwapTrigger,

@@ -187,10 +187,16 @@ impl Component for ExtendedPortal {
 }
 
 struct RrMux {
+    rr_id: u8,
     modules: Vec<EngineIf>,
     boundary: RrBoundary,
     active: SignalId,
     inject: SignalId,
+    /// The ICAP's current FAR region — the stream in flight only rewrites
+    /// THIS region's frames when it matches `rr_id`. Read un-sensitised:
+    /// the FAR packet always precedes the payload, so the value is stable
+    /// by the time `inject` rises.
+    swap_rr: SignalId,
     opts: RegionOptions,
     /// ICAP capture/restore strobes, forwarded to the configured module.
     capture: SignalId,
@@ -202,7 +208,8 @@ impl Component for RrMux {
     fn eval(&mut self, ctx: &mut Ctx<'_>) {
         let inject = self.opts.deselect_during_inject && {
             let v = ctx.get(self.inject);
-            v.truthy() || v.has_unknown()
+            (v.truthy() || v.has_unknown())
+                && ctx.get(self.swap_rr).to_u64_lossy() as u8 == self.rr_id
         };
         let active = ctx.get(self.active).to_u64_lossy();
         let b = self.boundary;
@@ -384,10 +391,12 @@ pub fn instantiate_region_with(
         boundary.plb.err,
     ]);
     let mux = RrMux {
+        rr_id,
         modules: ifs,
         boundary,
         active,
         inject: icap.inject,
+        swap_rr: icap.swap_rr,
         opts,
         capture: icap.capture_strobe,
         restore: icap.restore_strobe,

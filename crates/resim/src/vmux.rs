@@ -21,7 +21,7 @@ use engines::EngineIf;
 use rtlsim::{CompKind, Component, Ctx, SignalId, Simulator};
 
 /// Virtual-multiplexing configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct VmuxConfig {
     /// Value loaded into `engine_signature` at reset; `None` models the
     /// designer forgetting to initialise it (bug.hw.2: the register

@@ -190,12 +190,13 @@ impl Scheduler {
         }
         self.tick = new_tick;
         let horizon = new_tick + WHEEL_SLOTS as u64;
-        loop {
-            let tick = match self.far.peek() {
-                Some(Reverse(ev)) if (ev.time >> TICK_SHIFT) < horizon => ev.time >> TICK_SHIFT,
-                _ => break,
-            };
-            let Reverse(ev) = self.far.pop().unwrap();
+        while self
+            .far
+            .peek()
+            .is_some_and(|Reverse(ev)| (ev.time >> TICK_SHIFT) < horizon)
+        {
+            let Reverse(ev) = self.far.pop().expect("peeked event is still queued");
+            let tick = ev.time >> TICK_SHIFT;
             self.push_wheel(ev, tick);
         }
     }

@@ -26,6 +26,8 @@ use std::rc::Rc;
 /// [`CoverageProbes::collect`] after it.
 pub struct CoverageProbes {
     isolation: Rc<RefCell<HighTime>>,
+    /// One isolation probe per reconfigurable region, in region order.
+    region_isolation: Vec<Rc<RefCell<HighTime>>>,
     injection: Option<Rc<RefCell<HighTime>>>,
     reconfiguring: Option<Rc<RefCell<HighTime>>>,
 }
@@ -51,6 +53,11 @@ pub struct DprCoverage {
     pub interrupts: u64,
     /// Frames displayed.
     pub frames: usize,
+    /// Per-region swap counts (portal statistics), in region order.
+    /// Empty when the backend has no portals (VMUX).
+    pub region_swaps: Vec<u64>,
+    /// Per-region isolation pulses, in region order.
+    pub region_isolation_pulses: Vec<u64>,
 }
 
 impl CoverageProbes {
@@ -69,8 +76,21 @@ impl CoverageProbes {
             .probes
             .reconfiguring
             .map(|s| probe_high_time(&mut sys.sim, "cov.reconf", Probe::<Lv>::new(s)));
+        let regions = sys.probes.regions.clone();
+        let region_isolation = regions
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                probe_high_time(
+                    &mut sys.sim,
+                    &format!("cov.isolate{i}"),
+                    Probe::<Lv>::new(r.isolate),
+                )
+            })
+            .collect();
         CoverageProbes {
             isolation,
+            region_isolation,
             injection,
             reconfiguring,
         }
@@ -97,6 +117,12 @@ impl CoverageProbes {
             backpressure_events: icap.as_ref().map(|i| i.backpressure_events).unwrap_or(0),
             interrupts: sys.cpu.borrow().interrupts,
             frames: sys.captured.borrow().len(),
+            region_swaps: sys.portals.iter().map(|p| p.borrow().swaps).collect(),
+            region_isolation_pulses: self
+                .region_isolation
+                .iter()
+                .map(|p| p.borrow().pulses)
+                .collect(),
         }
     }
 }
@@ -173,6 +199,30 @@ mod tests {
         assert_eq!(cov.swaps, 4);
         assert_eq!(cov.desyncs, 4);
         assert_eq!(cov.injection_windows, 4);
+    }
+
+    #[test]
+    fn split_pipeline_covers_every_region() {
+        let mut sys = AvSystem::build(SystemConfig {
+            method: SimMethod::Resim,
+            width: 32,
+            height: 24,
+            n_frames: 2,
+            payload_words: 256,
+            regions: SystemConfig::split_regions(),
+            ..Default::default()
+        });
+        let probes = CoverageProbes::install(&mut sys);
+        let out = sys.run(2_000_000);
+        assert!(!out.hung);
+        let cov = probes.collect(&sys);
+        // One reload per region per frame, each behind that region's own
+        // isolation window.
+        assert_eq!(cov.region_swaps, vec![2, 2], "{cov:?}");
+        assert_eq!(cov.region_isolation_pulses, vec![2, 2], "{cov:?}");
+        assert_eq!(cov.swaps, 4);
+        assert_eq!(cov.desyncs, 4);
+        assert_eq!(cov.frames, 2);
     }
 
     #[test]

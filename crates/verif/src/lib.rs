@@ -26,7 +26,8 @@ pub mod turnaround;
 pub use coverage::{CoverageProbes, DprCoverage};
 pub use detect::{run_experiment, Evidence, Verdict};
 pub use matrix::{
-    expected_detection, render_matrix, run_bug, run_clean, run_matrix, MatrixConfig, MatrixRow,
+    expected_detection, render_matrix, run_bug, run_clean, run_matrix, run_split_clean,
+    MatrixConfig, MatrixRow,
 };
 pub use probe::{probe_high_time, HighTime, Probe};
 pub use recovery::{

@@ -284,7 +284,7 @@ pub fn run_campaign(cc: &CampaignConfig, recovery_on: bool, threads: usize) -> V
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().unwrap())
+            .flat_map(|h| h.join().expect("campaign worker thread panicked"))
             .collect()
     });
     results.sort_by_key(|(i, _)| *i);

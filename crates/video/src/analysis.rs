@@ -107,10 +107,11 @@ pub fn detect_objects(vectors: &[MotionVector], p: &AnalysisParams) -> Vec<Detec
         .into_values()
         .filter(|c| c.len() >= p.min_support)
         .map(|c| {
-            let min_x = c.iter().map(|v| v.x).min().unwrap();
-            let min_y = c.iter().map(|v| v.y).min().unwrap();
-            let max_x = c.iter().map(|v| v.x).max().unwrap();
-            let max_y = c.iter().map(|v| v.y).max().unwrap();
+            let (min_x, min_y, max_x, max_y) = c
+                .iter()
+                .fold((u16::MAX, u16::MAX, 0u16, 0u16), |(lx, ly, hx, hy), v| {
+                    (lx.min(v.x), ly.min(v.y), hx.max(v.x), hy.max(v.y))
+                });
             let vx = c.iter().map(|v| v.dx as f64).sum::<f64>() / c.len() as f64;
             let vy = c.iter().map(|v| v.dy as f64).sum::<f64>() / c.len() as f64;
             DetectedObject {
