@@ -319,6 +319,7 @@ pub fn region_isolation(
     sim: &mut Simulator,
     names: &RegionNames,
     boundary: RrBoundary,
+    rr_id: u8,
 ) -> RegionIsolation {
     let isolate = sim.signal_init(&*names.isolate, 1, 0);
     let busy = sim.signal(&*names.iso_busy, 1);
@@ -342,7 +343,7 @@ pub fn region_isolation(
     {
         pairs.push(IsoPair { from: *from, to });
     }
-    Isolation::instantiate(sim, &names.isolation, isolate, pairs);
+    Isolation::instantiate(sim, &names.isolation, isolate, pairs, rr_id as u32);
     let rev = ReverseRelay {
         from: port,
         to: boundary.plb,

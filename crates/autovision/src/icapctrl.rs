@@ -43,7 +43,7 @@ use dcr::RegFile;
 use plb::dma::Handshake;
 use plb::{DmaDriver, DmaEvent, MasterPort};
 use resim::IcapPort;
-use rtlsim::{CompKind, Component, Ctx, SignalId, Simulator};
+use rtlsim::{CompKind, Component, Ctx, SignalId, Simulator, TraceCat};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -221,12 +221,16 @@ impl IcapCtrl {
             Handshake::Full
         };
         let rstats = Rc::new(RefCell::new(RecoveryStats::default()));
+        // The bitstream-fetch DMA is the one the reconfiguration
+        // timeline cares about: give it the configuration-plane lane.
+        let mut dma = DmaDriver::new(port, handshake, BURST);
+        dma.set_trace_track(0);
         let ctrl = IcapCtrl {
             clk,
             rst,
             regs,
             icap,
-            dma: DmaDriver::new(port, handshake, BURST),
+            dma,
             st: St::Idle,
             feed: std::collections::VecDeque::new(),
             fetching: false,
@@ -280,8 +284,10 @@ impl IcapCtrl {
         if self.recovery_start.is_none() {
             self.recovery_start = Some(self.cycle);
         }
+        ctx.trace_instant(TraceCat::Retry, "fault", self.retries, code as u64);
         ctx.set_bit(icap.cwrite, false);
         if self.retries >= self.policy.max_retries {
+            ctx.trace_instant(TraceCat::Retry, "exhausted", self.retries, code as u64);
             self.rstats.borrow_mut().exhausted += 1;
             ctx.error(format!(
                 "IcapCTRL: reconfiguration failed permanently after {} retries (fault code {})",
@@ -295,6 +301,7 @@ impl IcapCtrl {
             self.st = St::Idle;
         } else {
             self.retries += 1;
+            ctx.trace_instant(TraceCat::Retry, "retry", self.retries, code as u64);
             self.rstats.borrow_mut().retries += 1;
             ctx.warn(format!(
                 "IcapCTRL: transfer fault (code {}), retry {}/{}",
@@ -493,15 +500,16 @@ impl Component for IcapCtrl {
                     // the artifact re-arms its parser for the retry.
                     ctx.set_bit(icap.abort, true);
                     ctx.set_bit(icap.ce, false);
-                    self.st = St::Backoff {
-                        left: self.backoff_cycles(),
-                    };
+                    let left = self.backoff_cycles();
+                    ctx.trace_begin(TraceCat::Retry, "backoff", self.retries, left as u64);
+                    self.st = St::Backoff { left };
                 }
             }
             St::Backoff { left } => {
                 if left > 1 {
                     self.st = St::Backoff { left: left - 1 };
                 } else {
+                    ctx.trace_end(TraceCat::Retry, "backoff", self.retries, 0);
                     ctx.set_bit(icap.abort, false);
                     self.arm_transfer(ctx);
                 }

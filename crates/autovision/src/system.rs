@@ -23,9 +23,8 @@ use engines::EngineCtrl;
 use plb::{MasterPort, MemFaultHandle, MonitorStats, SharedMem};
 use ppc::IssStats;
 use resim::{
-    build_simb, build_simb_integrity, IcapConfig, IcapFaultHandle, IcapStats, PortalStats,
-    ReconfigBackend, RegionPlan, ResimBackend, RrBoundary, SimbKind, VmuxBackend, VmuxConfig,
-    VmuxRegion, XSource,
+    build_simb, build_simb_integrity, BackendStats, IcapConfig, IcapFaultHandle, ReconfigBackend,
+    RegionPlan, ResimBackend, RrBoundary, SimbKind, VmuxBackend, VmuxConfig, VmuxRegion, XSource,
 };
 use rtlsim::{KernelError, SignalId, Simulator, PS_PER_NS};
 use std::cell::RefCell;
@@ -671,13 +670,9 @@ pub struct AvSystem {
     pub captured_poison: Rc<RefCell<Vec<usize>>>,
     /// CPU statistics.
     pub cpu: Rc<RefCell<IssStats>>,
-    /// ICAP artifact statistics (ReSim builds only).
-    pub icap: Option<Rc<RefCell<IcapStats>>>,
-    /// First region's portal statistics (ReSim builds only).
-    pub portal: Option<Rc<RefCell<PortalStats>>>,
-    /// Per-region portal statistics, in [`RegionSpec`] order (ReSim
-    /// builds only; empty under VMUX).
-    pub portals: Vec<Rc<RefCell<PortalStats>>>,
+    /// The reconfiguration backend, retained for its statistics
+    /// snapshot (see [`AvSystem::backend_stats`]).
+    backend: Box<dyn ReconfigBackend>,
     /// Bus protocol monitor statistics.
     pub bus_monitor: Rc<RefCell<MonitorStats>>,
     /// Transient-fault injection handle of the memory slave (recovery
@@ -855,7 +850,8 @@ impl AvSystem {
         let isolations: Vec<fabric::RegionIsolation> = names
             .iter()
             .zip(&boundaries)
-            .map(|(nm, b)| fabric::region_isolation(&mut sim, nm, *b))
+            .enumerate()
+            .map(|(idx, (nm, b))| fabric::region_isolation(&mut sim, nm, *b, cfg.regions[idx].id))
             .collect();
 
         // ----- engine control blocks (static region) -----
@@ -874,6 +870,7 @@ impl AvSystem {
                 iso.busy,
                 iso.done,
                 irq,
+                cfg.regions[idx].id as u32,
             );
             eng_irqs.push(irq);
         }
@@ -1047,9 +1044,7 @@ impl AvSystem {
             captured: video.captured,
             captured_poison: video.captured_poison,
             cpu: cpu.stats,
-            icap: handles.icap_stats,
-            portal: handles.portals.first().cloned(),
-            portals: handles.portals,
+            backend,
             bus_monitor,
             mem_faults: main_mem.faults,
             icap_faults: handles.icap_faults,
@@ -1059,6 +1054,13 @@ impl AvSystem {
             layout,
             probes,
         }
+    }
+
+    /// Snapshot the reconfiguration backend's statistics: ICAP artifact
+    /// counters (ReSim only) plus per-region swap-machinery counters in
+    /// [`RegionSpec`] order, one uniform shape for either method.
+    pub fn backend_stats(&self) -> BackendStats {
+        self.backend.stats()
     }
 
     /// Run until all frames are displayed, the CPU halts, or the cycle

@@ -60,12 +60,12 @@ fn resim_performs_two_reconfigurations_per_frame() {
     let mut sys = AvSystem::build(config(SimMethod::Resim));
     let outcome = sys.run(2_000_000);
     assert!(!outcome.hung);
-    let icap = sys.icap.as_ref().unwrap().borrow();
-    let portal = sys.portal.as_ref().unwrap().borrow();
+    let stats = sys.backend_stats();
+    let icap = stats.icap.as_ref().unwrap();
     // Two swaps per frame (CIE->ME and ME->CIE).
     assert_eq!(icap.swaps, 2 * 2, "swaps");
     assert_eq!(icap.desyncs, 2 * 2, "completed bitstreams");
-    assert_eq!(portal.swaps, 2 * 2);
+    assert_eq!(stats.regions[0].swaps, 2 * 2);
     assert_eq!(icap.words_dropped, 0);
     // Every SimB word made it through the controller.
     let expected_words = 2 * 2 * sys.layout.simb_me.1 as u64;
@@ -77,7 +77,10 @@ fn vmux_never_exercises_the_reconfiguration_machinery() {
     let mut sys = AvSystem::build(config(SimMethod::Vmux));
     let outcome = sys.run(2_000_000);
     assert!(!outcome.hung);
-    assert!(sys.icap.is_none(), "no ICAP artifact in the VMUX testbench");
+    assert!(
+        sys.backend_stats().icap.is_none(),
+        "no ICAP artifact in the VMUX testbench"
+    );
     // The IcapCTRL module is instantiated but idle: its DCR status never
     // left the reset state.
     // (Software never programs it under VMUX — the paper's point.)

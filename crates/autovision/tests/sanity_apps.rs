@@ -71,5 +71,5 @@ fn camera_to_display_passthrough() {
     }
     assert!(!sys.sim.has_errors(), "{:?}", sys.sim.messages());
     // And the reconfiguration machinery stayed idle.
-    assert_eq!(sys.icap.as_ref().unwrap().borrow().swaps, 0);
+    assert_eq!(sys.backend_stats().icap.map(|i| i.swaps).unwrap_or(0), 0);
 }

@@ -62,10 +62,11 @@ fn resim_split_pipeline_processes_frames_bit_exactly() {
 #[test]
 fn vmux_split_pipeline_processes_frames_bit_exactly() {
     let sys = run_clean(SimMethod::Vmux);
-    // Both engines are permanently resident: no ICAP artifact, no
-    // portals, and the IcapCTRL bus master never wakes up.
-    assert!(sys.icap.is_none());
-    assert!(sys.portals.is_empty());
+    // Both engines are permanently resident: no ICAP artifact, zeroed
+    // region counters, and the IcapCTRL bus master never wakes up.
+    let stats = sys.backend_stats();
+    assert!(stats.icap.is_none());
+    assert_eq!(stats.total_swaps(), 0);
     assert_eq!(sys.sim.toggle_count_prefix("icapctrl.plb.req"), 0);
 }
 
@@ -76,14 +77,14 @@ fn resim_split_reconfigures_each_region_once_per_frame() {
 
     // One shared ICAP streams both regions' images: two swaps per frame
     // system-wide, but each region's portal sees exactly one.
-    let icap = sys.icap.as_ref().expect("ReSim build has an ICAP").borrow();
+    let stats = sys.backend_stats();
+    let icap = stats.icap.as_ref().expect("ReSim build has an ICAP");
     assert_eq!(icap.swaps, 2 * n, "system-wide swaps");
     assert_eq!(icap.desyncs, 2 * n, "completed bitstreams");
     assert_eq!(icap.words_dropped, 0);
-    assert_eq!(sys.portals.len(), 2, "one portal per region");
-    let (portal_a, portal_b) = (sys.portals[0].borrow(), sys.portals[1].borrow());
-    assert_eq!(portal_a.swaps, n, "region A (CIE) swaps");
-    assert_eq!(portal_b.swaps, n, "region B (ME) swaps");
+    assert_eq!(stats.regions.len(), 2, "one portal per region");
+    assert_eq!(stats.regions[0].swaps, n, "region A (CIE) swaps");
+    assert_eq!(stats.regions[1].swaps, n, "region B (ME) swaps");
     let expected_words = n * (sys.layout.simb_me.1 + sys.layout.simb_cie.1) as u64;
     assert_eq!(icap.words_accepted, expected_words);
 

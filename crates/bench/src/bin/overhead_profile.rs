@@ -98,4 +98,15 @@ fn main() {
         100.0 * (mux + other) < 20.0,
         mux > other
     );
+
+    // The profiler doubles as a metrics-registry producer: fold the
+    // per-kind breakdown into the standard snapshot when requested.
+    if let Some(path) = harness::ObsArgs::from_env().metrics_out {
+        let mut reg = obs::MetricsRegistry::new();
+        obs::record_profile(&mut reg, &rows);
+        reg.gauge("profile.artifact.mux_fraction", mux);
+        reg.gauge("profile.artifact.other_fraction", other);
+        std::fs::write(&path, reg.snapshot_json()).expect("write metrics artifact");
+        println!("wrote metrics snapshot to {}", path.display());
+    }
 }

@@ -14,7 +14,7 @@
 //! * overall ≈ 3 ms of simulated time per frame.
 
 use autovision::AvSystem;
-use bench::paper_scale_config;
+use bench::{harness, paper_scale_config};
 use std::time::Instant;
 use verif::{probe_high_time, Probe};
 
@@ -26,7 +26,12 @@ fn main() {
         cfg.width, cfg.height, cfg.payload_words, cfg.n_frames
     );
     let mut sys = AvSystem::build(cfg);
-    // Typed views over the system's busy/window signals.
+    let obs_args = harness::ObsArgs::from_env();
+    obs_args.arm(&mut sys.sim);
+    // Typed views over the system's busy/window signals, and the two
+    // engines' signal sets, all resolved once at build time.
+    let cie_signals = sys.sim.signals_with_prefix("cie.");
+    let me_signals = sys.sim.signals_with_prefix("me.");
     let cie_probe = Probe::<u64>::new(sys.probes.cie_busy);
     let me_probe = Probe::<u64>::new(sys.probes.me_busy);
     let dpr_probe = sys.probes.reconfiguring.map(Probe::<u64>::new);
@@ -136,8 +141,8 @@ fn main() {
     );
 
     println!();
-    let cie_rate = sys.sim.toggle_count_prefix("cie.") as f64 / cie_ms.max(1e-9);
-    let me_rate = sys.sim.toggle_count_prefix("me.") as f64 / me_ms.max(1e-9);
+    let cie_rate = sys.sim.toggle_count_set(&cie_signals) as f64 / cie_ms.max(1e-9);
+    let me_rate = sys.sim.toggle_count_set(&me_signals) as f64 / me_ms.max(1e-9);
     println!(
         "signal activity  : CIE {cie_rate:.0} toggles/sim-ms vs ME {me_rate:.0} toggles/sim-ms"
     );
@@ -164,4 +169,9 @@ fn main() {
         "kernel work      : {} evals, {} deltas, {} signal toggles",
         stats.evals, stats.deltas, stats.toggles
     );
+    if obs_args.active() {
+        println!();
+        let metrics = harness::system_metrics(&sys, &outcome);
+        obs_args.export(&sys.sim, &metrics);
+    }
 }

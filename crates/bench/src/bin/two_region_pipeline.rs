@@ -9,14 +9,19 @@
 //! (`verif::run_split_clean`) confirms both methods run the topology
 //! silently — the multi-region analogue of Table III's golden baseline.
 //!
-//! Usage: `two_region_pipeline [payload_words]` (default 256).
+//! Usage: `two_region_pipeline [payload_words] [--trace-out <path>]
+//! [--metrics-out <path>]` (default payload 256). With `--trace-out`
+//! the ReSim run is traced and exported as Perfetto JSON, and the
+//! per-region reconfiguration timeline is reconstructed from the trace
+//! events instead of bespoke probes.
 
 use autovision::{AvSystem, SimMethod, SystemConfig};
 use bench::harness;
-use verif::{run_split_clean, CoverageProbes, MatrixConfig};
+use verif::{run_split_clean, CoverageProbes, MatrixConfig, ReconfigTimeline};
 
 fn main() {
     let payload: usize = harness::parse_arg(1).unwrap_or(256);
+    let obs_args = harness::ObsArgs::from_env();
     println!(
         "Two-region pipeline — CIE and ME in separate regions (32x24, 2 frames, SimB payload {payload} words)\n"
     );
@@ -28,6 +33,9 @@ fn main() {
             .build()
             .expect("split config is valid");
         let mut sys = AvSystem::build(cfg);
+        if method == SimMethod::Resim {
+            obs_args.arm(&mut sys.sim);
+        }
         let probes = CoverageProbes::install(&mut sys);
         let (outcome, wall_s) = harness::timed(|| sys.run(4_000_000));
         assert!(
@@ -36,15 +44,15 @@ fn main() {
             sys.sim.messages()
         );
         let cov = probes.collect(&sys);
+        let stats = sys.backend_stats();
 
         println!("{method:?}:");
         println!(
             "  frames         : {} in {} cycles ({:.2} s wall)",
             outcome.frames_captured, outcome.cycles, wall_s
         );
-        match sys.icap.as_ref() {
+        match stats.icap.as_ref() {
             Some(icap) => {
-                let icap = icap.borrow();
                 println!(
                     "  shared ICAP    : {} swaps, {} complete bitstreams, {} words accepted, {} dropped",
                     icap.swaps, icap.desyncs, icap.words_accepted, icap.words_dropped
@@ -53,11 +61,23 @@ fn main() {
             None => println!("  shared ICAP    : none (both engines permanently resident)"),
         }
         for (i, name) in ["A (CIE)", "B (ME)"].iter().enumerate() {
-            let swaps = sys.portals.get(i).map(|p| p.borrow().swaps).unwrap_or(0);
+            let swaps = stats.regions.get(i).map(|r| r.swaps).unwrap_or(0);
             let pulses = cov.region_isolation_pulses.get(i).copied().unwrap_or(0);
             println!("  region {name:<8}: {swaps} swaps behind {pulses} isolation windows");
         }
         println!();
+
+        if method == SimMethod::Resim && obs_args.active() {
+            if sys.sim.trace_enabled() {
+                let timeline = ReconfigTimeline::from_events(&sys.sim.trace_events());
+                println!("trace-reconstructed reconfiguration timeline:");
+                print!("{}", timeline.render());
+                println!();
+            }
+            let metrics = harness::system_metrics(&sys, &outcome);
+            obs_args.export(&sys.sim, &metrics);
+            println!();
+        }
     }
 
     println!("clean-run matrix row (both methods must stay silent):");

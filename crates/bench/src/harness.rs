@@ -9,6 +9,9 @@
 //! read as experiment descriptions, not that this becomes a framework.
 
 use autovision::{AvSystem, RunOutcome, SimMethod, SystemConfig, SystemConfigBuilder};
+use obs::MetricsRegistry;
+use rtlsim::Simulator;
+use std::path::PathBuf;
 use std::time::Instant;
 use verif::Verdict;
 
@@ -41,6 +44,122 @@ pub fn has_flag(flag: &str) -> bool {
 /// parsed; `None` when absent or unparsable.
 pub fn parse_arg<T: std::str::FromStr>(n: usize) -> Option<T> {
     std::env::args().nth(n).and_then(|a| a.parse().ok())
+}
+
+/// Value of `--flag <value>` (or `--flag=<value>`) among the
+/// command-line arguments; `None` when the flag is absent.
+pub fn flag_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+        if let Some(rest) = a.strip_prefix(flag) {
+            if let Some(v) = rest.strip_prefix('=') {
+                return Some(v.to_string());
+            }
+        }
+    }
+    None
+}
+
+/// Observability artifact destinations every bench bin understands:
+/// `--trace-out <path>` requests a Chrome-trace/Perfetto JSON span dump
+/// and `--metrics-out <path>` the stable-schema metrics snapshot
+/// (`obs::METRICS_SCHEMA`). With neither flag present tracing stays
+/// disabled and the bin's stdout is byte-identical to a build without
+/// this machinery.
+#[derive(Debug, Clone, Default)]
+pub struct ObsArgs {
+    /// Destination of the Perfetto trace, when requested.
+    pub trace_out: Option<PathBuf>,
+    /// Destination of the metrics snapshot, when requested.
+    pub metrics_out: Option<PathBuf>,
+}
+
+impl ObsArgs {
+    /// Parse both flags from the process arguments.
+    pub fn from_env() -> ObsArgs {
+        ObsArgs {
+            trace_out: flag_value("--trace-out").map(PathBuf::from),
+            metrics_out: flag_value("--metrics-out").map(PathBuf::from),
+        }
+    }
+
+    /// True when any artifact was requested.
+    pub fn active(&self) -> bool {
+        self.trace_out.is_some() || self.metrics_out.is_some()
+    }
+
+    /// Enable structured tracing on a freshly built simulator when a
+    /// trace artifact was requested. Call before running.
+    pub fn arm(&self, sim: &mut Simulator) {
+        if self.trace_out.is_some() {
+            sim.enable_trace();
+        }
+    }
+
+    /// Write the requested artifacts: the simulator's event buffer as
+    /// Perfetto JSON and `metrics` as the schema-versioned snapshot.
+    /// Prints one confirmation line per file written.
+    pub fn export(&self, sim: &Simulator, metrics: &MetricsRegistry) {
+        if let Some(path) = &self.trace_out {
+            let events = sim.trace_events();
+            std::fs::write(path, obs::perfetto::export(&events)).expect("write trace artifact");
+            println!(
+                "wrote {} trace events ({} dropped) to {}",
+                events.len(),
+                sim.trace_dropped(),
+                path.display()
+            );
+        }
+        if let Some(path) = &self.metrics_out {
+            std::fs::write(path, metrics.snapshot_json()).expect("write metrics artifact");
+            println!("wrote metrics snapshot to {}", path.display());
+        }
+    }
+}
+
+/// Fold a finished run's kernel, backend, and recovery statistics into
+/// a metrics registry — the standard contents of a bench bin's
+/// `--metrics-out` snapshot. Bins layer experiment-specific series on
+/// top of the returned registry before exporting.
+pub fn system_metrics(sys: &AvSystem, outcome: &RunOutcome) -> MetricsRegistry {
+    let mut reg = MetricsRegistry::new();
+    obs::record_sim_stats(&mut reg, &sys.sim.stats());
+    let stats = sys.backend_stats();
+    reg.counter("backend.swaps", stats.total_swaps());
+    for r in &stats.regions {
+        reg.counter(&format!("backend.rr{}.swaps", r.rr_id), r.swaps);
+        reg.counter(&format!("backend.rr{}.captures", r.rr_id), r.captures);
+        reg.counter(&format!("backend.rr{}.restores", r.rr_id), r.restores);
+    }
+    if let Some(icap) = &stats.icap {
+        reg.counter("backend.icap.swaps", icap.swaps);
+        reg.counter("backend.icap.desyncs", icap.desyncs);
+        reg.counter("backend.icap.words_accepted", icap.words_accepted);
+        reg.counter("backend.icap.words_dropped", icap.words_dropped);
+        reg.counter("backend.icap.backpressure_events", icap.backpressure_events);
+        reg.counter("backend.icap.crc_ok", icap.crc_ok);
+        reg.counter("backend.icap.crc_mismatches", icap.crc_mismatches);
+        reg.counter("backend.icap.aborts", icap.aborts);
+    }
+    let rec = sys.recovery.borrow();
+    reg.counter("recovery.retries", rec.retries);
+    reg.counter("recovery.recovered", rec.recovered);
+    reg.counter("recovery.exhausted", rec.exhausted);
+    reg.counter("recovery.bus_errors", rec.bus_errors);
+    reg.counter("recovery.watchdog_fires", rec.watchdog_fires);
+    reg.counter("recovery.integrity_errors", rec.integrity_errors);
+    reg.counter("run.frames", outcome.frames_captured as u64);
+    reg.counter("run.cycles", outcome.cycles);
+    if outcome.frames_captured > 0 {
+        reg.gauge(
+            "run.cycles_per_frame",
+            outcome.cycles as f64 / outcome.frames_captured as f64,
+        );
+    }
+    reg
 }
 
 /// Run a closure, returning its result and the wall-clock seconds it

@@ -4,7 +4,7 @@
 
 use crate::ports::EngineParamSignals;
 use dcr::RegFile;
-use rtlsim::{CompKind, Component, Ctx, SignalId, Simulator};
+use rtlsim::{CompKind, Component, Ctx, SignalId, Simulator, TraceCat};
 
 /// DCR register offsets of an engine-control block.
 pub mod reg {
@@ -47,10 +47,16 @@ pub struct EngineCtrl {
     done_latch: bool,
     go_pending: bool,
     rst_pending: bool,
+    /// Trace lane for run spans (the region id this block fronts).
+    trace_track: u32,
+    /// An engine-run span is open (trace bookkeeping only).
+    run_open: bool,
 }
 
 impl EngineCtrl {
-    /// Build and register the block.
+    /// Build and register the block. `trace_track` is the lane engine
+    /// start/done spans are filed under in the structured trace (the
+    /// region id this block fronts).
     #[allow(clippy::too_many_arguments)]
     pub fn instantiate(
         sim: &mut Simulator,
@@ -64,6 +70,7 @@ impl EngineCtrl {
         busy_in: SignalId,
         done_in: SignalId,
         irq_out: SignalId,
+        trace_track: u32,
     ) {
         assert!(
             regs.len() >= 8,
@@ -82,6 +89,8 @@ impl EngineCtrl {
             done_latch: false,
             go_pending: false,
             rst_pending: false,
+            trace_track,
+            run_open: false,
         };
         sim.add_component(name, CompKind::UserStatic, Box::new(c), &[clk, rst]);
     }
@@ -90,6 +99,10 @@ impl EngineCtrl {
 impl Component for EngineCtrl {
     fn eval(&mut self, ctx: &mut Ctx<'_>) {
         if ctx.is_high(self.rst) {
+            if self.run_open {
+                self.run_open = false;
+                ctx.trace_end(TraceCat::Engine, "run", self.trace_track, u64::MAX);
+            }
             ctx.set_bit(self.go, false);
             ctx.set_bit(self.ereset, false);
             ctx.set_bit(self.irq_out, false);
@@ -128,9 +141,17 @@ impl Component for EngineCtrl {
         // parameter writes from the same burst are already on the wires).
         if self.rst_pending {
             self.rst_pending = false;
+            if self.run_open {
+                self.run_open = false;
+                ctx.trace_end(TraceCat::Engine, "run", self.trace_track, 1);
+            }
             ctx.set_bit(self.ereset, true);
         } else if self.go_pending {
             self.go_pending = false;
+            if !self.run_open {
+                self.run_open = true;
+                ctx.trace_begin(TraceCat::Engine, "run", self.trace_track, 0);
+            }
             ctx.set_bit(self.go, true);
         }
         // Status readback. An X on the post-isolation lines (broken
@@ -143,6 +164,10 @@ impl Component for EngineCtrl {
             ctx.warn("engine status lines carry X");
         }
         if done.truthy() {
+            if self.run_open {
+                self.run_open = false;
+                ctx.trace_end(TraceCat::Engine, "run", self.trace_track, 0);
+            }
             self.done_latch = true;
         }
         let status = (busy.truthy() as u32) | ((self.done_latch as u32) << 1);

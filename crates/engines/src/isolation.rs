@@ -10,7 +10,7 @@
 //! Virtual Multiplexing the region never emits garbage, so a missing or
 //! mis-controlled isolation module sails through simulation.
 
-use rtlsim::{CompKind, Component, Ctx, Logic, Lv, SignalId, Simulator};
+use rtlsim::{CompKind, Component, Ctx, Logic, Lv, SignalId, Simulator, TraceCat};
 
 /// One gated signal pair.
 #[derive(Debug, Clone, Copy)]
@@ -27,21 +27,43 @@ pub struct IsoPair {
 pub struct Isolation {
     isolate: SignalId,
     pairs: Vec<IsoPair>,
+    /// Trace lane for isolation-window spans (the region id).
+    trace_track: u32,
 }
 
 impl Isolation {
     /// Build and register the module. The component re-evaluates on any
     /// input or control change, like the combinational gates it models.
-    pub fn instantiate(sim: &mut Simulator, name: &str, isolate: SignalId, pairs: Vec<IsoPair>) {
+    /// `trace_track` is the lane the module's isolation-window spans are
+    /// filed under in the structured trace (the region id it guards).
+    pub fn instantiate(
+        sim: &mut Simulator,
+        name: &str,
+        isolate: SignalId,
+        pairs: Vec<IsoPair>,
+        trace_track: u32,
+    ) {
         let mut sens = vec![isolate];
         sens.extend(pairs.iter().map(|p| p.from));
-        let iso = Isolation { isolate, pairs };
+        let iso = Isolation {
+            isolate,
+            pairs,
+            trace_track,
+        };
         sim.add_component(name, CompKind::UserStatic, Box::new(iso), &sens);
     }
 }
 
 impl Component for Isolation {
     fn eval(&mut self, ctx: &mut Ctx<'_>) {
+        // The assert/release window of the isolation control, as a span
+        // on the region's lane (edge-detected, so the per-pair loop
+        // below stays emission-free).
+        if ctx.rose(self.isolate) {
+            ctx.trace_begin(TraceCat::Isolation, "window", self.trace_track, 0);
+        } else if ctx.fell(self.isolate) {
+            ctx.trace_end(TraceCat::Isolation, "window", self.trace_track, 0);
+        }
         let gate = !ctx.get(self.isolate); // 1 = pass, 0 = clamp, X = X
         let g = gate.get(0);
         for i in 0..self.pairs.len() {
@@ -77,6 +99,7 @@ mod tests {
                 from: a_in,
                 to: a_out,
             }],
+            0,
         );
         (sim, isolate, a_in, a_out)
     }

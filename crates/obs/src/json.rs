@@ -1,0 +1,64 @@
+//! A minimal JSON writer — just enough for the two exporters, with
+//! deterministic output (callers iterate ordered maps) and no external
+//! dependencies.
+
+/// Escape a string for use inside JSON double quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` as a JSON number. JSON has no NaN/infinity; those
+/// degrade to `null`, which every parser accepts.
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        // Rust's shortest-roundtrip formatting is deterministic and
+        // always contains a digit, which is valid JSON except for the
+        // exponent-free integer case ("1" is fine too).
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Format picoseconds as a microsecond timestamp with full (sub-ps-free)
+/// precision — the unit Chrome trace's `ts` field expects. Pure integer
+/// arithmetic, so identical runs format identically.
+pub fn ps_as_us(ps: u64) -> String {
+    format!("{}.{:06}", ps / 1_000_000, ps % 1_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn ps_to_us_keeps_full_precision() {
+        assert_eq!(ps_as_us(0), "0.000000");
+        assert_eq!(ps_as_us(1_234_567), "1.234567");
+        assert_eq!(ps_as_us(10_000), "0.010000");
+    }
+
+    #[test]
+    fn non_finite_numbers_degrade_to_null() {
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(1.5), "1.5");
+    }
+}

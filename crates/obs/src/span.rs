@@ -1,0 +1,95 @@
+//! Span reconstruction: pair `Begin`/`End` trace events back into
+//! durations, per `(category, name, track)` lane.
+
+use rtlsim::{TraceCat, TraceEvent, TraceKind};
+
+/// A reconstructed span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Category of the span.
+    pub cat: TraceCat,
+    /// Span name.
+    pub name: &'static str,
+    /// Lane within the category (region id for region-scoped spans).
+    pub track: u32,
+    /// Begin time (ps).
+    pub start_ps: u64,
+    /// End time (ps).
+    pub end_ps: u64,
+    /// Argument carried by the `Begin` event.
+    pub arg: u64,
+}
+
+impl Span {
+    /// Span duration in picoseconds.
+    pub fn duration_ps(&self) -> u64 {
+        self.end_ps - self.start_ps
+    }
+}
+
+/// Reconstruct all completed spans matching `cat` and `name` from an
+/// event stream, per track, in begin order. Nested spans on one track
+/// pair innermost-first (stack discipline); an unmatched `Begin` (still
+/// open when the trace ends) is dropped.
+pub fn span_durations(events: &[TraceEvent], cat: TraceCat, name: &str) -> Vec<Span> {
+    let mut open: Vec<(u32, u64, u64)> = Vec::new(); // (track, start, arg)
+    let mut out = Vec::new();
+    for ev in events {
+        if ev.cat != cat || ev.name != name {
+            continue;
+        }
+        match ev.kind {
+            TraceKind::Begin => open.push((ev.track, ev.time_ps, ev.arg)),
+            TraceKind::End => {
+                if let Some(pos) = open.iter().rposition(|(t, _, _)| *t == ev.track) {
+                    let (track, start_ps, arg) = open.remove(pos);
+                    out.push(Span {
+                        cat,
+                        name: ev.name,
+                        track,
+                        start_ps,
+                        end_ps: ev.time_ps,
+                        arg,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    out.sort_by_key(|s| (s.start_ps, s.track));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64, time_ps: u64, kind: TraceKind, track: u32) -> TraceEvent {
+        TraceEvent {
+            time_ps,
+            seq,
+            kind,
+            cat: TraceCat::Simb,
+            name: "transfer",
+            track,
+            arg: track as u64,
+        }
+    }
+
+    #[test]
+    fn pairs_interleaved_tracks() {
+        let evs = [
+            ev(1, 100, TraceKind::Begin, 1),
+            ev(2, 150, TraceKind::Begin, 2),
+            ev(3, 200, TraceKind::End, 1),
+            ev(4, 300, TraceKind::End, 2),
+            ev(5, 400, TraceKind::Begin, 1), // left open: dropped
+        ];
+        let spans = span_durations(&evs, TraceCat::Simb, "transfer");
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].track, 1);
+        assert_eq!(spans[0].duration_ps(), 100);
+        assert_eq!(spans[1].track, 2);
+        assert_eq!(spans[1].duration_ps(), 150);
+    }
+}

@@ -13,7 +13,7 @@
 //! drops or corrupts beats — this is exactly the paper's bug.dpr.4.
 
 use crate::port::MasterPort;
-use rtlsim::Ctx;
+use rtlsim::{Ctx, TraceCat};
 
 /// Master handshake policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +75,12 @@ pub struct DmaDriver {
     /// protocol-cleanly, discard its data, and do not launch the next
     /// burst.
     discard: bool,
+    /// Trace lane for burst spans ([`TraceCat::Dma`]); `None` keeps the
+    /// driver silent (the default — only masters opted in by their owner
+    /// emit, so lanes stay unambiguous).
+    trace_track: Option<u32>,
+    /// A burst span is open (trace bookkeeping only).
+    burst_open: bool,
 }
 
 impl DmaDriver {
@@ -94,6 +100,33 @@ impl DmaDriver {
             rbuf: Vec::new(),
             rx_unknown: Vec::new(),
             discard: false,
+            trace_track: None,
+            burst_open: false,
+        }
+    }
+
+    /// Opt this driver's bursts into the structured trace on lane
+    /// `track` (see [`TraceCat::Dma`]). Owners with multiple masters
+    /// should hand out distinct lanes.
+    pub fn set_trace_track(&mut self, track: u32) {
+        self.trace_track = Some(track);
+    }
+
+    #[inline]
+    fn trace_burst_begin(&mut self, ctx: &mut Ctx<'_>, burst: u32) {
+        if let Some(t) = self.trace_track {
+            ctx.trace_begin(TraceCat::Dma, "burst", t, burst as u64);
+            self.burst_open = true;
+        }
+    }
+
+    #[inline]
+    fn trace_burst_end(&mut self, ctx: &mut Ctx<'_>, arg: u64) {
+        if self.burst_open {
+            self.burst_open = false;
+            if let Some(t) = self.trace_track {
+                ctx.trace_end(TraceCat::Dma, "burst", t, arg);
+            }
         }
     }
 
@@ -146,6 +179,7 @@ impl DmaDriver {
     /// reset).
     pub fn reset(&mut self, ctx: &mut Ctx<'_>) {
         let p = self.port;
+        self.trace_burst_end(ctx, u64::MAX);
         self.state = St::Idle;
         self.discard = false;
         self.wbuf.clear();
@@ -197,6 +231,7 @@ impl DmaDriver {
             St::Idle => None,
             St::Launch => {
                 let burst = self.burst_len();
+                self.trace_burst_begin(ctx, burst);
                 ctx.set_bit(p.req, true);
                 ctx.set_bit(p.rnw, self.rnw);
                 ctx.set_u64(p.addr, self.next_addr as u64);
@@ -206,6 +241,7 @@ impl DmaDriver {
             }
             St::AwaitAck { waited } => {
                 if ctx.is_high(p.err) && ctx.is_high(p.complete) {
+                    self.trace_burst_end(ctx, 1);
                     self.abort(ctx);
                     return Some(DmaEvent::Error);
                 }
@@ -284,6 +320,7 @@ impl DmaDriver {
                 if !done {
                     return None;
                 }
+                self.trace_burst_end(ctx, u64::from(ctx.is_high(p.err)));
                 if ctx.is_high(p.err) {
                     let draining = self.discard;
                     self.abort(ctx);

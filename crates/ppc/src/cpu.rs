@@ -12,7 +12,7 @@
 use crate::insn::{Cond, Instr, Spr};
 use dcr::{DcrHandle, DcrOp, DcrResult};
 use plb::{DmaDriver, DmaEvent, MasterPort, SharedMem};
-use rtlsim::{CompKind, Component, Ctx, SignalId, Simulator};
+use rtlsim::{CompKind, Component, Ctx, SignalId, Simulator, TraceCat};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -593,6 +593,9 @@ impl Component for PpcIss {
         if ctx.is_high(self.rst) {
             self.core = CpuCore::new(self.entry, self.core.vector_base);
             self.state = IssState::Run;
+            if self.in_isr {
+                ctx.trace_end(TraceCat::Isr, "isr", 0, u64::MAX);
+            }
             self.in_isr = false;
             self.dma.reset(ctx);
             return;
@@ -621,6 +624,9 @@ impl Component for PpcIss {
                 // Interrupt check at instruction boundary.
                 if self.core.interrupts_enabled() && ctx.is_high(self.irq) {
                     self.core.external_interrupt();
+                    if !self.in_isr {
+                        ctx.trace_begin(TraceCat::Isr, "isr", 0, 0);
+                    }
                     self.in_isr = true;
                     self.stats.borrow_mut().interrupts += 1;
                 }
@@ -657,6 +663,9 @@ impl Component for PpcIss {
                     s.last_pc = pc;
                 }
                 if was_rfi {
+                    if self.in_isr {
+                        ctx.trace_end(TraceCat::Isr, "isr", 0, 0);
+                    }
                     self.in_isr = false;
                 }
                 self.begin_action(ctx, action);

@@ -40,26 +40,66 @@ pub struct RegionPlan {
 }
 
 /// Handles a backend returns: the configuration port the IcapCTRL
-/// drives, plus whatever statistics and probe signals the method
-/// actually models (`None`/empty where it models nothing — VMUX has no
-/// bitstream traffic, so no ICAP stats, no portals, no injection
-/// window).
+/// drives, plus whatever probe signals the method actually models
+/// (`None` where it models nothing — VMUX has no bitstream traffic, so
+/// no injection window). Statistics are *not* handed out here: they stay
+/// inside the backend and are snapshotted uniformly through
+/// [`ReconfigBackend::stats`].
 pub struct BackendHandles {
     /// Configuration port wired to the reconfiguration controller.
     /// Inert (always ready, never strobing) under VMUX.
     pub icap: IcapPort,
-    /// ICAP artifact counters (ReSim only).
-    pub icap_stats: Option<Rc<RefCell<IcapStats>>>,
     /// ICAP transient-fault injection handle (ReSim only).
     pub icap_faults: Option<IcapFaultHandle>,
-    /// Per-region portal statistics, in [`RegionPlan`] order (ReSim
-    /// only; empty under VMUX).
-    pub portals: Vec<Rc<RefCell<PortalStats>>>,
     /// High while a reconfiguration is in flight (ReSim only).
     pub reconfiguring: Option<SignalId>,
     /// High while the SimB payload streams and region outputs carry the
     /// error source (ReSim only).
     pub inject: Option<SignalId>,
+}
+
+/// Swap-machinery counters of one reconfigurable region, snapshotted by
+/// [`ReconfigBackend::stats`]. Regions appear in [`RegionPlan`] order
+/// under every method; a method that models no portal machinery (VMUX)
+/// reports the region with all counters zero rather than omitting it, so
+/// per-region indexing is method-independent.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RegionStats {
+    /// Region ID carried in SimB frame addresses.
+    pub rr_id: u8,
+    /// Module swaps applied to this region.
+    pub swaps: u64,
+    /// GCAPTURE strobes addressed to this region.
+    pub captures: u64,
+    /// GRESTORE strobes addressed to this region.
+    pub restores: u64,
+    /// Swap strobes naming an unknown module ID.
+    pub bad_module_ids: u64,
+}
+
+/// One uniform statistics snapshot for any reconfiguration backend —
+/// the single shape callers consume instead of per-method getters.
+#[derive(Debug, Clone, Default)]
+pub struct BackendStats {
+    /// The backend's [`ReconfigBackend::method_name`].
+    pub method: &'static str,
+    /// ICAP artifact counters; `None` when the method models no
+    /// bitstream (VMUX).
+    pub icap: Option<IcapStats>,
+    /// Per-region counters, in [`RegionPlan`] order.
+    pub regions: Vec<RegionStats>,
+}
+
+impl BackendStats {
+    /// Region-portal swaps summed over every region.
+    pub fn total_swaps(&self) -> u64 {
+        self.regions.iter().map(|r| r.swaps).sum()
+    }
+
+    /// The snapshot of region `rr_id`, if the backend built one.
+    pub fn region(&self, rr_id: u8) -> Option<&RegionStats> {
+        self.regions.iter().find(|r| r.rr_id == rr_id)
+    }
 }
 
 /// A DPR simulation method, as a swappable component supplier.
@@ -87,6 +127,10 @@ pub trait ReconfigBackend {
         rst: SignalId,
         regions: Vec<RegionPlan>,
     ) -> BackendHandles;
+
+    /// Snapshot the backend's statistics. Valid after `instantiate`;
+    /// before it, the snapshot is empty.
+    fn stats(&self) -> BackendStats;
 }
 
 /// Factory for per-region error sources. Each region needs its own boxed
@@ -100,6 +144,10 @@ pub struct ResimBackend {
     config: IcapConfig,
     options: RegionOptions,
     source_factory: ErrorSourceFactory,
+    /// Retained after `instantiate` so [`ReconfigBackend::stats`] can
+    /// snapshot the live counters.
+    icap_stats: Option<Rc<RefCell<IcapStats>>>,
+    portals: Vec<(u8, Rc<RefCell<PortalStats>>)>,
 }
 
 impl ResimBackend {
@@ -117,6 +165,8 @@ impl ResimBackend {
             config,
             options,
             source_factory,
+            icap_stats: None,
+            portals: Vec::new(),
         }
     }
 }
@@ -139,10 +189,11 @@ impl ReconfigBackend for ResimBackend {
     ) -> BackendHandles {
         let (icap, icap_stats, icap_faults) =
             IcapArtifact::instantiate_faulty(sim, &self.icap_name, clk, rst, self.config);
-        let mut portals = Vec::with_capacity(regions.len());
+        self.icap_stats = Some(icap_stats);
+        self.portals = Vec::with_capacity(regions.len());
         for r in regions {
             let source = (self.source_factory)(r.rr_id);
-            portals.push(instantiate_region_with(
+            let stats = instantiate_region_with(
                 sim,
                 &r.name,
                 clk,
@@ -154,15 +205,35 @@ impl ReconfigBackend for ResimBackend {
                 r.initial,
                 source,
                 self.options,
-            ));
+            );
+            self.portals.push((r.rr_id, stats));
         }
         BackendHandles {
             icap,
-            icap_stats: Some(icap_stats),
             icap_faults: Some(icap_faults),
-            portals,
             reconfiguring: Some(icap.reconfiguring),
             inject: Some(icap.inject),
+        }
+    }
+
+    fn stats(&self) -> BackendStats {
+        BackendStats {
+            method: self.method_name(),
+            icap: self.icap_stats.as_ref().map(|s| s.borrow().clone()),
+            regions: self
+                .portals
+                .iter()
+                .map(|(rr_id, p)| {
+                    let p = p.borrow();
+                    RegionStats {
+                        rr_id: *rr_id,
+                        swaps: p.swaps,
+                        captures: p.captures,
+                        restores: p.restores,
+                        bad_module_ids: p.bad_module_ids,
+                    }
+                })
+                .collect(),
         }
     }
 }
@@ -184,6 +255,9 @@ pub struct VmuxRegion {
 pub struct VmuxBackend {
     icap_name: String,
     regions: Vec<VmuxRegion>,
+    /// RR IDs recorded at `instantiate` so [`ReconfigBackend::stats`]
+    /// reports one (all-zero) entry per region.
+    rr_ids: Vec<u8>,
 }
 
 impl VmuxBackend {
@@ -195,6 +269,7 @@ impl VmuxBackend {
         VmuxBackend {
             icap_name: icap_name.into(),
             regions,
+            rr_ids: Vec::new(),
         }
     }
 }
@@ -225,6 +300,7 @@ impl ReconfigBackend for VmuxBackend {
         let icap = IcapPort::alloc(sim, &self.icap_name);
         sim.poke_u64(icap.ready, 1);
         for (plan, vr) in regions.into_iter().zip(&self.regions) {
+            self.rr_ids.push(plan.rr_id);
             let modules: Vec<(u32, EngineIf)> = plan
                 .modules
                 .into_iter()
@@ -243,11 +319,24 @@ impl ReconfigBackend for VmuxBackend {
         }
         BackendHandles {
             icap,
-            icap_stats: None,
             icap_faults: None,
-            portals: Vec::new(),
             reconfiguring: None,
             inject: None,
+        }
+    }
+
+    fn stats(&self) -> BackendStats {
+        BackendStats {
+            method: self.method_name(),
+            icap: None,
+            regions: self
+                .rr_ids
+                .iter()
+                .map(|&rr_id| RegionStats {
+                    rr_id,
+                    ..RegionStats::default()
+                })
+                .collect(),
         }
     }
 }
@@ -328,8 +417,10 @@ mod tests {
         );
         assert!(backend.models_bitstream());
         let h = backend.instantiate(&mut sim, clk, rst, plans);
-        assert_eq!(h.portals.len(), 2);
-        assert!(h.icap_stats.is_some());
+        let s = backend.stats();
+        assert_eq!(s.regions.len(), 2);
+        assert!(s.icap.is_some());
+        assert_eq!(s.method, "resim");
         sim.run_for(5 * PERIOD).unwrap();
         assert_eq!(sim.peek_u64(boundaries[0].plb.wdata), Some(0x11));
         assert_eq!(sim.peek_u64(boundaries[1].plb.wdata), Some(0x21));
@@ -354,8 +445,10 @@ mod tests {
         sim.run_for(300 * PERIOD).unwrap();
         assert_eq!(sim.peek_u64(boundaries[1].plb.wdata), Some(0x22));
         assert_eq!(sim.peek_u64(boundaries[0].plb.wdata), Some(0x11));
-        assert_eq!(h.portals[0].borrow().swaps, 0);
-        assert_eq!(h.portals[1].borrow().swaps, 1);
+        let s = backend.stats();
+        assert_eq!(s.region(1).unwrap().swaps, 0);
+        assert_eq!(s.region(2).unwrap().swaps, 1);
+        assert_eq!(s.total_swaps(), 1);
         assert!(!sim.has_errors(), "{:?}", sim.messages());
     }
 
@@ -385,8 +478,10 @@ mod tests {
         );
         assert!(!backend.models_bitstream());
         let h = backend.instantiate(&mut sim, clk, rst, plans);
-        assert!(h.portals.is_empty());
-        assert!(h.icap_stats.is_none());
+        let s = backend.stats();
+        assert!(s.icap.is_none());
+        assert_eq!(s.regions.len(), 2, "one zeroed entry per region");
+        assert_eq!(s.total_swaps(), 0);
         sim.run_for(5 * PERIOD).unwrap();
         assert_eq!(sim.peek_u64(boundaries[0].plb.wdata), Some(0x11));
         assert_eq!(sim.peek_u64(boundaries[1].plb.wdata), Some(0x21));

@@ -16,7 +16,7 @@
 //!   DURING-reconfiguration window between SYNC and DESYNC.
 
 use crate::simb::{SimbEvent, SimbParser};
-use rtlsim::{CompKind, Component, Ctx, SignalId, Simulator};
+use rtlsim::{CompKind, Component, Ctx, SignalId, Simulator, TraceCat};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
@@ -200,6 +200,12 @@ pub struct IcapArtifact {
     faults: Option<IcapFaultHandle>,
     /// Edge-detect for the `abort` input.
     abort_seen: bool,
+    /// Region id of the SimB-transfer trace span currently open (set at
+    /// the stream's FAR, closed at DESYNC/abort). Trace bookkeeping
+    /// only; never read by the simulation itself.
+    transfer_rr: Option<u8>,
+    /// Region id of the open error-injection trace span, likewise.
+    inject_rr: Option<u8>,
 }
 
 impl IcapArtifact {
@@ -243,9 +249,21 @@ impl IcapArtifact {
             stats: stats.clone(),
             faults: Some(faults.clone()),
             abort_seen: false,
+            transfer_rr: None,
+            inject_rr: None,
         };
         sim.add_component(name, CompKind::Artifact, Box::new(icap), &[clk, rst]);
         (port, stats, faults)
+    }
+
+    /// Close any open trace spans (stream torn down by abort or reset).
+    fn trace_close_spans(&mut self, ctx: &mut Ctx<'_>, arg: u64) {
+        if let Some(rr) = self.inject_rr.take() {
+            ctx.trace_end(TraceCat::Icap, "inject", rr as u32, arg);
+        }
+        if let Some(rr) = self.transfer_rr.take() {
+            ctx.trace_end(TraceCat::Simb, "transfer", rr as u32, arg);
+        }
     }
 
     /// Report a recoverable transfer fault: warning in `tolerant` mode
@@ -264,6 +282,7 @@ impl Component for IcapArtifact {
     fn eval(&mut self, ctx: &mut Ctx<'_>) {
         let p = self.port;
         if ctx.is_high(self.rst) {
+            self.trace_close_spans(ctx, u64::MAX);
             self.fifo.clear();
             self.parser = SimbParser::new();
             self.drain_count = 0;
@@ -306,6 +325,8 @@ impl Component for IcapArtifact {
         if aborting {
             if !self.abort_seen {
                 self.abort_seen = true;
+                ctx.trace_instant(TraceCat::Icap, "abort", self.last_far.0 as u32, 0);
+                self.trace_close_spans(ctx, u64::MAX);
                 self.stats.borrow_mut().aborts += 1;
                 self.fifo.clear();
                 self.parser = SimbParser::new();
@@ -351,25 +372,53 @@ impl Component for IcapArtifact {
                 for ev in self.parser.push(w) {
                     match ev {
                         SimbEvent::Sync => {
+                            ctx.trace_instant(TraceCat::Icap, "sync", 0, 0);
                             ctx.set_bit(p.reconfiguring, true);
                             ctx.set_bit(p.crc_error, false);
                             self.swap_deferred = false;
                         }
                         SimbEvent::Far { rr, module } => {
                             self.last_far = (rr, module);
+                            if self.transfer_rr.is_none() {
+                                self.transfer_rr = Some(rr);
+                                ctx.trace_begin(
+                                    TraceCat::Simb,
+                                    "transfer",
+                                    rr as u32,
+                                    module as u64,
+                                );
+                            }
                             ctx.set_u64(p.swap_rr, rr as u64);
                             ctx.set_u64(p.swap_module, module as u64);
                         }
                         SimbEvent::Wcfg => {}
-                        SimbEvent::PayloadStart { .. } => {
+                        SimbEvent::PayloadStart { words } => {
+                            if self.inject_rr.is_none() {
+                                self.inject_rr = Some(self.last_far.0);
+                                ctx.trace_begin(
+                                    TraceCat::Icap,
+                                    "inject",
+                                    self.last_far.0 as u32,
+                                    words as u64,
+                                );
+                            }
                             ctx.set_bit(p.inject, true);
                             if self.cfg.swap_trigger == SwapTrigger::FirstPayloadWord {
+                                ctx.trace_instant(
+                                    TraceCat::Icap,
+                                    "swap",
+                                    self.last_far.0 as u32,
+                                    self.last_far.1 as u64,
+                                );
                                 ctx.set_bit(p.swap_strobe, true);
                                 self.strobe_pending = true;
                                 self.stats.borrow_mut().swaps += 1;
                             }
                         }
                         SimbEvent::PayloadEnd => {
+                            if let Some(rr) = self.inject_rr.take() {
+                                ctx.trace_end(TraceCat::Icap, "inject", rr as u32, 0);
+                            }
                             ctx.set_bit(p.inject, false);
                             if self.cfg.swap_trigger == SwapTrigger::LastPayloadWord {
                                 if self.cfg.require_integrity {
@@ -377,6 +426,12 @@ impl Component for IcapArtifact {
                                     // CRC packet verifies.
                                     self.swap_deferred = true;
                                 } else {
+                                    ctx.trace_instant(
+                                        TraceCat::Icap,
+                                        "swap",
+                                        self.last_far.0 as u32,
+                                        self.last_far.1 as u64,
+                                    );
                                     ctx.set_bit(p.swap_strobe, true);
                                     self.strobe_pending = true;
                                     self.stats.borrow_mut().swaps += 1;
@@ -392,6 +447,9 @@ impl Component for IcapArtifact {
                             self.strobe_pending = true;
                         }
                         SimbEvent::Desync => {
+                            if let Some(rr) = self.transfer_rr.take() {
+                                ctx.trace_end(TraceCat::Simb, "transfer", rr as u32, 0);
+                            }
                             ctx.set_bit(p.reconfiguring, false);
                             self.stats.borrow_mut().desyncs += 1;
                             if self.swap_deferred {
@@ -407,19 +465,33 @@ impl Component for IcapArtifact {
                             }
                         }
                         SimbEvent::Malformed { word } => {
+                            ctx.trace_instant(TraceCat::Icap, "malformed", 0, word as u64);
                             self.stats.borrow_mut().malformed += 1;
                             self.report(ctx, format!("malformed SimB word {word:#010x}"));
                         }
                         SimbEvent::CrcOk => {
+                            ctx.trace_instant(TraceCat::Icap, "crc_ok", self.last_far.0 as u32, 0);
                             self.stats.borrow_mut().crc_ok += 1;
                             if self.swap_deferred {
                                 self.swap_deferred = false;
+                                ctx.trace_instant(
+                                    TraceCat::Icap,
+                                    "swap",
+                                    self.last_far.0 as u32,
+                                    self.last_far.1 as u64,
+                                );
                                 ctx.set_bit(p.swap_strobe, true);
                                 self.strobe_pending = true;
                                 self.stats.borrow_mut().swaps += 1;
                             }
                         }
                         SimbEvent::CrcMismatch { expected, got } => {
+                            ctx.trace_instant(
+                                TraceCat::Icap,
+                                "crc_mismatch",
+                                self.last_far.0 as u32,
+                                got as u64,
+                            );
                             self.stats.borrow_mut().crc_mismatches += 1;
                             self.swap_deferred = false;
                             ctx.set_bit(p.crc_error, true);

@@ -35,8 +35,8 @@ pub mod simb;
 pub mod vmux;
 
 pub use backend::{
-    BackendHandles, ErrorSourceFactory, ReconfigBackend, RegionPlan, ResimBackend, VmuxBackend,
-    VmuxRegion,
+    BackendHandles, BackendStats, ErrorSourceFactory, ReconfigBackend, RegionPlan, RegionStats,
+    ResimBackend, VmuxBackend, VmuxRegion,
 };
 
 pub use icap::{

@@ -21,7 +21,7 @@
 use crate::icap::IcapPort;
 use engines::EngineIf;
 use plb::MasterPort;
-use rtlsim::{CompKind, Component, Ctx, Lv, SignalId, Simulator};
+use rtlsim::{CompKind, Component, Ctx, Lv, SignalId, Simulator, TraceCat};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -160,6 +160,7 @@ impl Component for ExtendedPortal {
             let module = ctx.get(self.icap.swap_module).to_u64_lossy() as u8;
             match self.module_ids.iter().position(|m| *m == module) {
                 Some(idx) => {
+                    ctx.trace_instant(TraceCat::Portal, "swap", self.rr_id as u32, module as u64);
                     ctx.set_u64(self.active, idx as u64);
                     self.stats.borrow_mut().swaps += 1;
                 }

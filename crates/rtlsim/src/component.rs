@@ -4,6 +4,7 @@
 
 use crate::lv::Lv;
 use crate::sim::{SimCore, SimMessage};
+use crate::trace::{TraceCat, TraceKind};
 use crate::{CompId, Severity, SignalId};
 
 /// Classification of a component, used by the kernel profiler to attribute
@@ -174,5 +175,62 @@ impl Ctx<'_> {
     /// `$finish`). Pending writes still apply.
     pub fn finish(&mut self) {
         self.core.finish_requested = true;
+    }
+
+    // --- Structured event tracing (see `crate::trace`). Every helper is
+    // a single inlined branch while tracing is off; emission is a pure
+    // observation and never changes scheduling.
+
+    /// True if the structured-event sink is on. Components only need this
+    /// when preparing an emission is itself non-trivial.
+    #[inline]
+    pub fn trace_enabled(&self) -> bool {
+        self.core.trace.enabled
+    }
+
+    /// Open a span: `cat`/`name`/`track` identify it; the matching
+    /// [`Ctx::trace_end`] closes it. `track` is the per-category lane
+    /// (the reconfigurable-region id for region-scoped spans).
+    #[inline]
+    pub fn trace_begin(&mut self, cat: TraceCat, name: &'static str, track: u32, arg: u64) {
+        if self.core.trace.enabled {
+            let now = self.core.now;
+            self.core
+                .trace
+                .push(now, TraceKind::Begin, cat, name, track, arg);
+        }
+    }
+
+    /// Close the innermost span with this `cat`/`name`/`track`.
+    #[inline]
+    pub fn trace_end(&mut self, cat: TraceCat, name: &'static str, track: u32, arg: u64) {
+        if self.core.trace.enabled {
+            let now = self.core.now;
+            self.core
+                .trace
+                .push(now, TraceKind::End, cat, name, track, arg);
+        }
+    }
+
+    /// Record a zero-duration point event.
+    #[inline]
+    pub fn trace_instant(&mut self, cat: TraceCat, name: &'static str, track: u32, arg: u64) {
+        if self.core.trace.enabled {
+            let now = self.core.now;
+            self.core
+                .trace
+                .push(now, TraceKind::Instant, cat, name, track, arg);
+        }
+    }
+
+    /// Record a counter sample (`value` becomes the track's y-value).
+    #[inline]
+    pub fn trace_counter(&mut self, cat: TraceCat, name: &'static str, track: u32, value: u64) {
+        if self.core.trace.enabled {
+            let now = self.core.now;
+            self.core
+                .trace
+                .push(now, TraceKind::Counter, cat, name, track, value);
+        }
     }
 }

@@ -51,6 +51,7 @@ pub mod lv;
 pub mod name;
 pub mod profile;
 pub mod sim;
+pub mod trace;
 mod vcd;
 
 pub use clock::{Clock, ResetGen};
@@ -59,6 +60,7 @@ pub use logic::Logic;
 pub use lv::Lv;
 pub use name::{Name, NameId};
 pub use sim::{KernelError, SimError, SimMessage, SimStats, Simulator, DELTA_LIMIT};
+pub use trace::{TraceCat, TraceEvent, TraceKind};
 
 /// Handle to a signal in a [`Simulator`]'s arena.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

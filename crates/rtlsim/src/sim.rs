@@ -33,6 +33,7 @@ use crate::component::{CompKind, Component, Ctx};
 use crate::lv::Lv;
 use crate::name::{Name, NameArena, NameId};
 use crate::profile::Profiler;
+use crate::trace::{TraceBuf, TraceCat, TraceEvent, TraceKind, DEFAULT_TRACE_CAPACITY};
 use crate::vcd::VcdWriter;
 use crate::{CompId, Severity, SignalId};
 use std::cmp::Reverse;
@@ -42,6 +43,10 @@ use std::fmt;
 /// Maximum delta iterations at one time point before the kernel declares a
 /// combinational oscillation (like an HDL simulator's iteration limit).
 pub const DELTA_LIMIT: u32 = 10_000;
+
+/// Time points between scheduler-occupancy counter samples while the
+/// structured trace is enabled.
+const SCHED_SAMPLE_PERIOD: u64 = 4096;
 
 /// A timestamped diagnostic produced by a component.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -229,6 +234,12 @@ impl Scheduler {
         out.sort_unstable_by_key(|e| e.seq);
     }
 
+    /// Total pending events (wheel + far horizon) — the occupancy the
+    /// kernel samples into the trace as a counter track.
+    fn pending_events(&self) -> usize {
+        self.len + self.far.len()
+    }
+
     /// Time of the earliest pending event, if any.
     fn next_time(&self) -> Option<u64> {
         if self.len > 0 {
@@ -279,6 +290,8 @@ pub(crate) struct SimCore {
     pub finish_requested: bool,
     pub names: NameArena,
     comp_names: Vec<(NameId, CompKind)>,
+    /// Structured-event sink (see [`crate::trace`]); off by default.
+    pub trace: TraceBuf,
 }
 
 impl SimCore {
@@ -367,6 +380,7 @@ impl Simulator {
                 finish_requested: false,
                 names: NameArena::new(),
                 comp_names: Vec::new(),
+                trace: TraceBuf::new(),
             },
             comps: Vec::new(),
             ready: Vec::new(),
@@ -487,13 +501,32 @@ impl Simulator {
 
     /// Sum of toggle counts over all signals whose hierarchical name
     /// starts with `prefix`.
+    ///
+    /// Legacy stringly lookup: it re-scans every signal name on each
+    /// call. Resolve once with [`Simulator::signals_with_prefix`] (or
+    /// `verif`'s typed `ActivityProbe`) and read through the handles
+    /// instead.
+    #[doc(hidden)]
     pub fn toggle_count_prefix(&self, prefix: &str) -> u64 {
+        self.toggle_count_set(&self.signals_with_prefix(prefix))
+    }
+
+    /// Resolve the set of signals whose hierarchical name starts with
+    /// `prefix` — once, at build time — into typed handles usable for
+    /// repeated activity reads without any string matching.
+    pub fn signals_with_prefix(&self, prefix: &str) -> Vec<SignalId> {
         self.core
             .signals
             .iter()
-            .filter(|s| self.core.names.resolve(s.name).starts_with(prefix))
-            .map(|s| s.toggles)
-            .sum()
+            .enumerate()
+            .filter(|(_, s)| self.core.names.resolve(s.name).starts_with(prefix))
+            .map(|(i, _)| SignalId(i as u32))
+            .collect()
+    }
+
+    /// Sum of toggle counts over a resolved signal set.
+    pub fn toggle_count_set(&self, signals: &[SignalId]) -> u64 {
+        signals.iter().map(|s| self.toggle_count(*s)).sum()
     }
 
     /// Enable VCD waveform tracing of all signals to `path`.
@@ -507,6 +540,51 @@ impl Simulator {
         self.vcd = Some(VcdWriter::create(path, &names)?);
         self.tracing = true;
         Ok(())
+    }
+
+    /// Enable structured event tracing (see [`crate::trace`]) with the
+    /// default ring capacity. A pure observer: enabling it never changes
+    /// simulation results, and while it stays off every emission helper
+    /// is a single predicted-not-taken branch.
+    pub fn enable_trace(&mut self) {
+        self.enable_trace_with_capacity(DEFAULT_TRACE_CAPACITY);
+    }
+
+    /// Enable structured event tracing with an explicit ring capacity
+    /// (events; oldest are overwritten once full).
+    pub fn enable_trace_with_capacity(&mut self, capacity: usize) {
+        self.core.trace.enable(capacity);
+    }
+
+    /// True if the structured-event sink is on.
+    pub fn trace_enabled(&self) -> bool {
+        self.core.trace.enabled
+    }
+
+    /// Recorded trace events in emission order (oldest retained first).
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.core.trace.events()
+    }
+
+    /// Events lost to ring overwrite.
+    pub fn trace_dropped(&self) -> u64 {
+        self.core.trace.dropped()
+    }
+
+    /// Emit a trace event from the testbench (components use the `Ctx`
+    /// helpers instead). No-op while tracing is off.
+    pub fn trace_emit(
+        &mut self,
+        kind: TraceKind,
+        cat: TraceCat,
+        name: &'static str,
+        track: u32,
+        arg: u64,
+    ) {
+        if self.core.trace.enabled {
+            let now = self.core.now;
+            self.core.trace.push(now, kind, cat, name, track, arg);
+        }
     }
 
     /// Enable or disable per-component wall-time profiling (off by
@@ -746,6 +824,20 @@ impl Simulator {
             self.core.sched.advance(next);
             self.core.step += 1;
             self.stats.time_points += 1;
+            // Sample scheduler occupancy into the trace on a coarse,
+            // deterministic cadence (a simulation-derived counter, so
+            // identical runs sample at identical points).
+            if self.core.trace.enabled && self.stats.time_points.is_multiple_of(SCHED_SAMPLE_PERIOD) {
+                let occ = self.core.sched.pending_events() as u64;
+                self.core.trace.push(
+                    next,
+                    TraceKind::Counter,
+                    TraceCat::Kernel,
+                    "sched.pending",
+                    0,
+                    occ,
+                );
+            }
         }
     }
 

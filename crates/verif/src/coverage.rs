@@ -54,7 +54,7 @@ pub struct DprCoverage {
     /// Frames displayed.
     pub frames: usize,
     /// Per-region swap counts (portal statistics), in region order.
-    /// Empty when the backend has no portals (VMUX).
+    /// All zero when the backend models no portals (VMUX).
     pub region_swaps: Vec<u64>,
     /// Per-region isolation pulses, in region order.
     pub region_isolation_pulses: Vec<u64>,
@@ -98,10 +98,11 @@ impl CoverageProbes {
 
     /// Gather the record after the run.
     pub fn collect(&self, sys: &AvSystem) -> DprCoverage {
-        let icap = sys.icap.as_ref().map(|i| i.borrow().clone());
+        let stats = sys.backend_stats();
+        let icap = stats.icap.as_ref();
         DprCoverage {
-            swaps: icap.as_ref().map(|i| i.swaps).unwrap_or(0),
-            desyncs: icap.as_ref().map(|i| i.desyncs).unwrap_or(0),
+            swaps: icap.map(|i| i.swaps).unwrap_or(0),
+            desyncs: icap.map(|i| i.desyncs).unwrap_or(0),
             injection_windows: self
                 .injection
                 .as_ref()
@@ -114,10 +115,10 @@ impl CoverageProbes {
                 .as_ref()
                 .map(|p| p.borrow().total_ps)
                 .unwrap_or(0),
-            backpressure_events: icap.as_ref().map(|i| i.backpressure_events).unwrap_or(0),
+            backpressure_events: icap.map(|i| i.backpressure_events).unwrap_or(0),
             interrupts: sys.cpu.borrow().interrupts,
             frames: sys.captured.borrow().len(),
-            region_swaps: sys.portals.iter().map(|p| p.borrow().swaps).collect(),
+            region_swaps: stats.regions.iter().map(|r| r.swaps).collect(),
             region_isolation_pulses: self
                 .region_isolation
                 .iter()

@@ -13,12 +13,15 @@
 //! * [`turnaround`] — the §V-B simulation vs on-chip debug-turnaround
 //!   comparison;
 //! * [`recovery`] — the randomized transient-fault injection campaign
-//!   measuring the resilient-reconfiguration machinery.
+//!   measuring the resilient-reconfiguration machinery;
+//! * [`reconfig_timeline`] — per-region reconfiguration timelines
+//!   reconstructed from the kernel's structured trace.
 
 pub mod coverage;
 pub mod detect;
 pub mod matrix;
 pub mod probe;
+pub mod reconfig_timeline;
 pub mod recovery;
 pub mod timeline;
 pub mod turnaround;
@@ -30,6 +33,7 @@ pub use matrix::{
     MatrixConfig, MatrixRow,
 };
 pub use probe::{probe_high_time, HighTime, Probe};
+pub use reconfig_timeline::{ReconfigTimeline, RegionTimeline};
 pub use recovery::{
     render_campaign, run_campaign, run_one, summarize, CampaignConfig, CampaignSummary, RunClass,
     RunReport,

@@ -1,0 +1,174 @@
+//! Reconfiguration timeline reconstructed from the structured trace.
+//!
+//! Earlier harnesses reconstructed "what happened during
+//! reconfiguration" with bespoke logging — one `HighTime` probe per
+//! signal of interest, installed before the run and read back after it.
+//! The kernel's structured trace makes that reconstruction generic: the
+//! reconfiguration plane already emits typed spans (SimB transfers per
+//! region, isolation windows, portal swap strobes, retry attempts), so
+//! a timeline is a pure function of the event stream, needs no signals
+//! resolved up front, and works for any region count.
+
+use obs::{span_durations, Span};
+use rtlsim::{TraceCat, TraceEvent, TraceKind};
+use std::collections::BTreeMap;
+
+/// Reconfiguration activity of one region, reconstructed from the
+/// trace event stream.
+#[derive(Debug, Clone, Default)]
+pub struct RegionTimeline {
+    /// Region ID (the span track the reconfiguration plane files its
+    /// events under).
+    pub rr_id: u32,
+    /// SimB transfer windows (SYNC's first FAR to DESYNC).
+    pub transfers: Vec<Span>,
+    /// Isolation assert/release windows.
+    pub isolation: Vec<Span>,
+    /// Portal swap instants, in picoseconds.
+    pub swaps: Vec<u64>,
+}
+
+impl RegionTimeline {
+    /// True when every transfer lies inside some isolation window —
+    /// the invariant the X-injection methodology is meant to enforce.
+    pub fn transfers_isolated(&self) -> bool {
+        self.transfers.iter().all(|t| {
+            self.isolation
+                .iter()
+                .any(|w| w.start_ps <= t.start_ps && t.end_ps <= w.end_ps)
+        })
+    }
+}
+
+/// The whole run's reconfiguration timeline: per-region activity plus
+/// the system-wide retry count.
+#[derive(Debug, Clone, Default)]
+pub struct ReconfigTimeline {
+    /// Per-region timelines, ordered by region ID.
+    pub regions: Vec<RegionTimeline>,
+    /// IcapCTRL retry attempts observed anywhere in the stream.
+    pub retries: u64,
+}
+
+impl ReconfigTimeline {
+    /// Reconstruct the timeline from a trace event stream (as returned
+    /// by `Simulator::trace_events`).
+    pub fn from_events(events: &[TraceEvent]) -> ReconfigTimeline {
+        let mut regions: BTreeMap<u32, RegionTimeline> = BTreeMap::new();
+        fn region(map: &mut BTreeMap<u32, RegionTimeline>, rr: u32) -> &mut RegionTimeline {
+            map.entry(rr).or_insert_with(|| RegionTimeline {
+                rr_id: rr,
+                ..RegionTimeline::default()
+            })
+        }
+        for s in span_durations(events, TraceCat::Simb, "transfer") {
+            region(&mut regions, s.track).transfers.push(s);
+        }
+        for s in span_durations(events, TraceCat::Isolation, "window") {
+            region(&mut regions, s.track).isolation.push(s);
+        }
+        let mut retries = 0;
+        for e in events {
+            match (e.cat, e.kind, e.name) {
+                (TraceCat::Portal, TraceKind::Instant, "swap") => {
+                    region(&mut regions, e.track).swaps.push(e.time_ps);
+                }
+                (TraceCat::Retry, TraceKind::Instant, "retry") => retries += 1,
+                _ => {}
+            }
+        }
+        ReconfigTimeline {
+            regions: regions.into_values().collect(),
+            retries,
+        }
+    }
+
+    /// Render the timeline as text, one line per region plus one span
+    /// line per transfer.
+    pub fn render(&self) -> String {
+        let us = |ps: u64| ps as f64 / 1e6;
+        let mut out = String::new();
+        for r in &self.regions {
+            out.push_str(&format!(
+                "region rr{}: {} transfers, {} isolation windows, {} swaps{}\n",
+                r.rr_id,
+                r.transfers.len(),
+                r.isolation.len(),
+                r.swaps.len(),
+                if r.transfers_isolated() {
+                    ""
+                } else {
+                    "  [TRANSFER OUTSIDE ISOLATION]"
+                }
+            ));
+            for (i, t) in r.transfers.iter().enumerate() {
+                out.push_str(&format!(
+                    "  transfer {i}: {:.3}..{:.3} us (module {:#04x})\n",
+                    us(t.start_ps),
+                    us(t.end_ps),
+                    t.arg
+                ));
+            }
+        }
+        if self.retries > 0 {
+            out.push_str(&format!("retries: {}\n", self.retries));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlsim::TraceKind;
+
+    fn ev(
+        time_ps: u64,
+        seq: u64,
+        kind: TraceKind,
+        cat: TraceCat,
+        name: &'static str,
+        track: u32,
+        arg: u64,
+    ) -> TraceEvent {
+        TraceEvent {
+            time_ps,
+            seq,
+            kind,
+            cat,
+            name,
+            track,
+            arg,
+        }
+    }
+
+    #[test]
+    fn timeline_groups_spans_by_region_and_checks_isolation() {
+        use TraceCat::*;
+        use TraceKind::*;
+        let events = vec![
+            ev(100, 0, Begin, Isolation, "window", 1, 0),
+            ev(150, 1, Begin, Simb, "transfer", 1, 0x02),
+            ev(300, 2, Instant, Portal, "swap", 1, 0x02),
+            ev(310, 3, End, Simb, "transfer", 1, 0x02),
+            ev(400, 4, End, Isolation, "window", 1, 0),
+            // Region 2: transfer with no isolation window at all.
+            ev(500, 5, Begin, Simb, "transfer", 2, 0x01),
+            ev(600, 6, End, Simb, "transfer", 2, 0x01),
+            ev(650, 7, Instant, Retry, "retry", 0, 3),
+        ];
+        let tl = ReconfigTimeline::from_events(&events);
+        assert_eq!(tl.regions.len(), 2);
+        assert_eq!(tl.regions[0].rr_id, 1);
+        assert_eq!(tl.regions[0].transfers.len(), 1);
+        assert_eq!(tl.regions[0].isolation.len(), 1);
+        assert_eq!(tl.regions[0].swaps, vec![300]);
+        assert!(tl.regions[0].transfers_isolated());
+        assert!(!tl.regions[1].transfers_isolated());
+        assert_eq!(tl.retries, 1);
+        let text = tl.render();
+        assert!(text.contains("region rr1: 1 transfers"));
+        assert!(text.contains("TRANSFER OUTSIDE ISOLATION"));
+        assert!(text.contains("retries: 1"));
+    }
+}

@@ -142,6 +142,6 @@ fn recovery_disabled_is_inert_and_preserves_seed_behaviour() {
     assert_eq!((r.retries, r.recovered, r.exhausted), (0, 0, 0), "{r:?}");
     assert_eq!(r.bus_errors + r.watchdog_fires + r.integrity_errors, 0);
     // No integrity machinery in the ICAP stream either.
-    let icap = sys.icap.as_ref().expect("ReSim build").borrow();
+    let icap = sys.backend_stats().icap.expect("ReSim build");
     assert_eq!(icap.crc_ok + icap.crc_mismatches, 0);
 }

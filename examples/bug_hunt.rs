@@ -11,15 +11,15 @@ use autovision::{Bug, FaultSet, SimMethod, SystemConfig};
 use verif::run_experiment;
 
 fn run(method: SimMethod, bug: Option<Bug>) -> verif::Verdict {
-    let cfg = SystemConfig {
-        method,
-        faults: bug.map(FaultSet::one).unwrap_or_default(),
-        width: 32,
-        height: 24,
-        n_frames: 2,
-        payload_words: 1024,
-        ..Default::default()
-    };
+    let cfg = SystemConfig::builder()
+        .method(method)
+        .faults(bug.map(FaultSet::one).unwrap_or_default())
+        .width(32)
+        .height(24)
+        .n_frames(2)
+        .payload_words(1024)
+        .build()
+        .expect("bug-hunt config is valid");
     run_experiment(cfg, 1_500_000)
 }
 

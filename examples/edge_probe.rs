@@ -9,49 +9,44 @@ use autovision::{AvSystem, SimMethod, SystemConfig};
 
 fn main() {
     // Probe 1: a frame width that cannot pack into bus words must be
-    // rejected with a clear message, not mis-simulated. (The default
-    // panic printer is silenced around the expected rejection.)
-    let default_hook = std::panic::take_hook();
-    std::panic::set_hook(Box::new(|_| {}));
-    let r = std::panic::catch_unwind(|| {
-        AvSystem::build(SystemConfig {
-            width: 30,
-            height: 24,
-            ..Default::default()
-        })
-    });
-    std::panic::set_hook(default_hook);
-    match r {
-        Err(_) => println!("probe 1: width=30 rejected with a panic (expected)"),
-        Ok(_) => panic!("probe 1: width=30 was accepted — packing would corrupt"),
-    }
+    // rejected by the builder with a typed error, not mis-simulated.
+    let err = SystemConfig::builder()
+        .width(30)
+        .height(24)
+        .build()
+        .expect_err("width=30 must be rejected — packing would corrupt");
+    println!("probe 1: width=30 rejected by the builder: {err}");
 
     // Probe 2: the minimum SimB payload (1 word) still reconfigures.
-    let mut sys = AvSystem::build(SystemConfig {
-        method: SimMethod::Resim,
-        width: 16,
-        height: 8,
-        n_frames: 1,
-        payload_words: 1,
-        ..Default::default()
-    });
+    let mut sys = AvSystem::build(
+        SystemConfig::builder()
+            .method(SimMethod::Resim)
+            .width(16)
+            .height(8)
+            .n_frames(1)
+            .payload_words(1)
+            .build()
+            .expect("1-word payload is valid"),
+    );
     let out = sys.run(1_000_000);
     assert!(!out.hung && out.frames_captured == 1, "{out:?}");
-    assert_eq!(sys.icap.as_ref().unwrap().borrow().swaps, 2);
+    assert_eq!(sys.backend_stats().icap.unwrap().swaps, 2);
     assert_eq!(&sys.captured.borrow()[0], &sys.golden_output()[0]);
     println!("probe 2: 1-word SimB payload still swaps correctly");
 
     // Probe 3: a huge SimB (the real bitstream's 129K words) at small
     // geometry — slow but correct.
-    let mut sys = AvSystem::build(SystemConfig {
-        method: SimMethod::Resim,
-        width: 16,
-        height: 8,
-        n_frames: 1,
-        payload_words: 131_072,
-        cfg_divider: 1,
-        ..Default::default()
-    });
+    let mut sys = AvSystem::build(
+        SystemConfig::builder()
+            .method(SimMethod::Resim)
+            .width(16)
+            .height(8)
+            .n_frames(1)
+            .payload_words(131_072)
+            .cfg_divider(1)
+            .build()
+            .expect("full-length bitstream config is valid"),
+    );
     let out = sys.run(3_000_000);
     assert!(!out.hung && out.frames_captured == 1, "{out:?}");
     assert_eq!(&sys.captured.borrow()[0], &sys.golden_output()[0]);

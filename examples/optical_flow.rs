@@ -13,16 +13,16 @@ use autovision::{AvSystem, SimMethod, SystemConfig};
 use video::{census_transform, detect_objects, match_frames, AnalysisParams, MatchParams, Scene};
 
 fn main() {
-    let cfg = SystemConfig {
-        method: SimMethod::Resim,
-        width: 96,
-        height: 64,
-        n_frames: 4,
-        payload_words: 512,
-        scene_objects: 3,
-        seed: 7,
-        ..Default::default()
-    };
+    let cfg = SystemConfig::builder()
+        .method(SimMethod::Resim)
+        .width(96)
+        .height(64)
+        .n_frames(4)
+        .payload_words(512)
+        .scene_objects(3)
+        .seed(7)
+        .build()
+        .expect("demo config is valid");
     let scene = Scene::new(cfg.width, cfg.height, cfg.scene_objects, cfg.seed);
     println!(
         "scene: {} moving objects on a {}x{} road background",
@@ -48,7 +48,7 @@ fn main() {
         "simulated {} us in {} cycles; {} module swaps",
         sys.sim.now() / 1_000_000,
         outcome.cycles,
-        sys.icap.as_ref().unwrap().borrow().swaps
+        sys.backend_stats().total_swaps()
     );
 
     let dir = std::path::Path::new("target/optical_flow_demo");

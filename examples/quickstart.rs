@@ -10,14 +10,14 @@ use autovision::{AvSystem, SimMethod, SystemConfig};
 
 fn main() {
     // A small configuration: 32x24 frames, one frame, short SimB.
-    let cfg = SystemConfig {
-        method: SimMethod::Resim,
-        width: 32,
-        height: 24,
-        n_frames: 1,
-        payload_words: 128,
-        ..Default::default()
-    };
+    let cfg = SystemConfig::builder()
+        .method(SimMethod::Resim)
+        .width(32)
+        .height(24)
+        .n_frames(1)
+        .payload_words(128)
+        .build()
+        .expect("quickstart config is valid");
     println!(
         "building the Optical Flow Demonstrator ({:?})...",
         cfg.method
@@ -38,12 +38,11 @@ fn main() {
     // reconfiguration (CIE swapped out, ME swapped in by a SimB through
     // the real IcapCTRL) -> ME (motion vectors) -> software overlay ->
     // display VIP.
-    let icap = sys.icap.as_ref().unwrap().borrow();
+    let icap = sys.backend_stats().icap.expect("ReSim build");
     println!(
         "reconfigurations: {} module swaps, {} complete bitstreams, {} SimB words transferred",
         icap.swaps, icap.desyncs, icap.words_accepted
     );
-    drop(icap);
 
     let golden = sys.golden_output();
     let got = &sys.captured.borrow()[0];

@@ -10,14 +10,14 @@
 use autovision::{AvSystem, SimMethod, SystemConfig};
 
 fn main() {
-    let cfg = SystemConfig {
-        method: SimMethod::Resim,
-        width: 16,
-        height: 8,
-        n_frames: 1,
-        payload_words: 64,
-        ..Default::default()
-    };
+    let cfg = SystemConfig::builder()
+        .method(SimMethod::Resim)
+        .width(16)
+        .height(8)
+        .n_frames(1)
+        .payload_words(64)
+        .build()
+        .expect("waveform config is valid");
     let dir = std::path::Path::new("target/waves");
     std::fs::create_dir_all(dir).unwrap();
     let path = dir.join("reconfiguration.vcd");

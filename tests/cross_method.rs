@@ -5,15 +5,15 @@ use autovision::{AvSystem, SimMethod, SystemConfig};
 use verif::probe_high_time;
 
 fn cfg(method: SimMethod) -> SystemConfig {
-    SystemConfig {
-        method,
-        width: 32,
-        height: 24,
-        n_frames: 3,
-        payload_words: 128,
-        seed: 99,
-        ..Default::default()
-    }
+    SystemConfig::builder()
+        .method(method)
+        .width(32)
+        .height(24)
+        .n_frames(3)
+        .payload_words(128)
+        .seed(99)
+        .build()
+        .expect("cross-method config is valid")
 }
 
 /// ReSim does not change the user design; Virtual Multiplexing hacks it

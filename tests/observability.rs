@@ -1,0 +1,143 @@
+//! Observability-plane guarantees: structured tracing is deterministic
+//! and, crucially, *free* — enabling it perturbs nothing the kernel
+//! computes, and leaving it disabled records nothing at all.
+
+use autovision::{AvSystem, SimMethod, SystemConfig};
+use obs::MetricsRegistry;
+use verif::ReconfigTimeline;
+
+fn small_cfg(regions: Option<Vec<autovision::RegionSpec>>) -> SystemConfig {
+    let mut b = SystemConfig::builder()
+        .method(SimMethod::Resim)
+        .width(32)
+        .height(24)
+        .n_frames(2)
+        .payload_words(128);
+    if let Some(r) = regions {
+        b = b.regions(r);
+    }
+    b.build().expect("test config is valid")
+}
+
+/// Two identical traced runs must produce bit-identical event streams
+/// and bit-identical Perfetto exports (no wall-clock leaks into the
+/// trace).
+#[test]
+fn identical_runs_trace_identically() {
+    let run = || {
+        let mut sys = AvSystem::build(small_cfg(None));
+        sys.sim.enable_trace();
+        let outcome = sys.run(1_500_000);
+        assert!(!outcome.hung);
+        sys.sim.trace_events()
+    };
+    let a = run();
+    let b = run();
+    assert!(!a.is_empty(), "a traced ReSim run emits events");
+    assert_eq!(a, b, "event streams differ between identical runs");
+    assert_eq!(obs::perfetto::export(&a), obs::perfetto::export(&b));
+}
+
+/// Enabling the trace must not change anything the kernel computes:
+/// same displayed frames, same eval/delta/toggle/event counters, same
+/// backend statistics. This is the kernel-smoke/table2 byte-identity
+/// property, checked at the counter level where the bench baselines
+/// measure it.
+#[test]
+fn tracing_does_not_perturb_the_simulation() {
+    let run = |trace: bool| {
+        let mut sys = AvSystem::build(small_cfg(None));
+        if trace {
+            sys.sim.enable_trace();
+        }
+        let outcome = sys.run(1_500_000);
+        assert!(!outcome.hung);
+        let frames = sys.captured.borrow().clone();
+        (sys.sim.stats(), frames, outcome.cycles, sys.backend_stats())
+    };
+    let (stats_off, frames_off, cycles_off, backend_off) = run(false);
+    let (stats_on, frames_on, cycles_on, backend_on) = run(true);
+    assert_eq!(stats_off.evals, stats_on.evals, "eval count changed");
+    assert_eq!(stats_off.deltas, stats_on.deltas, "delta count changed");
+    assert_eq!(stats_off.toggles, stats_on.toggles, "toggle count changed");
+    assert_eq!(stats_off.events, stats_on.events, "event count changed");
+    assert_eq!(stats_off.time_points, stats_on.time_points);
+    assert_eq!(cycles_off, cycles_on);
+    assert_eq!(frames_off, frames_on, "displayed frames changed");
+    assert_eq!(
+        backend_off.total_swaps(),
+        backend_on.total_swaps(),
+        "backend swap counts changed"
+    );
+}
+
+/// A disabled trace records nothing — the observer is truly off, not
+/// merely unread.
+#[test]
+fn disabled_trace_stays_empty() {
+    let mut sys = AvSystem::build(small_cfg(None));
+    let outcome = sys.run(1_500_000);
+    assert!(!outcome.hung);
+    assert!(!sys.sim.trace_enabled());
+    assert!(sys.sim.trace_events().is_empty());
+    assert_eq!(sys.sim.trace_dropped(), 0);
+}
+
+/// The acceptance scenario: a traced two-region split-pipeline run
+/// yields per-region SimB-transfer and isolation-window spans, and a
+/// metrics snapshot whose swap counters match the backend statistics.
+#[test]
+fn split_pipeline_trace_carries_per_region_spans() {
+    let mut sys = AvSystem::build(small_cfg(Some(SystemConfig::split_regions())));
+    sys.sim.enable_trace();
+    let outcome = sys.run(4_000_000);
+    assert!(!outcome.hung);
+
+    let events = sys.sim.trace_events();
+    let timeline = ReconfigTimeline::from_events(&events);
+    let stats = sys.backend_stats();
+    assert_eq!(timeline.regions.len(), 2, "both regions traced");
+    for (region, backend_region) in timeline.regions.iter().zip(&stats.regions) {
+        assert_eq!(region.rr_id, backend_region.rr_id as u32);
+        assert_eq!(
+            region.swaps.len() as u64,
+            backend_region.swaps,
+            "rr{} trace swap instants match portal counter",
+            region.rr_id
+        );
+        assert!(
+            !region.transfers.is_empty(),
+            "rr{} has SimB transfer spans",
+            region.rr_id
+        );
+        assert!(
+            !region.isolation.is_empty(),
+            "rr{} has isolation-window spans",
+            region.rr_id
+        );
+        assert!(
+            region.transfers_isolated(),
+            "rr{} transfers fall inside isolation windows",
+            region.rr_id
+        );
+    }
+
+    // The Perfetto export names both regions' tracks.
+    let json = obs::perfetto::export(&events);
+    assert!(json.contains("\"simb rr1\""));
+    assert!(json.contains("\"simb rr2\""));
+    assert!(json.contains("\"isolation rr1\""));
+    assert!(json.contains("\"isolation rr2\""));
+
+    // Metrics snapshot counters agree with the backend stats.
+    let mut reg = MetricsRegistry::new();
+    reg.counter("backend.swaps", stats.total_swaps());
+    for r in &stats.regions {
+        reg.counter(&format!("backend.rr{}.swaps", r.rr_id), r.swaps);
+    }
+    let snap = reg.snapshot_json();
+    assert!(snap.contains(&format!("\"backend.swaps\":{}", stats.total_swaps())));
+    for r in &stats.regions {
+        assert!(snap.contains(&format!("\"backend.rr{}.swaps\":{}", r.rr_id, r.swaps)));
+    }
+}
