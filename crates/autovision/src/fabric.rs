@@ -530,8 +530,21 @@ pub fn cpu_subsystem(
     dcr_handle: dcr::DcrHandle,
     source: &str,
 ) -> CpuSubsystem {
-    let port = MasterPort::alloc(sim, "cpu.plb");
     let program = ppc::assemble(source, 0x1000).expect("system software must assemble");
+    cpu_subsystem_prebuilt(sim, cr, cpu_irq, mem, dcr_handle, &program)
+}
+
+/// [`cpu_subsystem`] with an already-assembled program image — the
+/// artifact-cache path, where one assembly serves many builds.
+pub fn cpu_subsystem_prebuilt(
+    sim: &mut Simulator,
+    cr: ClockReset,
+    cpu_irq: SignalId,
+    mem: &SharedMem,
+    dcr_handle: dcr::DcrHandle,
+    program: &ppc::Program,
+) -> CpuSubsystem {
+    let port = MasterPort::alloc(sim, "cpu.plb");
     mem.load_bytes(program.base, &program.to_bytes());
     let isr = program.symbol("isr");
     mem.write_u32(

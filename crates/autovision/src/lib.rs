@@ -18,6 +18,7 @@
 //! [`AvSystem::run`] executes frames to completion with golden-model
 //! scoring available via [`AvSystem::golden_output`].
 
+pub mod artifacts;
 pub mod fabric;
 pub mod faults;
 pub mod icapctrl;
@@ -25,6 +26,7 @@ pub mod software;
 pub mod system;
 pub mod vips;
 
+pub use artifacts::{ArtifactCache, SceneArtifacts};
 pub use faults::{Bug, BugClass, FaultSet};
 pub use icapctrl::{IcapCtrl, RecoveryPolicy, RecoveryStats};
 pub use software::{SimMethod, SplitSwConfig, SwConfig};

@@ -14,6 +14,7 @@
 //! single-region system is the one-element case and is byte-identical
 //! to the pre-refactor monolith.
 
+use crate::artifacts::ArtifactCache;
 use crate::fabric::{self, RegionNames};
 use crate::faults::{Bug, FaultSet};
 use crate::icapctrl::{IcapCtrl, RecoveryPolicy, RecoveryStats};
@@ -685,6 +686,9 @@ pub struct AvSystem {
     pub recovery: Rc<RefCell<RecoveryStats>>,
     /// The synthetic input frames fed by the camera VIP.
     pub input_frames: Vec<Frame>,
+    /// Golden prediction shared from the [`ArtifactCache`] the system
+    /// was built with (computed on demand otherwise).
+    golden: Option<std::sync::Arc<crate::artifacts::SceneArtifacts>>,
     /// The configuration the system was built from.
     pub config: SystemConfig,
     /// Memory layout in use.
@@ -725,6 +729,19 @@ pub struct RegionProbes {
 impl AvSystem {
     /// Build the complete system.
     pub fn build(cfg: SystemConfig) -> AvSystem {
+        Self::build_inner(cfg, None)
+    }
+
+    /// Build the complete system, sourcing pure setup artifacts (SimB
+    /// word streams, the assembled software image, the synthetic scene
+    /// and its golden prediction) from a shared [`ArtifactCache`].
+    /// Bit-identical to [`AvSystem::build`] — the cache only absorbs
+    /// re-derivation, never changes a value.
+    pub fn build_with(cfg: SystemConfig, artifacts: &ArtifactCache) -> AvSystem {
+        Self::build_inner(cfg, Some(artifacts))
+    }
+
+    fn build_inner(cfg: SystemConfig, artifacts: Option<&ArtifactCache>) -> AvSystem {
         let scenario = cfg
             .scenario()
             .expect("region topology must be valid (validated by SystemConfig::builder)");
@@ -900,8 +917,14 @@ impl AvSystem {
         );
 
         // ----- video VIPs -----
-        let scene = Scene::new(cfg.width, cfg.height, cfg.scene_objects, cfg.seed);
-        let input_frames: Vec<Frame> = (0..cfg.n_frames).map(|t| scene.frame(t)).collect();
+        let golden = artifacts.map(|a| a.scene(&cfg));
+        let input_frames: Vec<Frame> = match &golden {
+            Some(sa) => sa.inputs.clone(),
+            None => {
+                let scene = Scene::new(cfg.width, cfg.height, cfg.scene_objects, cfg.seed);
+                (0..cfg.n_frames).map(|t| scene.frame(t)).collect()
+            }
+        };
         let video = fabric::video_subsystem(
             &mut sim,
             cr,
@@ -983,10 +1006,32 @@ impl AvSystem {
                 isr_pad_loops: cfg.isr_pad_loops,
             }),
         };
-        let cpu = fabric::cpu_subsystem(&mut sim, cr, cpu_irq, &main_mem.mem, dcr_handle, &src);
+        let cpu = match artifacts {
+            Some(a) => fabric::cpu_subsystem_prebuilt(
+                &mut sim,
+                cr,
+                cpu_irq,
+                &main_mem.mem,
+                dcr_handle,
+                &a.program(&src),
+            ),
+            None => fabric::cpu_subsystem(&mut sim, cr, cpu_irq, &main_mem.mem, dcr_handle, &src),
+        };
 
         // ----- bitstream "flash": SimBs in main memory -----
         for slot in &layout.simbs {
+            if let Some(a) = artifacts {
+                let words = a.simb(
+                    slot.module,
+                    slot.kind,
+                    slot.rr_id,
+                    cfg.payload_words,
+                    cfg.seed,
+                    cfg.recovery.enabled,
+                );
+                main_mem.mem.load_words(slot.addr, &words);
+                continue;
+            }
             let seed = cfg.seed
                 ^ match slot.kind {
                     EngineKind::Matching => 0x4D45,
@@ -1050,6 +1095,7 @@ impl AvSystem {
             icap_faults: handles.icap_faults,
             recovery: recovery_stats,
             input_frames,
+            golden,
             config: cfg,
             layout,
             probes,
@@ -1103,7 +1149,10 @@ impl AvSystem {
     /// Both scenarios implement the same pipeline, so the prediction is
     /// topology-independent.
     pub fn golden_output(&self) -> Vec<Frame> {
-        golden_output(&self.input_frames, self.config.width, self.config.height)
+        match &self.golden {
+            Some(sa) => sa.golden.clone(),
+            None => golden_output(&self.input_frames, self.config.width, self.config.height),
+        }
     }
 }
 

@@ -1,0 +1,409 @@
+//! campaign_throughput — scenario-campaign scheduling throughput.
+//!
+//! Measures the campaign executor on a deliberately *skew-heavy*
+//! workload — the full detection matrix, the split pipeline, and both
+//! recovery campaigns, ordered so the long budget-burning scenarios
+//! collide on one shard under the legacy static `i % threads` placement
+//! — and compares the legacy schedule against the work-stealing pool at
+//! the same thread count.
+//!
+//! Modes:
+//!
+//! * **default** — runs the workload serially, under `StaticShard`, and
+//!   under `WorkStealing` (both at 8 threads), reports wall clock and
+//!   scheduling counters, verifies the two parallel schedules produce
+//!   byte-identical reports, and writes the `BENCH_campaign.json`
+//!   baseline (committed at the repo root).
+//! * **`--smoke`** — re-runs the workload once with work stealing and
+//!   validates against the committed baseline: the `bench_campaign/v1`
+//!   schema and the *exact* scenario counts (total rows, matrix rows,
+//!   recovery rows, zero failures) must match. Exits nonzero on any
+//!   mismatch, which is what CI gates on.
+//! * **`--probe`** — per-scenario span durations at 1 thread, for
+//!   inspecting the workload's skew.
+//!
+//! Two times are reported per mode. **Wall** is elapsed process time,
+//! which on an undersized CI host (this container exposes a single CPU
+//! core) collapses to total work for *every* schedule — all workers
+//! time-share one core, so wall cannot distinguish a good placement
+//! from a bad one. **Makespan** is the busiest worker's load under the
+//! schedule's *actual placement*, costed with the serially-calibrated
+//! per-scenario durations (the 1-thread run's span times): for each
+//! worker, sum the calibrated cost of every scenario it executed, and
+//! take the max. That is exactly the wall clock the placement would
+//! produce on an unloaded host with one core per worker, and unlike
+//! raw wall it is a pure function of scheduling quality. The headline
+//! `speedup_vs_static` is the makespan ratio; raw wall for both
+//! schedules is kept alongside it. Ratios between the two schedules in
+//! the same process are meaningful across machines even though
+//! absolute times are not; the committed speedup is informational,
+//! while the semantic gate is the count/schema check.
+
+use bench::harness;
+use verif::{Campaign, CampaignReport, Scenario, Schedule};
+
+const BASELINE_PATH: &str = "BENCH_campaign.json";
+const BENCH_THREADS: usize = 8;
+
+/// The measured workload: every scenario family the executor knows,
+/// ordered so the budget-burning scenarios (hang-to-budget matrix rows
+/// and the watchdog-less recovery runs) land on the *same* shard under
+/// legacy `i % 8` round-robin placement. Work stealing redistributes
+/// them; the static schedule serialises them on one worker.
+fn skewed_campaign(threads: usize, schedule: Schedule) -> Campaign {
+    Campaign::builder()
+        .threads(threads)
+        .schedule(schedule)
+        // Wide admission window: this bench measures scheduling, not
+        // the streaming-delivery bound.
+        .scenario_budget(64)
+        // Spans record which worker ran which scenario — the placement
+        // the makespan metric is computed from.
+        .spans(true)
+        .scenarios(skewed_scenarios())
+        .build()
+}
+
+fn skewed_scenarios() -> Vec<Scenario> {
+    use autovision::Bug;
+    // Matrix + split + both recovery campaigns, split into the
+    // scenarios that burn their full cycle budget (hangs under at least
+    // one method) and the ones that finish early.
+    let matrix: Vec<Scenario> = std::iter::once(Scenario::Clean)
+        .chain(Bug::ALL.into_iter().map(Scenario::Bug))
+        .chain(std::iter::once(Scenario::SplitClean))
+        .collect();
+    let recovery: Vec<Scenario> = {
+        // Reuse the builder's batch expansion (seeds derived from the
+        // default master seed) so rows stay bit-equal to the production
+        // campaigns.
+        Campaign::builder()
+            .recovery_campaign(16, false)
+            .recovery_campaign(16, true)
+            .build()
+            .scenarios()
+            .to_vec()
+    };
+    // Measured with `--probe`: these scenarios burn their full cycle
+    // budget under at least one method (hangs and X storms) and cost
+    // 350-800 ms each, ~90% of the whole workload; everything else
+    // finishes in ~10-30 ms.
+    let is_heavy = |s: &Scenario| match s {
+        Scenario::Bug(b) => matches!(
+            b,
+            Bug::Hw2SignatureUninit
+                | Bug::Hw4IrqPulse
+                | Bug::Sw2FlagCached
+                | Bug::Dpr2DcrInRr
+                | Bug::Dpr3IgnoreIcapReady
+                | Bug::Dpr5StaleSizeCalc
+                | Bug::Dpr6aShortFixedWait
+                | Bug::Dpr6bNoWaitTransfer
+        ),
+        Scenario::Recovery(spec) => !spec.recovery_on && spec.fault == Bug::TransientBusError,
+        _ => false,
+    };
+    let (heavy, light): (Vec<Scenario>, Vec<Scenario>) = matrix
+        .into_iter()
+        .chain(recovery)
+        .partition(|s| is_heavy(s));
+    // Place heavy scenario k at index (k/2)*threads + (k%2): residues 0
+    // and 1, so static `i % threads` placement serialises the heavy 90%
+    // of the work on two of the eight shards while the rest sit idle.
+    let n = heavy.len() + light.len();
+    let mut slots: Vec<Option<Scenario>> = vec![None; n];
+    for (k, h) in heavy.into_iter().enumerate() {
+        slots[(k / 2) * BENCH_THREADS + (k % 2)] = Some(h);
+    }
+    let mut light = light.into_iter();
+    slots
+        .into_iter()
+        .map(|s| s.unwrap_or_else(|| light.next().expect("slot/light count mismatch")))
+        .collect()
+}
+
+struct Measurement {
+    label: &'static str,
+    wall_s: f64,
+    /// Busiest worker's placement load under serially-calibrated
+    /// per-scenario costs — the wall clock this placement would produce
+    /// on an unloaded host with one core per worker. Filled in by
+    /// [`calibrate_makespan`] once the serial costs are known.
+    makespan_s: f64,
+    steals: u64,
+    idle_s: f64,
+    report: CampaignReport,
+}
+
+fn measure(label: &'static str, threads: usize, schedule: Schedule) -> Measurement {
+    let report = skewed_campaign(threads, schedule).run();
+    Measurement {
+        label,
+        wall_s: report.stats.wall_s,
+        makespan_s: 0.0,
+        steals: report.stats.steals(),
+        idle_s: report.stats.idle_ns() as f64 / 1e9,
+        report,
+    }
+}
+
+/// Per-scenario cost vector from the serial run's spans: `cost[i]` is
+/// what scenario `i` took with the whole host to itself.
+fn serial_costs(serial: &Measurement) -> Vec<u64> {
+    let mut cost = vec![0u64; serial.report.rows.len()];
+    for span in &serial.report.stats.spans {
+        cost[span.index] = span.dur_ns;
+    }
+    cost
+}
+
+/// Max over workers of the summed calibrated cost of the scenarios that
+/// worker actually executed.
+fn calibrate_makespan(m: &mut Measurement, cost: &[u64]) {
+    let workers = m.report.stats.workers.len();
+    let mut load = vec![0u64; workers.max(1)];
+    for span in &m.report.stats.spans {
+        load[span.worker] += cost[span.index];
+    }
+    m.makespan_s = load.iter().copied().max().unwrap_or(0) as f64 / 1e9;
+}
+
+fn print_measurement(m: &Measurement) {
+    let s = &m.report.stats;
+    println!("{}:", m.label);
+    println!(
+        "  wall           : {:.3} s ({} scenarios, {:.2}/s)",
+        m.wall_s,
+        s.scenarios,
+        s.scenarios_per_sec()
+    );
+    if m.makespan_s > 0.0 {
+        println!(
+            "  makespan       : {:.3} s (busiest worker, serially-calibrated costs)",
+            m.makespan_s
+        );
+    }
+    println!(
+        "  scheduling     : {} steals, {} refills, {:.3} s worker idle",
+        m.steals,
+        s.refills(),
+        m.idle_s
+    );
+    println!(
+        "  artifact cache : {} hits / {} misses",
+        s.artifact_hits, s.artifact_misses
+    );
+    let h = s.run_ns_histogram();
+    println!(
+        "  scenario time  : mean {:.0} ms, max {:.0} ms",
+        h.mean() / 1e6,
+        h.max as f64 / 1e6
+    );
+}
+
+fn counts(report: &CampaignReport) -> (usize, usize, usize, usize) {
+    (
+        report.rows.len(),
+        report.matrix_rows().len(),
+        report.recovery_rows().len(),
+        report.failures().len(),
+    )
+}
+
+fn render_mode(m: &Measurement) -> String {
+    let s = &m.report.stats;
+    format!(
+        concat!(
+            "{{\n",
+            "    \"wall_seconds\": {:.6},\n",
+            "    \"makespan_seconds\": {:.6},\n",
+            "    \"scenarios_per_sec\": {:.3},\n",
+            "    \"steals\": {},\n",
+            "    \"refills\": {},\n",
+            "    \"worker_idle_seconds\": {:.6},\n",
+            "    \"max_reorder_depth\": {}\n",
+            "  }}"
+        ),
+        m.wall_s,
+        m.makespan_s,
+        s.scenarios_per_sec(),
+        m.steals,
+        s.refills(),
+        m.idle_s,
+        s.max_reorder_depth,
+    )
+}
+
+fn run_full() {
+    println!(
+        "campaign_throughput — skew-heavy scenario workload, static sharding vs work stealing \
+         ({BENCH_THREADS} threads)\n"
+    );
+    let mut serial = measure("serial (1 thread)", 1, Schedule::WorkStealing);
+    let mut stat = measure(
+        "static shard (legacy i % threads)",
+        BENCH_THREADS,
+        Schedule::StaticShard,
+    );
+    let mut ws = measure("work stealing", BENCH_THREADS, Schedule::WorkStealing);
+    let cost = serial_costs(&serial);
+    calibrate_makespan(&mut serial, &cost);
+    calibrate_makespan(&mut stat, &cost);
+    calibrate_makespan(&mut ws, &cost);
+    print_measurement(&serial);
+    println!();
+    print_measurement(&stat);
+    println!();
+    print_measurement(&ws);
+
+    assert_eq!(
+        stat.report.digest(),
+        ws.report.digest(),
+        "schedules disagree on campaign rows"
+    );
+    assert_eq!(serial.report.digest(), ws.report.digest());
+
+    let (rows, matrix, recovery, failed) = counts(&ws.report);
+    assert_eq!(
+        failed,
+        0,
+        "workload must run clean:\n{}",
+        ws.report.digest()
+    );
+    let speedup = stat.makespan_s / ws.makespan_s;
+    println!(
+        "\nwork stealing vs static sharding: {speedup:.2}x makespan at {BENCH_THREADS} threads \
+         (wall ratio {:.2}x on this host; serial makespan / ws makespan {:.2}x)",
+        stat.wall_s / ws.wall_s,
+        serial.makespan_s / ws.makespan_s
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"bench_campaign/v1\",\n",
+            "  \"workload\": {{\n",
+            "    \"threads\": {},\n",
+            "    \"scenarios\": {},\n",
+            "    \"matrix_rows\": {},\n",
+            "    \"recovery_rows\": {},\n",
+            "    \"failed_rows\": {}\n",
+            "  }},\n",
+            "  \"serial\": {},\n",
+            "  \"static_shard\": {},\n",
+            "  \"work_stealing\": {},\n",
+            "  \"speedup_metric\": \"makespan_seconds\",\n",
+            "  \"speedup_vs_static\": {:.3}\n",
+            "}}\n"
+        ),
+        BENCH_THREADS,
+        rows,
+        matrix,
+        recovery,
+        failed,
+        render_mode(&serial),
+        render_mode(&stat),
+        render_mode(&ws),
+        speedup,
+    );
+    std::fs::write(BASELINE_PATH, &json).expect("write BENCH_campaign.json");
+    println!("wrote {BASELINE_PATH}");
+}
+
+/// Pull the number after `"key":` inside the flat object following
+/// `"section":` — enough of a JSON reader for the file this bin writes.
+fn json_number(doc: &str, section: &str, key: &str) -> Option<f64> {
+    let sec = doc.find(&format!("\"{section}\""))?;
+    let rest = &doc[sec..];
+    let open = rest.find('{')?;
+    let close = open + rest[open..].find('}')?;
+    let obj = &rest[open..close];
+    let k = obj.find(&format!("\"{key}\""))?;
+    let after = &obj[k..];
+    let colon = after.find(':')?;
+    let tail = after[colon + 1..].trim_start();
+    let num: String = tail
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+        .collect();
+    num.parse().ok()
+}
+
+fn run_smoke() -> i32 {
+    println!("campaign_throughput --smoke — schema and scenario-count gate vs {BASELINE_PATH}\n");
+    let doc = match std::fs::read_to_string(BASELINE_PATH) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("FAIL: cannot read {BASELINE_PATH}: {e}");
+            eprintln!("run `campaign_throughput` (no args) once to produce it");
+            return 2;
+        }
+    };
+    if !doc.contains("\"schema\": \"bench_campaign/v1\"") {
+        eprintln!("FAIL: baseline is not bench_campaign/v1");
+        return 2;
+    }
+    let threads = harness::threads().min(BENCH_THREADS);
+    let m = measure("work stealing (smoke)", threads, Schedule::WorkStealing);
+    print_measurement(&m);
+    println!();
+
+    let (rows, matrix, recovery, failed) = counts(&m.report);
+    let mut ok = true;
+    for (key, got) in [
+        ("scenarios", rows),
+        ("matrix_rows", matrix),
+        ("recovery_rows", recovery),
+        ("failed_rows", failed),
+    ] {
+        match json_number(&doc, "workload", key) {
+            Some(want) if want == got as f64 => {
+                println!("  {key:<14} {got} == baseline");
+            }
+            Some(want) => {
+                eprintln!("FAIL: {key} = {got}, baseline {want} — campaign semantics changed");
+                ok = false;
+            }
+            None => {
+                eprintln!("FAIL: baseline is missing workload.{key}");
+                ok = false;
+            }
+        }
+    }
+    if !ok {
+        return 2;
+    }
+    println!("PASS");
+    0
+}
+
+fn run_probe() {
+    println!("campaign_throughput --probe — per-scenario durations (1 thread)\n");
+    let report = Campaign::builder()
+        .threads(1)
+        .scenario_budget(64)
+        .spans(true)
+        .scenarios(skewed_scenarios())
+        .build()
+        .run();
+    for span in &report.stats.spans {
+        println!(
+            "  {:>3}  {:>8.1} ms  {:?}",
+            span.index,
+            span.dur_ns as f64 / 1e6,
+            report.rows[span.index].scenario
+        );
+    }
+    println!("\ntotal {:.3} s", report.stats.wall_s);
+}
+
+fn main() {
+    if harness::has_flag("--smoke") {
+        std::process::exit(run_smoke());
+    }
+    if harness::has_flag("--probe") {
+        run_probe();
+        return;
+    }
+    run_full();
+}

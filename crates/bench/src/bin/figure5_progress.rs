@@ -8,12 +8,17 @@
 //! simulations of this repository.
 
 use bench::harness;
-use verif::{build_timeline, render_timeline, run_matrix, MatrixConfig};
+use verif::{build_timeline, render_timeline, Campaign};
 
 fn main() {
     let threads = harness::threads();
     println!("Figure 5 — development workload and bugs detected\n");
-    let rows = run_matrix(&MatrixConfig::default(), threads);
+    let rows = Campaign::builder()
+        .threads(threads)
+        .matrix()
+        .build()
+        .run()
+        .matrix_rows();
     let weeks = build_timeline(&rows);
     println!("{}", render_timeline(&weeks));
 

@@ -10,7 +10,7 @@
 //! the retry/latency cost of recovering all of them.
 
 use bench::harness;
-use verif::{render_campaign, run_campaign, summarize, CampaignConfig};
+use verif::{render_campaign, summarize, Campaign, CampaignConfig};
 
 fn main() {
     let threads = harness::threads();
@@ -23,20 +23,32 @@ fn main() {
         cc.runs, cc.base.width, cc.base.height, cc.base.n_frames, cc.base.payload_words, threads
     );
 
-    let off = run_campaign(&cc, false, threads);
-    let on = run_campaign(&cc, true, threads);
+    // One campaign, both modes: the executor interleaves the OFF and ON
+    // batches across the worker pool and the shared artifact cache
+    // serves both.
+    let report = Campaign::builder()
+        .base(cc.base.clone())
+        .seed(cc.seed)
+        .budget_cycles(cc.budget_cycles)
+        .threads(threads)
+        .recovery_campaign(cc.runs, false)
+        .recovery_campaign(cc.runs, true)
+        .build()
+        .run();
+    let rows = report.recovery_rows();
+    let (off, on) = rows.split_at(cc.runs);
 
     println!(
         "{}",
-        render_campaign("recovery OFF (plain paper configuration)", &off)
+        render_campaign("recovery OFF (plain paper configuration)", off)
     );
     println!(
         "{}",
-        render_campaign("recovery ON (CRC + watchdog + retry-with-backoff)", &on)
+        render_campaign("recovery ON (CRC + watchdog + retry-with-backoff)", on)
     );
 
-    let s_off = summarize(&off);
-    let s_on = summarize(&on);
+    let s_off = summarize(off);
+    let s_on = summarize(on);
     println!(
         "acceptance: recovery rate {:.0}% (want >= 90%): {}; hangs with recovery on: {} (want 0): {}",
         100.0 * s_on.recovery_rate(),
@@ -47,5 +59,15 @@ fn main() {
     println!(
         "without recovery the same faults left {} corrupted and {} hung run(s); with recovery: {} and {}",
         s_off.corrupted, s_off.hung, s_on.corrupted, s_on.hung
+    );
+    let st = &report.stats;
+    println!(
+        "executor: {} scenarios in {:.2} s ({:.1}/s), {} steals, artifact cache {}/{} hits",
+        st.scenarios,
+        st.wall_s,
+        st.scenarios_per_sec(),
+        st.steals(),
+        st.artifact_hits,
+        st.artifact_hits + st.artifact_misses
     );
 }

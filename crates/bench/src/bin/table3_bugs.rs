@@ -7,7 +7,7 @@
 //! VMUX-only, static/software bugs found by both).
 
 use bench::harness;
-use verif::{render_matrix, run_matrix, MatrixConfig};
+use verif::{render_matrix, Campaign, MatrixConfig};
 
 fn main() {
     let threads = harness::threads();
@@ -16,7 +16,8 @@ fn main() {
         "Table III — bug detection matrix ({}x{}, {} frames, SimB payload {} words, {} threads)\n",
         mc.base.width, mc.base.height, mc.base.n_frames, mc.base.payload_words, threads
     );
-    let rows = run_matrix(&mc, threads);
+    let report = Campaign::builder().threads(threads).matrix().build().run();
+    let rows = report.matrix_rows();
     println!("{}", render_matrix(&rows));
     let ok = rows.iter().filter(|r| r.as_expected()).count();
     println!("{}/{} rows match the paper's analysis", ok, rows.len());
@@ -34,4 +35,14 @@ fn main() {
             );
         }
     }
+    let s = &report.stats;
+    println!(
+        "\nexecutor: {} scenarios in {:.2} s ({:.1}/s), {} steals, artifact cache {}/{} hits",
+        s.scenarios,
+        s.wall_s,
+        s.scenarios_per_sec(),
+        s.steals(),
+        s.artifact_hits,
+        s.artifact_hits + s.artifact_misses
+    );
 }

@@ -6,8 +6,9 @@
 //! the per-region reconfiguration-plane statistics only the multi-region
 //! build exposes: each region's portal swap count, its own isolation
 //! window, and the shared ICAP word traffic. A final clean matrix row
-//! (`verif::run_split_clean`) confirms both methods run the topology
-//! silently — the multi-region analogue of Table III's golden baseline.
+//! (the campaign executor's `Scenario::SplitClean`) confirms both
+//! methods run the topology silently — the multi-region analogue of
+//! Table III's golden baseline.
 //!
 //! Usage: `two_region_pipeline [payload_words] [--trace-out <path>]
 //! [--metrics-out <path>]` (default payload 256). With `--trace-out`
@@ -17,7 +18,7 @@
 
 use autovision::{AvSystem, SimMethod, SystemConfig};
 use bench::harness;
-use verif::{run_split_clean, CoverageProbes, MatrixConfig, ReconfigTimeline};
+use verif::{Campaign, CoverageProbes, ReconfigTimeline, Scenario};
 
 fn main() {
     let payload: usize = harness::parse_arg(1).unwrap_or(256);
@@ -81,7 +82,13 @@ fn main() {
     }
 
     println!("clean-run matrix row (both methods must stay silent):");
-    let row = run_split_clean(&MatrixConfig::default());
+    let row = Campaign::builder()
+        .scenario(Scenario::SplitClean)
+        .threads(1)
+        .build()
+        .run()
+        .matrix_rows()
+        .remove(0);
     println!(
         "  {:<8} {:<28} vmux={:<5} resim={:<5} {}",
         row.bug,

@@ -64,6 +64,26 @@ impl Histogram {
         self.buckets[Self::bucket_index(v)] += 1;
     }
 
+    /// Fold another histogram into this one, as if every observation of
+    /// `other` had been recorded here too. Used to aggregate per-worker
+    /// histograms into one campaign-wide distribution.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 || other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+    }
+
     /// Mean observation (0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -149,6 +169,16 @@ impl MetricsRegistry {
             .observe(value);
     }
 
+    /// Fold a pre-built histogram into the named histogram (see
+    /// [`Histogram::merge`]). Lets producers that already aggregate
+    /// per-worker distributions publish them under one name.
+    pub fn merge_histogram(&mut self, name: &str, h: &Histogram) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .merge(h);
+    }
+
     /// Read a counter back (0 when absent).
     pub fn get_counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
@@ -213,6 +243,31 @@ mod tests {
         assert_eq!(h.max, 1000);
         // zeros+ones -> bound 1; 2 -> 2; 3..4 -> 4; 1000 -> 1024.
         assert_eq!(h.buckets(), vec![(1, 2), (2, 1), (4, 2), (1024, 1)]);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one_histogram() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut whole = Histogram::default();
+        for v in [0u64, 3, 17] {
+            a.observe(v);
+            whole.observe(v);
+        }
+        for v in [2u64, 4096] {
+            b.observe(v);
+            whole.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!((a.count, a.sum, a.min, a.max), (5, 4118, 0, 4096));
+        assert_eq!(a.buckets(), whole.buckets());
+        // Merging an empty histogram is a no-op either way.
+        a.merge(&Histogram::default());
+        assert_eq!(a.buckets(), whole.buckets());
+        let mut empty = Histogram::default();
+        empty.merge(&whole);
+        assert_eq!(empty.buckets(), whole.buckets());
+        assert_eq!(empty.min, 0);
     }
 
     #[test]

@@ -827,7 +827,8 @@ impl Simulator {
             // Sample scheduler occupancy into the trace on a coarse,
             // deterministic cadence (a simulation-derived counter, so
             // identical runs sample at identical points).
-            if self.core.trace.enabled && self.stats.time_points.is_multiple_of(SCHED_SAMPLE_PERIOD) {
+            if self.core.trace.enabled && self.stats.time_points.is_multiple_of(SCHED_SAMPLE_PERIOD)
+            {
                 let occ = self.core.sched.pending_events() as u64;
                 self.core.trace.push(
                     next,

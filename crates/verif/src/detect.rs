@@ -8,7 +8,7 @@
 //! bugs were found the same way (wrong pixels, stuck pipelines, protocol
 //! violations in the waveform).
 
-use autovision::{AvSystem, SystemConfig};
+use autovision::{ArtifactCache, AvSystem, SystemConfig};
 
 /// One piece of evidence that a run misbehaved.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,8 +67,27 @@ pub struct Verdict {
 /// Build the configured system, run it to completion or budget, and
 /// classify. `budget_cycles` bounds hang detection.
 pub fn run_experiment(cfg: SystemConfig, budget_cycles: u64) -> Verdict {
+    run_inner(cfg, budget_cycles, None)
+}
+
+/// [`run_experiment`] sourcing pure setup artifacts (SimB streams,
+/// software image, golden scene) from a shared cache. The verdict is
+/// bit-identical to the uncached path; campaigns use this so N
+/// scenarios stop re-deriving the same data.
+pub fn run_experiment_with(
+    cfg: SystemConfig,
+    budget_cycles: u64,
+    artifacts: &ArtifactCache,
+) -> Verdict {
+    run_inner(cfg, budget_cycles, Some(artifacts))
+}
+
+fn run_inner(cfg: SystemConfig, budget_cycles: u64, artifacts: Option<&ArtifactCache>) -> Verdict {
     let n_frames = cfg.n_frames;
-    let mut sys = AvSystem::build(cfg);
+    let mut sys = match artifacts {
+        Some(a) => AvSystem::build_with(cfg, a),
+        None => AvSystem::build(cfg),
+    };
     let outcome = sys.run(budget_cycles);
     let mut evidence = Vec::new();
 

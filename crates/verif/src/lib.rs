@@ -6,6 +6,10 @@
 //! * [`detect`] — run one configured system and classify the outcome
 //!   with automated oracles (checker errors, golden-model scoreboard,
 //!   poison tracking, hang detection);
+//! * [`executor`] — the campaign execution plane: a work-stealing
+//!   scenario pool behind the unified [`Scenario`] / [`Campaign`] API,
+//!   with deterministic aggregation, shared setup artifacts, panic
+//!   isolation and per-worker scheduling metrics;
 //! * [`matrix`] — the full bug × method detection matrix (Table III),
 //!   with the paper's expected outcomes encoded for regression checking;
 //! * [`timeline`] — the Figure 5 development timeline, with the bug
@@ -19,6 +23,7 @@
 
 pub mod coverage;
 pub mod detect;
+pub mod executor;
 pub mod matrix;
 pub mod probe;
 pub mod reconfig_timeline;
@@ -27,16 +32,23 @@ pub mod timeline;
 pub mod turnaround;
 
 pub use coverage::{CoverageProbes, DprCoverage};
-pub use detect::{run_experiment, Evidence, Verdict};
+pub use detect::{run_experiment, run_experiment_with, Evidence, Verdict};
+pub use executor::{
+    execute, execute_streaming, run_scenario, Campaign, CampaignBuilder, CampaignOptions,
+    CampaignReport, CampaignRow, ExecutorStats, PoolOptions, RecoveryRow, RecoverySpec, Scenario,
+    ScenarioCtx, ScenarioOutcome, ScenarioSpan, Schedule, WorkerStats,
+};
+#[allow(deprecated)]
+pub use matrix::run_matrix;
 pub use matrix::{
-    expected_detection, render_matrix, run_bug, run_clean, run_matrix, run_split_clean,
-    MatrixConfig, MatrixRow,
+    expected_detection, render_matrix, run_bug, run_clean, run_split_clean, MatrixConfig, MatrixRow,
 };
 pub use probe::{probe_high_time, HighTime, Probe};
 pub use reconfig_timeline::{ReconfigTimeline, RegionTimeline};
 pub use recovery::{
-    render_campaign, run_campaign, run_one, summarize, CampaignConfig, CampaignSummary, RunClass,
-    RunReport,
+    render_campaign, run_one, summarize, CampaignConfig, CampaignSummary, RunClass,
 };
+#[allow(deprecated)]
+pub use recovery::{run_campaign, RunReport};
 pub use timeline::{build_timeline, render_timeline, Phase, WeekRow, LOC_SERIES};
 pub use turnaround::{compare, Turnaround, FRAMES_TO_DETECT, ONCHIP_ITERATION_MIN};

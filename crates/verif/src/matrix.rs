@@ -1,8 +1,9 @@
 //! The detection matrix: every catalogued bug under both simulation
 //! methods — the machine-checkable core of the paper's Table III.
 
-use crate::detect::{run_experiment, Verdict};
-use autovision::{Bug, BugClass, FaultSet, SimMethod, SystemConfig};
+use crate::detect::Verdict;
+use crate::executor::{Campaign, ScenarioCtx};
+use autovision::{ArtifactCache, Bug, BugClass, FaultSet, SimMethod, SystemConfig};
 
 /// Expected detection for (bug, method) per the paper's analysis. The
 /// expectation depends only on what the method's backend *models*, not
@@ -75,35 +76,19 @@ impl Default for MatrixConfig {
     }
 }
 
-fn one_run(base: &SystemConfig, method: SimMethod, faults: FaultSet, budget: u64) -> Verdict {
-    let cfg = SystemConfig {
-        method,
-        faults,
-        ..base.clone()
-    };
-    run_experiment(cfg, budget)
-}
-
-/// Run a single bug under both methods.
-pub fn run_bug(mc: &MatrixConfig, bug: Bug) -> MatrixRow {
-    let vmux = one_run(
-        &mc.base,
-        SimMethod::Vmux,
-        FaultSet::one(bug),
-        mc.budget_cycles,
-    );
-    let resim = one_run(
-        &mc.base,
-        SimMethod::Resim,
-        FaultSet::one(bug),
-        mc.budget_cycles,
-    );
-    let evidence = resim
+fn first_evidence(resim: &Verdict, vmux: &Verdict) -> String {
+    resim
         .evidence
         .first()
         .or(vmux.evidence.first())
         .map(|e| format!("{e:?}"))
-        .unwrap_or_default();
+        .unwrap_or_default()
+}
+
+/// Run a single bug under both methods within an executor context.
+pub fn run_bug_in(ctx: &ScenarioCtx<'_>, bug: Bug) -> MatrixRow {
+    let vmux = ctx.experiment(SimMethod::Vmux, FaultSet::one(bug), None);
+    let resim = ctx.experiment(SimMethod::Resim, FaultSet::one(bug), None);
     MatrixRow {
         bug: bug.id().to_string(),
         description: bug.describe().to_string(),
@@ -111,25 +96,15 @@ pub fn run_bug(mc: &MatrixConfig, bug: Bug) -> MatrixRow {
         resim_detected: resim.detected,
         vmux_expected: expected_detection(bug, SimMethod::Vmux),
         resim_expected: expected_detection(bug, SimMethod::Resim),
-        evidence,
+        evidence: first_evidence(&resim, &vmux),
     }
 }
 
 /// Run the clean (no-bug) configuration under both methods; both must be
 /// silent, or every other row is meaningless.
-pub fn run_clean(mc: &MatrixConfig) -> MatrixRow {
-    let vmux = one_run(
-        &mc.base,
-        SimMethod::Vmux,
-        FaultSet::none(),
-        mc.budget_cycles,
-    );
-    let resim = one_run(
-        &mc.base,
-        SimMethod::Resim,
-        FaultSet::none(),
-        mc.budget_cycles,
-    );
+pub fn run_clean_in(ctx: &ScenarioCtx<'_>) -> MatrixRow {
+    let vmux = ctx.experiment(SimMethod::Vmux, FaultSet::none(), None);
+    let resim = ctx.experiment(SimMethod::Resim, FaultSet::none(), None);
     MatrixRow {
         bug: "(none)".to_string(),
         description: "golden design".to_string(),
@@ -137,26 +112,18 @@ pub fn run_clean(mc: &MatrixConfig) -> MatrixRow {
         resim_detected: resim.detected,
         vmux_expected: false,
         resim_expected: false,
-        evidence: resim
-            .evidence
-            .first()
-            .or(vmux.evidence.first())
-            .map(|e| format!("{e:?}"))
-            .unwrap_or_default(),
+        evidence: first_evidence(&resim, &vmux),
     }
 }
 
 /// Run the clean two-region split pipeline under both methods — the
-/// multi-region analogue of [`run_clean`]. Bugs cannot be injected into
-/// this topology (the builder rejects them), so the split scenario
+/// multi-region analogue of [`run_clean_in`]. Bugs cannot be injected
+/// into this topology (the builder rejects them), so the split scenario
 /// contributes a single must-be-silent row rather than a full matrix.
-pub fn run_split_clean(mc: &MatrixConfig) -> MatrixRow {
-    let base = SystemConfig {
-        regions: SystemConfig::split_regions(),
-        ..mc.base.clone()
-    };
-    let vmux = one_run(&base, SimMethod::Vmux, FaultSet::none(), mc.budget_cycles);
-    let resim = one_run(&base, SimMethod::Resim, FaultSet::none(), mc.budget_cycles);
+pub fn run_split_clean_in(ctx: &ScenarioCtx<'_>) -> MatrixRow {
+    let regions = SystemConfig::split_regions();
+    let vmux = ctx.experiment(SimMethod::Vmux, FaultSet::none(), Some(regions.clone()));
+    let resim = ctx.experiment(SimMethod::Resim, FaultSet::none(), Some(regions));
     MatrixRow {
         bug: "(split)".to_string(),
         description: "golden two-region pipeline".to_string(),
@@ -164,58 +131,47 @@ pub fn run_split_clean(mc: &MatrixConfig) -> MatrixRow {
         resim_detected: resim.detected,
         vmux_expected: false,
         resim_expected: false,
-        evidence: resim
-            .evidence
-            .first()
-            .or(vmux.evidence.first())
-            .map(|e| format!("{e:?}"))
-            .unwrap_or_default(),
+        evidence: first_evidence(&resim, &vmux),
     }
 }
 
+fn one_off_ctx(mc: &MatrixConfig, f: impl FnOnce(&ScenarioCtx<'_>) -> MatrixRow) -> MatrixRow {
+    let artifacts = ArtifactCache::new();
+    let ctx = ScenarioCtx::new(&mc.base, mc.budget_cycles, &artifacts);
+    f(&ctx)
+}
+
+/// Run a single bug under both methods (one-off variant of
+/// [`run_bug_in`] with a private artifact cache).
+pub fn run_bug(mc: &MatrixConfig, bug: Bug) -> MatrixRow {
+    one_off_ctx(mc, |ctx| run_bug_in(ctx, bug))
+}
+
+/// One-off variant of [`run_clean_in`] with a private artifact cache.
+pub fn run_clean(mc: &MatrixConfig) -> MatrixRow {
+    one_off_ctx(mc, run_clean_in)
+}
+
+/// One-off variant of [`run_split_clean_in`] with a private artifact
+/// cache.
+pub fn run_split_clean(mc: &MatrixConfig) -> MatrixRow {
+    one_off_ctx(mc, run_split_clean_in)
+}
+
 /// Run the full matrix: the clean baseline plus every catalogued bug.
-/// Runs are distributed over `threads` OS threads with a scoped-thread
-/// fan-out (each thread builds its own simulator — the kernel itself is
-/// single-threaded by design).
+#[deprecated(
+    since = "0.6.0",
+    note = "use verif::Campaign::builder().matrix() — this shim forwards to it"
+)]
 pub fn run_matrix(mc: &MatrixConfig, threads: usize) -> Vec<MatrixRow> {
-    let threads = threads.max(1);
-    let jobs: Vec<Option<Bug>> = std::iter::once(None)
-        .chain(Bug::ALL.into_iter().map(Some))
-        .collect();
-    let results: Vec<(usize, MatrixRow)> = std::thread::scope(|s| {
-        let chunks: Vec<Vec<(usize, Option<Bug>)>> = {
-            let mut cs: Vec<Vec<(usize, Option<Bug>)>> = vec![Vec::new(); threads];
-            for (i, j) in jobs.iter().enumerate() {
-                cs[i % threads].push((i, *j));
-            }
-            cs
-        };
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| {
-                let mc = mc.clone();
-                s.spawn(move || {
-                    chunk
-                        .into_iter()
-                        .map(|(i, job)| {
-                            let row = match job {
-                                None => run_clean(&mc),
-                                Some(bug) => run_bug(&mc, bug),
-                            };
-                            (i, row)
-                        })
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("matrix worker thread panicked"))
-            .collect()
-    });
-    let mut results = results;
-    results.sort_by_key(|(i, _)| *i);
-    results.into_iter().map(|(_, r)| r).collect()
+    Campaign::builder()
+        .base(mc.base.clone())
+        .budget_cycles(mc.budget_cycles)
+        .threads(threads.max(1))
+        .matrix()
+        .build()
+        .run()
+        .matrix_rows()
 }
 
 /// Render the matrix as an aligned text table (the Table III artifact).

@@ -16,9 +16,17 @@
 //! traffic are never disturbed — exactly the single-event-upset model
 //! the recovery hardware is designed against.
 
+use crate::executor::{Campaign, RecoveryRow, RecoverySpec, ScenarioCtx};
 use autovision::{AvSystem, Bug, RecoveryPolicy, SimMethod, SystemConfig, CLK_PERIOD_PS};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+
+/// The pre-executor name of one campaign run's report.
+#[deprecated(
+    since = "0.6.0",
+    note = "the report row moved into the unified campaign API as verif::RecoveryRow"
+)]
+pub type RunReport = RecoveryRow;
 
 /// Classified outcome of one injection run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,35 +39,6 @@ pub enum RunClass {
     /// The pipeline stopped making progress: budget exhausted, kernel
     /// error, or fewer frames than expected.
     Hung,
-}
-
-/// One campaign run.
-#[derive(Debug, Clone)]
-pub struct RunReport {
-    /// Injected transient fault.
-    pub fault: Bug,
-    /// Seed used for this run's fault parameters.
-    pub seed: u64,
-    /// Did the armed fault actually fire? (A fault armed after the last
-    /// eligible transfer never triggers; such runs prove nothing and
-    /// are excluded from the recovery rate.)
-    pub fired: bool,
-    /// Classified outcome.
-    pub class: RunClass,
-    /// Frames that matched the golden model.
-    pub frames_ok: usize,
-    /// Frames that differed (or were poisoned).
-    pub frames_bad: usize,
-    /// Retry attempts the controller made.
-    pub retries: u64,
-    /// Transfers completed successfully after at least one retry.
-    pub recovered: u64,
-    /// Transfers that exhausted the retry budget.
-    pub exhausted: u64,
-    /// Worst recovery latency observed, in cycles.
-    pub recovery_cycles_max: u64,
-    /// Sum of recovery latencies, in cycles.
-    pub recovery_cycles_total: u64,
 }
 
 /// Campaign configuration.
@@ -182,14 +161,15 @@ fn fault_fired(sys: &AvSystem, fault: Bug) -> bool {
     }
 }
 
-/// Execute one injection run.
-pub fn run_one(
-    base: &SystemConfig,
-    fault: Bug,
-    seed: u64,
-    recovery_on: bool,
-    budget_cycles: u64,
-) -> RunReport {
+/// Execute one injection run within an executor context: `spec` gives
+/// the fault, seed and recovery mode; the base configuration, cycle
+/// budget and shared artifact cache come from `ctx`.
+pub fn run_one(ctx: &ScenarioCtx<'_>, spec: RecoverySpec) -> RecoveryRow {
+    let RecoverySpec {
+        fault,
+        seed,
+        recovery_on,
+    } = spec;
     let mut rng = StdRng::seed_from_u64(seed);
     let cfg = SystemConfig {
         method: SimMethod::Resim,
@@ -197,17 +177,17 @@ pub fn run_one(
             enabled: recovery_on,
             ..Default::default()
         },
-        ..base.clone()
+        ..ctx.base.clone()
     };
     let n_frames = cfg.n_frames;
-    let mut sys = AvSystem::build(cfg);
+    let mut sys = AvSystem::build_with(cfg, ctx.artifacts);
     arm_fault(&mut sys, fault, &mut rng);
     // Randomize the arrival phase of the fault relative to the frame
     // pipeline. The armed fault stays pending until its first eligible
     // event, so any warmup before the final reconfiguration still fires.
     let warmup_cycles: u64 = rng.random_range(0u64..4096);
     let _ = sys.sim.run_for(warmup_cycles * CLK_PERIOD_PS);
-    let outcome = sys.run(budget_cycles);
+    let outcome = sys.run(ctx.budget_cycles);
 
     let golden = sys.golden_output();
     let captured = sys.captured.borrow();
@@ -231,7 +211,7 @@ pub fn run_one(
         RunClass::Survived
     };
     let r = sys.recovery.borrow();
-    RunReport {
+    RecoveryRow {
         fault,
         seed,
         fired: fault_fired(&sys, fault),
@@ -246,53 +226,25 @@ pub fn run_one(
     }
 }
 
-/// Run the whole campaign for one recovery mode. Runs are distributed
-/// over `threads` OS threads (each builds its own simulator).
-pub fn run_campaign(cc: &CampaignConfig, recovery_on: bool, threads: usize) -> Vec<RunReport> {
-    let threads = threads.max(1);
-    let jobs: Vec<(usize, Bug, u64)> = (0..cc.runs)
-        .map(|i| {
-            let fault = Bug::TRANSIENTS[i % Bug::TRANSIENTS.len()];
-            let seed = cc.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            (i, fault, seed)
-        })
-        .collect();
-    let mut results: Vec<(usize, RunReport)> = std::thread::scope(|s| {
-        let chunks: Vec<Vec<(usize, Bug, u64)>> = {
-            let mut cs: Vec<Vec<(usize, Bug, u64)>> = vec![Vec::new(); threads];
-            for j in &jobs {
-                cs[j.0 % threads].push(*j);
-            }
-            cs
-        };
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| {
-                let cc = cc.clone();
-                s.spawn(move || {
-                    chunk
-                        .into_iter()
-                        .map(|(i, fault, seed)| {
-                            (
-                                i,
-                                run_one(&cc.base, fault, seed, recovery_on, cc.budget_cycles),
-                            )
-                        })
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("campaign worker thread panicked"))
-            .collect()
-    });
-    results.sort_by_key(|(i, _)| *i);
-    results.into_iter().map(|(_, r)| r).collect()
+/// Run the whole campaign for one recovery mode.
+#[deprecated(
+    since = "0.6.0",
+    note = "use verif::Campaign::builder().recovery_campaign() — this shim forwards to it"
+)]
+pub fn run_campaign(cc: &CampaignConfig, recovery_on: bool, threads: usize) -> Vec<RecoveryRow> {
+    Campaign::builder()
+        .base(cc.base.clone())
+        .seed(cc.seed)
+        .budget_cycles(cc.budget_cycles)
+        .threads(threads.max(1))
+        .recovery_campaign(cc.runs, recovery_on)
+        .build()
+        .run()
+        .recovery_rows()
 }
 
 /// Aggregate run reports into a summary.
-pub fn summarize(reports: &[RunReport]) -> CampaignSummary {
+pub fn summarize(reports: &[RecoveryRow]) -> CampaignSummary {
     let mut s = CampaignSummary {
         runs: reports.len(),
         ..Default::default()
@@ -322,7 +274,7 @@ pub fn summarize(reports: &[RunReport]) -> CampaignSummary {
 }
 
 /// Render one mode's campaign as an aligned per-fault table.
-pub fn render_campaign(label: &str, reports: &[RunReport]) -> String {
+pub fn render_campaign(label: &str, reports: &[RecoveryRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{label}\n{:<14} {:<50} {:>5} {:>6} {:>9} {:>10} {:>5} {:>8}\n",
@@ -331,7 +283,7 @@ pub fn render_campaign(label: &str, reports: &[RunReport]) -> String {
     out.push_str(&"-".repeat(114));
     out.push('\n');
     for fault in Bug::TRANSIENTS {
-        let rs: Vec<&RunReport> = reports.iter().filter(|r| r.fault == fault).collect();
+        let rs: Vec<&RecoveryRow> = reports.iter().filter(|r| r.fault == fault).collect();
         if rs.is_empty() {
             continue;
         }
@@ -375,17 +327,16 @@ pub fn render_campaign(label: &str, reports: &[RunReport]) -> String {
 mod tests {
     use super::*;
 
-    fn quick_cc() -> CampaignConfig {
-        CampaignConfig {
-            runs: 4,
-            ..Default::default()
-        }
+    fn quick_campaign(threads: usize) -> Campaign {
+        Campaign::builder()
+            .threads(threads)
+            .recovery_campaign(4, true)
+            .build()
     }
 
     #[test]
     fn every_transient_fault_fires_and_recovers() {
-        let cc = quick_cc();
-        let reports = run_campaign(&cc, true, 4);
+        let reports = quick_campaign(4).run().recovery_rows();
         assert_eq!(reports.len(), 4);
         for r in &reports {
             assert!(r.fired, "{:?} (seed {:#x}) never fired", r.fault, r.seed);
@@ -408,19 +359,14 @@ mod tests {
 
     #[test]
     fn campaign_is_deterministic() {
-        let cc = quick_cc();
-        let a = run_campaign(&cc, true, 2);
-        let b = run_campaign(&cc, true, 4);
-        for (x, y) in a.iter().zip(&b) {
-            assert_eq!(x.class, y.class);
-            assert_eq!(x.retries, y.retries);
-            assert_eq!(x.recovery_cycles_max, y.recovery_cycles_max);
-        }
+        let a = quick_campaign(2).run().recovery_rows();
+        let b = quick_campaign(4).run().recovery_rows();
+        assert_eq!(a, b);
     }
 
     #[test]
     fn summarize_excludes_unfired_runs() {
-        let mk = |fired: bool, class: RunClass| RunReport {
+        let mk = |fired: bool, class: RunClass| RecoveryRow {
             fault: Bug::TransientSimbBitFlip,
             seed: 0,
             fired,

@@ -99,8 +99,12 @@ fn dpr6b_no_wait_found_only_by_resim() {
 /// The aggregate claims the paper makes about the two methods.
 #[test]
 fn resim_strictly_dominates_on_real_bugs() {
-    let mc = MatrixConfig::default();
-    let rows = verif::run_matrix(&mc, 2);
+    let rows = verif::Campaign::builder()
+        .threads(2)
+        .matrix()
+        .build()
+        .run()
+        .matrix_rows();
     let real: Vec<_> = rows
         .iter()
         .filter(|r| r.bug.starts_with("bug.") && r.bug != "bug.hw.2")

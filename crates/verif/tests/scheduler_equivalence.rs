@@ -1,12 +1,15 @@
-//! Thread-count equivalence for the detection matrix.
+//! Thread-count equivalence for the detection matrix, plus bit-equality
+//! of the deprecated `run_matrix` shim against the campaign executor.
 //!
-//! `run_matrix` fans independent (bug, method) runs out over OS threads;
-//! each thread builds its own single-threaded simulator. The rows it
-//! returns must therefore be completely independent of the thread count
-//! — any difference would mean the kernel leaks state across simulator
-//! instances or the fan-out reorders results.
+//! The executor fans independent (bug, method) runs out over OS worker
+//! threads; each scenario builds its own single-threaded simulator. The
+//! rows must therefore be completely independent of the thread count —
+//! any difference would mean the kernel leaks state across simulator
+//! instances or the pool reorders results.
 
-use verif::{run_matrix, MatrixConfig};
+#![allow(deprecated)]
+
+use verif::{run_matrix, Campaign, MatrixConfig};
 
 #[test]
 fn matrix_rows_are_identical_across_thread_counts() {
@@ -17,4 +20,19 @@ fn matrix_rows_are_identical_across_thread_counts() {
     assert!(!one.is_empty());
     assert_eq!(one, four, "4-thread matrix differs from serial run");
     assert_eq!(one, eight, "8-thread matrix differs from serial run");
+}
+
+#[test]
+fn deprecated_shim_is_bit_equal_to_the_campaign_api() {
+    let mc = MatrixConfig::default();
+    let shim = run_matrix(&mc, 2);
+    let campaign = Campaign::builder()
+        .base(mc.base.clone())
+        .budget_cycles(mc.budget_cycles)
+        .threads(2)
+        .matrix()
+        .build()
+        .run()
+        .matrix_rows();
+    assert_eq!(shim, campaign);
 }
