@@ -20,8 +20,8 @@ use crate::system::{EngineKind, RegionSpec, CLK_PERIOD_PS};
 use dcr::RegFile;
 use engines::{CensusEngine, EngineIf, EngineParamSignals, IsoPair, Isolation, MatchingEngine};
 use plb::{
-    AddressWindow, MasterPort, MemFaultHandle, MemorySlave, MonitorStats, PlbBus, PlbBusConfig,
-    PlbMonitor, SharedMem, SlavePort,
+    AddressWindow, ArbMode, MasterPort, MemFaultHandle, MemorySlave, MonitorStats, PlbBus,
+    PlbBusConfig, PlbMonitor, SharedMem, SlavePort,
 };
 use ppc::{IntController, IssConfig, IssStats, PpcIss};
 use resim::RrBoundary;
@@ -585,6 +585,7 @@ pub fn shared_bus(
     masters: Vec<(String, MasterPort)>,
     mem_port: SlavePort,
     mem_bytes: usize,
+    arbitration: ArbMode,
 ) -> Rc<RefCell<MonitorStats>> {
     let ports: Vec<MasterPort> = masters.iter().map(|(_, p)| *p).collect();
     let bus_monitor = PlbMonitor::instantiate(sim, "plb_monitor", cr.clk, cr.rst, masters);
@@ -593,7 +594,10 @@ pub fn shared_bus(
         "plb",
         cr.clk,
         cr.rst,
-        PlbBusConfig::default(),
+        PlbBusConfig {
+            arbitration,
+            ..Default::default()
+        },
         ports,
         vec![(
             mem_port,

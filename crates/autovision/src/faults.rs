@@ -225,6 +225,11 @@ impl FaultSet {
     pub fn bugs(&self) -> &[Bug] {
         &self.bugs
     }
+
+    /// No bugs injected?
+    pub fn is_empty(&self) -> bool {
+        self.bugs.is_empty()
+    }
 }
 
 #[cfg(test)]

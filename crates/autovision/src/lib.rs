@@ -29,6 +29,7 @@ pub mod vips;
 pub use artifacts::{ArtifactCache, SceneArtifacts};
 pub use faults::{Bug, BugClass, FaultSet};
 pub use icapctrl::{IcapCtrl, RecoveryPolicy, RecoveryStats};
+pub use plb::ArbMode;
 pub use software::{SimMethod, SplitSwConfig, SwConfig};
 pub use system::{
     golden_output, AvSystem, ConfigError, EngineKind, ErrorSourceKind, MemLayout, ModuleSpec,

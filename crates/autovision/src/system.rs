@@ -144,6 +144,10 @@ pub struct SystemConfig {
     pub cfg_divider: u32,
     /// Memory first-access wait states.
     pub mem_wait_states: u32,
+    /// Shared-PLB grant ordering. Fixed priority is the demonstrator's
+    /// wiring (video first, CPU last); round-robin is the alternative
+    /// grant ordering the schedule fuzzer explores.
+    pub arbitration: plb::ArbMode,
     /// Calibrated ISR housekeeping loops.
     pub isr_pad_loops: u32,
     /// bug.dpr.6a's fixed wait (tuned for the original faster clock).
@@ -194,6 +198,7 @@ impl Default for SystemConfig {
             payload_words: 256,
             cfg_divider: 4,
             mem_wait_states: 1,
+            arbitration: plb::ArbMode::FixedPriority,
             isr_pad_loops: 8,
             fixed_wait_loops: 250,
             seed: 2013,
@@ -480,6 +485,12 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Shared-PLB grant ordering.
+    pub fn arbitration(mut self, arbitration: plb::ArbMode) -> Self {
+        self.cfg.arbitration = arbitration;
+        self
+    }
+
     /// Calibrated ISR housekeeping loops.
     pub fn isr_pad_loops(mut self, isr_pad_loops: u32) -> Self {
         self.cfg.isr_pad_loops = isr_pad_loops;
@@ -657,6 +668,10 @@ pub struct RunOutcome {
     /// instead of panicking, so verdict classification can report it as
     /// a detected failure.
     pub kernel_error: Option<KernelError>,
+    /// The wall-clock deadline passed to [`AvSystem::run_with_deadline`]
+    /// expired before frames, halt or the cycle budget. Always `false`
+    /// for [`AvSystem::run`].
+    pub deadline_hit: bool,
 }
 
 /// A fully built Optical Flow Demonstrator simulation.
@@ -1059,8 +1074,14 @@ impl AvSystem {
         }
         masters.push(("icapctrl".to_string(), icapctrl_port));
         masters.push(("cpu".to_string(), cpu.port));
-        let bus_monitor =
-            fabric::shared_bus(&mut sim, cr, masters, main_mem.port, layout.mem_bytes);
+        let bus_monitor = fabric::shared_bus(
+            &mut sim,
+            cr,
+            masters,
+            main_mem.port,
+            layout.mem_bytes,
+            cfg.arbitration,
+        );
 
         let probes = SystemProbes {
             cie_busy: clusters
@@ -1115,19 +1136,35 @@ impl AvSystem {
     /// [`RunOutcome::kernel_error`] so callers can classify it as a
     /// detected failure instead of tearing the whole process down.
     pub fn run(&mut self, budget_cycles: u64) -> RunOutcome {
+        self.run_with_deadline(budget_cycles, None)
+    }
+
+    /// [`AvSystem::run`] with an additional *wall-clock* deadline,
+    /// checked between 512-cycle simulation chunks. When it expires the
+    /// run stops early with [`RunOutcome::deadline_hit`] set — the
+    /// watchdog hook campaign executors use to degrade a runaway
+    /// scenario into a typed row instead of stalling the whole pool.
+    /// `None` behaves exactly like [`AvSystem::run`].
+    pub fn run_with_deadline(
+        &mut self,
+        budget_cycles: u64,
+        deadline: Option<std::time::Instant>,
+    ) -> RunOutcome {
         let start = self.sim.now();
         let chunk = 512 * CLK_PERIOD_PS;
-        let outcome_at = |s: &Self, cycles: u64, hung: bool, err: Option<KernelError>| RunOutcome {
-            frames_captured: s.captured.borrow().len(),
-            halted: s.cpu.borrow().halted,
-            hung,
-            cycles,
-            kernel_error: err,
-        };
+        let outcome_at =
+            |s: &Self, cycles: u64, hung: bool, err: Option<KernelError>, late: bool| RunOutcome {
+                frames_captured: s.captured.borrow().len(),
+                halted: s.cpu.borrow().halted,
+                hung,
+                cycles,
+                kernel_error: err,
+                deadline_hit: late,
+            };
         loop {
             if let Err(e) = self.sim.run_for(chunk) {
                 let cycles = (self.sim.now() - start) / CLK_PERIOD_PS;
-                return outcome_at(self, cycles, false, Some(e));
+                return outcome_at(self, cycles, false, Some(e), false);
             }
             let cycles = (self.sim.now() - start) / CLK_PERIOD_PS;
             let frames = self.captured.borrow().len();
@@ -1135,10 +1172,13 @@ impl AvSystem {
             if halted || frames >= self.config.n_frames {
                 // Let in-flight display DMA finish.
                 let err = self.sim.run_for(chunk).err();
-                return outcome_at(self, cycles, false, err);
+                return outcome_at(self, cycles, false, err, false);
             }
             if cycles >= budget_cycles {
-                return outcome_at(self, cycles, true, None);
+                return outcome_at(self, cycles, true, None, false);
+            }
+            if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+                return outcome_at(self, cycles, false, None, true);
             }
         }
     }

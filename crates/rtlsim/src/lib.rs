@@ -60,7 +60,7 @@ pub use logic::Logic;
 pub use lv::Lv;
 pub use name::{Name, NameId};
 pub use sim::{KernelError, SimError, SimMessage, SimStats, Simulator, DELTA_LIMIT};
-pub use trace::{TraceCat, TraceEvent, TraceKind};
+pub use trace::{coverage_key, log2_bucket, TraceCat, TraceEvent, TraceKind};
 
 /// Handle to a signal in a [`Simulator`]'s arena.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

@@ -113,6 +113,45 @@ pub struct TraceEvent {
 /// and covers several frames of the case study with room to spare.
 pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 18;
 
+// ---------------------------------------------------------------------
+// Coverage extraction
+// ---------------------------------------------------------------------
+//
+// Coverage-guided harnesses reduce an event stream to a *set of keys*:
+// each key names one behaviour the run exhibited ("region 1 saw 2..3
+// transfers", "an ISR overlapped an isolation window"). The helpers
+// below are the stable primitives those maps are built from — a
+// deterministic hash and a count coarsener — kept next to the event
+// type so every consumer derives identical keys from identical streams.
+
+/// Deterministic 64-bit FNV-1a over a label plus integer parts. The
+/// stable identity of one coverage point; never dependent on pointer
+/// values, hash-map iteration order or `DefaultHasher` seeds.
+pub fn coverage_key(label: &str, parts: &[u64]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for b in label.as_bytes() {
+        h = (h ^ *b as u64).wrapping_mul(PRIME);
+    }
+    for p in parts {
+        for b in p.to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(PRIME);
+        }
+    }
+    h
+}
+
+/// Coarsen a count into a log₂ bucket: 0, 1, 2 map to themselves, then
+/// 3..4 → 3, 5..8 → 4, 9..16 → 5 ... so "one more retry" is novel when
+/// retries are rare but not when they number in the hundreds.
+pub fn log2_bucket(v: u64) -> u64 {
+    match v {
+        0..=2 => v,
+        _ => 2 + (63 - (v - 1).leading_zeros()) as u64,
+    }
+}
+
 /// The single-producer ring-buffer sink. Owned by the simulator core;
 /// components reach it through `Ctx`'s `trace_*` helpers and testbenches
 /// through `Simulator::trace_*`.
@@ -229,5 +268,33 @@ mod tests {
         assert!(!t.enabled);
         assert!(t.events().is_empty());
         assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn coverage_keys_are_stable_and_distinct() {
+        assert_eq!(coverage_key("a", &[1, 2]), coverage_key("a", &[1, 2]));
+        assert_ne!(coverage_key("a", &[1, 2]), coverage_key("a", &[2, 1]));
+        assert_ne!(coverage_key("a", &[1]), coverage_key("b", &[1]));
+        // Parts must not collide with label bytes by concatenation.
+        assert_ne!(coverage_key("a", &[0x62]), coverage_key("ab", &[]));
+    }
+
+    #[test]
+    fn log2_bucket_coarsens_counts() {
+        let cases = [
+            (0, 0),
+            (1, 1),
+            (2, 2),
+            (3, 3),
+            (4, 3),
+            (5, 4),
+            (8, 4),
+            (9, 5),
+            (16, 5),
+            (17, 6),
+        ];
+        for (v, want) in cases {
+            assert_eq!(log2_bucket(v), want, "bucket({v})");
+        }
     }
 }

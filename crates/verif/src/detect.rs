@@ -8,7 +8,7 @@
 //! bugs were found the same way (wrong pixels, stuck pipelines, protocol
 //! violations in the waveform).
 
-use autovision::{ArtifactCache, AvSystem, SystemConfig};
+use autovision::{ArtifactCache, AvSystem, RunOutcome, SystemConfig};
 
 /// One piece of evidence that a run misbehaved.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,6 +47,14 @@ pub enum Evidence {
         /// The error text.
         text: String,
     },
+    /// The simulation kernel itself failed (delta-cycle oscillation and
+    /// friends) before the run could finish. Appended *after* every
+    /// other oracle so the first-evidence strings of existing reports
+    /// are unchanged.
+    KernelError {
+        /// The kernel error, rendered.
+        text: String,
+    },
 }
 
 /// The classified outcome of one experiment.
@@ -62,12 +70,16 @@ pub struct Verdict {
     pub frames: usize,
     /// Simulated time in nanoseconds.
     pub simulated_ns: u64,
+    /// The kernel error text, when the kernel itself failed — also
+    /// present as the trailing [`Evidence::KernelError`], surfaced here
+    /// separately so reports can show it without walking the evidence.
+    pub kernel_error: Option<String>,
 }
 
 /// Build the configured system, run it to completion or budget, and
 /// classify. `budget_cycles` bounds hang detection.
 pub fn run_experiment(cfg: SystemConfig, budget_cycles: u64) -> Verdict {
-    run_inner(cfg, budget_cycles, None)
+    run_inner(cfg, budget_cycles, None, None)
 }
 
 /// [`run_experiment`] sourcing pure setup artifacts (SimB streams,
@@ -79,16 +91,27 @@ pub fn run_experiment_with(
     budget_cycles: u64,
     artifacts: &ArtifactCache,
 ) -> Verdict {
-    run_inner(cfg, budget_cycles, Some(artifacts))
+    run_inner(cfg, budget_cycles, Some(artifacts), None)
 }
 
-fn run_inner(cfg: SystemConfig, budget_cycles: u64, artifacts: Option<&ArtifactCache>) -> Verdict {
-    let n_frames = cfg.n_frames;
-    let mut sys = match artifacts {
-        Some(a) => AvSystem::build_with(cfg, a),
-        None => AvSystem::build(cfg),
-    };
-    let outcome = sys.run(budget_cycles);
+/// [`run_experiment_with`] under a wall-clock deadline. When the
+/// deadline expires mid-run the function panics with the executor's
+/// [`crate::executor::ScenarioTimeout`] marker, which the campaign
+/// pool's panic isolation turns into a typed `TimedOut` row — callers
+/// outside a `catch_unwind` should pass `None`.
+pub fn run_experiment_deadline(
+    cfg: SystemConfig,
+    budget_cycles: u64,
+    artifacts: Option<&ArtifactCache>,
+    deadline: Option<std::time::Instant>,
+) -> Verdict {
+    run_inner(cfg, budget_cycles, artifacts, deadline)
+}
+
+/// Classify a finished run against every oracle. Shared by the one-shot
+/// experiment paths and the schedule fuzzer (which builds and runs its
+/// own system so it can arm faults and collect the trace).
+pub fn classify(sys: &AvSystem, outcome: &RunOutcome, n_frames: usize) -> Verdict {
     let mut evidence = Vec::new();
 
     for m in sys.sim.messages() {
@@ -123,6 +146,10 @@ fn run_inner(cfg: SystemConfig, budget_cycles: u64, artifacts: Option<&ArtifactC
             });
         }
     }
+    let kernel_error = outcome.kernel_error.as_ref().map(|e| format!("{e:?}"));
+    if let Some(text) = &kernel_error {
+        evidence.push(Evidence::KernelError { text: text.clone() });
+    }
 
     // Keep evidence lists readable: checker errors can number in the
     // hundreds for an X storm.
@@ -135,5 +162,24 @@ fn run_inner(cfg: SystemConfig, budget_cycles: u64, artifacts: Option<&ArtifactC
         cycles: outcome.cycles,
         frames: outcome.frames_captured,
         simulated_ns: sys.sim.now() / 1_000,
+        kernel_error,
     }
+}
+
+fn run_inner(
+    cfg: SystemConfig,
+    budget_cycles: u64,
+    artifacts: Option<&ArtifactCache>,
+    deadline: Option<std::time::Instant>,
+) -> Verdict {
+    let n_frames = cfg.n_frames;
+    let mut sys = match artifacts {
+        Some(a) => AvSystem::build_with(cfg, a),
+        None => AvSystem::build(cfg),
+    };
+    let outcome = sys.run_with_deadline(budget_cycles, deadline);
+    if outcome.deadline_hit {
+        std::panic::panic_any(crate::executor::ScenarioTimeout);
+    }
+    classify(&sys, &outcome, n_frames)
 }

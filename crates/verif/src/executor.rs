@@ -34,7 +34,8 @@
 //! [`CampaignReport`] whose rows unify the old `MatrixRow` /
 //! recovery-report shapes.
 
-use crate::detect::run_experiment_with;
+use crate::detect::{run_experiment_deadline, Evidence};
+use crate::fuzz::{self, FuzzRow, FuzzSpec};
 use crate::matrix::{self, MatrixConfig, MatrixRow};
 use crate::recovery::{self, RunClass};
 use autovision::{ArtifactCache, Bug, RecoveryPolicy, SystemConfig};
@@ -73,6 +74,9 @@ pub enum Scenario {
     SplitClean,
     /// One transient-fault injection run under ReSim.
     Recovery(RecoverySpec),
+    /// One fuzzed reconfiguration schedule under ReSim (see
+    /// [`crate::fuzz`]).
+    Fuzz(FuzzSpec),
 }
 
 impl Scenario {
@@ -112,6 +116,7 @@ impl Scenario {
                 },
                 ..base.clone()
             }],
+            Scenario::Fuzz(spec) => vec![spec.schedule.apply(base)],
         }
     }
 }
@@ -128,6 +133,12 @@ pub struct ScenarioCtx<'a> {
     pub budget_cycles: u64,
     /// Shared pure-artifact cache (SimBs, software images, scenes).
     pub artifacts: &'a ArtifactCache,
+    /// Wall-clock watchdog deadline for the scenario. Runners check it
+    /// between simulation chunks and bail out through the
+    /// [`ScenarioTimeout`] panic marker, which the pool degrades into a
+    /// [`ScenarioOutcome::TimedOut`] row. `None` (the default) never
+    /// times out.
+    pub deadline: Option<Instant>,
 }
 
 impl<'a> ScenarioCtx<'a> {
@@ -142,7 +153,14 @@ impl<'a> ScenarioCtx<'a> {
             base,
             budget_cycles,
             artifacts,
+            deadline: None,
         }
+    }
+
+    /// The same context with a wall-clock watchdog deadline.
+    pub fn with_deadline(mut self, deadline: Option<Instant>) -> ScenarioCtx<'a> {
+        self.deadline = deadline;
+        self
     }
 
     /// Run one experiment: `base` with the given method/fault overlay.
@@ -158,9 +176,16 @@ impl<'a> ScenarioCtx<'a> {
             regions: regions.unwrap_or_else(|| self.base.regions.clone()),
             ..self.base.clone()
         };
-        run_experiment_with(cfg, self.budget_cycles, self.artifacts)
+        run_experiment_deadline(cfg, self.budget_cycles, Some(self.artifacts), self.deadline)
     }
 }
+
+/// Panic marker a scenario runner throws when its wall-clock deadline
+/// expires. [`run_scenario`]'s panic isolation downcasts it into a
+/// [`ScenarioOutcome::TimedOut`] row, so a runaway scenario degrades
+/// into a typed result instead of stalling the campaign drain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioTimeout;
 
 // ---------------------------------------------------------------------
 // Unified report rows
@@ -204,11 +229,17 @@ pub enum ScenarioOutcome {
     Matrix(MatrixRow),
     /// A recovery-campaign row.
     Recovery(RecoveryRow),
+    /// A fuzzed-schedule row.
+    Fuzz(FuzzRow),
     /// The scenario panicked; the pool captured it and kept draining.
     Failed {
         /// The panic payload, stringified.
         panic: String,
     },
+    /// The scenario's wall-clock watchdog expired; the pool degraded it
+    /// into this typed row and kept draining. Carries no wall-clock
+    /// fields so report digests stay deterministic.
+    TimedOut,
 }
 
 /// One row of a campaign report: the scenario, its submission index,
@@ -273,12 +304,99 @@ impl CampaignReport {
             .collect()
     }
 
-    /// Rows whose scenario panicked.
+    /// The fuzz rows, in submission order.
+    pub fn fuzz_rows(&self) -> Vec<FuzzRow> {
+        self.rows
+            .iter()
+            .filter_map(|r| match &r.outcome {
+                ScenarioOutcome::Fuzz(f) => Some(f.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Rows whose scenario panicked or timed out.
     pub fn failures(&self) -> Vec<&CampaignRow> {
         self.rows
             .iter()
-            .filter(|r| matches!(r.outcome, ScenarioOutcome::Failed { .. }))
+            .filter(|r| {
+                matches!(
+                    r.outcome,
+                    ScenarioOutcome::Failed { .. } | ScenarioOutcome::TimedOut
+                )
+            })
             .collect()
+    }
+
+    /// The report as a JSON document: one object per row carrying the
+    /// scenario, the outcome kind, and — so failures are diagnosable
+    /// without rerunning — the panic payload, the kernel-error text and
+    /// the evidence strings. Hand-assembled like every exporter in this
+    /// repo; stats are wall-clock-dependent and deliberately reduced to
+    /// scenario/thread counts.
+    pub fn to_json(&self) -> String {
+        use obs::json::escape;
+        let mut out = String::from("{\n  \"schema\": \"campaign_report/v1\",\n  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            let scenario = escape(&format!("{:?}", r.scenario));
+            let mut fields = vec![
+                format!("\"index\": {}", r.index),
+                format!("\"scenario\": \"{scenario}\""),
+            ];
+            let opt_str = |key: &str, v: &Option<String>| match v {
+                Some(s) => format!("\"{key}\": \"{}\"", escape(s)),
+                None => format!("\"{key}\": null"),
+            };
+            let evidence_json = |ev: &[Evidence]| {
+                let items: Vec<String> = ev
+                    .iter()
+                    .map(|e| format!("\"{}\"", escape(&format!("{e:?}"))))
+                    .collect();
+                format!("[{}]", items.join(", "))
+            };
+            match &r.outcome {
+                ScenarioOutcome::Matrix(m) => {
+                    fields.push("\"kind\": \"matrix\"".to_string());
+                    fields.push(format!("\"bug\": \"{}\"", escape(&m.bug)));
+                    fields.push(format!("\"vmux_detected\": {}", m.vmux_detected));
+                    fields.push(format!("\"resim_detected\": {}", m.resim_detected));
+                    fields.push(format!("\"evidence\": \"{}\"", escape(&m.evidence)));
+                }
+                ScenarioOutcome::Recovery(rr) => {
+                    fields.push("\"kind\": \"recovery\"".to_string());
+                    fields.push(format!("\"fault\": \"{}\"", rr.fault.id()));
+                    fields.push(format!("\"fired\": {}", rr.fired));
+                    fields.push(format!("\"class\": \"{:?}\"", rr.class));
+                    fields.push(format!("\"retries\": {}", rr.retries));
+                }
+                ScenarioOutcome::Fuzz(f) => {
+                    fields.push("\"kind\": \"fuzz\"".to_string());
+                    fields.push(format!("\"detected\": {}", f.detected));
+                    fields.push(opt_str("signature", &f.signature));
+                    fields.push(opt_str("kernel_error", &f.kernel_error));
+                    fields.push(format!("\"coverage_keys\": {}", f.coverage.len()));
+                    fields.push(format!("\"evidence\": {}", evidence_json(&f.evidence)));
+                }
+                ScenarioOutcome::Failed { panic } => {
+                    fields.push("\"kind\": \"failed\"".to_string());
+                    fields.push(format!("\"panic\": \"{}\"", escape(panic)));
+                }
+                ScenarioOutcome::TimedOut => {
+                    fields.push("\"kind\": \"timed_out\"".to_string());
+                }
+            }
+            out.push_str(&format!(
+                "    {{{}}}{}\n",
+                fields.join(", "),
+                if i + 1 < self.rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "  ],\n  \"stats\": {{\"scenarios\": {}, \"workers\": {}}}\n}}\n",
+            self.stats.scenarios,
+            self.stats.workers.len()
+        ));
+        out
     }
 }
 
@@ -810,6 +928,12 @@ pub struct CampaignOptions {
     pub schedule: Schedule,
     /// Record per-scenario spans into the report's stats.
     pub spans: bool,
+    /// Per-scenario wall-clock watchdog. A scenario still running past
+    /// this degrades into a [`ScenarioOutcome::TimedOut`] row instead of
+    /// stalling the campaign drain. `None` (the default) never fires —
+    /// and is required for bit-deterministic reports, since whether a
+    /// scenario beats a wall clock is not.
+    pub scenario_timeout: Option<Duration>,
 }
 
 impl Default for CampaignOptions {
@@ -824,6 +948,7 @@ impl Default for CampaignOptions {
             steal_chunk: 0,
             schedule: Schedule::WorkStealing,
             spans: false,
+            scenario_timeout: None,
         }
     }
 }
@@ -888,6 +1013,13 @@ impl CampaignBuilder {
     /// Record per-scenario spans.
     pub fn spans(mut self, spans: bool) -> Self {
         self.opts.spans = spans;
+        self
+    }
+
+    /// Per-scenario wall-clock watchdog (see
+    /// [`CampaignOptions::scenario_timeout`]).
+    pub fn scenario_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.opts.scenario_timeout = timeout;
         self
     }
 
@@ -1011,13 +1143,17 @@ impl Campaign {
         };
         let ctx = ScenarioCtx::new(&self.base, self.opts.budget_cycles, &artifacts);
         let scenarios = &self.scenarios;
+        let timeout = self.opts.scenario_timeout;
         let mut rows: Vec<CampaignRow> = Vec::with_capacity(scenarios.len());
         let mut stats = {
             let rows = &mut rows;
             execute_streaming(
                 scenarios.len(),
                 &pool,
-                |i| run_scenario(&ctx, scenarios[i]),
+                |i| {
+                    let ctx = ctx.with_deadline(timeout.map(|t| Instant::now() + t));
+                    run_scenario(&ctx, scenarios[i])
+                },
                 move |i, outcome| {
                     let row = CampaignRow {
                         index: i,
@@ -1044,18 +1180,22 @@ pub fn run_scenario(ctx: &ScenarioCtx<'_>, scenario: Scenario) -> ScenarioOutcom
         Scenario::Bug(bug) => ScenarioOutcome::Matrix(matrix::run_bug_in(ctx, bug)),
         Scenario::SplitClean => ScenarioOutcome::Matrix(matrix::run_split_clean_in(ctx)),
         Scenario::Recovery(spec) => ScenarioOutcome::Recovery(recovery::run_one(ctx, spec)),
+        Scenario::Fuzz(spec) => ScenarioOutcome::Fuzz(fuzz::run_one(ctx, spec)),
     }));
     match result {
         Ok(outcome) => outcome,
         // `as_ref` (not `&payload`): a plain reference would unsize the
         // Box itself into `dyn Any` and the downcasts would never match.
+        Err(payload) if payload.downcast_ref::<ScenarioTimeout>().is_some() => {
+            ScenarioOutcome::TimedOut
+        }
         Err(payload) => ScenarioOutcome::Failed {
             panic: panic_message(payload.as_ref()),
         },
     }
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -19,11 +19,15 @@
 //! * [`recovery`] — the randomized transient-fault injection campaign
 //!   measuring the resilient-reconfiguration machinery;
 //! * [`reconfig_timeline`] — per-region reconfiguration timelines
-//!   reconstructed from the kernel's structured trace.
+//!   reconstructed from the kernel's structured trace;
+//! * [`fuzz`] — coverage-guided fuzzing of the reconfiguration
+//!   schedule, with signature-deduplicated failures and deterministic
+//!   shrinking to minimal replayable reproducers.
 
 pub mod coverage;
 pub mod detect;
 pub mod executor;
+pub mod fuzz;
 pub mod matrix;
 pub mod probe;
 pub mod reconfig_timeline;
@@ -37,6 +41,10 @@ pub use executor::{
     execute, execute_streaming, run_scenario, Campaign, CampaignBuilder, CampaignOptions,
     CampaignReport, CampaignRow, ExecutorStats, PoolOptions, RecoveryRow, RecoverySpec, Scenario,
     ScenarioCtx, ScenarioOutcome, ScenarioSpan, Schedule, WorkerStats,
+};
+pub use fuzz::{
+    coverage_of, failure_signature, replay, run_fuzz, shrink, FuzzFailure, FuzzOptions, FuzzReport,
+    FuzzRepro, FuzzRow, FuzzSchedule, FuzzSpec, FuzzTopology,
 };
 #[allow(deprecated)]
 pub use matrix::run_matrix;

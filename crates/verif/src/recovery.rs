@@ -187,7 +187,10 @@ pub fn run_one(ctx: &ScenarioCtx<'_>, spec: RecoverySpec) -> RecoveryRow {
     // event, so any warmup before the final reconfiguration still fires.
     let warmup_cycles: u64 = rng.random_range(0u64..4096);
     let _ = sys.sim.run_for(warmup_cycles * CLK_PERIOD_PS);
-    let outcome = sys.run(ctx.budget_cycles);
+    let outcome = sys.run_with_deadline(ctx.budget_cycles, ctx.deadline);
+    if outcome.deadline_hit {
+        std::panic::panic_any(crate::executor::ScenarioTimeout);
+    }
 
     let golden = sys.golden_output();
     let captured = sys.captured.borrow();
