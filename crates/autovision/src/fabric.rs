@@ -25,7 +25,7 @@ use plb::{
 };
 use ppc::{IntController, IssConfig, IssStats, PpcIss};
 use resim::RrBoundary;
-use rtlsim::{Clock, CompKind, Component, Ctx, ResetGen, SignalId, Simulator};
+use rtlsim::{Clock, CompKind, Component, Ctx, DoorbellId, ResetGen, SignalId, Simulator};
 use std::cell::RefCell;
 use std::rc::Rc;
 use video::{Frame, MatchParams};
@@ -348,7 +348,7 @@ pub fn region_isolation(
         from: port,
         to: boundary.plb,
     };
-    sim.add_component(
+    let relay_comp = sim.add_component(
         &*names.relay,
         CompKind::UserStatic,
         Box::new(rev),
@@ -360,6 +360,27 @@ pub fn region_isolation(
             port.rdata,
             port.complete,
             port.err,
+        ],
+    );
+    sim.declare_comb(
+        relay_comp,
+        &[
+            port.gnt,
+            port.addr_ack,
+            port.wready,
+            port.rvalid,
+            port.rdata,
+            port.complete,
+            port.err,
+        ],
+        &[
+            boundary.plb.gnt,
+            boundary.plb.addr_ack,
+            boundary.plb.wready,
+            boundary.plb.rvalid,
+            boundary.plb.rdata,
+            boundary.plb.complete,
+            boundary.plb.err,
         ],
     );
     RegionIsolation {
@@ -383,6 +404,8 @@ struct SysCtrl {
     rst: SignalId,
     regs: RegFile,
     isolates: Vec<SignalId>,
+    /// Doorbell rung by software DCR writes to the SYS block.
+    bell: Option<DoorbellId>,
 }
 
 impl Component for SysCtrl {
@@ -404,20 +427,28 @@ impl Component for SysCtrl {
             }
             // off 2 = heartbeat: value is already stored in the regfile.
         }
+        // Purely software-driven: only a DCR write or reset can change
+        // the isolate outputs.
+        if let Some(bell) = self.bell {
+            ctx.park_until(&[self.rst], &[bell]);
+        }
     }
 }
 
 /// Instantiate the system-control block over the regions' isolate wires
 /// (in region order).
 pub fn system_control(sim: &mut Simulator, cr: ClockReset, regs: RegFile, isolates: Vec<SignalId>) {
+    let bell = sim.add_doorbell(regs.dirty_flag());
     let ctl = SysCtrl {
         clk: cr.clk,
         rst: cr.rst,
         regs,
         isolates,
+        bell: Some(bell),
     };
     let sens = [cr.clk, cr.rst];
-    sim.add_component("sysctrl", CompKind::UserStatic, Box::new(ctl), &sens);
+    let comp = sim.add_component("sysctrl", CompKind::UserStatic, Box::new(ctl), &sens);
+    sim.declare_clocked(comp, cr.clk);
 }
 
 // ---------------------------------------------------------------------

@@ -43,7 +43,7 @@ use dcr::RegFile;
 use plb::dma::Handshake;
 use plb::{DmaDriver, DmaEvent, MasterPort};
 use resim::IcapPort;
-use rtlsim::{CompKind, Component, Ctx, SignalId, Simulator, TraceCat};
+use rtlsim::{CompKind, Component, Ctx, DoorbellId, SignalId, Simulator, TraceCat};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -189,10 +189,18 @@ pub struct IcapCtrl {
     seen_reconfig: bool,
     /// The current transfer completed after at least one retry.
     recovered_latch: bool,
-    /// Free-running cycle counter (recovery-latency bookkeeping).
+    /// Free-running cycle counter (recovery-latency bookkeeping). Only
+    /// *differences* within one transfer are ever read, and a transfer
+    /// never passes through `Idle`, so parking in `Idle` (which stops
+    /// the counter) cannot skew a latency.
     cycle: u64,
     /// Cycle of the first fault of the current transfer.
     recovery_start: Option<u64>,
+    /// The current eval drove `irq_out` high (pulse still to be cleared
+    /// at the next posedge, so parking is not yet a no-op).
+    irq_pulsed: bool,
+    /// Doorbell rung by software DCR writes to this controller.
+    bell: Option<DoorbellId>,
 }
 
 impl IcapCtrl {
@@ -225,6 +233,7 @@ impl IcapCtrl {
         // timeline cares about: give it the configuration-plane lane.
         let mut dma = DmaDriver::new(port, handshake, BURST);
         dma.set_trace_track(0);
+        let bell = sim.add_doorbell(regs.dirty_flag());
         let ctrl = IcapCtrl {
             clk,
             rst,
@@ -250,8 +259,11 @@ impl IcapCtrl {
             recovered_latch: false,
             cycle: 0,
             recovery_start: None,
+            irq_pulsed: false,
+            bell: Some(bell),
         };
-        sim.add_component(name, CompKind::UserStatic, Box::new(ctrl), &[clk, rst]);
+        let comp = sim.add_component(name, CompKind::UserStatic, Box::new(ctrl), &[clk, rst]);
+        sim.declare_clocked(comp, clk);
         rstats
     }
 
@@ -298,6 +310,7 @@ impl IcapCtrl {
             // Interrupt anyway so software can run its degraded path
             // instead of waiting forever for a done that never comes.
             ctx.set_bit(self.irq_out, true);
+            self.irq_pulsed = true;
             self.st = St::Idle;
         } else {
             self.retries += 1;
@@ -361,6 +374,7 @@ impl Component for IcapCtrl {
         }
         self.cycle = self.cycle.wrapping_add(1);
         ctx.set_bit(self.irq_out, false);
+        self.irq_pulsed = false;
         for (off, v) in self.regs.take_writes() {
             if off == reg::CTRL && v & 1 != 0 {
                 if self.st == St::Idle {
@@ -374,6 +388,7 @@ impl Component for IcapCtrl {
                         ctx.warn("IcapCTRL started with zero-length bitstream");
                         self.done_latch = true;
                         ctx.set_bit(self.irq_out, true);
+                        self.irq_pulsed = true;
                     } else {
                         self.arm_transfer(ctx);
                     }
@@ -519,9 +534,17 @@ impl Component for IcapCtrl {
                 ctx.set_bit(icap.ce, false);
                 self.done_latch = true;
                 ctx.set_bit(self.irq_out, true);
+                self.irq_pulsed = true;
                 self.st = St::Idle;
             }
         }
         self.update_status();
+        // Idle with no pulse left to clear: only a DCR write (doorbell)
+        // or reset can start the next transfer.
+        if self.st == St::Idle && !self.irq_pulsed {
+            if let Some(bell) = self.bell {
+                ctx.park_until(&[self.rst], &[bell]);
+            }
+        }
     }
 }

@@ -27,7 +27,7 @@ use resim::{
     build_simb, build_simb_integrity, BackendStats, IcapConfig, IcapFaultHandle, ReconfigBackend,
     RegionPlan, ResimBackend, RrBoundary, SimbKind, VmuxBackend, VmuxConfig, VmuxRegion, XSource,
 };
-use rtlsim::{KernelError, SignalId, Simulator, PS_PER_NS};
+use rtlsim::{DirtyWatch, ExecMode, KernelError, SignalId, Simulator, PS_PER_NS};
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
@@ -173,6 +173,13 @@ pub struct SystemConfig {
     /// Disabled (the default) leaves every paper-reproduction number
     /// untouched.
     pub recovery: RecoveryPolicy,
+    /// Kernel execution mode. [`ExecMode::Compiled`] runs the levelized
+    /// steady-state schedule (activation filtering + parking) and falls
+    /// back to full event-driven dispatch inside reconfiguration and
+    /// X-injection windows; outputs are bit-identical in every mode.
+    /// The default stays [`ExecMode::EventDriven`] so committed
+    /// baselines are untouched.
+    pub exec_mode: ExecMode,
 }
 
 /// Selectable error-injection policies (see `resim::portal`).
@@ -207,6 +214,7 @@ impl Default for SystemConfig {
             swap_trigger: resim::icap::SwapTrigger::LastPayloadWord,
             optimistic_region: false,
             recovery: RecoveryPolicy::default(),
+            exec_mode: ExecMode::EventDriven,
         }
     }
 }
@@ -536,6 +544,12 @@ impl SystemConfigBuilder {
     /// Resilient-reconfiguration policy.
     pub fn recovery(mut self, recovery: RecoveryPolicy) -> Self {
         self.cfg.recovery = recovery;
+        self
+    }
+
+    /// Kernel execution mode (see [`SystemConfig::exec_mode`]).
+    pub fn exec_mode(mut self, exec_mode: ExecMode) -> Self {
+        self.cfg.exec_mode = exec_mode;
         self
     }
 
@@ -1082,6 +1096,25 @@ impl AvSystem {
             layout.mem_bytes,
             cfg.arbitration,
         );
+
+        // ----- execution mode -----
+        // Dirty windows: the kernel suspends compiled-mode filtering
+        // (falling back to full event-driven dispatch) while reset is
+        // asserted, while any region is isolated or mid-swap, and while
+        // the region boundary handshake carries X — exactly the unsteady
+        // windows where the paper's methods disagree cycle-by-cycle.
+        sim.set_exec_mode(cfg.exec_mode);
+        sim.watch_dirty(cr.rst, DirtyWatch::TruthyOrUnknown);
+        for iso in &isolations {
+            sim.watch_dirty(iso.isolate, DirtyWatch::TruthyOrUnknown);
+        }
+        for &w in &handles.dirty_watches {
+            sim.watch_dirty(w, DirtyWatch::TruthyOrUnknown);
+        }
+        for b in &boundaries {
+            sim.watch_dirty(b.busy, DirtyWatch::Unknown);
+            sim.watch_dirty(b.done, DirtyWatch::Unknown);
+        }
 
         let probes = SystemProbes {
             cie_busy: clusters

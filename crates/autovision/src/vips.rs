@@ -12,7 +12,7 @@
 use dcr::RegFile;
 use plb::dma::Handshake;
 use plb::{DmaDriver, DmaEvent, MasterPort};
-use rtlsim::{CompKind, Component, Ctx, SignalId, Simulator};
+use rtlsim::{CompKind, Component, Ctx, DoorbellId, SignalId, Simulator};
 use std::cell::RefCell;
 use std::rc::Rc;
 use video::Frame;
@@ -46,6 +46,8 @@ pub struct VideoInVip {
     /// bug.hw.3: stop the transfer one burst (16 words) short.
     short_dma: bool,
     supplied: Rc<RefCell<usize>>,
+    /// Doorbell rung by software DCR writes to this VIP's registers.
+    bell: Option<DoorbellId>,
 }
 
 impl VideoInVip {
@@ -64,6 +66,7 @@ impl VideoInVip {
     ) -> Rc<RefCell<usize>> {
         assert!(!frames.is_empty(), "video input needs at least one frame");
         let supplied = Rc::new(RefCell::new(0));
+        let bell = sim.add_doorbell(regs.dirty_flag());
         let vip = VideoInVip {
             clk,
             rst,
@@ -75,8 +78,10 @@ impl VideoInVip {
             busy: false,
             short_dma,
             supplied: supplied.clone(),
+            bell: Some(bell),
         };
-        sim.add_component(name, CompKind::Vip, Box::new(vip), &[clk, rst]);
+        let comp = sim.add_component(name, CompKind::Vip, Box::new(vip), &[clk, rst]);
+        sim.declare_clocked(comp, clk);
         supplied
     }
 }
@@ -94,6 +99,7 @@ impl Component for VideoInVip {
             return;
         }
         ctx.set_bit(self.irq_out, false);
+        let mut pulsed = false;
         for (off, v) in self.regs.take_writes() {
             if off == reg::CTRL && v & 1 != 0 && !self.busy {
                 let frame = &self.frames[self.next % self.frames.len()];
@@ -116,6 +122,7 @@ impl Component for VideoInVip {
                         self.busy = false;
                         *self.supplied.borrow_mut() += 1;
                         ctx.set_bit(self.irq_out, true);
+                        pulsed = true;
                     }
                     _ => {
                         ctx.error("video-in DMA failed");
@@ -125,6 +132,13 @@ impl Component for VideoInVip {
             }
         }
         self.regs.set(reg::STATUS, self.busy as u32);
+        // Idle with no interrupt pulse to clear: nothing moves until the
+        // software writes a register (doorbell) or reset asserts.
+        if !self.busy && !pulsed {
+            if let Some(bell) = self.bell {
+                ctx.park_until(&[self.rst], &[bell]);
+            }
+        }
     }
 }
 
@@ -143,6 +157,8 @@ pub struct VideoOutVip {
     /// Beats of the current read that carried X (poisoned pixels) —
     /// surfaced per captured frame.
     poisoned: Rc<RefCell<Vec<usize>>>,
+    /// Doorbell rung by software DCR writes to this VIP's registers.
+    bell: Option<DoorbellId>,
 }
 
 impl VideoOutVip {
@@ -162,6 +178,7 @@ impl VideoOutVip {
     ) -> (CapturedFrames, PoisonCounts) {
         let captured = Rc::new(RefCell::new(Vec::new()));
         let poisoned = Rc::new(RefCell::new(Vec::new()));
+        let bell = sim.add_doorbell(regs.dirty_flag());
         let vip = VideoOutVip {
             clk,
             rst,
@@ -173,8 +190,10 @@ impl VideoOutVip {
             busy: false,
             captured: captured.clone(),
             poisoned: poisoned.clone(),
+            bell: Some(bell),
         };
-        sim.add_component(name, CompKind::Vip, Box::new(vip), &[clk, rst]);
+        let comp = sim.add_component(name, CompKind::Vip, Box::new(vip), &[clk, rst]);
+        sim.declare_clocked(comp, clk);
         (captured, poisoned)
     }
 }
@@ -191,6 +210,7 @@ impl Component for VideoOutVip {
             return;
         }
         ctx.set_bit(self.irq_out, false);
+        let mut pulsed = false;
         for (off, v) in self.regs.take_writes() {
             if off == reg::CTRL && v & 1 != 0 && !self.busy {
                 let words = (self.width * self.height / 4) as u32;
@@ -212,6 +232,7 @@ impl Component for VideoOutVip {
                         ));
                         self.poisoned.borrow_mut().push(unknowns);
                         ctx.set_bit(self.irq_out, true);
+                        pulsed = true;
                     }
                     _ => {
                         ctx.error("video-out DMA failed");
@@ -221,5 +242,12 @@ impl Component for VideoOutVip {
             }
         }
         self.regs.set(reg::STATUS, self.busy as u32);
+        // Idle with no interrupt pulse to clear: nothing moves until the
+        // software writes a register (doorbell) or reset asserts.
+        if !self.busy && !pulsed {
+            if let Some(bell) = self.bell {
+                ctx.park_until(&[self.rst], &[bell]);
+            }
+        }
     }
 }

@@ -53,6 +53,7 @@ const BENCH_THREADS: usize = 8;
 fn skewed_campaign(threads: usize, schedule: Schedule) -> Campaign {
     Campaign::builder()
         .threads(threads)
+        .exec_mode(harness::exec_mode())
         .schedule(schedule)
         // Wide admission window: this bench measures scheduling, not
         // the streaming-delivery bound.
@@ -381,6 +382,7 @@ fn run_probe() {
     println!("campaign_throughput --probe — per-scenario durations (1 thread)\n");
     let report = Campaign::builder()
         .threads(1)
+        .exec_mode(harness::exec_mode())
         .scenario_budget(64)
         .spans(true)
         .scenarios(skewed_scenarios())

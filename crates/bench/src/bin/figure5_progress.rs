@@ -15,6 +15,7 @@ fn main() {
     println!("Figure 5 — development workload and bugs detected\n");
     let rows = Campaign::builder()
         .threads(threads)
+        .exec_mode(harness::exec_mode())
         .matrix()
         .build()
         .run()

@@ -30,7 +30,7 @@
 //!   reproducer is serialized to JSON, parsed back and replayed, and
 //!   must reproduce its signature. Exits nonzero on any mismatch;
 //!   this is what CI gates on.
-//! * **`--replay <file> [bug-id]`** — parse a `fuzz_repro/v1` document
+//! * **`--replay <file> [bug-id]`** — parse a `fuzz_repro/v2` document
 //!   and replay it against the base design (optionally with a seeded
 //!   bug from the catalog, e.g. `bug.dpr.6a`); prints the verdict.
 
@@ -42,7 +42,9 @@ const BASELINE_PATH: &str = "BENCH_fuzz.json";
 const BUDGET_CYCLES: u64 = 400_000;
 const SEED: u64 = 0x5EED_F022;
 
-/// The fuzzed base: the detection matrix's small configuration.
+/// The fuzzed base: the detection matrix's small configuration, under
+/// the shared `--exec-mode` flag (the fuzzer also mutates the mode as
+/// its own schedule knob; this sets the *baseline* schedule's mode).
 fn fuzz_base() -> SystemConfig {
     SystemConfig::builder()
         .method(SimMethod::Resim)
@@ -50,6 +52,7 @@ fn fuzz_base() -> SystemConfig {
         .height(24)
         .n_frames(2)
         .payload_words(256)
+        .exec_mode(harness::exec_mode())
         .build()
         .expect("fuzz base config is valid")
 }

@@ -1,29 +1,52 @@
 //! kernel_throughput — raw simulation-kernel throughput on the full
-//! AutoVision system.
+//! AutoVision system, per execution mode.
 //!
 //! Two modes:
 //!
 //! * **default** — runs the paper-scale Table II system plus the small
-//!   smoke system, reports cycles/sec and events/sec, and writes the
-//!   `BENCH_kernel.json` baseline (committed at the repo root).
-//! * **`--smoke`** — re-runs only the small system and compares against
-//!   the committed baseline: the deterministic kernel counters (evals,
-//!   deltas, toggles, events) must match *exactly*, and host-normalized
-//!   throughput must not regress by more than 10% (override with the
-//!   `KERNEL_SMOKE_MAX_REGRESSION` env var, a fraction). Exits nonzero
-//!   on either failure, which is what CI gates on.
+//!   smoke system under *both* kernel execution modes (event-driven and
+//!   compiled), measures the quiescent steady-state tail, and writes
+//!   the `BENCH_kernel.json` baseline (schema `bench_kernel/v2`,
+//!   committed at the repo root).
+//! * **`--smoke`** — re-runs the small system under both modes and
+//!   gates against the committed baseline:
+//!   1. event-driven kernel counters (evals, deltas, toggles, events,
+//!      cycles) must match the baseline *exactly*;
+//!   2. the compiled run must agree with the event-driven run on every
+//!      mode-independent counter (cycles, toggles, events, frames) —
+//!      the bit-identity contract, checked in-process;
+//!   3. host-normalized event-driven throughput must not regress by
+//!      more than 10% (`KERNEL_SMOKE_MAX_REGRESSION` env override);
+//!   4. compiled steady-state throughput must be at least 5× the
+//!      event-driven steady-state throughput
+//!      (`KERNEL_STEADY_MIN_RATIO` env override).
+//!   Exits nonzero on any failure, which is what CI gates on.
+//!
+//! **Steady state** is the quiescent tail: the system is run to
+//! software halt, then throughput is timed over a further fixed window
+//! in which nothing but the clock generator has work. Event-driven
+//! dispatch still evaluates every clocked component twice per cycle
+//! there; compiled dispatch parks everything and the window collapses
+//! to the clock generator alone. This isolates the dispatch overhead
+//! the compiled plane exists to remove — full-run wall clock also
+//! improves, but is dominated by eval-body work both modes must do.
 //!
 //! Wall-clock numbers are host-dependent, so throughput is normalized
 //! by a fixed-work calibration loop measured on the same host in the
 //! same process; only the *ratio* kernel-throughput / calibration-speed
 //! is compared across runs.
 
-use autovision::SystemConfig;
+use autovision::{AvSystem, SystemConfig, CLK_PERIOD_PS};
 use bench::{harness, paper_scale_config, small_config};
+use rtlsim::ExecMode;
 use std::time::Instant;
 
 const BASELINE_PATH: &str = "BENCH_kernel.json";
 const DEFAULT_MAX_REGRESSION: f64 = 0.10;
+/// Acceptance floor on compiled/event steady-state throughput.
+const DEFAULT_STEADY_MIN_RATIO: f64 = 5.0;
+/// Clock cycles the steady-state window times.
+const STEADY_CYCLES: u64 = 100_000;
 
 /// One measured run of a configuration.
 struct Measurement {
@@ -45,6 +68,27 @@ impl Measurement {
     }
 }
 
+/// The quiescent-tail measurement of one mode.
+struct Steady {
+    wall_s: f64,
+    cycles: u64,
+    evals: u64,
+}
+
+impl Steady {
+    fn cycles_per_sec(&self) -> f64 {
+        self.cycles as f64 / self.wall_s
+    }
+    fn evals_per_cycle(&self) -> f64 {
+        self.evals as f64 / self.cycles as f64
+    }
+}
+
+fn with_mode(mut cfg: SystemConfig, mode: ExecMode) -> SystemConfig {
+    cfg.exec_mode = mode;
+    cfg
+}
+
 fn measure(cfg: SystemConfig, budget_cycles: u64) -> Measurement {
     let (sys, outcome, wall_s) = harness::run_built(cfg, budget_cycles);
     let stats = sys.sim.stats();
@@ -61,15 +105,38 @@ fn measure(cfg: SystemConfig, budget_cycles: u64) -> Measurement {
 
 /// Best-of-n smoke measurement (the run is short; take the fastest to
 /// cut scheduler noise).
-fn measure_smoke() -> Measurement {
+fn measure_smoke(mode: ExecMode) -> Measurement {
     let mut best: Option<Measurement> = None;
     for _ in 0..5 {
-        let m = measure(small_config(), 10_000_000);
+        let m = measure(with_mode(small_config(), mode), 10_000_000);
         if best.as_ref().map(|b| m.wall_s < b.wall_s).unwrap_or(true) {
             best = Some(m);
         }
     }
     best.unwrap()
+}
+
+/// Run the small system to software halt, then time a further
+/// `STEADY_CYCLES`-cycle window — the steady-state throughput of the
+/// given mode on the *same* netlist and architectural state.
+fn measure_steady(mode: ExecMode) -> Steady {
+    let mut sys = AvSystem::build(with_mode(small_config(), mode));
+    let outcome = sys.run(10_000_000);
+    assert!(
+        outcome.halted,
+        "steady-state measurement needs a halted system (mode {mode})"
+    );
+    let evals_before = sys.sim.stats().evals;
+    let t0 = Instant::now();
+    sys.sim
+        .run_for(STEADY_CYCLES * CLK_PERIOD_PS)
+        .expect("steady window kernel error");
+    let wall_s = t0.elapsed().as_secs_f64();
+    Steady {
+        wall_s,
+        cycles: STEADY_CYCLES,
+        evals: sys.sim.stats().evals - evals_before,
+    }
 }
 
 /// Fixed-work integer loop, in M ops/sec — a host speed yardstick that
@@ -116,8 +183,28 @@ fn render_section(m: &Measurement, calib_mops: f64) -> String {
     )
 }
 
+fn render_steady(s: &Steady) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "    \"wall_seconds\": {:.6},\n",
+            "    \"cycles\": {},\n",
+            "    \"kcycles_per_sec\": {:.1},\n",
+            "    \"evals\": {},\n",
+            "    \"evals_per_cycle\": {:.2}\n",
+            "  }}"
+        ),
+        s.wall_s,
+        s.cycles,
+        s.cycles_per_sec() / 1e3,
+        s.evals,
+        s.evals_per_cycle(),
+    )
+}
+
 /// Pull the number after `"key":` inside the flat object following
-/// `"section":` — enough of a JSON reader for the file this bin writes.
+/// `"section":` — enough of a JSON reader for the file this bin writes
+/// (every section is a flat object with a mode-qualified name).
 fn json_number(doc: &str, section: &str, key: &str) -> Option<f64> {
     let sec = doc.find(&format!("\"{section}\""))?;
     let rest = &doc[sec..];
@@ -162,25 +249,85 @@ fn print_measurement(label: &str, m: &Measurement, calib: f64) {
     );
 }
 
+fn print_steady(label: &str, s: &Steady) {
+    println!(
+        "{label}: {:.0} kcycles/sec, {:.2} evals/cycle over {} cycles",
+        s.cycles_per_sec() / 1e3,
+        s.evals_per_cycle(),
+        s.cycles
+    );
+}
+
+/// The per-mode counters that must be identical across execution modes
+/// (evals/deltas are the modes' *allowed* difference — the whole point).
+fn assert_mode_identity(event: &Measurement, compiled: &Measurement) -> bool {
+    let mut ok = true;
+    for (key, e, c) in [
+        ("cycles", event.cycles, compiled.cycles),
+        ("toggles", event.toggles, compiled.toggles),
+        ("events", event.events, compiled.events),
+        ("frames", event.frames as u64, compiled.frames as u64),
+    ] {
+        if e == c {
+            println!("  {key:<8} {e} == compiled");
+        } else {
+            eprintln!("FAIL: {key} differs across modes: event {e}, compiled {c}");
+            ok = false;
+        }
+    }
+    ok
+}
+
 fn run_full() {
-    println!("kernel_throughput — full AutoVision system (paper scale + smoke)\n");
+    println!("kernel_throughput — full AutoVision system, both execution modes\n");
     let calib = calibrate_mops();
-    let full = measure(paper_scale_config(), 40_000_000);
-    let smoke = measure_smoke();
-    print_measurement("paper-scale (320x240, SimB 4096)", &full, calib);
+    let full_ev = measure(paper_scale_config(), 40_000_000);
+    let full_co = measure(
+        with_mode(paper_scale_config(), ExecMode::Compiled),
+        40_000_000,
+    );
+    let smoke_ev = measure_smoke(ExecMode::EventDriven);
+    let smoke_co = measure_smoke(ExecMode::Compiled);
+    let steady_ev = measure_steady(ExecMode::EventDriven);
+    let steady_co = measure_steady(ExecMode::Compiled);
+    print_measurement("paper-scale event-driven (320x240, SimB 4096)", &full_ev, calib);
     println!();
-    print_measurement("smoke (32x24, SimB 128)", &smoke, calib);
+    print_measurement("paper-scale compiled", &full_co, calib);
+    println!();
+    print_measurement("smoke event-driven (32x24, SimB 128)", &smoke_ev, calib);
+    println!();
+    print_measurement("smoke compiled", &smoke_co, calib);
+    println!();
+    print_steady("steady event-driven", &steady_ev);
+    print_steady("steady compiled", &steady_co);
+    let ratio = steady_co.cycles_per_sec() / steady_ev.cycles_per_sec();
+    println!("steady-state speedup: {ratio:.1}x");
+    println!();
+    assert!(
+        assert_mode_identity(&full_ev, &full_co) && assert_mode_identity(&smoke_ev, &smoke_co),
+        "execution modes disagree on mode-independent counters"
+    );
 
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"bench_kernel/v1\",\n",
-            "  \"full\": {},\n",
-            "  \"smoke\": {}\n",
+            "  \"schema\": \"bench_kernel/v2\",\n",
+            "  \"full_event\": {},\n",
+            "  \"full_compiled\": {},\n",
+            "  \"smoke_event\": {},\n",
+            "  \"smoke_compiled\": {},\n",
+            "  \"steady_event\": {},\n",
+            "  \"steady_compiled\": {},\n",
+            "  \"steady_ratio\": {:.2}\n",
             "}}\n"
         ),
-        render_section(&full, calib),
-        render_section(&smoke, calib),
+        render_section(&full_ev, calib),
+        render_section(&full_co, calib),
+        render_section(&smoke_ev, calib),
+        render_section(&smoke_co, calib),
+        render_steady(&steady_ev),
+        render_steady(&steady_co),
+        ratio,
     );
     std::fs::write(BASELINE_PATH, &json).expect("write BENCH_kernel.json");
     println!("\nwrote {BASELINE_PATH}");
@@ -196,13 +343,21 @@ fn run_smoke() -> i32 {
             return 2;
         }
     };
+    if !doc.contains("\"schema\": \"bench_kernel/v2\"") {
+        eprintln!("FAIL: baseline is not bench_kernel/v2 — regenerate it");
+        return 2;
+    }
     let calib = calibrate_mops();
-    let m = measure_smoke();
-    print_measurement("smoke (32x24, SimB 128)", &m, calib);
+    let m = measure_smoke(ExecMode::EventDriven);
+    let mc = measure_smoke(ExecMode::Compiled);
+    print_measurement("smoke event-driven (32x24, SimB 128)", &m, calib);
+    println!();
+    print_measurement("smoke compiled", &mc, calib);
     println!();
 
-    // 1) Deterministic counters must match the baseline exactly: any
-    //    drift means the kernel's scheduling semantics changed.
+    // 1) Deterministic event-driven counters must match the baseline
+    //    exactly: any drift means the kernel's scheduling semantics
+    //    changed.
     let mut semantic_ok = true;
     for (key, got) in [
         ("evals", m.evals),
@@ -211,7 +366,7 @@ fn run_smoke() -> i32 {
         ("events", m.events),
         ("cycles", m.cycles),
     ] {
-        match json_number(&doc, "smoke", key) {
+        match json_number(&doc, "smoke_event", key) {
             Some(want) if want == got as f64 => {
                 println!("  {key:<8} {got} == baseline");
             }
@@ -220,7 +375,7 @@ fn run_smoke() -> i32 {
                 semantic_ok = false;
             }
             None => {
-                eprintln!("FAIL: baseline is missing smoke.{key}");
+                eprintln!("FAIL: baseline is missing smoke_event.{key}");
                 semantic_ok = false;
             }
         }
@@ -229,22 +384,30 @@ fn run_smoke() -> i32 {
         return 2;
     }
 
-    // 2) Host-normalized throughput must not regress beyond tolerance.
+    // 2) The compiled run must agree with the event-driven run on
+    //    every mode-independent counter: the bit-identity contract.
+    println!();
+    if !assert_mode_identity(&m, &mc) {
+        return 2;
+    }
+
+    // 3) Host-normalized event-driven throughput must not regress
+    //    beyond tolerance.
     let max_regression = std::env::var("KERNEL_SMOKE_MAX_REGRESSION")
         .ok()
         .and_then(|v| v.parse::<f64>().ok())
         .unwrap_or(DEFAULT_MAX_REGRESSION);
-    let baseline_norm = match json_number(&doc, "smoke", "normalized_score") {
+    let baseline_norm = match json_number(&doc, "smoke_event", "normalized_score") {
         Some(v) if v > 0.0 => v,
         _ => {
-            eprintln!("FAIL: baseline is missing smoke.normalized_score");
+            eprintln!("FAIL: baseline is missing smoke_event.normalized_score");
             return 2;
         }
     };
     let norm = m.cycles_per_sec() / (calib * 1e6);
     let ratio = norm / baseline_norm;
     println!(
-        "\n  normalized throughput: {norm:.4} vs baseline {baseline_norm:.4} (ratio {ratio:.3}, \
+        "\n  normalized throughput: {norm:.6} vs baseline {baseline_norm:.6} (ratio {ratio:.3}, \
          tolerance -{:.0}%)",
         max_regression * 100.0
     );
@@ -255,7 +418,26 @@ fn run_smoke() -> i32 {
         );
         return 1;
     }
-    println!("PASS");
+
+    // 4) Compiled steady-state throughput must clear the acceptance
+    //    floor over event-driven, measured fresh on this host.
+    let min_ratio = std::env::var("KERNEL_STEADY_MIN_RATIO")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(DEFAULT_STEADY_MIN_RATIO);
+    let steady_ev = measure_steady(ExecMode::EventDriven);
+    let steady_co = measure_steady(ExecMode::Compiled);
+    print_steady("\n  steady event-driven", &steady_ev);
+    print_steady("  steady compiled", &steady_co);
+    let sratio = steady_co.cycles_per_sec() / steady_ev.cycles_per_sec();
+    println!("  steady-state speedup: {sratio:.1}x (floor {min_ratio:.1}x)");
+    if sratio < min_ratio {
+        eprintln!(
+            "FAIL: compiled steady-state speedup {sratio:.1}x below the {min_ratio:.1}x floor"
+        );
+        return 1;
+    }
+    println!("\nPASS");
     0
 }
 

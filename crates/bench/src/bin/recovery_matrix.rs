@@ -28,6 +28,7 @@ fn main() {
     // serves both.
     let report = Campaign::builder()
         .base(cc.base.clone())
+        .exec_mode(harness::exec_mode())
         .seed(cc.seed)
         .budget_cycles(cc.budget_cycles)
         .threads(threads)

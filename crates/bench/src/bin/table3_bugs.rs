@@ -16,7 +16,12 @@ fn main() {
         "Table III — bug detection matrix ({}x{}, {} frames, SimB payload {} words, {} threads)\n",
         mc.base.width, mc.base.height, mc.base.n_frames, mc.base.payload_words, threads
     );
-    let report = Campaign::builder().threads(threads).matrix().build().run();
+    let report = Campaign::builder()
+        .threads(threads)
+        .exec_mode(harness::exec_mode())
+        .matrix()
+        .build()
+        .run();
     let rows = report.matrix_rows();
     println!("{}", render_matrix(&rows));
     let ok = rows.iter().filter(|r| r.as_expected()).count();

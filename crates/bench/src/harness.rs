@@ -10,7 +10,7 @@
 
 use autovision::{AvSystem, RunOutcome, SimMethod, SystemConfig, SystemConfigBuilder};
 use obs::MetricsRegistry;
-use rtlsim::Simulator;
+use rtlsim::{ExecMode, Simulator};
 use std::path::PathBuf;
 use std::time::Instant;
 use verif::Verdict;
@@ -25,7 +25,9 @@ pub fn threads() -> usize {
 
 /// The base configuration the ablations and matrices start from: the
 /// small 32×24 two-frame ReSim system with a `payload_words`-word SimB.
-/// Callers chain further knobs onto the returned builder.
+/// Callers chain further knobs onto the returned builder. The shared
+/// [`exec_mode`] flag is pre-applied, so every bin built on this base
+/// honours `--exec-mode` without further plumbing.
 pub fn experiment(payload_words: usize) -> SystemConfigBuilder {
     SystemConfig::builder()
         .method(SimMethod::Resim)
@@ -33,6 +35,33 @@ pub fn experiment(payload_words: usize) -> SystemConfigBuilder {
         .height(24)
         .n_frames(2)
         .payload_words(payload_words)
+        .exec_mode(exec_mode())
+}
+
+/// The kernel execution mode every bench bin shares, from
+/// `--exec-mode {event|compiled|auto}`. Absent flag means
+/// [`ExecMode::EventDriven`] — the committed baselines' mode.
+/// Exits with a usage message on an unknown spelling.
+pub fn exec_mode() -> ExecMode {
+    match flag_value("--exec-mode") {
+        None => ExecMode::EventDriven,
+        Some(v) => v.parse().unwrap_or_else(|e: String| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+/// Overlay the shared `--exec-mode` flag onto an already-built
+/// configuration — the migration shim for bins that assemble a
+/// [`SystemConfig`] outside the builder (struct literals,
+/// [`crate::paper_scale_config`]...). With the flag absent this is the
+/// identity, so existing invocations stay bit-identical.
+pub fn with_exec_mode(mut cfg: SystemConfig) -> SystemConfig {
+    if flag_value("--exec-mode").is_some() {
+        cfg.exec_mode = exec_mode();
+    }
+    cfg
 }
 
 /// `true` when `flag` appears among the command-line arguments.
@@ -105,7 +134,8 @@ impl ObsArgs {
     pub fn export(&self, sim: &Simulator, metrics: &MetricsRegistry) {
         if let Some(path) = &self.trace_out {
             let events = sim.trace_events();
-            std::fs::write(path, obs::perfetto::export(&events)).expect("write trace artifact");
+            let trace = obs::perfetto::export_with_fallback(&events, sim.fallback_windows());
+            std::fs::write(path, trace).expect("write trace artifact");
             println!(
                 "wrote {} trace events ({} dropped) to {}",
                 events.len(),
@@ -127,6 +157,9 @@ impl ObsArgs {
 pub fn system_metrics(sys: &AvSystem, outcome: &RunOutcome) -> MetricsRegistry {
     let mut reg = MetricsRegistry::new();
     obs::record_sim_stats(&mut reg, &sys.sim.stats());
+    if let Some(cs) = sys.sim.compiled_stats() {
+        obs::record_compiled_stats(&mut reg, &cs);
+    }
     let stats = sys.backend_stats();
     reg.counter("backend.swaps", stats.total_swaps());
     for r in &stats.regions {

@@ -2,8 +2,8 @@
 
 use crate::regfile::RegFile;
 use crate::{DCR_ADDR_BITS, DCR_DATA_BITS, DCR_TIMEOUT_CYCLES};
-use rtlsim::{CompKind, Component, Ctx, Lv, SignalId, Simulator};
-use std::cell::RefCell;
+use rtlsim::{CompKind, Component, Ctx, DoorbellId, Lv, SignalId, Simulator};
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::rc::Rc;
 
@@ -38,6 +38,9 @@ struct HandleInner {
 #[derive(Clone)]
 pub struct DcrHandle {
     inner: Rc<RefCell<HandleInner>>,
+    /// Raised on every [`DcrHandle::request`]; the master parks on this
+    /// as a kernel doorbell while its queue is empty.
+    pending: Rc<Cell<bool>>,
 }
 
 impl DcrHandle {
@@ -48,12 +51,19 @@ impl DcrHandle {
                 results: VecDeque::new(),
                 in_flight: false,
             })),
+            pending: Rc::new(Cell::new(false)),
         }
+    }
+
+    /// The request flag, suitable for `Simulator::add_doorbell`.
+    pub fn request_flag(&self) -> Rc<Cell<bool>> {
+        self.pending.clone()
     }
 
     /// Queue an access; it executes in order after earlier requests.
     pub fn request(&self, op: DcrOp) {
         self.inner.borrow_mut().requests.push_back(op);
+        self.pending.set(true);
     }
 
     /// Pop the oldest completed access, if any.
@@ -85,6 +95,9 @@ struct DcrMaster {
     ret_ack: SignalId,
     handle: DcrHandle,
     state: MState,
+    /// Doorbell rung by [`DcrHandle::request`]; the master parks on it
+    /// while idle with an empty queue.
+    bell: Option<DoorbellId>,
 }
 
 impl Component for DcrMaster {
@@ -103,6 +116,13 @@ impl Component for DcrMaster {
         match self.state {
             MState::Idle => {
                 let op = self.handle.inner.borrow_mut().requests.pop_front();
+                if op.is_none() {
+                    // Quiescent: nothing to issue until software queues a
+                    // request (doorbell) or reset changes.
+                    if let Some(bell) = self.bell {
+                        ctx.park_until(&[self.rst], &[bell]);
+                    }
+                }
                 if let Some(op) = op {
                     self.handle.inner.borrow_mut().in_flight = true;
                     match op {
@@ -173,6 +193,11 @@ struct DcrSlave {
     /// are driven to `X` — it models the slave's logic being inside a
     /// region that is currently being reconfigured.
     x_when: Option<SignalId>,
+    /// Everything the eval reads except `clk`: while the slave is not
+    /// selected its outputs are pure passthrough, so it can park until
+    /// one of these moves. It must stay awake while selected — the
+    /// write commit needs to sample a posedge.
+    wake: Vec<SignalId>,
 }
 
 impl Component for DcrSlave {
@@ -214,6 +239,9 @@ impl Component for DcrSlave {
         } else {
             ctx.set(self.ack_out, ctx.get(self.ack_in));
             ctx.set(self.d_out, ctx.get(self.d_in));
+            // Not selected: outputs track the chain inputs, all of which
+            // are in the wake set, so posedge re-evals are no-ops.
+            ctx.park_until(&self.wake, &[]);
         }
     }
 }
@@ -271,6 +299,10 @@ impl<'a> DcrChainBuilder<'a> {
             .sim
             .signal(format!("{}.d{}", self.name, i + 1), DCR_DATA_BITS);
         let ack_out = self.sim.signal(format!("{}.ack{}", self.name, i + 1), 1);
+        let mut wake = vec![self.abus, self.rd, self.wr, self.tail_d, self.tail_ack];
+        if let Some(x) = x_when {
+            wake.push(x);
+        }
         let slave = DcrSlave {
             clk: self.clk,
             abus: self.abus,
@@ -282,24 +314,19 @@ impl<'a> DcrChainBuilder<'a> {
             ack_out,
             regs,
             x_when,
+            wake: wake.clone(),
         };
-        let mut sens = vec![
-            self.clk,
-            self.abus,
-            self.rd,
-            self.wr,
-            self.tail_d,
-            self.tail_ack,
-        ];
-        if let Some(x) = x_when {
-            sens.push(x);
-        }
-        self.sim.add_component(
+        let mut sens = vec![self.clk];
+        sens.extend_from_slice(&wake);
+        let comp = self.sim.add_component(
             format!("{}.slave.{}", self.name, label),
             CompKind::UserStatic,
             Box::new(slave),
             &sens,
         );
+        // Wrong-edge clk activations only re-run the comb passthrough
+        // with unchanged inputs — idempotent, safe to filter.
+        self.sim.declare_clocked(comp, self.clk);
         self.tail_d = d_out;
         self.tail_ack = ack_out;
     }
@@ -307,6 +334,7 @@ impl<'a> DcrChainBuilder<'a> {
     /// Close the ring: instantiate the master and return its handle.
     pub fn finish(self) -> DcrHandle {
         let handle = DcrHandle::new();
+        let bell = self.sim.add_doorbell(handle.request_flag());
         let master = DcrMaster {
             clk: self.clk,
             rst: self.rst,
@@ -318,13 +346,15 @@ impl<'a> DcrChainBuilder<'a> {
             ret_ack: self.tail_ack,
             handle: handle.clone(),
             state: MState::Idle,
+            bell: Some(bell),
         };
-        self.sim.add_component(
+        let comp = self.sim.add_component(
             format!("{}.master", self.name),
             CompKind::UserStatic,
             Box::new(master),
             &[self.clk, self.rst],
         );
+        self.sim.declare_clocked(comp, self.clk);
         handle
     }
 }

@@ -1,7 +1,7 @@
 //! Shared register-file handles connecting DCR slaves to the hardware
 //! that owns the registers.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::rc::Rc;
 
@@ -21,6 +21,10 @@ struct RegInner {
 #[derive(Clone)]
 pub struct RegFile {
     inner: Rc<RefCell<RegInner>>,
+    /// Raised by [`RegFile::bus_write`] only — never by hardware-side
+    /// [`RegFile::set`] — so the owning component can park on a kernel
+    /// doorbell without waking itself by posting status.
+    dirty: Rc<Cell<bool>>,
 }
 
 impl RegFile {
@@ -32,7 +36,15 @@ impl RegFile {
                 regs: vec![0; count],
                 writes: VecDeque::new(),
             })),
+            dirty: Rc::new(Cell::new(false)),
         }
+    }
+
+    /// The bus-write flag, suitable for `Simulator::add_doorbell`. It is
+    /// set whenever software writes through the DCR chain and cleared by
+    /// the kernel when it services the doorbell.
+    pub fn dirty_flag(&self) -> Rc<Cell<bool>> {
+        self.dirty.clone()
     }
 
     /// First DCR address of the block.
@@ -74,6 +86,7 @@ impl RegFile {
         let off = addr - inner.base;
         inner.regs[off as usize] = v;
         inner.writes.push_back((off, v));
+        self.dirty.set(true);
     }
 
     /// Bus-side read.

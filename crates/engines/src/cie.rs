@@ -93,7 +93,8 @@ impl CensusEngine {
             sig_acc,
             pixels_per_cycle,
         };
-        sim.add_component(name, CompKind::UserReconf, Box::new(eng), &[io.clk, io.rst]);
+        let comp = sim.add_component(name, CompKind::UserReconf, Box::new(eng), &[io.clk, io.rst]);
+        sim.declare_clocked(comp, io.clk);
     }
 
     fn census_at(&self, x: usize) -> u8 {
@@ -212,7 +213,22 @@ impl Component for CensusEngine {
             return;
         }
         match self.st {
-            St::Idle => self.try_start(ctx),
+            St::Idle => {
+                self.try_start(ctx);
+                // Still idle with every control strobe low: quiescent
+                // until go/capture/restore/ereset or reset moves.
+                if self.st == St::Idle
+                    && !ctx.is_high(io.go)
+                    && !ctx.is_high(io.capture)
+                    && !ctx.is_high(io.restore)
+                    && !ctx.is_high(io.ereset)
+                {
+                    ctx.park_until(
+                        &[io.go, io.capture, io.restore, io.ereset, io.rst],
+                        &[],
+                    );
+                }
+            }
             St::ReadRow => {
                 if let Some(ev) = self.dma.step(ctx) {
                     match ev {

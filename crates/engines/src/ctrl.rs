@@ -4,7 +4,7 @@
 
 use crate::ports::EngineParamSignals;
 use dcr::RegFile;
-use rtlsim::{CompKind, Component, Ctx, SignalId, Simulator, TraceCat};
+use rtlsim::{CompKind, Component, Ctx, DoorbellId, SignalId, Simulator, TraceCat};
 
 /// DCR register offsets of an engine-control block.
 pub mod reg {
@@ -51,6 +51,8 @@ pub struct EngineCtrl {
     trace_track: u32,
     /// An engine-run span is open (trace bookkeeping only).
     run_open: bool,
+    /// Doorbell rung by DCR writes to this block's registers.
+    bell: Option<DoorbellId>,
 }
 
 impl EngineCtrl {
@@ -76,6 +78,7 @@ impl EngineCtrl {
             regs.len() >= 8,
             "engine control block needs 8 DCR registers"
         );
+        let bell = sim.add_doorbell(regs.dirty_flag());
         let c = EngineCtrl {
             clk,
             rst,
@@ -91,8 +94,10 @@ impl EngineCtrl {
             rst_pending: false,
             trace_track,
             run_open: false,
+            bell: Some(bell),
         };
-        sim.add_component(name, CompKind::UserStatic, Box::new(c), &[clk, rst]);
+        let comp = sim.add_component(name, CompKind::UserStatic, Box::new(c), &[clk, rst]);
+        sim.declare_clocked(comp, clk);
     }
 }
 
@@ -139,6 +144,7 @@ impl Component for EngineCtrl {
         }
         // Issue pending strobes (one cycle after the DCR write lands, so
         // parameter writes from the same burst are already on the wires).
+        let mut strobed = false;
         if self.rst_pending {
             self.rst_pending = false;
             if self.run_open {
@@ -146,6 +152,7 @@ impl Component for EngineCtrl {
                 ctx.trace_end(TraceCat::Engine, "run", self.trace_track, 1);
             }
             ctx.set_bit(self.ereset, true);
+            strobed = true;
         } else if self.go_pending {
             self.go_pending = false;
             if !self.run_open {
@@ -153,6 +160,7 @@ impl Component for EngineCtrl {
                 ctx.trace_begin(TraceCat::Engine, "run", self.trace_track, 0);
             }
             ctx.set_bit(self.go, true);
+            strobed = true;
         }
         // Status readback. An X on the post-isolation lines (broken
         // isolation during reconfiguration) would corrupt STATUS; we
@@ -173,5 +181,20 @@ impl Component for EngineCtrl {
         let status = (busy.truthy() as u32) | ((self.done_latch as u32) << 1);
         self.regs.set(reg::STATUS, status);
         ctx.set_bit(self.irq_out, done.truthy());
+        // Quiescent when no strobe is pending or in flight and the status
+        // lines are clean: future evals are pure resampling until the
+        // engine moves busy/done, software writes a register (doorbell),
+        // or reset changes. X-ed status lines keep the block awake so the
+        // per-posedge warning cadence matches event-driven execution.
+        if !strobed
+            && !self.go_pending
+            && !self.rst_pending
+            && !busy.has_unknown()
+            && !done.has_unknown()
+        {
+            if let Some(bell) = self.bell {
+                ctx.park_until(&[self.busy_in, self.done_in, self.rst], &[bell]);
+            }
+        }
     }
 }

@@ -83,7 +83,8 @@ impl MatchingEngine {
             sig_cost,
             ops_per_cycle: Self::OPS_PER_CYCLE,
         };
-        sim.add_component(name, CompKind::UserReconf, Box::new(eng), &[io.clk, io.rst]);
+        let comp = sim.add_component(name, CompKind::UserReconf, Box::new(eng), &[io.clk, io.rst]);
+        sim.declare_clocked(comp, io.clk);
     }
 
     fn anchor_cycles(&self) -> u32 {
@@ -186,7 +187,22 @@ impl Component for MatchingEngine {
             return;
         }
         match self.st {
-            St::Idle => self.try_start(ctx),
+            St::Idle => {
+                self.try_start(ctx);
+                // Still idle with every control strobe low: nothing can
+                // happen until one of them (or reset) moves.
+                if self.st == St::Idle
+                    && !ctx.is_high(io.go)
+                    && !ctx.is_high(io.capture)
+                    && !ctx.is_high(io.restore)
+                    && !ctx.is_high(io.ereset)
+                {
+                    ctx.park_until(
+                        &[io.go, io.capture, io.restore, io.ereset, io.rst],
+                        &[],
+                    );
+                }
+            }
             St::LoadPrev => {
                 if let Some(ev) = self.dma.step(ctx) {
                     match ev {

@@ -27,7 +27,7 @@ pub use metrics::{Histogram, MetricsRegistry, METRICS_SCHEMA};
 pub use span::{span_durations, Span};
 
 use rtlsim::profile::ProfileRow;
-use rtlsim::{CompKind, SimStats};
+use rtlsim::{CompKind, CompiledStats, SimStats};
 
 /// Fold kernel statistics into the registry under `kernel.*`.
 pub fn record_sim_stats(reg: &mut MetricsRegistry, stats: &SimStats) {
@@ -36,6 +36,35 @@ pub fn record_sim_stats(reg: &mut MetricsRegistry, stats: &SimStats) {
     reg.counter("kernel.time_points", stats.time_points);
     reg.counter("kernel.toggles", stats.toggles);
     reg.counter("kernel.events", stats.events);
+}
+
+/// Fold compiled-plane statistics into the registry under `compiled.*`:
+/// the plan shape (sequential rank, levelized comb depth), the dispatch
+/// filter's work avoidance (edge/parked skips, parks, wakes), and the
+/// steady-state vs dirty-window fallback split.
+pub fn record_compiled_stats(reg: &mut MetricsRegistry, stats: &CompiledStats) {
+    reg.counter("compiled.compile_nanos", stats.compile_nanos);
+    reg.counter("compiled.schedule_comps", stats.schedule_comps);
+    reg.counter("compiled.seq_rank", stats.seq_rank);
+    reg.counter("compiled.comb_comps", stats.comb_comps);
+    reg.counter("compiled.comb_levels", stats.comb_levels);
+    reg.counter("compiled.comb_cyclic", stats.comb_cyclic);
+    reg.counter("compiled.skipped_edge", stats.skipped_edge);
+    reg.counter("compiled.skipped_parked", stats.skipped_parked);
+    reg.counter("compiled.parks", stats.parks);
+    reg.counter("compiled.signal_wakes", stats.signal_wakes);
+    reg.counter("compiled.doorbell_rings", stats.doorbell_rings);
+    reg.counter("compiled.fallback_entries", stats.fallback_entries);
+    reg.counter("compiled.fallback_exits", stats.fallback_exits);
+    reg.counter("compiled.steady_points", stats.steady_points);
+    reg.counter("compiled.fallback_points", stats.fallback_points);
+    let total = stats.steady_points + stats.fallback_points;
+    if total > 0 {
+        reg.gauge(
+            "compiled.fallback_share",
+            stats.fallback_points as f64 / total as f64,
+        );
+    }
 }
 
 fn kind_label(kind: CompKind) -> &'static str {

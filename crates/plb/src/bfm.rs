@@ -74,7 +74,8 @@ impl TestMaster {
             delay_left: 0,
             log: log.clone(),
         };
-        sim.add_component(name, CompKind::Vip, Box::new(tm), &[clk, rst]);
+        let comp = sim.add_component(name, CompKind::Vip, Box::new(tm), &[clk, rst]);
+        sim.declare_clocked(comp, clk);
         (port, log)
     }
 }
@@ -110,7 +111,9 @@ impl Component for TestMaster {
                 Some(BfmOp::Write { addr, data }) => self.dma.start_write(addr, data),
                 Some(BfmOp::Read { addr, words }) => self.dma.start_read(addr, words),
                 Some(BfmOp::Delay { cycles }) => self.delay_left = cycles,
-                None => {}
+                // Script exhausted and the DMA engine idle: done forever
+                // (short of a reset).
+                None => ctx.park_until(&[self.rst], &[]),
             }
         }
     }

@@ -94,6 +94,9 @@ struct Arbiter {
     rr_next: usize,
     held_cycles: u64,
     hang_reported: bool,
+    /// Request lines plus reset: the only inputs that can start a grant
+    /// while the bus is idle, i.e. the park wake set.
+    wake: Vec<SignalId>,
 }
 
 impl Arbiter {
@@ -138,6 +141,8 @@ impl Component for Arbiter {
             return;
         }
         if self.cfg.mode == BusMode::PointToPoint {
+            // Permanently granted: only reset ever changes the outputs.
+            ctx.park_until(&[self.rst], &[]);
             return; // nothing to arbitrate
         }
         // Error pulses last one cycle.
@@ -148,7 +153,14 @@ impl Component for Arbiter {
         if owner == NONE {
             self.held_cycles = 0;
             self.hang_reported = false;
-            if let Some(w) = self.pick_winner(ctx) {
+            let winner = self.pick_winner(ctx);
+            if winner.is_none() && ctx.get_u64(self.errm) == Some(NONE) {
+                // Idle bus, no error pulse to clear: quiescent until a
+                // master raises a request (or reset changes). The grant
+                // counter state is already zeroed.
+                ctx.park_until(&self.wake, &[]);
+            }
+            if let Some(w) = winner {
                 match ctx.get_u64(self.masters[w].addr).map(|a| a as u32) {
                     Some(addr) => match self.decode(addr) {
                         Some(s) => {
@@ -285,6 +297,8 @@ impl PlbBus {
         let slave = sim.signal_init(format!("{name}.slave"), 8, init_owner);
         let errm = sim.signal_init(format!("{name}.errm"), 8, NONE);
 
+        let mut wake: Vec<SignalId> = masters.iter().map(|m| m.req).collect();
+        wake.push(rst);
         let arb = Arbiter {
             clk,
             rst,
@@ -297,13 +311,15 @@ impl PlbBus {
             rr_next: 0,
             held_cycles: 0,
             hang_reported: false,
+            wake,
         };
-        sim.add_component(
+        let arb_comp = sim.add_component(
             format!("{name}.arbiter"),
             CompKind::UserStatic,
             Box::new(arb),
             &[clk, rst],
         );
+        sim.declare_clocked(arb_comp, clk);
 
         let relay = Relay {
             masters: masters.clone(),
@@ -321,12 +337,20 @@ impl PlbBus {
         for (s, _) in &slaves {
             sens.extend_from_slice(&[s.aready, s.wready, s.rvalid, s.rdata, s.complete, s.err]);
         }
-        sim.add_component(
+        let mut writes: Vec<SignalId> = Vec::new();
+        for m in &masters {
+            writes.extend_from_slice(&[m.gnt, m.addr_ack, m.wready, m.rvalid, m.rdata, m.complete, m.err]);
+        }
+        for (s, _) in &slaves {
+            writes.extend_from_slice(&[s.sel, s.a_rnw, s.a_addr, s.a_size, s.wvalid, s.wdata, s.rready]);
+        }
+        let relay_comp = sim.add_component(
             format!("{name}.relay"),
             CompKind::UserStatic,
             Box::new(relay),
             &sens,
         );
+        sim.declare_comb(relay_comp, &sens, &writes);
 
         PlbBus { owner, slave, errm }
     }

@@ -260,7 +260,8 @@ impl MemorySlave {
         let port = SlavePort::alloc(sim, name);
         let slave = MemorySlave::new(port, clk, rst, mem, wait_states)
             .with_stale_beat_bug(stale_first_beat_bug);
-        sim.add_component(name, CompKind::UserStatic, Box::new(slave), &[clk, rst]);
+        let comp = sim.add_component(name, CompKind::UserStatic, Box::new(slave), &[clk, rst]);
+        sim.declare_clocked(comp, clk);
         port
     }
 
@@ -281,7 +282,8 @@ impl MemorySlave {
         let slave = MemorySlave::new(port, clk, rst, mem, wait_states)
             .with_stale_beat_bug(stale_first_beat_bug)
             .with_faults(handle.clone());
-        sim.add_component(name, CompKind::UserStatic, Box::new(slave), &[clk, rst]);
+        let comp = sim.add_component(name, CompKind::UserStatic, Box::new(slave), &[clk, rst]);
+        sim.declare_clocked(comp, clk);
         (port, handle)
     }
 }
@@ -314,6 +316,10 @@ impl Component for MemorySlave {
                             left: self.wait_states,
                         };
                     }
+                } else {
+                    // Deselected: nothing happens until the bus steers a
+                    // transaction here (or reset changes).
+                    ctx.park_until(&[p.sel, self.rst], &[]);
                 }
             }
             MemState::AckWait { left } => {

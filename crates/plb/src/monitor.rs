@@ -43,6 +43,11 @@ pub struct PlbMonitor {
     /// observed yet, so data valids are premature.
     awaiting_ack: Vec<bool>,
     stats: Rc<RefCell<MonitorStats>>,
+    /// Every signal the checks read, i.e. the park wake set.
+    wake: Vec<SignalId>,
+    /// A violation counted during the current eval; parking would change
+    /// the per-cycle violation count of a persistent condition.
+    fired: bool,
 }
 
 impl PlbMonitor {
@@ -56,6 +61,12 @@ impl PlbMonitor {
         masters: Vec<(String, MasterPort)>,
     ) -> Rc<RefCell<MonitorStats>> {
         let stats = Rc::new(RefCell::new(MonitorStats::default()));
+        let mut wake: Vec<SignalId> = vec![rst];
+        for (_, p) in &masters {
+            wake.extend_from_slice(&[
+                p.req, p.addr, p.size, p.wvalid, p.wdata, p.rready, p.gnt, p.addr_ack,
+            ]);
+        }
         let mon = PlbMonitor {
             clk,
             rst,
@@ -63,8 +74,11 @@ impl PlbMonitor {
             awaiting_ack: vec![false; masters.len()],
             masters,
             stats: stats.clone(),
+            wake,
+            fired: false,
         };
-        sim.add_component(name, CompKind::Vip, Box::new(mon), &[clk, rst]);
+        let comp = sim.add_component(name, CompKind::Vip, Box::new(mon), &[clk, rst]);
+        sim.declare_clocked(comp, clk);
         stats
     }
 
@@ -73,6 +87,7 @@ impl PlbMonitor {
     /// paying for message formatting on every cycle of a persistent
     /// violation.
     fn flag(&mut self, midx: usize, kind: usize, is_x: bool) -> bool {
+        self.fired = true;
         {
             let mut s = self.stats.borrow_mut();
             s.violations += 1;
@@ -97,6 +112,7 @@ impl Component for PlbMonitor {
         if ctx.is_high(self.rst) || !ctx.rose(self.clk) {
             return;
         }
+        self.fired = false;
         for i in 0..self.masters.len() {
             let p = self.masters[i].1;
             // Unknown on control signals.
@@ -153,6 +169,11 @@ impl Component for PlbMonitor {
                     self.masters[i].0
                 ));
             }
+        }
+        // Clean cycle: the checks are pure functions of the observed
+        // signals, so nothing can fire until one of them changes.
+        if !self.fired {
+            ctx.park_until(&self.wake, &[]);
         }
     }
 }

@@ -524,7 +524,8 @@ impl PpcIss {
             trace_depth: cfg.trace_depth,
             entry: cfg.entry,
         };
-        sim.add_component(name, CompKind::Vip, Box::new(iss), &[clk, rst]);
+        let comp = sim.add_component(name, CompKind::Vip, Box::new(iss), &[clk, rst]);
+        sim.declare_clocked(comp, clk);
         stats
     }
 
@@ -613,7 +614,9 @@ impl Component for PpcIss {
             }
         }
         match &mut self.state {
-            IssState::Halted => {}
+            // A halted core never restarts on its own; only reset revives
+            // it (interrupts are not sampled while halted).
+            IssState::Halted => ctx.park_until(&[self.rst], &[]),
             IssState::Stall(n) => {
                 *n -= 1;
                 if *n == 0 {

@@ -20,7 +20,7 @@
 //! interrupt that arrived in the same cycle.
 
 use dcr::RegFile;
-use rtlsim::{CompKind, Component, Ctx, SignalId, Simulator};
+use rtlsim::{CompKind, Component, Ctx, DoorbellId, SignalId, Simulator};
 
 /// Register offsets within the controller's DCR block.
 pub mod reg {
@@ -51,6 +51,10 @@ pub struct IntController {
     /// class).
     pulse_irq_bug: bool,
     prev_pending: u32,
+    /// Interrupt lines plus reset: the park wake set.
+    wake: Vec<SignalId>,
+    /// Doorbell rung by DCR writes to the controller's registers.
+    bell: Option<DoorbellId>,
 }
 
 impl IntController {
@@ -91,6 +95,9 @@ impl IntController {
         assert!(lines.len() <= 32, "at most 32 interrupt lines");
         let mut sens = vec![clk, rst];
         sens.extend_from_slice(&lines);
+        let mut wake = lines.clone();
+        wake.push(rst);
+        let bell = sim.add_doorbell(regs.dirty_flag());
         let intc = IntController {
             clk,
             rst,
@@ -102,8 +109,11 @@ impl IntController {
             clear_race_bug,
             pulse_irq_bug,
             prev_pending: 0,
+            wake,
+            bell: Some(bell),
         };
-        sim.add_component(name, CompKind::UserStatic, Box::new(intc), &sens);
+        let comp = sim.add_component(name, CompKind::UserStatic, Box::new(intc), &sens);
+        sim.declare_clocked(comp, clk);
     }
 }
 
@@ -154,15 +164,26 @@ impl Component for IntController {
 
         self.regs.set(reg::STATUS, self.pending);
         let enable = self.regs.get(reg::ENABLE);
+        let mut pulse_open = false;
         if self.pulse_irq_bug {
             // BUG: only newly pending, enabled bits pulse the line for a
             // single cycle.
             let newly = self.pending & !self.prev_pending;
-            ctx.set_bit(self.irq, newly & enable != 0);
+            pulse_open = newly & enable != 0;
+            ctx.set_bit(self.irq, pulse_open);
         } else {
             ctx.set_bit(self.irq, self.pending & enable != 0);
         }
         self.prev_pending = self.pending;
+        // Once the line sampling reached its fixed point this state is a
+        // pure function of lines/ENABLE/pending; sleep until a line or
+        // reset moves, or software touches a register. A single-cycle
+        // irq pulse keeps the controller awake so the next edge clears it.
+        if !pulse_open {
+            if let Some(bell) = self.bell {
+                ctx.park_until(&self.wake, &[bell]);
+            }
+        }
     }
 }
 

@@ -252,7 +252,8 @@ impl IcapArtifact {
             transfer_rr: None,
             inject_rr: None,
         };
-        sim.add_component(name, CompKind::Artifact, Box::new(icap), &[clk, rst]);
+        let comp = sim.add_component(name, CompKind::Artifact, Box::new(icap), &[clk, rst]);
+        sim.declare_clocked(comp, clk);
         (port, stats, faults)
     }
 
@@ -308,6 +309,9 @@ impl Component for IcapArtifact {
         let active = ctx.is_high(p.ce) || !self.fifo.is_empty() || self.strobe_pending || aborting;
         if !active {
             self.abort_seen = false;
+            // No bitstream in flight and nothing buffered: sleep until
+            // the controller raises ce/abort or reset changes.
+            ctx.park_until(&[p.ce, p.abort, self.rst], &[]);
             return;
         }
         // Strobes are single-cycle.

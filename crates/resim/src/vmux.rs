@@ -18,7 +18,7 @@
 use crate::portal::RrBoundary;
 use dcr::RegFile;
 use engines::EngineIf;
-use rtlsim::{CompKind, Component, Ctx, SignalId, Simulator};
+use rtlsim::{CompKind, Component, Ctx, DoorbellId, SignalId, Simulator};
 
 /// Virtual-multiplexing configuration.
 #[derive(Debug, Clone, Copy)]
@@ -47,6 +47,8 @@ struct VmuxCtl {
     cfg: VmuxConfig,
     /// Signature value as a kernel signal (selector of the mux).
     signature: SignalId,
+    /// Doorbell rung by DCR writes to the signature register.
+    bell: Option<DoorbellId>,
 }
 
 impl Component for VmuxCtl {
@@ -64,6 +66,11 @@ impl Component for VmuxCtl {
             if off == 0 {
                 ctx.set_u64(self.signature, v as u64);
             }
+        }
+        // Purely software-driven: only a register write or reset can
+        // change the signature output.
+        if let Some(bell) = self.bell {
+            ctx.park_until(&[self.rst], &[bell]);
         }
     }
 }
@@ -141,19 +148,22 @@ pub fn instantiate_vmux(
     assert!(!regs.is_empty(), "engine_signature needs one register");
     let init = cfg.reset_signature.unwrap_or(GARBAGE);
     let signature = sim.signal_init(format!("{name}.signature"), 32, init as u64);
+    let bell = sim.add_doorbell(regs.dirty_flag());
     let ctl = VmuxCtl {
         clk,
         rst,
         regs,
         cfg,
         signature,
+        bell: Some(bell),
     };
-    sim.add_component(
+    let ctl_comp = sim.add_component(
         format!("{name}.ctl"),
         CompKind::Artifact,
         Box::new(ctl),
         &[clk, rst],
     );
+    sim.declare_clocked(ctl_comp, clk);
 
     let mut sens: Vec<SignalId> = vec![signature];
     for (_, e) in &modules {
@@ -170,15 +180,30 @@ pub fn instantiate_vmux(
         boundary.plb.complete,
         boundary.plb.err,
     ]);
+    let mut writes: Vec<SignalId> = vec![boundary.busy, boundary.done];
+    writes.extend_from_slice(&boundary.plb.master_driven());
+    for (_, m) in &modules {
+        writes.push(m.sel);
+        writes.extend_from_slice(&[
+            m.plb.gnt,
+            m.plb.addr_ack,
+            m.plb.wready,
+            m.plb.rvalid,
+            m.plb.rdata,
+            m.plb.complete,
+            m.plb.err,
+        ]);
+    }
     let mux = VmuxMux {
         modules,
         boundary,
         signature,
     };
-    sim.add_component(
+    let mux_comp = sim.add_component(
         format!("{name}.mux"),
         CompKind::Artifact,
         Box::new(mux),
         &sens,
     );
+    sim.declare_comb(mux_comp, &sens, &writes);
 }

@@ -1,0 +1,357 @@
+//! The compiled-simulation plane: levelized schedule analysis plus the
+//! steady-state dispatch filter behind [`ExecMode`].
+//!
+//! # What "compiled" means here
+//!
+//! A classical compiled simulator (the berkeley-emulation-engine style)
+//! re-emits the netlist as straight-line host code and keeps a *second*
+//! copy of architectural state, which it must hand back to the
+//! event-driven reference at every boundary. This kernel's components are
+//! opaque `eval` bodies observing intra-delta glitch order through the
+//! VCD sink and toggle counters, so a schedule that re-orders evaluation
+//! would change the waveform byte stream. Instead, the compiled plane
+//! keeps the delta loop as the *only* executor and compiles away the
+//! dispatches that are provably no-ops:
+//!
+//! * **Edge filtering** — a component declared [`Clocked`] via
+//!   [`crate::Simulator::declare_clocked`] is never dispatched for the
+//!   falling edge of its clock (its eval contract makes those evals
+//!   observable no-ops; every other sensitivity, e.g. reset, dispatches
+//!   normally).
+//! * **Parking** — an idle FSM calls [`crate::Ctx::park_until`] to
+//!   declare itself quiescent until one of its watched signals changes or
+//!   a [`DoorbellId`] rings; parked components are skipped at dispatch.
+//! * **Dirty-window fallback** — while any watched boundary condition
+//!   holds (region isolation asserted, a SimB transfer in flight, `X` on
+//!   a watched signal), filtering is suspended and every component is
+//!   unparked: the kernel degenerates to full event-driven delta
+//!   semantics for the duration of the window.
+//!
+//! Because the compiled plane only ever *removes* no-op dispatches, the
+//! state handoff in both directions is trivially clean: there is no
+//! second state copy, the event queue and signal arena are shared, and
+//! entering/leaving a dirty window is a flag flip plus an unpark sweep.
+//!
+//! # Levelization
+//!
+//! [`crate::Simulator::declare_comb`] records a combinational component's
+//! read/write sets. At compile time the plane topologically orders the
+//! declared combinational netlist (Kahn), yielding the per-cycle
+//! schedule shape: one batched sequential rank (all `Clocked`
+//! components, dispatched together at their clock edge) followed by at
+//! most `comb_levels` cascaded combinational ranks. The levelization is
+//! used to validate acyclicity and to bound the delta-cascade depth; the
+//! *execution order* within a delta remains event order, which is what
+//! pins waveforms bit-identical between modes.
+
+use crate::{CompId, SignalId};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Execution mode of a [`crate::Simulator`], selected before the first
+/// run call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecMode {
+    /// Classic event-driven kernel: every sensitivity activation
+    /// dispatches. The reference semantics and the default.
+    #[default]
+    EventDriven,
+    /// Compiled steady-state dispatch: edge filtering and parking are
+    /// honoured outside dirty windows. Bit-identical observable
+    /// behaviour, fewer component evaluations.
+    Compiled,
+    /// Policy alias: resolves to [`ExecMode::Compiled`] today, and is the
+    /// hook for future heuristics (e.g. staying event-driven for
+    /// configurations whose fault plans defeat the steady-state
+    /// assumption). Prefer this in new code.
+    Auto,
+}
+
+impl ExecMode {
+    /// Does this mode enable the compiled dispatch filter?
+    #[inline]
+    pub fn is_compiled(self) -> bool {
+        !matches!(self, ExecMode::EventDriven)
+    }
+
+    /// Stable lowercase name (CLI/JSON spelling).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ExecMode::EventDriven => "event",
+            ExecMode::Compiled => "compiled",
+            ExecMode::Auto => "auto",
+        }
+    }
+
+    /// Parse the CLI/JSON spelling produced by [`ExecMode::as_str`]
+    /// (plus the common long aliases).
+    pub fn parse(s: &str) -> Option<ExecMode> {
+        match s {
+            "event" | "event-driven" | "eventdriven" => Some(ExecMode::EventDriven),
+            "compiled" => Some(ExecMode::Compiled),
+            "auto" => Some(ExecMode::Auto),
+            _ => None,
+        }
+    }
+}
+
+impl std::str::FromStr for ExecMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<ExecMode, String> {
+        ExecMode::parse(s).ok_or_else(|| format!("unknown exec mode '{s}' (event|compiled|auto)"))
+    }
+}
+
+impl std::fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Handle to a registered doorbell (see
+/// [`crate::Simulator::add_doorbell`]): a shared flag that out-of-band
+/// state owners (register files, request queues) raise when they mutate
+/// state a parked component polls, so parking stays sound for state that
+/// bypasses the signal arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DoorbellId(pub(crate) u32);
+
+/// What makes a watched signal "dirty" (see
+/// [`crate::Simulator::watch_dirty`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirtyWatch {
+    /// Dirty while the signal has any driven-1 bit (isolation asserted,
+    /// transfer in flight).
+    Truthy,
+    /// Dirty while the signal carries `X`/`Z` bits (corruption escaping a
+    /// boundary).
+    Unknown,
+    /// Dirty in either case (reset, ICAP handshake wires).
+    TruthyOrUnknown,
+}
+
+/// Statistics of the compiled plane, populated once the plan is built.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompiledStats {
+    /// Wall-clock nanoseconds spent building the plan (levelization plus
+    /// dense-table construction).
+    pub compile_nanos: u64,
+    /// Components covered by the plan (dense slot count).
+    pub schedule_comps: u64,
+    /// Components in the batched sequential rank (declared clocked).
+    pub seq_rank: u64,
+    /// Declared combinational components.
+    pub comb_comps: u64,
+    /// Depth of the levelized combinational schedule (0 when no comb
+    /// declarations exist).
+    pub comb_levels: u64,
+    /// Declared combinational components on a cycle (levelization could
+    /// not order them; they stay generically dispatched).
+    pub comb_cyclic: u64,
+    /// Dispatches skipped because the activation was the wrong clock
+    /// edge.
+    pub skipped_edge: u64,
+    /// Dispatches skipped because the component was parked.
+    pub skipped_parked: u64,
+    /// `park_until` calls honoured.
+    pub parks: u64,
+    /// Parked components woken by a watched-signal change.
+    pub signal_wakes: u64,
+    /// Doorbell rings consumed (each may wake several listeners).
+    pub doorbell_rings: u64,
+    /// Transitions into the dirty-window fallback.
+    pub fallback_entries: u64,
+    /// Transitions back to filtered steady-state dispatch.
+    pub fallback_exits: u64,
+    /// Time points executed with filtering active.
+    pub steady_points: u64,
+    /// Time points executed in fallback (or before the plan was built).
+    pub fallback_points: u64,
+}
+
+/// Per-signal compiled-plane flags, packed next to the signal's hot
+/// state (`SignalState.cflags`).
+pub(crate) mod cflag {
+    /// Signal is dirty-watched for truthiness.
+    pub const WATCH_TRUTHY: u8 = 1 << 0;
+    /// Signal is dirty-watched for unknown bits.
+    pub const WATCH_UNKNOWN: u8 = 1 << 1;
+    /// Signal currently holds its dirty condition.
+    pub const DIRTY_NOW: u8 = 1 << 2;
+    /// Signal has a (possibly empty) park wake list.
+    pub const HAS_WAKERS: u8 = 1 << 3;
+    pub const WATCH_ANY: u8 = WATCH_TRUTHY | WATCH_UNKNOWN;
+}
+
+pub(crate) const NO_CLOCK: u32 = u32::MAX;
+
+/// Dense per-component / per-signal compiled-plane state, embedded in
+/// `SimCore` so both the dispatcher and `Ctx::park_until` reach it.
+#[derive(Default)]
+pub(crate) struct CompiledCore {
+    pub mode: ExecMode,
+    /// Hot gate: true iff `mode.is_compiled()`, the plan is built, and no
+    /// dirty window is active. Checked once per signal application.
+    pub filtering: bool,
+    /// Plan built (dense tables sized); set by `compile_plan`.
+    pub built: bool,
+    /// Per component: declared clock signal id, `NO_CLOCK` if generic.
+    pub clock_of: Vec<u32>,
+    /// Per component: currently parked.
+    pub parked: Vec<bool>,
+    /// Per component: wake set already registered (the set is latched
+    /// from the first `park_until` call).
+    pub wake_registered: Vec<bool>,
+    /// Per signal: components to unpark when the signal changes.
+    pub wakers: Vec<Vec<CompId>>,
+    /// Registered doorbells and their parked listeners.
+    pub doorbells: Vec<(Rc<Cell<bool>>, Vec<CompId>)>,
+    /// Declared combinational read/write sets (levelization input).
+    pub comb_decls: Vec<(CompId, Vec<SignalId>, Vec<SignalId>)>,
+    /// Number of signals currently dirty; filtering is suspended while
+    /// non-zero.
+    pub dirty_count: u32,
+    /// Closed and open fallback windows as `(entry_ps, exit_ps)`; an open
+    /// window has `exit_ps == u64::MAX`. Kept out of the structured trace
+    /// so the TraceBuf stream stays bit-identical between modes.
+    pub windows: Vec<(u64, u64)>,
+    pub stats: CompiledStats,
+}
+
+impl CompiledCore {
+    /// Ensure dense tables cover `n_comps` components (components added
+    /// after compile get generic, unparked slots — always dispatched).
+    pub fn ensure_comps(&mut self, n_comps: usize) {
+        if self.clock_of.len() < n_comps {
+            self.clock_of.resize(n_comps, NO_CLOCK);
+            self.parked.resize(n_comps, false);
+            self.wake_registered.resize(n_comps, false);
+        }
+    }
+
+    /// Ensure the per-signal wake-list table covers `n_signals`.
+    pub fn ensure_signals(&mut self, n_signals: usize) {
+        if self.wakers.len() < n_signals {
+            self.wakers.resize_with(n_signals, Vec::new);
+        }
+    }
+
+    /// Clear every parked flag (dirty-window entry / full flush).
+    pub fn unpark_all(&mut self) {
+        for p in &mut self.parked {
+            *p = false;
+        }
+    }
+
+    /// Recompute the hot filtering gate from mode/plan/dirty state.
+    #[inline]
+    pub fn refresh_gate(&mut self) {
+        self.filtering = self.mode.is_compiled() && self.built && self.dirty_count == 0;
+    }
+
+    /// Consume raised doorbells, unparking their listeners. Called once
+    /// per delta while filtering; cost is one `Cell` read per doorbell.
+    #[inline]
+    pub fn service_doorbells(&mut self) {
+        for (flag, listeners) in &self.doorbells {
+            if flag.get() {
+                flag.set(false);
+                self.stats.doorbell_rings += 1;
+                for &c in listeners {
+                    self.parked[c.0 as usize] = false;
+                }
+            }
+        }
+    }
+
+    /// Levelize the declared combinational netlist: Kahn topological sort
+    /// over "writer feeds reader" edges. Returns (levels, cyclic_comps).
+    pub fn levelize(&self) -> (u64, u64) {
+        let n = self.comb_decls.len();
+        if n == 0 {
+            return (0, 0);
+        }
+        // Map each written signal to its writing decl indices.
+        let mut writers: std::collections::HashMap<u32, Vec<usize>> =
+            std::collections::HashMap::new();
+        for (i, (_, _, writes)) in self.comb_decls.iter().enumerate() {
+            for s in writes {
+                writers.entry(s.0).or_default().push(i);
+            }
+        }
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut indeg = vec![0usize; n];
+        for (i, (_, reads, _)) in self.comb_decls.iter().enumerate() {
+            for s in reads {
+                if let Some(ws) = writers.get(&s.0) {
+                    for &w in ws {
+                        if w != i {
+                            succ[w].push(i);
+                            indeg[i] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let mut level = vec![0u64; n];
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = queue.len();
+        let mut head = 0;
+        let mut max_level = if queue.is_empty() { 0 } else { 1 };
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            for &v in &succ[u] {
+                indeg[v] -= 1;
+                if level[v] < level[u] + 1 {
+                    level[v] = level[u] + 1;
+                    max_level = max_level.max(level[v] + 1);
+                }
+                if indeg[v] == 0 {
+                    queue.push(v);
+                    seen += 1;
+                }
+            }
+        }
+        (max_level, (n - seen) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exec_mode_round_trips_through_its_name() {
+        for m in [ExecMode::EventDriven, ExecMode::Compiled, ExecMode::Auto] {
+            assert_eq!(ExecMode::parse(m.as_str()), Some(m));
+        }
+        assert_eq!(ExecMode::parse("event-driven"), Some(ExecMode::EventDriven));
+        assert_eq!(ExecMode::parse("bogus"), None);
+        assert_eq!(ExecMode::default(), ExecMode::EventDriven);
+    }
+
+    #[test]
+    fn levelize_orders_a_chain_and_flags_a_cycle() {
+        let mut cc = CompiledCore::default();
+        let s = |n: u32| SignalId(n);
+        // a: s0 -> s1, b: s1 -> s2, c: s2 -> s3 — a 3-level chain.
+        cc.comb_decls.push((CompId(0), vec![s(0)], vec![s(1)]));
+        cc.comb_decls.push((CompId(1), vec![s(1)], vec![s(2)]));
+        cc.comb_decls.push((CompId(2), vec![s(2)], vec![s(3)]));
+        let (levels, cyclic) = cc.levelize();
+        assert_eq!(levels, 3);
+        assert_eq!(cyclic, 0);
+        // d/e form a combinational loop: flagged, not ordered.
+        cc.comb_decls.push((CompId(3), vec![s(9)], vec![s(8)]));
+        cc.comb_decls.push((CompId(4), vec![s(8)], vec![s(9)]));
+        let (_, cyclic) = cc.levelize();
+        assert_eq!(cyclic, 2);
+    }
+
+    #[test]
+    fn empty_netlist_levelizes_to_zero() {
+        let cc = CompiledCore::default();
+        assert_eq!(cc.levelize(), (0, 0));
+    }
+}

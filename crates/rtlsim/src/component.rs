@@ -2,6 +2,7 @@
 //! [`Component`] and interacting with signals through an evaluation
 //! context [`Ctx`].
 
+use crate::compiled::DoorbellId;
 use crate::lv::Lv;
 use crate::sim::{SimCore, SimMessage};
 use crate::trace::{TraceCat, TraceKind};
@@ -175,6 +176,24 @@ impl Ctx<'_> {
     /// `$finish`). Pending writes still apply.
     pub fn finish(&mut self) {
         self.core.finish_requested = true;
+    }
+
+    /// Declare this component quiescent: in compiled execution modes it
+    /// is skipped at dispatch until one of `signals` changes value, one
+    /// of `doorbells` rings, a self-scheduled wakeup fires, or a
+    /// dirty-window fallback begins. No-op in event-driven mode.
+    ///
+    /// **Contract**: until one of those wake conditions occurs, every
+    /// eval of this component must be an observable no-op — no signal
+    /// value changes, no messages, no trace emissions, no event
+    /// scheduling, no externally visible shared-state mutation. The wake
+    /// set is latched from the first call; list every signal the parked
+    /// eval reads, and a doorbell for every out-of-band state source
+    /// (register files, request queues) it polls.
+    #[inline]
+    pub fn park_until(&mut self, signals: &[SignalId], doorbells: &[DoorbellId]) {
+        let me = self.me;
+        self.core.park_until(me, signals, doorbells);
     }
 
     // --- Structured event tracing (see `crate::trace`). Every helper is

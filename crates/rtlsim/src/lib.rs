@@ -45,6 +45,7 @@
 //! ```
 
 pub mod clock;
+pub mod compiled;
 pub mod component;
 pub mod logic;
 pub mod lv;
@@ -55,6 +56,7 @@ pub mod trace;
 mod vcd;
 
 pub use clock::{Clock, ResetGen};
+pub use compiled::{CompiledStats, DirtyWatch, DoorbellId, ExecMode};
 pub use component::{CompKind, Component, Ctx};
 pub use logic::Logic;
 pub use lv::Lv;

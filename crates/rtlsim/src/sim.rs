@@ -29,6 +29,7 @@
 //! and ready-queue membership is tracked with a generation stamp instead
 //! of a drained `bool` flag.
 
+use crate::compiled::{cflag, CompiledCore, CompiledStats, DirtyWatch, DoorbellId, ExecMode, NO_CLOCK};
 use crate::component::{CompKind, Component, Ctx};
 use crate::lv::Lv;
 use crate::name::{Name, NameArena, NameId};
@@ -83,6 +84,9 @@ pub(crate) struct SignalState {
     pub sensitive: Vec<CompId>,
     /// Number of value changes since time 0.
     pub toggles: u64,
+    /// Compiled-plane flags (dirty watches, park wake list presence);
+    /// see [`crate::compiled::cflag`]. Zero for ordinary signals.
+    pub cflags: u8,
 }
 
 struct CompSlot {
@@ -292,6 +296,9 @@ pub(crate) struct SimCore {
     comp_names: Vec<(NameId, CompKind)>,
     /// Structured-event sink (see [`crate::trace`]); off by default.
     pub trace: TraceBuf,
+    /// Compiled-plane state (see [`crate::compiled`]); inert while the
+    /// execution mode is [`ExecMode::EventDriven`].
+    pub compiled: CompiledCore,
 }
 
 impl SimCore {
@@ -315,6 +322,31 @@ impl SimCore {
 
     pub fn comp_name(&self, c: CompId) -> &Name {
         self.names.resolve(self.comp_names[c.0 as usize].0)
+    }
+
+    /// Park `comp` until one of `signals` changes value or one of
+    /// `doorbells` rings (see [`Ctx::park_until`]). No-op in event-driven
+    /// mode. The wake set is latched from the first call.
+    pub fn park_until(&mut self, comp: CompId, signals: &[SignalId], doorbells: &[DoorbellId]) {
+        let cc = &mut self.compiled;
+        if !cc.mode.is_compiled() {
+            return;
+        }
+        cc.ensure_comps(self.comp_names.len());
+        let idx = comp.0 as usize;
+        if !cc.wake_registered[idx] {
+            cc.wake_registered[idx] = true;
+            cc.ensure_signals(self.signals.len());
+            for &s in signals {
+                cc.wakers[s.0 as usize].push(comp);
+                self.signals[s.0 as usize].cflags |= cflag::HAS_WAKERS;
+            }
+            for &d in doorbells {
+                cc.doorbells[d.0 as usize].1.push(comp);
+            }
+        }
+        cc.parked[idx] = true;
+        cc.stats.parks += 1;
     }
 }
 
@@ -381,6 +413,7 @@ impl Simulator {
                 names: NameArena::new(),
                 comp_names: Vec::new(),
                 trace: TraceBuf::new(),
+                compiled: CompiledCore::default(),
             },
             comps: Vec::new(),
             ready: Vec::new(),
@@ -408,6 +441,7 @@ impl Simulator {
             last_change: 0,
             sensitive: Vec::new(),
             toggles: 0,
+            cflags: 0,
         });
         id
     }
@@ -668,6 +702,39 @@ impl Simulator {
         }
     }
 
+    /// As [`Simulator::mark_sensitive`], honouring the compiled dispatch
+    /// filter: parked components and wrong-edge activations of declared
+    /// clocked components are provably observable no-ops and are skipped.
+    /// Iteration order over the remaining components is unchanged, which
+    /// keeps the ready queue (and thus the delta schedule) identical to
+    /// event-driven mode restricted to the dispatched set.
+    fn mark_sensitive_filtered(
+        signals: &[SignalState],
+        comps: &mut [CompSlot],
+        ready: &mut Vec<CompId>,
+        gen: u64,
+        sig: SignalId,
+        compiled: &mut CompiledCore,
+        rose: bool,
+    ) {
+        for &c in &signals[sig.0 as usize].sensitive {
+            let idx = c.0 as usize;
+            if compiled.parked[idx] {
+                compiled.stats.skipped_parked += 1;
+                continue;
+            }
+            if !rose && compiled.clock_of[idx] == sig.0 {
+                compiled.stats.skipped_edge += 1;
+                continue;
+            }
+            let slot = &mut comps[idx];
+            if slot.queued_gen != gen {
+                slot.queued_gen = gen;
+                ready.push(c);
+            }
+        }
+    }
+
     /// Apply a value to a signal; returns true if it changed.
     fn apply(&mut self, sig: SignalId, v: Lv) -> bool {
         let s = &mut self.core.signals[sig.0 as usize];
@@ -678,19 +745,84 @@ impl Simulator {
         s.cur = v;
         s.last_change = self.core.step;
         s.toggles += 1;
+        let cflags = s.cflags;
+        let rose = !s.prev.truthy() && s.cur.truthy();
         if self.tracing {
             if let Some(vcd) = &mut self.vcd {
                 vcd.change(self.core.now, sig, v);
             }
         }
-        Self::mark_sensitive(
-            &self.core.signals,
-            &mut self.comps,
-            &mut self.ready,
-            self.ready_gen,
-            sig,
-        );
+        if cflags != 0 {
+            self.signal_compiled_hooks(sig, cflags);
+        }
+        if self.core.compiled.filtering {
+            Self::mark_sensitive_filtered(
+                &self.core.signals,
+                &mut self.comps,
+                &mut self.ready,
+                self.ready_gen,
+                sig,
+                &mut self.core.compiled,
+                rose,
+            );
+        } else {
+            Self::mark_sensitive(
+                &self.core.signals,
+                &mut self.comps,
+                &mut self.ready,
+                self.ready_gen,
+                sig,
+            );
+        }
         true
+    }
+
+    /// Cold path of [`Simulator::apply`] for signals carrying compiled
+    /// flags: wake parked listeners and track dirty-window membership.
+    /// Runs in every mode so park/dirty state stays consistent even while
+    /// filtering is suspended.
+    fn signal_compiled_hooks(&mut self, sig: SignalId, cflags: u8) {
+        let cc = &mut self.core.compiled;
+        if cflags & cflag::HAS_WAKERS != 0 {
+            for &c in &cc.wakers[sig.0 as usize] {
+                if cc.parked[c.0 as usize] {
+                    cc.parked[c.0 as usize] = false;
+                    cc.stats.signal_wakes += 1;
+                }
+            }
+        }
+        if cflags & cflag::WATCH_ANY != 0 {
+            let s = &mut self.core.signals[sig.0 as usize];
+            let dirty = (cflags & cflag::WATCH_TRUTHY != 0 && s.cur.truthy())
+                || (cflags & cflag::WATCH_UNKNOWN != 0 && s.cur.has_unknown());
+            let was = cflags & cflag::DIRTY_NOW != 0;
+            if dirty != was {
+                // Window bookkeeping lives outside the structured trace
+                // sink: the TraceBuf stream is pinned bit-identical
+                // between execution modes, so fallback spans are logged
+                // separately and exported by the observability layer.
+                if dirty {
+                    s.cflags |= cflag::DIRTY_NOW;
+                    cc.dirty_count += 1;
+                    if cc.dirty_count == 1 && cc.mode.is_compiled() {
+                        cc.stats.fallback_entries += 1;
+                        cc.unpark_all();
+                        cc.refresh_gate();
+                        cc.windows.push((self.core.now, u64::MAX));
+                    }
+                } else {
+                    s.cflags &= !cflag::DIRTY_NOW;
+                    cc.dirty_count -= 1;
+                    if cc.dirty_count == 0 && cc.mode.is_compiled() {
+                        cc.stats.fallback_exits += 1;
+                        cc.refresh_gate();
+                        if let Some(w) = cc.windows.last_mut() {
+                            w.1 = self.core.now;
+                        }
+                    }
+                }
+            }
+        }
     }
 
     fn eval_ready(&mut self) {
@@ -746,6 +878,11 @@ impl Simulator {
                         self.apply(sig, v);
                     }
                     EventKind::Wake(c) => {
+                        // A self-scheduled wakeup always dispatches and
+                        // always unparks: the component asked for it.
+                        if self.core.compiled.built {
+                            self.core.compiled.parked[c.0 as usize] = false;
+                        }
                         let gen = self.ready_gen;
                         let slot = &mut self.comps[c.0 as usize];
                         if slot.queued_gen != gen {
@@ -772,6 +909,9 @@ impl Simulator {
             pending.clear();
             debug_assert!(self.core.pending.is_empty());
             self.core.pending = pending;
+            if self.core.compiled.filtering && !self.core.compiled.doorbells.is_empty() {
+                self.core.compiled.service_doorbells();
+            }
             deltas += 1;
             if deltas > DELTA_LIMIT {
                 return Err(KernelError::DeltaOverflow {
@@ -799,7 +939,11 @@ impl Simulator {
     /// `deadline` (unless finished early), so testbench pokes issued
     /// between run calls land when wall-of-code order suggests.
     pub fn run_until(&mut self, deadline: u64) -> Result<(), KernelError> {
+        if self.core.compiled.mode.is_compiled() && !self.core.compiled.built {
+            self.compile_plan();
+        }
         self.init_components();
+        let compiled_mode = self.core.compiled.mode.is_compiled();
         loop {
             self.settle_now()?;
             if self.core.finish_requested {
@@ -824,6 +968,13 @@ impl Simulator {
             self.core.sched.advance(next);
             self.core.step += 1;
             self.stats.time_points += 1;
+            if compiled_mode {
+                if self.core.compiled.filtering {
+                    self.core.compiled.stats.steady_points += 1;
+                } else {
+                    self.core.compiled.stats.fallback_points += 1;
+                }
+            }
             // Sample scheduler occupancy into the trace on a coarse,
             // deterministic cadence (a simulation-derived counter, so
             // identical runs sample at identical points).
@@ -850,8 +1001,147 @@ impl Simulator {
 
     /// Execute pending same-time activity without advancing time.
     pub fn settle(&mut self) -> Result<(), KernelError> {
+        if self.core.compiled.mode.is_compiled() && !self.core.compiled.built {
+            self.compile_plan();
+        }
         self.init_components();
         self.settle_now()
+    }
+
+    // --- Compiled-plane API (see `crate::compiled`) -------------------
+
+    /// Select the execution mode. Call before the first run; switching
+    /// back to [`ExecMode::EventDriven`] mid-run is allowed (it simply
+    /// stops filtering and unparks everything), switching *into* a
+    /// compiled mode compiles lazily on the next run call.
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.core.compiled.mode = mode;
+        if !mode.is_compiled() {
+            self.core.compiled.unpark_all();
+        }
+        self.core.compiled.refresh_gate();
+    }
+
+    /// The selected execution mode.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.core.compiled.mode
+    }
+
+    /// Declare `comp` a clocked (sequential-rank) process: its eval is an
+    /// observable no-op for any activation that is solely `clk` changing
+    /// to other-than-rising. The declaration is a contract; the kernel
+    /// skips exactly those activations in compiled mode. Activations from
+    /// any other sensitivity (reset lines, data inputs) are unaffected.
+    pub fn declare_clocked(&mut self, comp: CompId, clk: SignalId) {
+        self.core.compiled.ensure_comps(self.comps.len());
+        self.core.compiled.clock_of[comp.0 as usize] = clk.0;
+    }
+
+    /// Declare `comp` combinational with the given read/write sets. Feeds
+    /// the levelization pass (schedule depth, acyclicity check); has no
+    /// dispatch effect of its own.
+    pub fn declare_comb(&mut self, comp: CompId, reads: &[SignalId], writes: &[SignalId]) {
+        self.core
+            .compiled
+            .comb_decls
+            .push((comp, reads.to_vec(), writes.to_vec()));
+    }
+
+    /// Watch `sig` as a dirty-window trigger: while the condition holds,
+    /// compiled dispatch falls back to full event-driven semantics (and
+    /// every parked component is woken). The current value is inspected
+    /// immediately, so watching a signal that is already dirty (e.g. a
+    /// reset line that is high, or still `X`) opens a window at once.
+    pub fn watch_dirty(&mut self, sig: SignalId, cond: DirtyWatch) {
+        let s = &mut self.core.signals[sig.0 as usize];
+        match cond {
+            DirtyWatch::Truthy => s.cflags |= cflag::WATCH_TRUTHY,
+            DirtyWatch::Unknown => s.cflags |= cflag::WATCH_UNKNOWN,
+            DirtyWatch::TruthyOrUnknown => s.cflags |= cflag::WATCH_ANY,
+        }
+        let dirty = (s.cflags & cflag::WATCH_TRUTHY != 0 && s.cur.truthy())
+            || (s.cflags & cflag::WATCH_UNKNOWN != 0 && s.cur.has_unknown());
+        if dirty && s.cflags & cflag::DIRTY_NOW == 0 {
+            s.cflags |= cflag::DIRTY_NOW;
+            self.core.compiled.dirty_count += 1;
+            if self.core.compiled.dirty_count == 1 && self.core.compiled.mode.is_compiled() {
+                self.core.compiled.stats.fallback_entries += 1;
+                self.core.compiled.windows.push((self.core.now, u64::MAX));
+            }
+            self.core.compiled.refresh_gate();
+        }
+    }
+
+    /// Register a doorbell: a shared flag an out-of-band state owner (a
+    /// register file, a request queue) raises on mutation so parked
+    /// pollers of that state are woken. Components pass the returned id
+    /// to [`Ctx::park_until`].
+    pub fn add_doorbell(&mut self, flag: std::rc::Rc<std::cell::Cell<bool>>) -> DoorbellId {
+        let id = DoorbellId(self.core.compiled.doorbells.len() as u32);
+        self.core.compiled.doorbells.push((flag, Vec::new()));
+        id
+    }
+
+    /// Build the compiled plan: size the dense per-component tables and
+    /// levelize the declared combinational netlist. Called lazily by the
+    /// run methods; callable eagerly to front-load the (small) cost.
+    pub fn compile_plan(&mut self) {
+        let t0 = std::time::Instant::now();
+        self.core.compiled.ensure_comps(self.comps.len());
+        self.core.compiled.ensure_signals(self.core.signals.len());
+        let (levels, cyclic) = self.core.compiled.levelize();
+        let cc = &mut self.core.compiled;
+        cc.stats.schedule_comps = self.comps.len() as u64;
+        cc.stats.seq_rank = cc.clock_of.iter().filter(|&&c| c != NO_CLOCK).count() as u64;
+        cc.stats.comb_comps = cc.comb_decls.len() as u64;
+        cc.stats.comb_levels = levels;
+        cc.stats.comb_cyclic = cyclic;
+        cc.built = true;
+        cc.refresh_gate();
+        cc.stats.compile_nanos = t0.elapsed().as_nanos() as u64;
+    }
+
+    /// Compiled-plane statistics; `None` until a plan has been built.
+    pub fn compiled_stats(&self) -> Option<CompiledStats> {
+        self.core.compiled.built.then_some(self.core.compiled.stats)
+    }
+
+    /// Dirty-window fallback intervals as `(entry_ps, exit_ps)` pairs; an
+    /// open window reads as `exit_ps == u64::MAX`.
+    pub fn fallback_windows(&self) -> &[(u64, u64)] {
+        &self.core.compiled.windows
+    }
+
+    /// Number of declared signals (lockstep-diff support).
+    pub fn signal_count(&self) -> usize {
+        self.core.signals.len()
+    }
+
+    /// Peek a signal by dense index (lockstep-diff support; pairs with
+    /// [`Simulator::signal_count`] and [`Simulator::signal_name`]).
+    pub fn peek_index(&self, idx: usize) -> Lv {
+        self.core.signals[idx].cur
+    }
+
+    /// Order-sensitive FNV-1a digest over every signal's current value
+    /// (widths and 4-state planes included). Two simulators built the
+    /// same way agree on this digest iff their architectural signal
+    /// state is identical — the per-cycle check of the lockstep
+    /// equivalence suite.
+    pub fn state_digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |b: u64| {
+            for byte in b.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        for s in &self.core.signals {
+            eat(s.width as u64);
+            eat(s.cur.val_plane());
+            eat(s.cur.xz_plane());
+        }
+        h
     }
 
     /// Flush the VCD trace (call before dropping if you need the file).

@@ -974,6 +974,15 @@ impl CampaignBuilder {
         self
     }
 
+    /// Kernel execution mode of the base configuration. Every scenario
+    /// overlay clones the base, so the mode threads through the whole
+    /// campaign (verdicts are bit-identical either way — this is how
+    /// the campaign harnesses honour a bench bin's `--exec-mode`).
+    pub fn exec_mode(mut self, mode: rtlsim::ExecMode) -> Self {
+        self.base.exec_mode = mode;
+        self
+    }
+
     /// Replace all executor options at once.
     pub fn options(mut self, opts: CampaignOptions) -> Self {
         self.opts = opts;

@@ -53,7 +53,7 @@ use autovision::{
 use obs::{span_durations, Span};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use rtlsim::{coverage_key, log2_bucket, TraceCat, TraceEvent, TraceKind};
+use rtlsim::{coverage_key, log2_bucket, ExecMode, TraceCat, TraceEvent, TraceKind};
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Duration;
 
@@ -106,11 +106,18 @@ pub struct FuzzSchedule {
     pub bus_errors: u32,
     /// Drop ICAP `ready` for this many cycles mid-configuration.
     pub ready_drop: Option<u32>,
+    /// Kernel execution mode the schedule runs under. Behaviour is
+    /// bit-identical across modes by contract, so this knob never
+    /// changes coverage or a failure signature — mutating it *is* the
+    /// check: a mode-dependent verdict would surface as a new,
+    /// shrinkable signature whose minimal reproducer flips only this
+    /// knob.
+    pub exec_mode: ExecMode,
 }
 
 /// Number of independently mutable knobs (the shrinker walks them by
 /// index).
-const KNOBS: usize = 12;
+const KNOBS: usize = 13;
 
 impl FuzzSchedule {
     /// The unmutated schedule of a base configuration: running it is
@@ -134,6 +141,7 @@ impl FuzzSchedule {
             stall: None,
             bus_errors: 0,
             ready_drop: None,
+            exec_mode: base.exec_mode,
         }
     }
 
@@ -191,6 +199,7 @@ impl FuzzSchedule {
                 enabled: s.recovery_on,
                 ..Default::default()
             },
+            exec_mode: s.exec_mode,
             ..base.clone()
         }
     }
@@ -218,6 +227,7 @@ fn knob_differs(s: &FuzzSchedule, b: &FuzzSchedule, k: usize) -> bool {
         9 => s.stall != b.stall,
         10 => s.bus_errors != b.bus_errors,
         11 => s.ready_drop != b.ready_drop,
+        12 => s.exec_mode != b.exec_mode,
         _ => unreachable!("knob index out of range"),
     }
 }
@@ -236,6 +246,7 @@ fn revert_knob(s: &mut FuzzSchedule, b: &FuzzSchedule, k: usize) {
         9 => s.stall = b.stall,
         10 => s.bus_errors = b.bus_errors,
         11 => s.ready_drop = b.ready_drop,
+        12 => s.exec_mode = b.exec_mode,
         _ => unreachable!("knob index out of range"),
     }
 }
@@ -553,6 +564,11 @@ fn apply_op(s: &mut FuzzSchedule, rng: &mut StdRng, opts: &FuzzOptions, base_has
     // to what the golden design tolerates, so a clean base failing under
     // any schedule drawn from here is a real robustness finding.
     let mut ops: Vec<u32> = (0..=5).collect();
+    // The execution mode is always in the op table: compiled dispatch
+    // is contractually bit-identical, so it is legal under every
+    // session policy — including the clean robustness gate, which
+    // thereby also fuzzes mode-switch coverage.
+    ops.push(12);
     if opts.mutate_topology && !base_has_faults {
         ops.push(6);
     }
@@ -605,6 +621,13 @@ fn apply_op(s: &mut FuzzSchedule, rng: &mut StdRng, opts: &FuzzOptions, base_has
                 Some(rng.random_range(64u32..2048))
             }
         }
+        12 => {
+            s.exec_mode = match s.exec_mode {
+                ExecMode::EventDriven => ExecMode::Compiled,
+                ExecMode::Compiled => ExecMode::Auto,
+                ExecMode::Auto => ExecMode::EventDriven,
+            }
+        }
         _ => unreachable!("op index out of table"),
     }
 }
@@ -642,7 +665,8 @@ pub struct FuzzRepro {
 }
 
 impl FuzzRepro {
-    /// Serialize as a flat JSON document (`fuzz_repro/v1`).
+    /// Serialize as a flat JSON document (`fuzz_repro/v2`; v2 added the
+    /// `exec_mode` knob).
     pub fn to_json(&self) -> String {
         let s = &self.schedule;
         let opt = |v: Option<u32>| v.map(|x| x.to_string()).unwrap_or_else(|| "null".into());
@@ -651,7 +675,7 @@ impl FuzzRepro {
             None => (None, None),
         };
         format!(
-            "{{\n  \"schema\": \"fuzz_repro/v1\",\n  \"signature\": \"{}\",\n  \"mutations\": {},\n  \"budget_cycles\": {},\n  \"warmup_cycles\": {},\n  \"isr_pad_loops\": {},\n  \"cfg_divider\": {},\n  \"mem_wait_states\": {},\n  \"fixed_wait_loops\": {},\n  \"round_robin\": {},\n  \"split_topology\": {},\n  \"recovery_on\": {},\n  \"flip_beat\": {},\n  \"flip_bit\": {},\n  \"stall\": {},\n  \"bus_errors\": {},\n  \"ready_drop\": {}\n}}\n",
+            "{{\n  \"schema\": \"fuzz_repro/v2\",\n  \"signature\": \"{}\",\n  \"mutations\": {},\n  \"budget_cycles\": {},\n  \"warmup_cycles\": {},\n  \"isr_pad_loops\": {},\n  \"cfg_divider\": {},\n  \"mem_wait_states\": {},\n  \"fixed_wait_loops\": {},\n  \"round_robin\": {},\n  \"split_topology\": {},\n  \"recovery_on\": {},\n  \"flip_beat\": {},\n  \"flip_bit\": {},\n  \"stall\": {},\n  \"bus_errors\": {},\n  \"ready_drop\": {},\n  \"exec_mode\": \"{}\"\n}}\n",
             obs::json::escape(&self.signature),
             self.mutations,
             self.budget_cycles,
@@ -668,15 +692,22 @@ impl FuzzRepro {
             opt(s.stall),
             s.bus_errors,
             opt(s.ready_drop),
+            s.exec_mode.as_str(),
         )
     }
 
-    /// Parse a `fuzz_repro/v1` document produced by
-    /// [`FuzzRepro::to_json`].
+    /// Parse a `fuzz_repro/v1` or `/v2` document produced by
+    /// [`FuzzRepro::to_json`] (v1 documents predate the `exec_mode`
+    /// knob and replay event-driven).
     pub fn from_json(doc: &str) -> Result<FuzzRepro, String> {
-        if json_str(doc, "schema")? != "fuzz_repro/v1" {
-            return Err("unsupported schema".to_string());
-        }
+        let schema = json_str(doc, "schema")?;
+        let exec_mode = match schema.as_str() {
+            "fuzz_repro/v1" => ExecMode::EventDriven,
+            "fuzz_repro/v2" => json_str(doc, "exec_mode")?
+                .parse::<ExecMode>()
+                .map_err(|e| format!("key exec_mode: {e}"))?,
+            _ => return Err("unsupported schema".to_string()),
+        };
         let flip = match (
             json_opt_u32(doc, "flip_beat")?,
             json_opt_u32(doc, "flip_bit")?,
@@ -703,6 +734,7 @@ impl FuzzRepro {
                 stall: json_opt_u32(doc, "stall")?,
                 bus_errors: json_u64(doc, "bus_errors")? as u32,
                 ready_drop: json_opt_u32(doc, "ready_drop")?,
+                exec_mode,
             },
             signature: json_str(doc, "signature")?,
             mutations: json_u64(doc, "mutations")? as usize,
@@ -1137,6 +1169,7 @@ mod tests {
                 stall: None,
                 bus_errors: 1,
                 ready_drop: Some(96),
+                exec_mode: ExecMode::Compiled,
             },
             signature: "checker:plb_monitor+hang".to_string(),
             mutations: 4,
@@ -1146,6 +1179,12 @@ mod tests {
         let parsed = FuzzRepro::from_json(&doc).expect("parse back");
         assert_eq!(parsed, repro);
         assert!(FuzzRepro::from_json("{}").is_err());
+        // Pre-exec-mode documents still parse and replay event-driven.
+        let v1 = doc
+            .replace("fuzz_repro/v2", "fuzz_repro/v1")
+            .replace("  \"exec_mode\": \"compiled\"\n", "  \"exec_mode_ignored\": 0\n");
+        let legacy = FuzzRepro::from_json(&v1).expect("v1 parses");
+        assert_eq!(legacy.schedule.exec_mode, ExecMode::EventDriven);
     }
 
     #[test]
