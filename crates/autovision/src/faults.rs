@@ -124,6 +124,16 @@ impl Bug {
         }
     }
 
+    /// The bug with the given paper-style identifier — the inverse of
+    /// [`Bug::id`], covering the transient faults too. Used by the
+    /// campaign wire protocol to parse submitted scenarios.
+    pub fn from_id(id: &str) -> Option<Bug> {
+        Bug::ALL
+            .into_iter()
+            .chain(Bug::TRANSIENTS)
+            .find(|b| b.id() == id)
+    }
+
     /// Short description for reports.
     pub fn describe(&self) -> &'static str {
         match self {
@@ -235,6 +245,14 @@ impl FaultSet {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn from_id_inverts_id_for_the_whole_catalog() {
+        for b in Bug::ALL.into_iter().chain(Bug::TRANSIENTS) {
+            assert_eq!(Bug::from_id(b.id()), Some(b));
+        }
+        assert_eq!(Bug::from_id("bug.nope.9"), None);
+    }
 
     #[test]
     fn catalog_ids_are_unique() {

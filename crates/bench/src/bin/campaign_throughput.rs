@@ -21,6 +21,17 @@
 //!   mismatch, which is what CI gates on.
 //! * **`--probe`** — per-scenario span durations at 1 thread, for
 //!   inspecting the workload's skew.
+//! * **`--service`** — boots an in-process `verifd` on a Unix socket,
+//!   measures a cold in-process campaign against first and warm daemon
+//!   submissions of the same `campaign_submit/v1` document, asserts
+//!   the streamed rows are byte-identical to the in-process run and
+//!   that the warm submission re-derives nothing, and writes the
+//!   `BENCH_service.json` baseline.
+//! * **`--service --smoke`** — re-runs the service measurement and
+//!   gates against the committed baseline: schema, scenario counts,
+//!   zero artifact misses on the warm submission, and the warm
+//!   first-row latency ratio vs the cold in-process run (tolerance
+//!   overridable via `SERVICE_SMOKE_MAX_RATIO`).
 //!
 //! Two times are reported per mode. **Wall** is elapsed process time,
 //! which on an undersized CI host (this container exposes a single CPU
@@ -40,6 +51,7 @@
 //! while the semantic gate is the count/schema check.
 
 use bench::harness;
+use verif::wire::CampaignSubmission;
 use verif::{Campaign, CampaignReport, Scenario, Schedule};
 
 const BASELINE_PATH: &str = "BENCH_campaign.json";
@@ -399,7 +411,358 @@ fn run_probe() {
     println!("\ntotal {:.3} s", report.stats.wall_s);
 }
 
+// ------------------------------------------------------------- service
+
+const SERVICE_BASELINE_PATH: &str = "BENCH_service.json";
+const SERVICE_THREADS: usize = 2;
+/// Ceiling on the warm-daemon vs cold-in-process first-row latency
+/// ratio. End-to-end latency is simulation-dominated (and simulation is
+/// never cached), so this is a gross-regression guard — it catches a
+/// stalled socket or a cache gone cold, not single-digit-percent noise.
+/// Override with `SERVICE_SMOKE_MAX_RATIO`.
+const DEFAULT_SERVICE_MAX_RATIO: f64 = 1.5;
+/// Floor on the warm-cache system-build speedup — the startup latency a
+/// long-running daemon actually amortizes. Building against the warm
+/// shared cache skips every SimB/program/scene derivation, so the
+/// speedup is decisive; the floor only needs to clear measurement
+/// jitter. Override with `SERVICE_SMOKE_MIN_SETUP_SPEEDUP`.
+const DEFAULT_SERVICE_MIN_SETUP_SPEEDUP: f64 = 1.1;
+/// Build-timing repetitions for the setup-latency measurement.
+const SETUP_ITERS: u32 = 5;
+
+/// The service workload: matrix-style scenario rows plus a recovery
+/// batch — every row family the wire schema knows, small enough that
+/// the artifact-derivation share of a cold run is visible next to the
+/// simulation time.
+fn service_submission() -> CampaignSubmission {
+    CampaignSubmission {
+        scenarios: vec![
+            Scenario::Clean,
+            Scenario::Bug(autovision::Bug::Dpr4P2pOnSharedBus),
+            Scenario::SplitClean,
+        ],
+        recovery_runs: 4,
+        recovery_on: true,
+        seed: 0xFA_17,
+        ..CampaignSubmission::default()
+    }
+}
+
+struct ServiceRun {
+    label: &'static str,
+    wall_s: f64,
+    /// Submit-to-first-row latency: the headline metric. The first row
+    /// of a cold run pays for artifact derivation; a warm run pays only
+    /// for simulation, so the ratio isolates what the shared cache buys.
+    first_row_s: f64,
+    rows: Vec<String>,
+    hits: u64,
+    misses: u64,
+    failures: u64,
+}
+
+fn measure_cold_in_process(sub: &CampaignSubmission) -> ServiceRun {
+    let t0 = std::time::Instant::now();
+    let campaign = sub.plan(SERVICE_THREADS, 0);
+    let mut first = None;
+    let report = campaign.run_streaming(|_| {
+        first.get_or_insert_with(|| t0.elapsed());
+    });
+    ServiceRun {
+        label: "cold in-process (fresh cache, pool built per run)",
+        wall_s: t0.elapsed().as_secs_f64(),
+        first_row_s: first.unwrap_or_default().as_secs_f64(),
+        rows: report.rows.iter().map(verif::wire::row_to_json).collect(),
+        hits: report.stats.artifact_hits,
+        misses: report.stats.artifact_misses,
+        failures: report.failures().len() as u64,
+    }
+}
+
+fn measure_submission(
+    label: &'static str,
+    client: &mut verifd::client::Client,
+    sub: &CampaignSubmission,
+) -> ServiceRun {
+    let t0 = std::time::Instant::now();
+    let mut first = None;
+    let served = client
+        .submit_streaming(sub, |_| {
+            first.get_or_insert_with(|| t0.elapsed());
+        })
+        .expect("daemon submission failed");
+    ServiceRun {
+        label,
+        wall_s: t0.elapsed().as_secs_f64(),
+        first_row_s: first.unwrap_or_default().as_secs_f64(),
+        rows: served.rows,
+        hits: served.done.artifact_hits,
+        misses: served.done.artifact_misses,
+        failures: served.done.failures,
+    }
+}
+
+/// What the warm daemon actually amortizes: the setup latency of
+/// building a campaign's [`autovision::AvSystem`] before a single cycle
+/// simulates. Cold builds (fresh cache, as every in-process run pays)
+/// re-derive the SimB streams, the software image and the golden scene;
+/// builds against the daemon's hot cache skip all of it.
+struct SetupLatency {
+    cold_build_s: f64,
+    warm_build_s: f64,
+    /// Artifacts a single cold build derives (the warm build's hits).
+    derivations: u64,
+}
+
+fn measure_setup_latency(warm_cache: &autovision::ArtifactCache) -> SetupLatency {
+    let base = verif::MatrixConfig::default().base;
+    let mut cold_total = std::time::Duration::ZERO;
+    let mut derivations = 0;
+    for _ in 0..SETUP_ITERS {
+        let fresh = autovision::ArtifactCache::new();
+        let t = std::time::Instant::now();
+        let sys = autovision::AvSystem::build_with(base.clone(), &fresh);
+        cold_total += t.elapsed();
+        drop(sys);
+        derivations = fresh.stats().1;
+    }
+    let mut warm_total = std::time::Duration::ZERO;
+    for _ in 0..SETUP_ITERS {
+        let t = std::time::Instant::now();
+        let sys = autovision::AvSystem::build_with(base.clone(), warm_cache);
+        warm_total += t.elapsed();
+        drop(sys);
+    }
+    SetupLatency {
+        cold_build_s: cold_total.as_secs_f64() / f64::from(SETUP_ITERS),
+        warm_build_s: warm_total.as_secs_f64() / f64::from(SETUP_ITERS),
+        derivations,
+    }
+}
+
+fn print_service_run(r: &ServiceRun) {
+    println!("{}:", r.label);
+    println!(
+        "  submit → done      : {:.3} s ({} rows, {} failures)",
+        r.wall_s,
+        r.rows.len(),
+        r.failures
+    );
+    println!("  submit → first row : {:.3} s", r.first_row_s);
+    println!(
+        "  artifact cache     : {} hits / {} misses",
+        r.hits, r.misses
+    );
+}
+
+fn render_service_run(r: &ServiceRun) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "    \"wall_seconds\": {:.6},\n",
+            "    \"first_row_seconds\": {:.6},\n",
+            "    \"artifact_hits\": {},\n",
+            "    \"artifact_misses\": {}\n",
+            "  }}"
+        ),
+        r.wall_s, r.first_row_s, r.hits, r.misses,
+    )
+}
+
+fn run_service(smoke: bool) -> i32 {
+    use verifd::client::Client;
+    use verifd::server::{Endpoint, RunningServer, ServerConfig};
+
+    println!(
+        "campaign_throughput --service — warm-cache daemon submission vs cold in-process \
+         startup ({SERVICE_THREADS} threads)\n"
+    );
+    let sub = service_submission();
+    let cold = measure_cold_in_process(&sub);
+
+    let socket = std::env::temp_dir().join(format!("verifd-bench-{}.sock", std::process::id()));
+    let server = RunningServer::start(
+        ServerConfig {
+            threads: SERVICE_THREADS,
+            ..ServerConfig::default()
+        },
+        &[Endpoint::Unix(socket.clone())],
+    )
+    .expect("boot verifd");
+    let mut client =
+        Client::connect(&format!("unix:{}", socket.display())).expect("connect to verifd");
+    let first = measure_submission(
+        "first daemon submission (shared cache cold)",
+        &mut client,
+        &sub,
+    );
+    let warm = measure_submission(
+        "warm daemon submission (shared cache hot)",
+        &mut client,
+        &sub,
+    );
+    let setup = measure_setup_latency(server.server().artifacts());
+    drop(client);
+    server.shutdown();
+
+    print_service_run(&cold);
+    println!();
+    print_service_run(&first);
+    println!();
+    print_service_run(&warm);
+    println!();
+    println!(
+        "system build (startup latency, mean of {SETUP_ITERS}): cold {:.2} ms ({} derivations) \
+         vs warm {:.2} ms",
+        setup.cold_build_s * 1e3,
+        setup.derivations,
+        setup.warm_build_s * 1e3
+    );
+
+    // Determinism gates, independent of the baseline file: the daemon
+    // must stream rows byte-identical to the in-process run, and a warm
+    // submission must re-derive nothing.
+    assert_eq!(
+        first.rows, cold.rows,
+        "daemon rows differ from in-process rows"
+    );
+    assert_eq!(
+        warm.rows, cold.rows,
+        "warm daemon rows differ from in-process rows"
+    );
+    if cold.failures != 0 {
+        eprintln!(
+            "FAIL: service workload must run clean ({} failures)",
+            cold.failures
+        );
+        return 2;
+    }
+    if warm.misses != 0 {
+        eprintln!(
+            "FAIL: warm submission re-derived {} artifacts — the shared cache went cold",
+            warm.misses
+        );
+        return 1;
+    }
+
+    let setup_speedup = setup.cold_build_s / setup.warm_build_s;
+    println!(
+        "\nwarm daemon vs cold in-process: {setup_speedup:.2}x system-build (startup) latency; \
+         end-to-end first-row ratio {:.2}x, wall ratio {:.2}x (simulation-dominated)",
+        warm.first_row_s / cold.first_row_s,
+        warm.wall_s / cold.wall_s
+    );
+
+    if !smoke {
+        let json = format!(
+            concat!(
+                "{{\n",
+                "  \"schema\": \"bench_service/v1\",\n",
+                "  \"workload\": {{\n",
+                "    \"threads\": {},\n",
+                "    \"scenarios\": {},\n",
+                "    \"failed_rows\": {}\n",
+                "  }},\n",
+                "  \"cold_in_process\": {},\n",
+                "  \"first_submission\": {},\n",
+                "  \"warm_submission\": {},\n",
+                "  \"setup\": {{\n",
+                "    \"cold_build_seconds\": {:.6},\n",
+                "    \"warm_build_seconds\": {:.6},\n",
+                "    \"artifacts_derived_cold\": {}\n",
+                "  }},\n",
+                "  \"speedup_metric\": \"setup build seconds, cold cache / warm daemon cache\",\n",
+                "  \"warm_speedup_vs_cold\": {:.3}\n",
+                "}}\n"
+            ),
+            SERVICE_THREADS,
+            cold.rows.len(),
+            cold.failures,
+            render_service_run(&cold),
+            render_service_run(&first),
+            render_service_run(&warm),
+            setup.cold_build_s,
+            setup.warm_build_s,
+            setup.derivations,
+            setup_speedup,
+        );
+        std::fs::write(SERVICE_BASELINE_PATH, &json).expect("write BENCH_service.json");
+        println!("wrote {SERVICE_BASELINE_PATH}");
+        return 0;
+    }
+
+    // Smoke: the committed baseline pins the workload shape; the
+    // latency-ratio gate runs on this host's fresh measurements, so it
+    // is meaningful even though absolute baseline times are not.
+    let doc = match std::fs::read_to_string(SERVICE_BASELINE_PATH) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("FAIL: cannot read {SERVICE_BASELINE_PATH}: {e}");
+            eprintln!("run `campaign_throughput --service` once to produce it");
+            return 2;
+        }
+    };
+    if !doc.contains("\"schema\": \"bench_service/v1\"") {
+        eprintln!("FAIL: baseline is not bench_service/v1");
+        return 2;
+    }
+    let mut ok = true;
+    for (key, got) in [
+        ("scenarios", cold.rows.len()),
+        ("failed_rows", cold.failures as usize),
+    ] {
+        match json_number(&doc, "workload", key) {
+            Some(want) if want == got as f64 => {
+                println!("  {key:<12} {got} == baseline");
+            }
+            Some(want) => {
+                eprintln!("FAIL: {key} = {got}, baseline {want} — service semantics changed");
+                ok = false;
+            }
+            None => {
+                eprintln!("FAIL: baseline is missing workload.{key}");
+                ok = false;
+            }
+        }
+    }
+    if !ok {
+        return 2;
+    }
+    let max_ratio = std::env::var("SERVICE_SMOKE_MAX_RATIO")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(DEFAULT_SERVICE_MAX_RATIO);
+    let ratio = warm.first_row_s / cold.first_row_s;
+    println!("  warm/cold first-row latency ratio {ratio:.3} (ceiling {max_ratio:.3})");
+    if ratio > max_ratio {
+        eprintln!(
+            "FAIL: warm submission first-row latency {:.3}s exceeds {max_ratio:.2}x the cold \
+             in-process run's {:.3}s — the daemon is adding latency, not amortizing it",
+            warm.first_row_s, cold.first_row_s
+        );
+        return 1;
+    }
+    let min_setup = std::env::var("SERVICE_SMOKE_MIN_SETUP_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(DEFAULT_SERVICE_MIN_SETUP_SPEEDUP);
+    println!("  warm-cache system-build speedup {setup_speedup:.2}x (floor {min_setup:.2}x)");
+    if setup_speedup < min_setup {
+        eprintln!(
+            "FAIL: building against the warm daemon cache is only {setup_speedup:.2}x faster \
+             than a cold build (floor {min_setup:.2}x) — the shared cache is not paying for \
+             itself"
+        );
+        return 1;
+    }
+    println!("PASS");
+    0
+}
+
 fn main() {
+    if harness::has_flag("--service") {
+        std::process::exit(run_service(harness::has_flag("--smoke")));
+    }
     if harness::has_flag("--smoke") {
         std::process::exit(run_smoke());
     }

@@ -290,7 +290,11 @@ fn run_full() {
     let smoke_co = measure_smoke(ExecMode::Compiled);
     let steady_ev = measure_steady(ExecMode::EventDriven);
     let steady_co = measure_steady(ExecMode::Compiled);
-    print_measurement("paper-scale event-driven (320x240, SimB 4096)", &full_ev, calib);
+    print_measurement(
+        "paper-scale event-driven (320x240, SimB 4096)",
+        &full_ev,
+        calib,
+    );
     println!();
     print_measurement("paper-scale compiled", &full_co, calib);
     println!();

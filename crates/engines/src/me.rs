@@ -197,10 +197,7 @@ impl Component for MatchingEngine {
                     && !ctx.is_high(io.restore)
                     && !ctx.is_high(io.ereset)
                 {
-                    ctx.park_until(
-                        &[io.go, io.capture, io.restore, io.ereset, io.rst],
-                        &[],
-                    );
+                    ctx.park_until(&[io.go, io.capture, io.restore, io.ereset, io.rst], &[]);
                 }
             }
             St::LoadPrev => {

@@ -1,6 +1,6 @@
-//! A minimal JSON writer — just enough for the two exporters, with
-//! deterministic output (callers iterate ordered maps) and no external
-//! dependencies.
+//! A minimal JSON writer and reader — just enough for the exporters and
+//! the `verifd` wire protocol, with deterministic output (callers
+//! iterate ordered maps) and no external dependencies.
 
 /// Escape a string for use inside JSON double quotes.
 pub fn escape(s: &str) -> String {
@@ -39,6 +39,263 @@ pub fn ps_as_us(ps: u64) -> String {
     format!("{}.{:06}", ps / 1_000_000, ps % 1_000_000)
 }
 
+/// A parsed JSON value. Numbers keep their source text so 64-bit
+/// integers (campaign seeds) survive without a float round-trip; object
+/// members keep document order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, as its literal source text.
+    Num(String),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, members in document order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parse a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    pub fn parse(doc: &str) -> Result<Json, String> {
+        let b = doc.as_bytes();
+        let mut at = 0usize;
+        let v = parse_value(b, &mut at)?;
+        skip_ws(b, &mut at);
+        if at != b.len() {
+            return Err(format!("trailing garbage at byte {at}"));
+        }
+        Ok(v)
+    }
+
+    /// Member `key` of an object (`None` for other kinds or a missing
+    /// key).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as a `u64`, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as an `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// True for `null` (absent-value checks on optional members).
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+}
+
+fn skip_ws(b: &[u8], at: &mut usize) {
+    while *at < b.len() && matches!(b[*at], b' ' | b'\t' | b'\n' | b'\r') {
+        *at += 1;
+    }
+}
+
+fn expect(b: &[u8], at: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*at..].starts_with(lit.as_bytes()) {
+        *at += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{lit}` at byte {at}"))
+    }
+}
+
+fn parse_value(b: &[u8], at: &mut usize) -> Result<Json, String> {
+    skip_ws(b, at);
+    match b.get(*at) {
+        None => Err("unexpected end of document".to_string()),
+        Some(b'n') => expect(b, at, "null").map(|()| Json::Null),
+        Some(b't') => expect(b, at, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect(b, at, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(b, at).map(Json::Str),
+        Some(b'[') => {
+            *at += 1;
+            let mut items = Vec::new();
+            skip_ws(b, at);
+            if b.get(*at) == Some(&b']') {
+                *at += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, at)?);
+                skip_ws(b, at);
+                match b.get(*at) {
+                    Some(b',') => *at += 1,
+                    Some(b']') => {
+                        *at += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {at}")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *at += 1;
+            let mut members = Vec::new();
+            skip_ws(b, at);
+            if b.get(*at) == Some(&b'}') {
+                *at += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(b, at);
+                let key = parse_string(b, at)?;
+                skip_ws(b, at);
+                expect(b, at, ":")?;
+                members.push((key, parse_value(b, at)?));
+                skip_ws(b, at);
+                match b.get(*at) {
+                    Some(b',') => *at += 1,
+                    Some(b'}') => {
+                        *at += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {at}")),
+                }
+            }
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let start = *at;
+            *at += 1;
+            while *at < b.len() && matches!(b[*at], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+            {
+                *at += 1;
+            }
+            let raw = std::str::from_utf8(&b[start..*at]).expect("digits are ASCII");
+            // Validate via the float path; the literal is kept verbatim.
+            raw.parse::<f64>()
+                .map_err(|_| format!("malformed number `{raw}` at byte {start}"))?;
+            Ok(Json::Num(raw.to_string()))
+        }
+        Some(c) => Err(format!("unexpected byte `{}` at {at}", *c as char)),
+    }
+}
+
+/// Parse a quoted string, undoing exactly the escapes [`escape`] emits
+/// (plus the full `\uXXXX` form, surrogate pairs included).
+fn parse_string(b: &[u8], at: &mut usize) -> Result<String, String> {
+    if b.get(*at) != Some(&b'"') {
+        return Err(format!("expected string at byte {at}"));
+    }
+    *at += 1;
+    let mut out = String::new();
+    let mut pending_high: Option<u16> = None;
+    loop {
+        let c = *b.get(*at).ok_or("unterminated string")?;
+        let unit = match c {
+            b'"' => {
+                *at += 1;
+                if pending_high.is_some() {
+                    return Err("unpaired surrogate in string".to_string());
+                }
+                return Ok(out);
+            }
+            b'\\' => {
+                *at += 1;
+                let e = *b.get(*at).ok_or("unterminated escape")?;
+                *at += 1;
+                match e {
+                    b'"' => Some('"'.into()),
+                    b'\\' => Some('\\'.into()),
+                    b'/' => Some('/'.into()),
+                    b'n' => Some('\n'.into()),
+                    b'r' => Some('\r'.into()),
+                    b't' => Some('\t'.into()),
+                    b'b' => Some('\u{8}'.into()),
+                    b'f' => Some('\u{c}'.into()),
+                    b'u' => {
+                        let hex = b
+                            .get(*at..*at + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let cp = u16::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                        *at += 4;
+                        match (pending_high.take(), cp) {
+                            (None, 0xD800..=0xDBFF) => {
+                                pending_high = Some(cp);
+                                None
+                            }
+                            (None, _) => Some(
+                                char::from_u32(cp as u32)
+                                    .map(String::from)
+                                    .ok_or("invalid code point")?,
+                            ),
+                            (Some(hi), 0xDC00..=0xDFFF) => {
+                                let c =
+                                    0x10000 + ((hi as u32 - 0xD800) << 10) + (cp as u32 - 0xDC00);
+                                Some(
+                                    char::from_u32(c)
+                                        .map(String::from)
+                                        .ok_or("invalid surrogate pair")?,
+                                )
+                            }
+                            (Some(_), _) => return Err("unpaired surrogate".to_string()),
+                        }
+                    }
+                    other => return Err(format!("unknown escape `\\{}`", other as char)),
+                }
+            }
+            _ => {
+                // Consume one UTF-8 scalar starting at `at`.
+                let rest = std::str::from_utf8(&b[*at..])
+                    .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                let ch = rest.chars().next().ok_or("unterminated string")?;
+                *at += ch.len_utf8();
+                Some(ch.into())
+            }
+        };
+        if let Some(s) = unit {
+            if pending_high.is_some() {
+                return Err("unpaired surrogate in string".to_string());
+            }
+            out.push_str(&s);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -60,5 +317,52 @@ mod tests {
     fn non_finite_numbers_degrade_to_null() {
         assert_eq!(number(f64::NAN), "null");
         assert_eq!(number(1.5), "1.5");
+    }
+
+    #[test]
+    fn parses_nested_documents() {
+        let doc = r#"{"a": [1, 2.5, -3], "b": {"c": null, "d": true}, "e": "x"}"#;
+        let v = Json::parse(doc).expect("parse");
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(v.get("a").unwrap().as_array().unwrap()[0].as_u64(), Some(1));
+        assert!(v.get("b").unwrap().get("c").unwrap().is_null());
+        assert_eq!(v.get("b").unwrap().get("d").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("e").unwrap().as_str(), Some("x"));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn large_integers_survive_without_float_rounding() {
+        let v = Json::parse("{\"seed\": 18446744073709551615}").expect("parse");
+        assert_eq!(v.get("seed").unwrap().as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn unescape_mirrors_escape() {
+        let original = "a\"b\\c\nd\te\u{1}f — π";
+        let doc = format!("\"{}\"", escape(original));
+        let v = Json::parse(&doc).expect("parse");
+        assert_eq!(v.as_str(), Some(original));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        let v = Json::parse("\"\\ud83d\\ude00\"").expect("parse");
+        assert_eq!(v.as_str(), Some("😀"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "1 2",
+            "\"\\u12\"",
+            "tru",
+            "{\"a\" 1}",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
     }
 }

@@ -339,10 +339,14 @@ impl PlbBus {
         }
         let mut writes: Vec<SignalId> = Vec::new();
         for m in &masters {
-            writes.extend_from_slice(&[m.gnt, m.addr_ack, m.wready, m.rvalid, m.rdata, m.complete, m.err]);
+            writes.extend_from_slice(&[
+                m.gnt, m.addr_ack, m.wready, m.rvalid, m.rdata, m.complete, m.err,
+            ]);
         }
         for (s, _) in &slaves {
-            writes.extend_from_slice(&[s.sel, s.a_rnw, s.a_addr, s.a_size, s.wvalid, s.wdata, s.rready]);
+            writes.extend_from_slice(&[
+                s.sel, s.a_rnw, s.a_addr, s.a_size, s.wvalid, s.wdata, s.rready,
+            ]);
         }
         let relay_comp = sim.add_component(
             format!("{name}.relay"),

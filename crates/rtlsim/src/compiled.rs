@@ -13,7 +13,7 @@
 //! keeps the delta loop as the *only* executor and compiles away the
 //! dispatches that are provably no-ops:
 //!
-//! * **Edge filtering** — a component declared [`Clocked`] via
+//! * **Edge filtering** — a component declared clocked via
 //!   [`crate::Simulator::declare_clocked`] is never dispatched for the
 //!   falling edge of its clock (its eval contract makes those evals
 //!   observable no-ops; every other sensitivity, e.g. reset, dispatches

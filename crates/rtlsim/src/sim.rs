@@ -29,7 +29,9 @@
 //! and ready-queue membership is tracked with a generation stamp instead
 //! of a drained `bool` flag.
 
-use crate::compiled::{cflag, CompiledCore, CompiledStats, DirtyWatch, DoorbellId, ExecMode, NO_CLOCK};
+use crate::compiled::{
+    cflag, CompiledCore, CompiledStats, DirtyWatch, DoorbellId, ExecMode, NO_CLOCK,
+};
 use crate::component::{CompKind, Component, Ctx};
 use crate::lv::Lv;
 use crate::name::{Name, NameArena, NameId};

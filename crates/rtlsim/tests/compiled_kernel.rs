@@ -16,7 +16,12 @@ fn counter_design(mode: ExecMode) -> (Simulator, rtlsim::SignalId, rtlsim::Signa
     let rst = sim.signal("rst", 1);
     let q = sim.signal_init("q", 8, 0);
     let dec = sim.signal_init("dec", 1, 0);
-    sim.add_component("clkgen", CompKind::Vip, Box::new(Clock::new(clk, PERIOD)), &[]);
+    sim.add_component(
+        "clkgen",
+        CompKind::Vip,
+        Box::new(Clock::new(clk, PERIOD)),
+        &[],
+    );
     sim.add_component(
         "rstgen",
         CompKind::Vip,
@@ -97,7 +102,12 @@ fn parked_component_wakes_on_signal_and_doorbell() {
         let clk = sim.signal("clk", 1);
         let go = sim.signal_init("go", 1, 0);
         let out = sim.signal_init("out", 8, 0);
-        sim.add_component("clkgen", CompKind::Vip, Box::new(Clock::new(clk, PERIOD)), &[]);
+        sim.add_component(
+            "clkgen",
+            CompKind::Vip,
+            Box::new(Clock::new(clk, PERIOD)),
+            &[],
+        );
         sim.set_exec_mode(mode);
         let bell = sim.add_doorbell(flag.clone());
         let fsm = sim.add_component(
@@ -130,7 +140,11 @@ fn parked_component_wakes_on_signal_and_doorbell() {
     // Signal wake: drive go high; the FSM must resume counting.
     sim.poke_u64(go, 1);
     sim.run_for(5 * PERIOD).unwrap();
-    assert_eq!(sim.peek_u64(out), Some(5), "missed posedges after signal wake");
+    assert_eq!(
+        sim.peek_u64(out),
+        Some(5),
+        "missed posedges after signal wake"
+    );
     sim.poke_u64(go, 0);
     sim.run_for(5 * PERIOD).unwrap();
     let parked_again = evals.get();
@@ -157,7 +171,12 @@ fn dirty_window_suspends_filtering_and_unparks() {
     let clk = sim.signal("clk", 1);
     let iso = sim.signal_init("isolate", 1, 0);
     let seen = Rc::new(Cell::new(0u64));
-    sim.add_component("clkgen", CompKind::Vip, Box::new(Clock::new(clk, PERIOD)), &[]);
+    sim.add_component(
+        "clkgen",
+        CompKind::Vip,
+        Box::new(Clock::new(clk, PERIOD)),
+        &[],
+    );
     sim.set_exec_mode(ExecMode::Auto);
     let seen2 = seen.clone();
     let watcher = sim.add_component(
@@ -179,13 +198,19 @@ fn dirty_window_suspends_filtering_and_unparks() {
     sim.poke_u64(iso, 1);
     sim.run_for(10 * PERIOD).unwrap();
     let in_window = seen.get() - while_parked;
-    assert!(in_window >= 19, "fallback did not dispatch fully: {in_window}");
+    assert!(
+        in_window >= 19,
+        "fallback did not dispatch fully: {in_window}"
+    );
     // Close it: the component re-parks on its first steady eval.
     sim.poke_u64(iso, 0);
     sim.run_for(10 * PERIOD).unwrap();
     let after = seen.get();
     sim.run_for(10 * PERIOD).unwrap();
-    assert!(seen.get() <= after + 1, "did not re-park after window close");
+    assert!(
+        seen.get() <= after + 1,
+        "did not re-park after window close"
+    );
     let cs = sim.compiled_stats().unwrap();
     assert_eq!(cs.fallback_entries, 1);
     assert_eq!(cs.fallback_exits, 1);
@@ -203,7 +228,12 @@ fn declarations_are_inert_in_event_driven_mode() {
         let rst = bare.signal("rst", 1);
         let q = bare.signal_init("q", 8, 0);
         let dec = bare.signal_init("dec", 1, 0);
-        bare.add_component("clkgen", CompKind::Vip, Box::new(Clock::new(clk, PERIOD)), &[]);
+        bare.add_component(
+            "clkgen",
+            CompKind::Vip,
+            Box::new(Clock::new(clk, PERIOD)),
+            &[],
+        );
         bare.add_component(
             "rstgen",
             CompKind::Vip,

@@ -34,14 +34,14 @@
 //! [`CampaignReport`] whose rows unify the old `MatrixRow` /
 //! recovery-report shapes.
 
-use crate::detect::{run_experiment_deadline, Evidence};
+use crate::detect::run_experiment_deadline;
 use crate::fuzz::{self, FuzzRow, FuzzSpec};
 use crate::matrix::{self, MatrixConfig, MatrixRow};
 use crate::recovery::{self, RunClass};
 use autovision::{ArtifactCache, Bug, RecoveryPolicy, SystemConfig};
 use obs::{Histogram, MetricsRegistry};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -240,6 +240,10 @@ pub enum ScenarioOutcome {
     /// into this typed row and kept draining. Carries no wall-clock
     /// fields so report digests stay deterministic.
     TimedOut,
+    /// The campaign was cancelled before this scenario ran (see
+    /// [`Campaign::run_streaming_with`]); the row is a typed placeholder
+    /// so delivery stays index-complete.
+    Cancelled,
 }
 
 /// One row of a campaign report: the scenario, its submission index,
@@ -315,88 +319,27 @@ impl CampaignReport {
             .collect()
     }
 
-    /// Rows whose scenario panicked or timed out.
+    /// Rows whose scenario panicked, timed out, or was cancelled — the
+    /// rows that carry no verification result.
     pub fn failures(&self) -> Vec<&CampaignRow> {
         self.rows
             .iter()
             .filter(|r| {
                 matches!(
                     r.outcome,
-                    ScenarioOutcome::Failed { .. } | ScenarioOutcome::TimedOut
+                    ScenarioOutcome::Failed { .. }
+                        | ScenarioOutcome::TimedOut
+                        | ScenarioOutcome::Cancelled
                 )
             })
             .collect()
     }
 
-    /// The report as a JSON document: one object per row carrying the
-    /// scenario, the outcome kind, and — so failures are diagnosable
-    /// without rerunning — the panic payload, the kernel-error text and
-    /// the evidence strings. Hand-assembled like every exporter in this
-    /// repo; stats are wall-clock-dependent and deliberately reduced to
-    /// scenario/thread counts.
+    /// The report as a `campaign_report/v1` JSON document — see
+    /// [`crate::wire::report_to_json`], the one schema definition the
+    /// in-process API, the `verifd` daemon and `verifctl` all share.
     pub fn to_json(&self) -> String {
-        use obs::json::escape;
-        let mut out = String::from("{\n  \"schema\": \"campaign_report/v1\",\n  \"rows\": [\n");
-        for (i, r) in self.rows.iter().enumerate() {
-            let scenario = escape(&format!("{:?}", r.scenario));
-            let mut fields = vec![
-                format!("\"index\": {}", r.index),
-                format!("\"scenario\": \"{scenario}\""),
-            ];
-            let opt_str = |key: &str, v: &Option<String>| match v {
-                Some(s) => format!("\"{key}\": \"{}\"", escape(s)),
-                None => format!("\"{key}\": null"),
-            };
-            let evidence_json = |ev: &[Evidence]| {
-                let items: Vec<String> = ev
-                    .iter()
-                    .map(|e| format!("\"{}\"", escape(&format!("{e:?}"))))
-                    .collect();
-                format!("[{}]", items.join(", "))
-            };
-            match &r.outcome {
-                ScenarioOutcome::Matrix(m) => {
-                    fields.push("\"kind\": \"matrix\"".to_string());
-                    fields.push(format!("\"bug\": \"{}\"", escape(&m.bug)));
-                    fields.push(format!("\"vmux_detected\": {}", m.vmux_detected));
-                    fields.push(format!("\"resim_detected\": {}", m.resim_detected));
-                    fields.push(format!("\"evidence\": \"{}\"", escape(&m.evidence)));
-                }
-                ScenarioOutcome::Recovery(rr) => {
-                    fields.push("\"kind\": \"recovery\"".to_string());
-                    fields.push(format!("\"fault\": \"{}\"", rr.fault.id()));
-                    fields.push(format!("\"fired\": {}", rr.fired));
-                    fields.push(format!("\"class\": \"{:?}\"", rr.class));
-                    fields.push(format!("\"retries\": {}", rr.retries));
-                }
-                ScenarioOutcome::Fuzz(f) => {
-                    fields.push("\"kind\": \"fuzz\"".to_string());
-                    fields.push(format!("\"detected\": {}", f.detected));
-                    fields.push(opt_str("signature", &f.signature));
-                    fields.push(opt_str("kernel_error", &f.kernel_error));
-                    fields.push(format!("\"coverage_keys\": {}", f.coverage.len()));
-                    fields.push(format!("\"evidence\": {}", evidence_json(&f.evidence)));
-                }
-                ScenarioOutcome::Failed { panic } => {
-                    fields.push("\"kind\": \"failed\"".to_string());
-                    fields.push(format!("\"panic\": \"{}\"", escape(panic)));
-                }
-                ScenarioOutcome::TimedOut => {
-                    fields.push("\"kind\": \"timed_out\"".to_string());
-                }
-            }
-            out.push_str(&format!(
-                "    {{{}}}{}\n",
-                fields.join(", "),
-                if i + 1 < self.rows.len() { "," } else { "" }
-            ));
-        }
-        out.push_str(&format!(
-            "  ],\n  \"stats\": {{\"scenarios\": {}, \"workers\": {}}}\n}}\n",
-            self.stats.scenarios,
-            self.stats.workers.len()
-        ));
-        out
+        crate::wire::report_to_json(self)
     }
 }
 
@@ -1136,13 +1079,38 @@ impl Campaign {
     /// `sink` in submission order as soon as it is complete. The
     /// scenario budget bounds how many rows are ever buffered waiting
     /// for an earlier scenario.
-    pub fn run_streaming(&self, mut sink: impl FnMut(&CampaignRow) + Send) -> CampaignReport {
-        let artifacts = ArtifactCache::new();
+    pub fn run_streaming(&self, sink: impl FnMut(&CampaignRow) + Send) -> CampaignReport {
+        self.run_streaming_with(&ArtifactCache::new(), None, sink)
+    }
+
+    /// [`Campaign::run_streaming`] over a caller-owned artifact cache
+    /// and an optional cancellation flag — the entry point the `verifd`
+    /// daemon drives, keeping one cache hot across submissions.
+    ///
+    /// Cached artifacts are pure functions of their keys (and those
+    /// keys deliberately exclude the execution mode — see the identity
+    /// contract pinned by `lockstep_equivalence`), so sharing a cache
+    /// across campaigns, methods and exec modes cannot change any row.
+    /// Once `cancel` reads `true`, scenarios that have not started yet
+    /// complete immediately as [`ScenarioOutcome::Cancelled`] rows;
+    /// scenarios already running finish normally, so delivery stays
+    /// index-complete and in order.
+    pub fn run_streaming_with(
+        &self,
+        artifacts: &ArtifactCache,
+        cancel: Option<&AtomicBool>,
+        mut sink: impl FnMut(&CampaignRow) + Send,
+    ) -> CampaignReport {
+        let cancelled = || cancel.map(|c| c.load(Ordering::Acquire)).unwrap_or(false);
         for s in &self.scenarios {
+            if cancelled() {
+                break;
+            }
             for cfg in s.configs(&self.base) {
                 artifacts.warm(&cfg);
             }
         }
+        let (hits0, misses0) = artifacts.stats();
         let pool = PoolOptions {
             threads: self.opts.threads,
             scenario_budget: self.opts.scenario_budget,
@@ -1150,7 +1118,7 @@ impl Campaign {
             schedule: self.opts.schedule,
             spans: self.opts.spans,
         };
-        let ctx = ScenarioCtx::new(&self.base, self.opts.budget_cycles, &artifacts);
+        let ctx = ScenarioCtx::new(&self.base, self.opts.budget_cycles, artifacts);
         let scenarios = &self.scenarios;
         let timeout = self.opts.scenario_timeout;
         let mut rows: Vec<CampaignRow> = Vec::with_capacity(scenarios.len());
@@ -1160,6 +1128,9 @@ impl Campaign {
                 scenarios.len(),
                 &pool,
                 |i| {
+                    if cancelled() {
+                        return ScenarioOutcome::Cancelled;
+                    }
                     let ctx = ctx.with_deadline(timeout.map(|t| Instant::now() + t));
                     run_scenario(&ctx, scenarios[i])
                 },
@@ -1174,9 +1145,11 @@ impl Campaign {
                 },
             )
         };
+        // Report the *delta* this run contributed, so a long-lived
+        // shared cache (the daemon's) attributes hits per campaign.
         let (hits, misses) = artifacts.stats();
-        stats.artifact_hits = hits;
-        stats.artifact_misses = misses;
+        stats.artifact_hits = hits - hits0;
+        stats.artifact_misses = misses - misses0;
         CampaignReport { rows, stats }
     }
 }

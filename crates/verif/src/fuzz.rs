@@ -341,6 +341,7 @@ pub fn run_one(ctx: &ScenarioCtx<'_>, spec: FuzzSpec) -> FuzzRow {
     if outcome.deadline_hit {
         std::panic::panic_any(ScenarioTimeout);
     }
+    detect::tally_compiled(&sys);
     let verdict = detect::classify(&sys, &outcome, n_frames);
     let coverage = coverage_of(&sys.sim.trace_events(), &verdict);
     FuzzRow {
@@ -747,9 +748,7 @@ fn json_raw(doc: &str, key: &str) -> Result<String, String> {
     let pat = format!("\"{key}\":");
     let at = doc.find(&pat).ok_or_else(|| format!("missing key {key}"))?;
     let rest = doc[at + pat.len()..].trim_start();
-    let end = rest
-        .find([',', '\n', '}'])
-        .unwrap_or(rest.len());
+    let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
     Ok(rest[..end].trim().to_string())
 }
 
@@ -1180,9 +1179,10 @@ mod tests {
         assert_eq!(parsed, repro);
         assert!(FuzzRepro::from_json("{}").is_err());
         // Pre-exec-mode documents still parse and replay event-driven.
-        let v1 = doc
-            .replace("fuzz_repro/v2", "fuzz_repro/v1")
-            .replace("  \"exec_mode\": \"compiled\"\n", "  \"exec_mode_ignored\": 0\n");
+        let v1 = doc.replace("fuzz_repro/v2", "fuzz_repro/v1").replace(
+            "  \"exec_mode\": \"compiled\"\n",
+            "  \"exec_mode_ignored\": 0\n",
+        );
         let legacy = FuzzRepro::from_json(&v1).expect("v1 parses");
         assert_eq!(legacy.schedule.exec_mode, ExecMode::EventDriven);
     }

@@ -22,7 +22,10 @@
 //!   reconstructed from the kernel's structured trace;
 //! * [`fuzz`] — coverage-guided fuzzing of the reconfiguration
 //!   schedule, with signature-deduplicated failures and deterministic
-//!   shrinking to minimal replayable reproducers.
+//!   shrinking to minimal replayable reproducers;
+//! * [`wire`] — the versioned campaign wire schemas
+//!   (`campaign_submit/v1`, `campaign_report/v1`) shared by the
+//!   in-process API, the `verifd` daemon and the `verifctl` client.
 
 pub mod coverage;
 pub mod detect;
@@ -34,9 +37,12 @@ pub mod reconfig_timeline;
 pub mod recovery;
 pub mod timeline;
 pub mod turnaround;
+pub mod wire;
 
 pub use coverage::{CoverageProbes, DprCoverage};
-pub use detect::{run_experiment, run_experiment_with, Evidence, Verdict};
+pub use detect::{
+    compiled_tally, run_experiment, run_experiment_with, CompiledTally, Evidence, Verdict,
+};
 pub use executor::{
     execute, execute_streaming, run_scenario, Campaign, CampaignBuilder, CampaignOptions,
     CampaignReport, CampaignRow, ExecutorStats, PoolOptions, RecoveryRow, RecoverySpec, Scenario,
@@ -46,8 +52,6 @@ pub use fuzz::{
     coverage_of, failure_signature, replay, run_fuzz, shrink, FuzzFailure, FuzzOptions, FuzzReport,
     FuzzRepro, FuzzRow, FuzzSchedule, FuzzSpec, FuzzTopology,
 };
-#[allow(deprecated)]
-pub use matrix::run_matrix;
 pub use matrix::{
     expected_detection, render_matrix, run_bug, run_clean, run_split_clean, MatrixConfig, MatrixRow,
 };
@@ -56,7 +60,10 @@ pub use reconfig_timeline::{ReconfigTimeline, RegionTimeline};
 pub use recovery::{
     render_campaign, run_one, summarize, CampaignConfig, CampaignSummary, RunClass,
 };
-#[allow(deprecated)]
-pub use recovery::{run_campaign, RunReport};
 pub use timeline::{build_timeline, render_timeline, Phase, WeekRow, LOC_SERIES};
 pub use turnaround::{compare, Turnaround, FRAMES_TO_DETECT, ONCHIP_ITERATION_MIN};
+pub use wire::{
+    report_from_json, report_to_json, row_to_json, scenario_from_json, scenario_to_json, wire_row,
+    CampaignSubmission, WireOutcome, WireReport, WireRow, CAMPAIGN_REPORT_SCHEMA,
+    CAMPAIGN_SUBMIT_SCHEMA,
+};

@@ -2,7 +2,7 @@
 //! methods — the machine-checkable core of the paper's Table III.
 
 use crate::detect::Verdict;
-use crate::executor::{Campaign, ScenarioCtx};
+use crate::executor::ScenarioCtx;
 use autovision::{ArtifactCache, Bug, BugClass, FaultSet, SimMethod, SystemConfig};
 
 /// Expected detection for (bug, method) per the paper's analysis. The
@@ -156,22 +156,6 @@ pub fn run_clean(mc: &MatrixConfig) -> MatrixRow {
 /// cache.
 pub fn run_split_clean(mc: &MatrixConfig) -> MatrixRow {
     one_off_ctx(mc, run_split_clean_in)
-}
-
-/// Run the full matrix: the clean baseline plus every catalogued bug.
-#[deprecated(
-    since = "0.6.0",
-    note = "use verif::Campaign::builder().matrix() — this shim forwards to it"
-)]
-pub fn run_matrix(mc: &MatrixConfig, threads: usize) -> Vec<MatrixRow> {
-    Campaign::builder()
-        .base(mc.base.clone())
-        .budget_cycles(mc.budget_cycles)
-        .threads(threads.max(1))
-        .matrix()
-        .build()
-        .run()
-        .matrix_rows()
 }
 
 /// Render the matrix as an aligned text table (the Table III artifact).

@@ -16,17 +16,10 @@
 //! traffic are never disturbed — exactly the single-event-upset model
 //! the recovery hardware is designed against.
 
-use crate::executor::{Campaign, RecoveryRow, RecoverySpec, ScenarioCtx};
+use crate::executor::{RecoveryRow, RecoverySpec, ScenarioCtx};
 use autovision::{AvSystem, Bug, RecoveryPolicy, SimMethod, SystemConfig, CLK_PERIOD_PS};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-
-/// The pre-executor name of one campaign run's report.
-#[deprecated(
-    since = "0.6.0",
-    note = "the report row moved into the unified campaign API as verif::RecoveryRow"
-)]
-pub type RunReport = RecoveryRow;
 
 /// Classified outcome of one injection run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -229,23 +222,6 @@ pub fn run_one(ctx: &ScenarioCtx<'_>, spec: RecoverySpec) -> RecoveryRow {
     }
 }
 
-/// Run the whole campaign for one recovery mode.
-#[deprecated(
-    since = "0.6.0",
-    note = "use verif::Campaign::builder().recovery_campaign() — this shim forwards to it"
-)]
-pub fn run_campaign(cc: &CampaignConfig, recovery_on: bool, threads: usize) -> Vec<RecoveryRow> {
-    Campaign::builder()
-        .base(cc.base.clone())
-        .seed(cc.seed)
-        .budget_cycles(cc.budget_cycles)
-        .threads(threads.max(1))
-        .recovery_campaign(cc.runs, recovery_on)
-        .build()
-        .run()
-        .recovery_rows()
-}
-
 /// Aggregate run reports into a summary.
 pub fn summarize(reports: &[RecoveryRow]) -> CampaignSummary {
     let mut s = CampaignSummary {
@@ -329,6 +305,7 @@ pub fn render_campaign(label: &str, reports: &[RecoveryRow]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::executor::Campaign;
 
     fn quick_campaign(threads: usize) -> Campaign {
         Campaign::builder()

@@ -1,0 +1,811 @@
+//! The campaign wire schemas — the one place `campaign_submit/v1`
+//! documents and `campaign_report/v1` rows are defined.
+//!
+//! The in-process [`Campaign`] API, the `verifd` daemon and the
+//! `verifctl` client all serialize through this module, so a row
+//! streamed over a socket is byte-identical to the same row rendered
+//! from an in-process run — the determinism contract the service
+//! inherits from the executor. Submissions reuse the shapes the repo
+//! already ships: scenarios mirror [`Scenario`]'s variants, and fuzz
+//! scenarios carry their schedule in the `fuzz_repro/v2` knob encoding
+//! (`warmup_cycles`, `flip_beat`/`flip_bit`, `exec_mode`, ...).
+//!
+//! Both directions are schema-checked: [`CampaignSubmission::from_json`]
+//! and [`report_from_json`] reject any document whose `schema` member is
+//! not the version this build speaks.
+//!
+//! # Examples
+//!
+//! A submission round-trips through its JSON document:
+//!
+//! ```
+//! use verif::wire::CampaignSubmission;
+//! use verif::Scenario;
+//!
+//! let sub = CampaignSubmission {
+//!     scenarios: vec![Scenario::Clean, Scenario::SplitClean],
+//!     budget_cycles: 200_000,
+//!     ..Default::default()
+//! };
+//! let doc = sub.to_json();
+//! assert!(doc.contains("\"schema\": \"campaign_submit/v1\""));
+//! assert_eq!(CampaignSubmission::from_json(&doc).unwrap(), sub);
+//! assert_eq!(sub.to_campaign().scenarios().len(), 2);
+//! ```
+//!
+//! Unknown schema versions are rejected, not guessed at:
+//!
+//! ```
+//! use verif::wire::CampaignSubmission;
+//!
+//! let err = CampaignSubmission::from_json(
+//!     "{\"schema\": \"campaign_submit/v99\", \"scenarios\": []}",
+//! )
+//! .unwrap_err();
+//! assert!(err.contains("campaign_submit/v1"), "{err}");
+//! ```
+//!
+//! A report document parses back into typed rows and re-renders
+//! byte-identically:
+//!
+//! ```
+//! use verif::wire::{report_from_json, report_to_json};
+//! use verif::{Campaign, Scenario};
+//!
+//! let report = Campaign::builder()
+//!     .threads(1)
+//!     .scenario(Scenario::Clean)
+//!     .build()
+//!     .run();
+//! let doc = report_to_json(&report);
+//! let parsed = report_from_json(&doc).unwrap();
+//! assert_eq!(parsed.rows.len(), 1);
+//! assert_eq!(parsed.to_json(), doc);
+//! ```
+
+use crate::executor::{
+    Campaign, CampaignReport, CampaignRow, RecoverySpec, Scenario, ScenarioOutcome,
+};
+use crate::fuzz::{FuzzSchedule, FuzzSpec, FuzzTopology};
+use autovision::Bug;
+use obs::json::{escape, Json};
+use rtlsim::ExecMode;
+
+/// Schema tag of a campaign submission document.
+pub const CAMPAIGN_SUBMIT_SCHEMA: &str = "campaign_submit/v1";
+/// Schema tag of a campaign report document (and, per row, the schema
+/// the daemon stamps on streamed row frames).
+pub const CAMPAIGN_REPORT_SCHEMA: &str = "campaign_report/v1";
+
+fn schema_check(v: &Json, want: &str) -> Result<(), String> {
+    match v.get("schema").and_then(Json::as_str) {
+        Some(got) if got == want => Ok(()),
+        Some(got) => Err(format!(
+            "unsupported schema \"{got}\" (this build speaks {want})"
+        )),
+        None => Err(format!("document has no schema member (expected {want})")),
+    }
+}
+
+fn str_of(v: &Json, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing or non-string key {key}"))
+}
+
+fn u64_of(v: &Json, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-integer key {key}"))
+}
+
+fn bool_of(v: &Json, key: &str) -> Result<bool, String> {
+    v.get(key)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| format!("missing or non-bool key {key}"))
+}
+
+fn opt_u32_of(v: &Json, key: &str) -> Result<Option<u32>, String> {
+    match v.get(key) {
+        None => Err(format!("missing key {key}")),
+        Some(Json::Null) => Ok(None),
+        Some(n) => n
+            .as_u64()
+            .map(|x| Some(x as u32))
+            .ok_or_else(|| format!("non-integer key {key}")),
+    }
+}
+
+fn opt_str_of(v: &Json, key: &str) -> Result<Option<String>, String> {
+    match v.get(key) {
+        None => Err(format!("missing key {key}")),
+        Some(Json::Null) => Ok(None),
+        Some(s) => s
+            .as_str()
+            .map(|x| Some(x.to_string()))
+            .ok_or_else(|| format!("non-string key {key}")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scenarios
+// ---------------------------------------------------------------------
+
+/// One scenario as a single-line JSON object (`{"kind": "clean"}`,
+/// `{"kind": "bug", "bug": "bug.dpr.4"}`, ...). Fuzz scenarios carry
+/// their schedule in the `fuzz_repro/v2` knob encoding.
+pub fn scenario_to_json(s: &Scenario) -> String {
+    let opt = |v: Option<u32>| v.map(|x| x.to_string()).unwrap_or_else(|| "null".into());
+    match s {
+        Scenario::Clean => "{\"kind\": \"clean\"}".to_string(),
+        Scenario::Bug(b) => format!("{{\"kind\": \"bug\", \"bug\": \"{}\"}}", b.id()),
+        Scenario::SplitClean => "{\"kind\": \"split_clean\"}".to_string(),
+        Scenario::Recovery(spec) => format!(
+            "{{\"kind\": \"recovery\", \"fault\": \"{}\", \"seed\": {}, \"recovery_on\": {}}}",
+            spec.fault.id(),
+            spec.seed,
+            spec.recovery_on
+        ),
+        Scenario::Fuzz(spec) => {
+            let s = &spec.schedule;
+            let (beat, bit) = match s.flip {
+                Some((beat, bit)) => (Some(beat), Some(bit)),
+                None => (None, None),
+            };
+            format!(
+                "{{\"kind\": \"fuzz\", \"id\": {}, \"warmup_cycles\": {}, \"isr_pad_loops\": {}, \
+                 \"cfg_divider\": {}, \"mem_wait_states\": {}, \"fixed_wait_loops\": {}, \
+                 \"round_robin\": {}, \"split_topology\": {}, \"recovery_on\": {}, \
+                 \"flip_beat\": {}, \"flip_bit\": {}, \"stall\": {}, \"bus_errors\": {}, \
+                 \"ready_drop\": {}, \"exec_mode\": \"{}\"}}",
+                spec.id,
+                s.warmup_cycles,
+                s.isr_pad_loops,
+                s.cfg_divider,
+                s.mem_wait_states,
+                s.fixed_wait_loops,
+                s.round_robin,
+                s.topology == FuzzTopology::Split,
+                s.recovery_on,
+                opt(beat),
+                opt(bit),
+                opt(s.stall),
+                s.bus_errors,
+                opt(s.ready_drop),
+                s.exec_mode.as_str(),
+            )
+        }
+    }
+}
+
+/// Parse one scenario object (the inverse of [`scenario_to_json`]).
+pub fn scenario_from_json(v: &Json) -> Result<Scenario, String> {
+    let kind = str_of(v, "kind")?;
+    match kind.as_str() {
+        "clean" => Ok(Scenario::Clean),
+        "split_clean" => Ok(Scenario::SplitClean),
+        "bug" => {
+            let id = str_of(v, "bug")?;
+            let bug = Bug::from_id(&id).ok_or_else(|| format!("unknown bug id \"{id}\""))?;
+            Ok(Scenario::Bug(bug))
+        }
+        "recovery" => {
+            let id = str_of(v, "fault")?;
+            let fault = Bug::from_id(&id).ok_or_else(|| format!("unknown fault id \"{id}\""))?;
+            if !Bug::TRANSIENTS.contains(&fault) {
+                return Err(format!("\"{id}\" is not a transient fault"));
+            }
+            Ok(Scenario::Recovery(RecoverySpec {
+                fault,
+                seed: u64_of(v, "seed")?,
+                recovery_on: bool_of(v, "recovery_on")?,
+            }))
+        }
+        "fuzz" => {
+            let flip = match (opt_u32_of(v, "flip_beat")?, opt_u32_of(v, "flip_bit")?) {
+                (Some(beat), Some(bit)) => Some((beat, bit)),
+                (None, None) => None,
+                _ => return Err("flip_beat/flip_bit must both be set or both null".to_string()),
+            };
+            Ok(Scenario::Fuzz(FuzzSpec {
+                id: u64_of(v, "id")? as u32,
+                schedule: FuzzSchedule {
+                    warmup_cycles: u64_of(v, "warmup_cycles")? as u32,
+                    isr_pad_loops: u64_of(v, "isr_pad_loops")? as u32,
+                    cfg_divider: u64_of(v, "cfg_divider")? as u32,
+                    mem_wait_states: u64_of(v, "mem_wait_states")? as u32,
+                    fixed_wait_loops: u64_of(v, "fixed_wait_loops")? as u32,
+                    round_robin: bool_of(v, "round_robin")?,
+                    topology: if bool_of(v, "split_topology")? {
+                        FuzzTopology::Split
+                    } else {
+                        FuzzTopology::Single
+                    },
+                    recovery_on: bool_of(v, "recovery_on")?,
+                    flip,
+                    stall: opt_u32_of(v, "stall")?,
+                    bus_errors: u64_of(v, "bus_errors")? as u32,
+                    ready_drop: opt_u32_of(v, "ready_drop")?,
+                    exec_mode: str_of(v, "exec_mode")?
+                        .parse::<ExecMode>()
+                        .map_err(|e| format!("key exec_mode: {e}"))?,
+                },
+            }))
+        }
+        other => Err(format!("unknown scenario kind \"{other}\"")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Submissions
+// ---------------------------------------------------------------------
+
+/// One `campaign_submit/v1` document: an explicit scenario list plus
+/// the executor knobs a client may set. Runs over the standard matrix
+/// base configuration (32×24, two frames, 256-word SimB) — the base the
+/// committed baselines pin. Thread count and scenario budget are
+/// *requests*: the daemon may cap or override both, and by the
+/// executor's determinism contract neither changes a single row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSubmission {
+    /// Explicit scenarios, in submission order.
+    pub scenarios: Vec<Scenario>,
+    /// Prepend the full detection matrix (clean + every catalogued bug).
+    pub matrix: bool,
+    /// Append a seeded transient-recovery batch of this many runs.
+    pub recovery_runs: usize,
+    /// Recovery-batch policy (ignored when `recovery_runs` is 0).
+    pub recovery_on: bool,
+    /// Master seed for the recovery batch expansion.
+    pub seed: u64,
+    /// Hang budget per run, in cycles.
+    pub budget_cycles: u64,
+    /// Requested worker threads (0 = executor default / daemon policy).
+    pub threads: usize,
+    /// Requested scenario budget (0 = executor default / daemon policy).
+    pub scenario_budget: usize,
+    /// Kernel execution mode for every scenario in the campaign.
+    pub exec_mode: ExecMode,
+}
+
+impl Default for CampaignSubmission {
+    fn default() -> Self {
+        CampaignSubmission {
+            scenarios: Vec::new(),
+            matrix: false,
+            recovery_runs: 0,
+            recovery_on: true,
+            seed: 0xFA_17,
+            budget_cycles: 400_000,
+            threads: 0,
+            scenario_budget: 0,
+            exec_mode: ExecMode::EventDriven,
+        }
+    }
+}
+
+impl CampaignSubmission {
+    /// Serialize as a `campaign_submit/v1` document.
+    pub fn to_json(&self) -> String {
+        let scenarios: Vec<String> = self
+            .scenarios
+            .iter()
+            .map(|s| format!("    {}", scenario_to_json(s)))
+            .collect();
+        format!(
+            "{{\n  \"schema\": \"{}\",\n  \"seed\": {},\n  \"budget_cycles\": {},\n  \
+             \"threads\": {},\n  \"scenario_budget\": {},\n  \"exec_mode\": \"{}\",\n  \
+             \"matrix\": {},\n  \"recovery_runs\": {},\n  \"recovery_on\": {},\n  \
+             \"scenarios\": [\n{}\n  ]\n}}\n",
+            CAMPAIGN_SUBMIT_SCHEMA,
+            self.seed,
+            self.budget_cycles,
+            self.threads,
+            self.scenario_budget,
+            self.exec_mode.as_str(),
+            self.matrix,
+            self.recovery_runs,
+            self.recovery_on,
+            scenarios.join(",\n"),
+        )
+    }
+
+    /// Parse a `campaign_submit/v1` document, rejecting any other
+    /// schema version. Every executor knob is optional and defaults as
+    /// [`CampaignSubmission::default`]; `scenarios` is required (an
+    /// empty array is legal when `matrix` or `recovery_runs` supplies
+    /// the work).
+    pub fn from_json(doc: &str) -> Result<CampaignSubmission, String> {
+        let v = Json::parse(doc)?;
+        schema_check(&v, CAMPAIGN_SUBMIT_SCHEMA)?;
+        let d = CampaignSubmission::default();
+        let opt_u64 = |key: &str, d: u64| match v.get(key) {
+            None => Ok(d),
+            Some(n) => n.as_u64().ok_or_else(|| format!("non-integer key {key}")),
+        };
+        let opt_bool = |key: &str, d: bool| match v.get(key) {
+            None => Ok(d),
+            Some(b) => b.as_bool().ok_or_else(|| format!("non-bool key {key}")),
+        };
+        let scenarios = v
+            .get("scenarios")
+            .and_then(Json::as_array)
+            .ok_or("missing or non-array key scenarios")?
+            .iter()
+            .map(scenario_from_json)
+            .collect::<Result<Vec<Scenario>, String>>()?;
+        Ok(CampaignSubmission {
+            scenarios,
+            matrix: opt_bool("matrix", d.matrix)?,
+            recovery_runs: opt_u64("recovery_runs", d.recovery_runs as u64)? as usize,
+            recovery_on: opt_bool("recovery_on", d.recovery_on)?,
+            seed: opt_u64("seed", d.seed)?,
+            budget_cycles: opt_u64("budget_cycles", d.budget_cycles)?,
+            threads: opt_u64("threads", d.threads as u64)? as usize,
+            scenario_budget: opt_u64("scenario_budget", d.scenario_budget as u64)? as usize,
+            exec_mode: match v.get("exec_mode") {
+                None => d.exec_mode,
+                Some(m) => m
+                    .as_str()
+                    .ok_or("non-string key exec_mode")?
+                    .parse::<ExecMode>()
+                    .map_err(|e| format!("key exec_mode: {e}"))?,
+            },
+        })
+    }
+
+    /// The fully planned campaign this submission describes: the matrix
+    /// (when requested), then the explicit scenarios, then the seeded
+    /// recovery batch. A zero thread/budget request keeps the executor
+    /// defaults; callers (the daemon) may override both afterwards via
+    /// [`Campaign::builder`]-style re-planning without changing rows.
+    pub fn to_campaign(&self) -> Campaign {
+        self.plan(self.threads, self.scenario_budget)
+    }
+
+    /// [`CampaignSubmission::to_campaign`] with the executor knobs the
+    /// serving side actually grants (0 keeps the executor default).
+    pub fn plan(&self, threads: usize, scenario_budget: usize) -> Campaign {
+        let mut b = Campaign::builder()
+            .seed(self.seed)
+            .budget_cycles(self.budget_cycles)
+            .exec_mode(self.exec_mode)
+            .scenario_budget(scenario_budget);
+        if threads > 0 {
+            b = b.threads(threads);
+        }
+        if self.matrix {
+            b = b.matrix();
+        }
+        b = b.scenarios(self.scenarios.iter().copied());
+        if self.recovery_runs > 0 {
+            b = b.recovery_campaign(self.recovery_runs, self.recovery_on);
+        }
+        b.build()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Report rows
+// ---------------------------------------------------------------------
+
+/// One parsed `campaign_report/v1` row — the wire-visible projection of
+/// a [`CampaignRow`] (full in-process rows carry more: expectations,
+/// frame counts, whole coverage maps).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireRow {
+    /// Submission index.
+    pub index: usize,
+    /// The scenario, `Debug`-rendered.
+    pub scenario: String,
+    /// The outcome fields the schema carries.
+    pub outcome: WireOutcome,
+}
+
+/// The per-kind payload of a [`WireRow`].
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)]
+pub enum WireOutcome {
+    Matrix {
+        bug: String,
+        vmux_detected: bool,
+        resim_detected: bool,
+        evidence: String,
+    },
+    Recovery {
+        fault: String,
+        fired: bool,
+        class: String,
+        retries: u64,
+    },
+    Fuzz {
+        detected: bool,
+        signature: Option<String>,
+        kernel_error: Option<String>,
+        coverage_keys: usize,
+        evidence: Vec<String>,
+    },
+    Failed {
+        panic: String,
+    },
+    TimedOut,
+    Cancelled,
+}
+
+/// Project an executor row onto its wire shape.
+pub fn wire_row(row: &CampaignRow) -> WireRow {
+    let outcome = match &row.outcome {
+        ScenarioOutcome::Matrix(m) => WireOutcome::Matrix {
+            bug: m.bug.clone(),
+            vmux_detected: m.vmux_detected,
+            resim_detected: m.resim_detected,
+            evidence: m.evidence.clone(),
+        },
+        ScenarioOutcome::Recovery(rr) => WireOutcome::Recovery {
+            fault: rr.fault.id().to_string(),
+            fired: rr.fired,
+            class: format!("{:?}", rr.class),
+            retries: rr.retries,
+        },
+        ScenarioOutcome::Fuzz(f) => WireOutcome::Fuzz {
+            detected: f.detected,
+            signature: f.signature.clone(),
+            kernel_error: f.kernel_error.clone(),
+            coverage_keys: f.coverage.len(),
+            evidence: f.evidence.iter().map(|e| format!("{e:?}")).collect(),
+        },
+        ScenarioOutcome::Failed { panic } => WireOutcome::Failed {
+            panic: panic.clone(),
+        },
+        ScenarioOutcome::TimedOut => WireOutcome::TimedOut,
+        ScenarioOutcome::Cancelled => WireOutcome::Cancelled,
+    };
+    WireRow {
+        index: row.index,
+        scenario: format!("{:?}", row.scenario),
+        outcome,
+    }
+}
+
+/// One executor row as its single-line wire JSON object — what the
+/// daemon streams and what [`report_to_json`] embeds per row. The
+/// byte-identity contract hangs off this function being the only
+/// renderer.
+pub fn row_to_json(row: &CampaignRow) -> String {
+    wire_row(row).to_json()
+}
+
+impl WireRow {
+    /// The row as its single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let mut fields = vec![
+            format!("\"index\": {}", self.index),
+            format!("\"scenario\": \"{}\"", escape(&self.scenario)),
+        ];
+        let opt_str = |key: &str, v: &Option<String>| match v {
+            Some(s) => format!("\"{key}\": \"{}\"", escape(s)),
+            None => format!("\"{key}\": null"),
+        };
+        match &self.outcome {
+            WireOutcome::Matrix {
+                bug,
+                vmux_detected,
+                resim_detected,
+                evidence,
+            } => {
+                fields.push("\"kind\": \"matrix\"".to_string());
+                fields.push(format!("\"bug\": \"{}\"", escape(bug)));
+                fields.push(format!("\"vmux_detected\": {vmux_detected}"));
+                fields.push(format!("\"resim_detected\": {resim_detected}"));
+                fields.push(format!("\"evidence\": \"{}\"", escape(evidence)));
+            }
+            WireOutcome::Recovery {
+                fault,
+                fired,
+                class,
+                retries,
+            } => {
+                fields.push("\"kind\": \"recovery\"".to_string());
+                fields.push(format!("\"fault\": \"{}\"", escape(fault)));
+                fields.push(format!("\"fired\": {fired}"));
+                fields.push(format!("\"class\": \"{}\"", escape(class)));
+                fields.push(format!("\"retries\": {retries}"));
+            }
+            WireOutcome::Fuzz {
+                detected,
+                signature,
+                kernel_error,
+                coverage_keys,
+                evidence,
+            } => {
+                let items: Vec<String> = evidence
+                    .iter()
+                    .map(|e| format!("\"{}\"", escape(e)))
+                    .collect();
+                fields.push("\"kind\": \"fuzz\"".to_string());
+                fields.push(format!("\"detected\": {detected}"));
+                fields.push(opt_str("signature", signature));
+                fields.push(opt_str("kernel_error", kernel_error));
+                fields.push(format!("\"coverage_keys\": {coverage_keys}"));
+                fields.push(format!("\"evidence\": [{}]", items.join(", ")));
+            }
+            WireOutcome::Failed { panic } => {
+                fields.push("\"kind\": \"failed\"".to_string());
+                fields.push(format!("\"panic\": \"{}\"", escape(panic)));
+            }
+            WireOutcome::TimedOut => {
+                fields.push("\"kind\": \"timed_out\"".to_string());
+            }
+            WireOutcome::Cancelled => {
+                fields.push("\"kind\": \"cancelled\"".to_string());
+            }
+        }
+        format!("{{{}}}", fields.join(", "))
+    }
+
+    /// Parse one row from its parsed JSON object.
+    pub fn from_value(v: &Json) -> Result<WireRow, String> {
+        let kind = str_of(v, "kind")?;
+        let outcome = match kind.as_str() {
+            "matrix" => WireOutcome::Matrix {
+                bug: str_of(v, "bug")?,
+                vmux_detected: bool_of(v, "vmux_detected")?,
+                resim_detected: bool_of(v, "resim_detected")?,
+                evidence: str_of(v, "evidence")?,
+            },
+            "recovery" => WireOutcome::Recovery {
+                fault: str_of(v, "fault")?,
+                fired: bool_of(v, "fired")?,
+                class: str_of(v, "class")?,
+                retries: u64_of(v, "retries")?,
+            },
+            "fuzz" => WireOutcome::Fuzz {
+                detected: bool_of(v, "detected")?,
+                signature: opt_str_of(v, "signature")?,
+                kernel_error: opt_str_of(v, "kernel_error")?,
+                coverage_keys: u64_of(v, "coverage_keys")? as usize,
+                evidence: v
+                    .get("evidence")
+                    .and_then(Json::as_array)
+                    .ok_or("missing or non-array key evidence")?
+                    .iter()
+                    .map(|e| {
+                        e.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| "non-string evidence item".to_string())
+                    })
+                    .collect::<Result<Vec<String>, String>>()?,
+            },
+            "failed" => WireOutcome::Failed {
+                panic: str_of(v, "panic")?,
+            },
+            "timed_out" => WireOutcome::TimedOut,
+            "cancelled" => WireOutcome::Cancelled,
+            other => return Err(format!("unknown row kind \"{other}\"")),
+        };
+        Ok(WireRow {
+            index: u64_of(v, "index")? as usize,
+            scenario: str_of(v, "scenario")?,
+            outcome,
+        })
+    }
+
+    /// Parse one row from its JSON text.
+    pub fn from_json(doc: &str) -> Result<WireRow, String> {
+        WireRow::from_value(&Json::parse(doc)?)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reports
+// ---------------------------------------------------------------------
+
+/// A parsed `campaign_report/v1` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireReport {
+    /// The rows, in submission order.
+    pub rows: Vec<WireRow>,
+    /// `stats.scenarios` of the producing run.
+    pub scenarios: usize,
+    /// `stats.workers` of the producing run.
+    pub workers: usize,
+}
+
+impl WireReport {
+    /// Re-render the document — byte-identical to the [`report_to_json`]
+    /// output it was parsed from.
+    pub fn to_json(&self) -> String {
+        let mut out = format!("{{\n  \"schema\": \"{CAMPAIGN_REPORT_SCHEMA}\",\n  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {}{}\n",
+                r.to_json(),
+                if i + 1 < self.rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "  ],\n  \"stats\": {{\"scenarios\": {}, \"workers\": {}}}\n}}\n",
+            self.scenarios, self.workers
+        ));
+        out
+    }
+}
+
+/// Render a full report as its `campaign_report/v1` document: one
+/// object per row carrying the scenario, the outcome kind, and — so
+/// failures are diagnosable without rerunning — the panic payload, the
+/// kernel-error text and the evidence strings. Stats are
+/// wall-clock-dependent and deliberately reduced to scenario/worker
+/// counts.
+pub fn report_to_json(report: &CampaignReport) -> String {
+    WireReport {
+        rows: report.rows.iter().map(wire_row).collect(),
+        scenarios: report.stats.scenarios,
+        workers: report.stats.workers.len(),
+    }
+    .to_json()
+}
+
+/// Parse a `campaign_report/v1` document, rejecting any other schema
+/// version.
+pub fn report_from_json(doc: &str) -> Result<WireReport, String> {
+    let v = Json::parse(doc)?;
+    schema_check(&v, CAMPAIGN_REPORT_SCHEMA)?;
+    let rows = v
+        .get("rows")
+        .and_then(Json::as_array)
+        .ok_or("missing or non-array key rows")?
+        .iter()
+        .map(WireRow::from_value)
+        .collect::<Result<Vec<WireRow>, String>>()?;
+    let stats = v.get("stats").ok_or("missing key stats")?;
+    Ok(WireReport {
+        rows,
+        scenarios: u64_of(stats, "scenarios")? as usize,
+        workers: u64_of(stats, "workers")? as usize,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Schedule;
+
+    fn mixed_submission() -> CampaignSubmission {
+        CampaignSubmission {
+            scenarios: vec![
+                Scenario::Clean,
+                Scenario::Bug(Bug::Dpr4P2pOnSharedBus),
+                Scenario::SplitClean,
+                Scenario::Recovery(RecoverySpec {
+                    fault: Bug::TransientBusError,
+                    seed: 77,
+                    recovery_on: true,
+                }),
+                Scenario::Fuzz(FuzzSpec {
+                    id: 9,
+                    schedule: FuzzSchedule {
+                        warmup_cycles: 128,
+                        flip: Some((3, 17)),
+                        stall: None,
+                        exec_mode: ExecMode::Compiled,
+                        ..FuzzSchedule::baseline(&autovision::SystemConfig::default())
+                    },
+                }),
+            ],
+            matrix: false,
+            recovery_runs: 2,
+            recovery_on: false,
+            seed: 0xDEAD_BEEF_0000_0001,
+            budget_cycles: 123_456,
+            threads: 3,
+            scenario_budget: 5,
+            exec_mode: ExecMode::Auto,
+        }
+    }
+
+    #[test]
+    fn submission_roundtrips_every_scenario_kind() {
+        let sub = mixed_submission();
+        let doc = sub.to_json();
+        let parsed = CampaignSubmission::from_json(&doc).expect("parse back");
+        assert_eq!(parsed, sub);
+        // And the second render is byte-identical.
+        assert_eq!(parsed.to_json(), doc);
+    }
+
+    #[test]
+    fn submission_defaults_fill_missing_members() {
+        let parsed = CampaignSubmission::from_json(
+            "{\"schema\": \"campaign_submit/v1\", \"scenarios\": [{\"kind\": \"clean\"}]}",
+        )
+        .expect("minimal doc parses");
+        assert_eq!(parsed.scenarios, vec![Scenario::Clean]);
+        assert_eq!(parsed.budget_cycles, 400_000);
+        assert_eq!(parsed.exec_mode, ExecMode::EventDriven);
+        assert_eq!(parsed.threads, 0);
+    }
+
+    #[test]
+    fn submission_rejects_wrong_schema_and_bad_scenarios() {
+        assert!(CampaignSubmission::from_json("{\"scenarios\": []}")
+            .unwrap_err()
+            .contains("no schema"));
+        assert!(CampaignSubmission::from_json(
+            "{\"schema\": \"campaign_submit/v2\", \"scenarios\": []}"
+        )
+        .unwrap_err()
+        .contains("unsupported schema"));
+        for bad in [
+            "{\"kind\": \"bug\", \"bug\": \"bug.zz.1\"}",
+            "{\"kind\": \"recovery\", \"fault\": \"bug.hw.1\", \"seed\": 1, \"recovery_on\": true}",
+            "{\"kind\": \"wat\"}",
+        ] {
+            let doc = format!("{{\"schema\": \"campaign_submit/v1\", \"scenarios\": [{bad}]}}");
+            assert!(
+                CampaignSubmission::from_json(&doc).is_err(),
+                "accepted {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn submission_expands_matrix_and_recovery_batches_like_the_builder() {
+        let sub = CampaignSubmission {
+            matrix: true,
+            recovery_runs: 4,
+            recovery_on: true,
+            seed: 0xFA_17,
+            ..Default::default()
+        };
+        let campaign = sub.to_campaign();
+        let want = Campaign::builder()
+            .seed(0xFA_17)
+            .matrix()
+            .recovery_campaign(4, true)
+            .build();
+        assert_eq!(campaign.scenarios(), want.scenarios());
+    }
+
+    #[test]
+    fn report_roundtrip_is_byte_identical_including_failures() {
+        let report = Campaign::builder()
+            .threads(2)
+            .schedule(Schedule::WorkStealing)
+            .scenario(Scenario::Clean)
+            .scenario(Scenario::Recovery(RecoverySpec {
+                // A non-transient fault panics the runner: exercises the
+                // failed-row JSON path with an escaped panic payload.
+                fault: Bug::Hw1MemBurstWrap,
+                seed: 1,
+                recovery_on: true,
+            }))
+            .build()
+            .run();
+        let doc = report_to_json(&report);
+        assert_eq!(doc, report.to_json(), "method must delegate to wire");
+        let parsed = report_from_json(&doc).expect("parse back");
+        assert_eq!(parsed.rows.len(), 2);
+        assert_eq!(parsed.to_json(), doc, "re-render must be byte-identical");
+        assert!(matches!(parsed.rows[1].outcome, WireOutcome::Failed { .. }));
+    }
+
+    #[test]
+    fn report_rejects_wrong_schema() {
+        let err =
+            report_from_json("{\"schema\": \"campaign_report/v9\", \"rows\": []}").unwrap_err();
+        assert!(err.contains("campaign_report/v1"), "{err}");
+    }
+
+    #[test]
+    fn streamed_row_equals_embedded_report_row() {
+        let report = Campaign::builder()
+            .threads(1)
+            .scenario(Scenario::Clean)
+            .build()
+            .run();
+        let row_line = row_to_json(&report.rows[0]);
+        assert!(report.to_json().contains(&format!("    {row_line}\n")));
+    }
+}

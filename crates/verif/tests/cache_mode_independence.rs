@@ -1,0 +1,69 @@
+//! Regression: [`autovision::ArtifactCache`] keys deliberately exclude
+//! the kernel execution mode. That is only sound because cached
+//! artifacts (SimB word streams, software images, golden scenes) are
+//! pure functions of the system configuration and the identity contract
+//! pins event-driven and compiled execution to bit-identical behaviour.
+//! This suite pins both halves: a campaign submitted in `Compiled` mode
+//! against a cache warmed by an `EventDriven` campaign must hit for
+//! every artifact — and still produce byte-identical rows.
+
+use autovision::ArtifactCache;
+use rtlsim::ExecMode;
+use verif::wire::report_to_json;
+use verif::{Campaign, Scenario};
+
+fn campaign(mode: ExecMode) -> Campaign {
+    Campaign::builder()
+        .threads(2)
+        .exec_mode(mode)
+        .scenario(Scenario::Clean)
+        .scenario(Scenario::Bug(autovision::Bug::Dpr1NoIsolation))
+        .build()
+}
+
+#[test]
+fn compiled_submissions_hit_the_cache_warmed_by_event_driven_runs() {
+    let cache = ArtifactCache::new();
+
+    let event = campaign(ExecMode::EventDriven).run_streaming_with(&cache, None, |_| {});
+    assert!(
+        event.stats.artifact_misses > 0,
+        "cold run should derive artifacts"
+    );
+
+    let compiled = campaign(ExecMode::Compiled).run_streaming_with(&cache, None, |_| {});
+    assert_eq!(
+        compiled.stats.artifact_misses, 0,
+        "cache keys must be exec-mode-independent: a compiled campaign \
+         over the same configs should re-derive nothing"
+    );
+    assert!(compiled.stats.artifact_hits > 0);
+
+    // And mode independence is not just a key property — the rows the
+    // two modes produce are byte-identical (the PR 9 identity contract
+    // seen from the campaign plane).
+    assert_eq!(report_to_json(&event), report_to_json(&compiled));
+}
+
+#[test]
+fn pre_cancelled_campaigns_yield_typed_cancelled_rows_for_every_scenario() {
+    use std::sync::atomic::AtomicBool;
+    let cache = ArtifactCache::new();
+    let cancel = AtomicBool::new(true);
+    let mut streamed = Vec::new();
+    let report = campaign(ExecMode::EventDriven)
+        .run_streaming_with(&cache, Some(&cancel), |row| streamed.push(row.index));
+    assert_eq!(report.rows.len(), 2, "delivery must stay index-complete");
+    assert_eq!(streamed, vec![0, 1]);
+    assert!(report
+        .rows
+        .iter()
+        .all(|r| r.outcome == verif::ScenarioOutcome::Cancelled));
+    assert_eq!(report.failures().len(), 2);
+    assert_eq!(
+        report.stats.artifact_misses, 0,
+        "a cancelled campaign must not warm the cache"
+    );
+    let json = report_to_json(&report);
+    assert!(json.contains("\"kind\": \"cancelled\""), "{json}");
+}

@@ -72,8 +72,12 @@ fn lockstep(cfg: &SystemConfig, max_cycles: u64) -> usize {
     let mut cycles = 0u64;
     let mut drain = None::<u64>;
     loop {
-        ev.sim.run_for(CLK_PERIOD_PS).expect("event-driven kernel error");
-        co.sim.run_for(CLK_PERIOD_PS).expect("compiled kernel error");
+        ev.sim
+            .run_for(CLK_PERIOD_PS)
+            .expect("event-driven kernel error");
+        co.sim
+            .run_for(CLK_PERIOD_PS)
+            .expect("compiled kernel error");
         cycles += 1;
         for &p in &probes {
             let (a, b) = (ev.sim.peek(p), co.sim.peek(p));
@@ -90,9 +94,8 @@ fn lockstep(cfg: &SystemConfig, max_cycles: u64) -> usize {
                 first_divergence(&ev, &co)
             );
         }
-        let finished = |s: &AvSystem| {
-            s.cpu.borrow().halted || s.captured.borrow().len() >= s.config.n_frames
-        };
+        let finished =
+            |s: &AvSystem| s.cpu.borrow().halted || s.captured.borrow().len() >= s.config.n_frames;
         match drain {
             None if finished(&ev) && finished(&co) => drain = Some(DRAIN_CYCLES),
             Some(0) => break,

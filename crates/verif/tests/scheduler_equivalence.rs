@@ -1,5 +1,4 @@
-//! Thread-count equivalence for the detection matrix, plus bit-equality
-//! of the deprecated `run_matrix` shim against the campaign executor.
+//! Thread-count equivalence for the detection matrix.
 //!
 //! The executor fans independent (bug, method) runs out over OS worker
 //! threads; each scenario builds its own single-threaded simulator. The
@@ -7,32 +6,26 @@
 //! any difference would mean the kernel leaks state across simulator
 //! instances or the pool reorders results.
 
-#![allow(deprecated)]
+use verif::{Campaign, MatrixConfig};
 
-use verif::{run_matrix, Campaign, MatrixConfig};
-
-#[test]
-fn matrix_rows_are_identical_across_thread_counts() {
+fn matrix_rows(threads: usize) -> Vec<verif::MatrixRow> {
     let mc = MatrixConfig::default();
-    let one = run_matrix(&mc, 1);
-    let four = run_matrix(&mc, 4);
-    let eight = run_matrix(&mc, 8);
-    assert!(!one.is_empty());
-    assert_eq!(one, four, "4-thread matrix differs from serial run");
-    assert_eq!(one, eight, "8-thread matrix differs from serial run");
-}
-
-#[test]
-fn deprecated_shim_is_bit_equal_to_the_campaign_api() {
-    let mc = MatrixConfig::default();
-    let shim = run_matrix(&mc, 2);
-    let campaign = Campaign::builder()
+    Campaign::builder()
         .base(mc.base.clone())
         .budget_cycles(mc.budget_cycles)
-        .threads(2)
+        .threads(threads)
         .matrix()
         .build()
         .run()
-        .matrix_rows();
-    assert_eq!(shim, campaign);
+        .matrix_rows()
+}
+
+#[test]
+fn matrix_rows_are_identical_across_thread_counts() {
+    let one = matrix_rows(1);
+    let four = matrix_rows(4);
+    let eight = matrix_rows(8);
+    assert!(!one.is_empty());
+    assert_eq!(one, four, "4-thread matrix differs from serial run");
+    assert_eq!(one, eight, "8-thread matrix differs from serial run");
 }
